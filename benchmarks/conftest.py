@@ -1,0 +1,146 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scale is controlled by environment variables (see
+:mod:`repro.bench.config`).  Heavy artifacts — the snowflake database, the
+workloads, the SIT pools and the Figure 7 sweep — are session-scoped so
+the per-figure benchmark files share them.
+
+Every benchmark writes its paper-style table to
+``benchmarks/results/<name>.txt`` and the tables are echoed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` output
+contains the regenerated figures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.harness import Harness, WorkloadEvaluation
+from repro.core.estimator import (
+    make_gs_diff,
+    make_gs_nind,
+    make_gs_opt,
+    make_nosit,
+)
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import SITPool, build_workload_pool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: join counts evaluated, as in the paper's 3-/5-/7-way join workloads
+JOIN_COUNTS = (3, 5, 7)
+
+_written: list[pathlib.Path] = []
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def database(config):
+    return generate_snowflake(SnowflakeConfig(scale=config.scale, seed=config.seed))
+
+
+@pytest.fixture(scope="session")
+def harness(database):
+    return Harness(database)
+
+
+def _query_budget(config: BenchConfig, join_count: int) -> int:
+    """Fewer queries for the larger joins (the DP is O(3^n) per query)."""
+    if join_count <= 3:
+        return config.queries_per_workload
+    if join_count <= 5:
+        return max(3, config.queries_per_workload * 2 // 3)
+    return max(2, config.queries_per_workload // 3)
+
+
+@pytest.fixture(scope="session")
+def workloads(database, config):
+    out = {}
+    for join_count in JOIN_COUNTS:
+        generator = WorkloadGenerator(
+            database,
+            WorkloadConfig(
+                join_count=join_count, filter_count=3, seed=config.seed + join_count
+            ),
+        )
+        out[join_count] = generator.generate(_query_budget(config, join_count))
+    return out
+
+
+@pytest.fixture(scope="session")
+def pools(database, workloads):
+    """The full J_{join_count} pool per workload; sub-pools by restriction."""
+    builder = SITBuilder(database)
+    return {
+        join_count: build_workload_pool(builder, queries, max_joins=join_count)
+        for join_count, queries in workloads.items()
+    }
+
+
+def pool_limits(join_count: int) -> list[int]:
+    """The J_i sweep evaluated for one workload."""
+    limits = [0, 1, 2]
+    if join_count > 2:
+        limits.append(join_count)
+    return limits
+
+
+@pytest.fixture(scope="session")
+def figure7_sweep(harness, workloads, pools, config):
+    """The full accuracy sweep behind Figures 5, 7 and 8.
+
+    Maps join_count -> pool name ('J0', 'J1', ...) -> WorkloadEvaluation.
+    GS-Opt runs on the 3-way workload only (it executes query expressions
+    exactly, which is meaningful but slow — the paper calls it "only of
+    theoretical interest").
+    """
+    sweep: dict[int, dict[str, WorkloadEvaluation]] = {}
+    for join_count in JOIN_COUNTS:
+        queries = workloads[join_count]
+        sweep[join_count] = {}
+        for limit in pool_limits(join_count):
+            pool = pools[join_count].restrict_joins(limit)
+            factories = {
+                "noSit": make_nosit,
+                "GS-nInd": make_gs_nind,
+                "GS-Diff": make_gs_diff,
+            }
+            if join_count == 3:
+                factories["GS-Opt"] = make_gs_opt
+            sweep[join_count][f"J{limit}"] = harness.evaluate(
+                queries,
+                pool,
+                factories,
+                max_subqueries=config.subqueries_per_query,
+            )
+    return sweep
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        _written.append(path)
+
+    return write
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _written:
+        return
+    terminalreporter.write_sep("=", "regenerated paper figures")
+    for path in _written:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(path.read_text())

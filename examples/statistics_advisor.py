@@ -1,0 +1,59 @@
+"""Choosing which SITs to build: the workload-driven advisor.
+
+The paper assumes a pool of SITs exists; this example shows the companion
+decision — given a workload and a budget, which statistics on query
+expressions are worth materializing?  The advisor ranks candidates by
+``diff_H x applicability / cost`` and the example verifies the chosen few
+capture most of the full pool's accuracy.
+
+Run:  python examples/statistics_advisor.py
+"""
+
+from repro.bench.harness import Harness
+from repro.core.estimator import make_gs_diff
+from repro.stats.advisor import AdvisorConfig, SITAdvisor
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+
+def main() -> None:
+    db = generate_snowflake(SnowflakeConfig(scale=0.2, seed=9))
+    generator = WorkloadGenerator(
+        db, WorkloadConfig(join_count=3, filter_count=3, seed=2)
+    )
+    queries = generator.generate(6)
+    builder = SITBuilder(db)
+    harness = Harness(db)
+
+    advisor = SITAdvisor(builder, AdvisorConfig(max_sits=8, max_joins=2))
+    recommendations = advisor.recommend(queries)
+    print("top recommended SITs for the workload:")
+    for recommendation in recommendations:
+        print(f"  {recommendation}")
+
+    def mean_error(pool):
+        evaluation = harness.evaluate(
+            queries,
+            pool,
+            {"GS-Diff": make_gs_diff},
+            include_gvm=False,
+            max_subqueries=30,
+        )
+        return evaluation.report("GS-Diff").mean_absolute_error
+
+    print("\nGS-Diff mean absolute error over all sub-queries (paper metric):")
+    base_pool = build_workload_pool(builder, queries, max_joins=0)
+    print(f"  base histograms only:   {mean_error(base_pool):>8.1f}")
+    advisor_pool = advisor.build_pool(queries)
+    print(
+        f"  advisor pool ({len(recommendations):>2} SITs): {mean_error(advisor_pool):>8.1f}"
+    )
+    full_pool = build_workload_pool(builder, queries, max_joins=2)
+    conditioned = sum(1 for s in full_pool if not s.is_base)
+    print(f"  full J2 pool ({conditioned:>3} SITs): {mean_error(full_pool):>8.1f}")
+
+
+if __name__ == "__main__":
+    main()

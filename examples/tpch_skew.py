@@ -1,0 +1,85 @@
+"""The paper's motivating example (Figures 1 and 2) end to end.
+
+Reproduces the Section 1 narrative on a skewed TPC-H-style database:
+
+* expensive orders consist of many line-items (Zipfian skew), so the
+  filter ``total_price > 100K`` interacts with ``lineitem ⋈ orders``;
+* most customers live in the USA and busy customers are mostly American,
+  so ``nation = 'USA'`` interacts with ``orders ⋈ customer``;
+* a single SIT fixes one interaction (Figures 1(b)/1(c)); only the
+  conditional-selectivity framework combines both (Figure 2); greedy view
+  matching (GVM) cannot, because the two SITs are mutually exclusive from
+  a view-matching perspective.
+
+Run:  python examples/tpch_skew.py
+"""
+
+from repro import (
+    Attribute,
+    Executor,
+    GreedyViewMatching,
+    SITBuilder,
+    SITPool,
+    make_gs_diff,
+    make_nosit,
+)
+from repro.workload.tpch import TPCHConfig, generate_tpch, motivating_query
+
+
+def main() -> None:
+    db = generate_tpch(TPCHConfig())
+    query = motivating_query(db)
+    executor = Executor(db)
+    true = executor.cardinality(query.predicates)
+
+    joins = sorted(query.joins, key=str)
+    join_lo = next(j for j in joins if "lineitem" in str(j))
+    join_oc = next(j for j in joins if "customer" in str(j))
+
+    builder = SITBuilder(db)
+    base = []
+    for table in db.schema.tables.values():
+        for attribute in table.attributes:
+            base.append(builder.build_base(attribute))
+    sit_lo = builder.build(Attribute("orders", "total_price"), frozenset({join_lo}))
+    sit_oc = builder.build(Attribute("customer", "nation"), frozenset({join_oc}))
+
+    print("database: mini TPC-H with Zipfian line-items and skewed nations")
+    print(f"query:    {query}")
+    print(f"true cardinality: {true:,}\n")
+    print(f"available SITs:")
+    print(f"  {sit_lo}  (diff={sit_lo.diff:.3f})")
+    print(f"  {sit_oc}  (diff={sit_oc.diff:.3f})\n")
+
+    header = f"{'technique':<34}{'estimate':>12}{'abs error':>12}"
+    print(header)
+    print("-" * len(header))
+
+    def report(name: str, estimate: float) -> None:
+        print(f"{name:<34}{estimate:>12,.0f}{abs(estimate - true):>12,.0f}")
+
+    pool_none = SITPool(list(base))
+    report("noSit (traditional)", make_nosit(db, pool_none).cardinality(query))
+
+    pool_lo = SITPool(list(base) + [sit_lo])
+    report("GS-Diff + SIT(LO) [Fig 1(b)]", make_gs_diff(db, pool_lo).cardinality(query))
+
+    pool_oc = SITPool(list(base) + [sit_oc])
+    report("GS-Diff + SIT(OC) [Fig 1(c)]", make_gs_diff(db, pool_oc).cardinality(query))
+
+    pool_both = SITPool(list(base) + [sit_lo, sit_oc])
+    report("GS-Diff + both SITs [Fig 2]", make_gs_diff(db, pool_both).cardinality(query))
+
+    gvm = GreedyViewMatching(pool_both)
+    size = db.cross_product_size(query.tables)
+    report("GVM + both SITs (view matching)", gvm.estimate(query).selectivity * size)
+
+    print(
+        "\nGVM cannot combine the two SITs: their expressions share the\n"
+        "orders table but neither contains the other, so no single\n"
+        "rewritten plan exploits both — the Figure 1 vs Figure 2 gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

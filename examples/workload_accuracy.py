@@ -1,0 +1,63 @@
+"""Workload-scale accuracy study on the synthetic snowflake database.
+
+A miniature of the paper's Section 5 evaluation: generate a random SPJ
+workload, build the ``J_i`` SIT pools, and compare noSit / GVM / GS-nInd /
+GS-Diff across pools — the Figure 7 sweep as a table.
+
+Run:  python examples/workload_accuracy.py            (small, ~1 minute)
+      REPRO_SCALE=0.5 python examples/workload_accuracy.py   (bigger)
+"""
+
+import os
+
+from repro.bench.harness import Harness
+from repro.bench.reporting import render_figure7
+from repro.core.estimator import make_gs_diff, make_gs_nind, make_nosit
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.15"))
+    query_count = int(os.environ.get("REPRO_QUERIES", "6"))
+    join_count = 3
+
+    print(f"generating snowflake database (scale={scale}) ...")
+    db = generate_snowflake(SnowflakeConfig(scale=scale, seed=42))
+    generator = WorkloadGenerator(
+        db, WorkloadConfig(join_count=join_count, filter_count=3, seed=1)
+    )
+    queries = generator.generate(query_count)
+    print(f"workload: {query_count} queries, {join_count} joins + 3 filters each")
+
+    print("building the J_3 SIT pool (every smaller pool is a restriction) ...")
+    full_pool = build_workload_pool(SITBuilder(db), queries, max_joins=join_count)
+
+    harness = Harness(db)
+    by_pool = {}
+    for limit in range(join_count + 1):
+        pool = full_pool.restrict_joins(limit)
+        print(f"  evaluating with pool J{limit} ({len(pool)} SITs) ...")
+        by_pool[f"J{limit}"] = harness.evaluate(
+            queries,
+            pool,
+            {
+                "noSit": make_nosit,
+                "GS-nInd": make_gs_nind,
+                "GS-Diff": make_gs_diff,
+            },
+            max_subqueries=30,
+        )
+
+    print()
+    print(
+        render_figure7(
+            by_pool, ["noSit", "GVM", "GS-nInd", "GS-Diff"], join_count
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

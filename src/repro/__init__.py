@@ -1,0 +1,63 @@
+"""repro — a full reproduction of *Conditional Selectivity for Statistics
+on Query Expressions* (Bruno & Chaudhuri, SIGMOD 2004).
+
+The public API is re-exported here; the subpackages are:
+
+* :mod:`repro.core` — conditional selectivity, ``getSelectivity``, error
+  functions (``nInd``, ``Diff``, ``Opt``) and the GVM baseline;
+* :mod:`repro.engine` — the in-memory relational engine used for exact
+  ground truth;
+* :mod:`repro.histograms` — MaxDiff/equi-depth/equi-width histograms and
+  the histogram join;
+* :mod:`repro.stats` — SITs: construction, ``diff_H`` and workload pools;
+* :mod:`repro.optimizer` — a Cascades-style memo and the Section 4
+  integration;
+* :mod:`repro.workload` — the paper's synthetic snowflake database and
+  random SPJ query generator;
+* :mod:`repro.bench` — the experiment harness regenerating every figure.
+"""
+
+from repro.core import (
+    Attribute,
+    CardinalityEstimator,
+    DiffError,
+    FilterPredicate,
+    GreedyViewMatching,
+    JoinPredicate,
+    NIndError,
+    OptError,
+    make_gs_diff,
+    make_gs_nind,
+    make_gs_opt,
+    make_nosit,
+)
+from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
+from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CardinalityEstimator",
+    "Database",
+    "DiffError",
+    "Executor",
+    "FilterPredicate",
+    "GreedyViewMatching",
+    "JoinPredicate",
+    "NIndError",
+    "OptError",
+    "Query",
+    "SIT",
+    "SITBuilder",
+    "SITPool",
+    "Schema",
+    "Table",
+    "TableSchema",
+    "build_workload_pool",
+    "make_gs_diff",
+    "make_gs_nind",
+    "make_gs_opt",
+    "make_nosit",
+    "__version__",
+]

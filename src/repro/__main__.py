@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The paper's motivating example (Figures 1-2) on the skewed mini
+    TPC-H database.
+``estimate --sql "SELECT ..."``
+    Estimate the cardinality of a SQL query against the synthetic
+    snowflake database, comparing noSit / GVM / GS-Diff with the truth.
+``figures``
+    A quick textual regeneration of the Figure 7 sweep at a small scale
+    (the full suite lives in ``pytest benchmarks/ --benchmark-only``).
+``info``
+    Version and package inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {repro.__version__} — Bruno & Chaudhuri, SIGMOD 2004 reproduction")
+    print(__doc__)
+    return 0
+
+
+def _demo() -> int:
+    from repro.workload.tpch import generate_tpch, motivating_query
+    from repro.core.predicates import Attribute
+    from repro.core.gvm import GreedyViewMatching
+    from repro.core.estimator import make_gs_diff, make_nosit
+    from repro.engine.executor import Executor
+    from repro.stats.builder import SITBuilder
+    from repro.stats.pool import SITPool
+
+    db = generate_tpch()
+    query = motivating_query(db)
+    true = Executor(db).cardinality(query.predicates)
+    joins = sorted(query.joins, key=str)
+    join_lo = next(j for j in joins if "lineitem" in str(j))
+    join_oc = next(j for j in joins if "customer" in str(j))
+    builder = SITBuilder(db)
+    base = [
+        builder.build_base(attribute)
+        for table in db.schema.tables.values()
+        for attribute in table.attributes
+    ]
+    sit_lo = builder.build(Attribute("orders", "total_price"), frozenset({join_lo}))
+    sit_oc = builder.build(Attribute("customer", "nation"), frozenset({join_oc}))
+    both = SITPool(list(base) + [sit_lo, sit_oc])
+    print(f"query: {query}")
+    print(f"true cardinality:   {true:>10,}")
+    print(f"noSit:              {make_nosit(db, SITPool(list(base))).cardinality(query):>10,.0f}")
+    print(f"GS-Diff, both SITs: {make_gs_diff(db, both).cardinality(query):>10,.0f}")
+    gvm = GreedyViewMatching(both)
+    size = db.cross_product_size(query.tables)
+    print(f"GVM, both SITs:     {gvm.estimate(query).selectivity * size:>10,.0f}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.estimator import make_gs_diff, make_nosit
+    from repro.core.gvm import GreedyViewMatching
+    from repro.engine.executor import Executor
+    from repro.sql import parse_query
+    from repro.stats.builder import SITBuilder
+    from repro.stats.pool import build_workload_pool
+    from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    database = generate_snowflake(SnowflakeConfig(scale=args.scale, seed=args.seed))
+    query = parse_query(args.sql, database.schema)
+    pool = build_workload_pool(
+        SITBuilder(database), [query], max_joins=min(query.join_count, args.max_joins)
+    )
+    true = Executor(database).cardinality(query.predicates)
+    print(f"canonical form: {query}")
+    print(f"SIT pool:       {len(pool)} statistics")
+    print(f"true:           {true:>12,}")
+    nosit = make_nosit(database, pool)
+    print(f"noSit:          {nosit.cardinality(query):>12,.0f}")
+    gvm = GreedyViewMatching(pool)
+    size = database.cross_product_size(query.tables)
+    print(f"GVM:            {gvm.estimate(query).selectivity * size:>12,.0f}")
+    gs = make_gs_diff(database, pool)
+    print(f"GS-Diff:        {gs.cardinality(query):>12,.0f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench.harness import Harness
+    from repro.bench.reporting import render_figure7
+    from repro.core.estimator import make_gs_diff, make_gs_nind, make_nosit
+    from repro.stats.builder import SITBuilder
+    from repro.stats.pool import build_workload_pool
+    from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+    from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    database = generate_snowflake(SnowflakeConfig(scale=args.scale, seed=args.seed))
+    generator = WorkloadGenerator(
+        database, WorkloadConfig(join_count=3, filter_count=3, seed=args.seed)
+    )
+    queries = generator.generate(args.queries)
+    pool = build_workload_pool(SITBuilder(database), queries, max_joins=3)
+    harness = Harness(database)
+    by_pool = {}
+    for limit in range(4):
+        print(f"evaluating pool J{limit} ...", file=sys.stderr)
+        by_pool[f"J{limit}"] = harness.evaluate(
+            queries,
+            pool.restrict_joins(limit),
+            {
+                "noSit": make_nosit,
+                "GS-nInd": make_gs_nind,
+                "GS-Diff": make_gs_diff,
+            },
+            max_subqueries=30,
+        )
+    print(render_figure7(by_pool, ["noSit", "GVM", "GS-nInd", "GS-Diff"], 3))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Conditional selectivity for statistics on query expressions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and package inventory")
+    sub.add_parser("demo", help="the paper's motivating example")
+
+    estimate = sub.add_parser("estimate", help="estimate a SQL query's cardinality")
+    estimate.add_argument("--sql", required=True, help="conjunctive SPJ SELECT")
+    estimate.add_argument("--scale", type=float, default=0.25)
+    estimate.add_argument("--seed", type=int, default=42)
+    estimate.add_argument("--max-joins", type=int, default=2, dest="max_joins")
+
+    figures = sub.add_parser("figures", help="quick Figure 7 sweep")
+    figures.add_argument("--scale", type=float, default=0.15)
+    figures.add_argument("--seed", type=int, default=42)
+    figures.add_argument("--queries", type=int, default=5)
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "demo":
+        return _demo()
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

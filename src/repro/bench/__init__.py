@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.config import BenchConfig
+from repro.bench.harness import (
+    Harness,
+    QueryMetrics,
+    TechniqueReport,
+    WorkloadEvaluation,
+)
+from repro.bench.reporting import (
+    figure5_rows,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_summary,
+    render_table,
+)
+
+__all__ = [
+    "BenchConfig",
+    "Harness",
+    "QueryMetrics",
+    "TechniqueReport",
+    "WorkloadEvaluation",
+    "figure5_rows",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_summary",
+    "render_table",
+]

@@ -1,0 +1,47 @@
+"""Benchmark-scale configuration via environment variables.
+
+The paper's experiments run on 8 tables of 1K-1M tuples and 100-query
+workloads.  The defaults here are scaled down so the full harness runs on
+a laptop in minutes; set the environment variables to approach the paper's
+scale:
+
+* ``REPRO_SCALE``       — snowflake row-count multiplier (default 0.25)
+* ``REPRO_QUERIES``     — queries per workload (default 12; paper: 100)
+* ``REPRO_SUBQUERIES``  — sub-queries sampled per query (default 40)
+* ``REPRO_SEED``        — master seed (default 42)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Resolved benchmark-scale settings."""
+
+    scale: float
+    queries_per_workload: int
+    subqueries_per_query: int
+    seed: int
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        """Resolve the configuration from ``REPRO_*`` environment variables."""
+        return cls(
+            scale=_env_float("REPRO_SCALE", 0.25),
+            queries_per_workload=_env_int("REPRO_QUERIES", 12),
+            subqueries_per_query=_env_int("REPRO_SUBQUERIES", 40),
+            seed=_env_int("REPRO_SEED", 42),
+        )

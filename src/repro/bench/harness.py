@@ -1,0 +1,219 @@
+"""Experiment harness: runs estimation techniques over workloads and
+collects the paper's metrics.
+
+Metric (Section 5, "Metrics"): for each workload query, estimate the
+cardinality of each of its sub-queries with every technique, evaluate each
+sub-query exactly, average the absolute error over the sub-queries, then
+average over the workload's queries.  Efficiency metrics — view-matching
+calls (Figure 6) and decomposition-analysis versus histogram-manipulation
+time (Figure 8) — come from the shared :class:`ViewMatcher` counter and
+the ``GetSelectivity`` timing hooks.
+
+``getSelectivity``-based techniques answer every sub-query of a query from
+one memoized run (Section 4's reuse); GVM re-runs per sub-plan, exactly as
+the paper observes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.estimator import CardinalityEstimator
+from repro.core.gvm import GreedyViewMatching
+from repro.core.predicates import PredicateSet, tables_of
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+from repro.stats.pool import SITPool
+from repro.workload.queries import connected_subqueries
+
+#: builds an estimator for (database, pool)
+EstimatorFactory = Callable[[Database, SITPool], CardinalityEstimator]
+
+
+@dataclass
+class QueryMetrics:
+    """Per-query outcome of one technique."""
+
+    query: Query
+    mean_absolute_error: float
+    full_query_error: float
+    vm_calls: int
+    analysis_seconds: float
+    estimation_seconds: float
+    estimates: dict[PredicateSet, float] = field(default_factory=dict)
+
+
+@dataclass
+class TechniqueReport:
+    """A technique's metrics over a whole workload."""
+
+    name: str
+    per_query: list[QueryMetrics] = field(default_factory=list)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        if not self.per_query:
+            return 0.0
+        return sum(q.mean_absolute_error for q in self.per_query) / len(
+            self.per_query
+        )
+
+    @property
+    def mean_vm_calls(self) -> float:
+        if not self.per_query:
+            return 0.0
+        return sum(q.vm_calls for q in self.per_query) / len(self.per_query)
+
+    @property
+    def mean_analysis_ms(self) -> float:
+        if not self.per_query:
+            return 0.0
+        return (
+            sum(q.analysis_seconds for q in self.per_query)
+            / len(self.per_query)
+            * 1000.0
+        )
+
+    @property
+    def mean_estimation_ms(self) -> float:
+        if not self.per_query:
+            return 0.0
+        return (
+            sum(q.estimation_seconds for q in self.per_query)
+            / len(self.per_query)
+            * 1000.0
+        )
+
+
+@dataclass
+class WorkloadEvaluation:
+    """All techniques' reports plus the ground truth used."""
+
+    reports: dict[str, TechniqueReport]
+    true_cardinalities: dict[PredicateSet, int]
+
+    def report(self, name: str) -> TechniqueReport:
+        """The report of one technique by name."""
+        return self.reports[name]
+
+
+class Harness:
+    """Evaluates techniques against exact ground truth over workloads."""
+
+    def __init__(self, database: Database, executor: Executor | None = None):
+        self.database = database
+        self.executor = executor if executor is not None else Executor(database)
+        self._truth: dict[PredicateSet, int] = {}
+
+    # ------------------------------------------------------------------
+    def true_cardinality(self, predicates: PredicateSet) -> int:
+        """Exact cardinality via the executor, memoized across queries."""
+        cached = self._truth.get(predicates)
+        if cached is None:
+            cached = self.executor.cardinality(predicates)
+            self._truth[predicates] = cached
+        return cached
+
+    def subqueries(
+        self, query: Query, max_count: int | None, seed: int = 0
+    ) -> list[PredicateSet]:
+        """The sub-query universe of ``query`` (sampled when capped)."""
+        return connected_subqueries(query, max_count=max_count, seed=seed)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        queries: Sequence[Query],
+        pool: SITPool,
+        estimator_factories: dict[str, EstimatorFactory],
+        include_gvm: bool = True,
+        max_subqueries: int | None = None,
+    ) -> WorkloadEvaluation:
+        """Run every technique over every query of the workload."""
+        reports: dict[str, TechniqueReport] = {}
+        estimators = {
+            name: factory(self.database, pool)
+            for name, factory in estimator_factories.items()
+        }
+        for name in estimators:
+            reports[name] = TechniqueReport(name)
+        if include_gvm:
+            reports["GVM"] = TechniqueReport("GVM")
+
+        for index, query in enumerate(queries):
+            subqueries = self.subqueries(query, max_subqueries, seed=index)
+            truth = {s: self.true_cardinality(s) for s in subqueries}
+            for name, estimator in estimators.items():
+                reports[name].per_query.append(
+                    self._run_gs(estimator, query, subqueries, truth)
+                )
+            if include_gvm:
+                reports["GVM"].per_query.append(
+                    self._run_gvm(pool, query, subqueries, truth)
+                )
+        return WorkloadEvaluation(reports, dict(self._truth))
+
+    # ------------------------------------------------------------------
+    def _cardinality_of(self, predicates: PredicateSet, selectivity: float) -> float:
+        return selectivity * self.database.cross_product_size(tables_of(predicates))
+
+    def _run_gs(
+        self,
+        estimator: CardinalityEstimator,
+        query: Query,
+        subqueries: list[PredicateSet],
+        truth: dict[PredicateSet, int],
+    ) -> QueryMetrics:
+        estimator.reset()  # per-query accounting, as in the paper
+        estimates: dict[PredicateSet, float] = {}
+        for predicates in subqueries:
+            result = estimator.algorithm(predicates)
+            estimates[predicates] = self._cardinality_of(
+                predicates, result.selectivity
+            )
+        errors = [abs(estimates[s] - truth[s]) for s in subqueries]
+        return QueryMetrics(
+            query=query,
+            mean_absolute_error=sum(errors) / len(errors),
+            full_query_error=abs(
+                estimates[query.predicates] - truth[query.predicates]
+            )
+            if query.predicates in estimates
+            else 0.0,
+            vm_calls=estimator.view_matching_calls,
+            analysis_seconds=estimator.analysis_seconds,
+            estimation_seconds=estimator.estimation_seconds,
+            estimates=estimates,
+        )
+
+    def _run_gvm(
+        self,
+        pool: SITPool,
+        query: Query,
+        subqueries: list[PredicateSet],
+        truth: dict[PredicateSet, int],
+    ) -> QueryMetrics:
+        gvm = GreedyViewMatching(pool)
+        estimates: dict[PredicateSet, float] = {}
+        started = time.perf_counter()
+        for predicates in subqueries:  # one greedy run per sub-plan
+            selectivity = gvm.estimate_selectivity(predicates)
+            estimates[predicates] = self._cardinality_of(predicates, selectivity)
+        elapsed = time.perf_counter() - started
+        errors = [abs(estimates[s] - truth[s]) for s in subqueries]
+        return QueryMetrics(
+            query=query,
+            mean_absolute_error=sum(errors) / len(errors),
+            full_query_error=abs(
+                estimates[query.predicates] - truth[query.predicates]
+            )
+            if query.predicates in estimates
+            else 0.0,
+            vm_calls=gvm.matcher.calls,
+            analysis_seconds=elapsed,
+            estimation_seconds=0.0,
+            estimates=estimates,
+        )

@@ -1,0 +1,141 @@
+"""Paper-style textual reporting of harness results.
+
+Each figure of the paper corresponds to one renderer producing the same
+rows/series the paper plots, as aligned monospace tables suitable for a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import TechniqueReport, WorkloadEvaluation
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, _rule(sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(_rule(sum(widths) + 2 * len(widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def figure5_rows(
+    evaluation: WorkloadEvaluation, x_name: str = "GVM", y_name: str = "GS-nInd"
+) -> list[tuple[float, float]]:
+    """Per-query (x, y) absolute-error pairs of Figure 5's scatter plot."""
+    x_report = evaluation.report(x_name)
+    y_report = evaluation.report(y_name)
+    return [
+        (xq.mean_absolute_error, yq.mean_absolute_error)
+        for xq, yq in zip(x_report.per_query, y_report.per_query)
+    ]
+
+
+def render_figure5(evaluation: WorkloadEvaluation) -> str:
+    """Figure 5 as a table: per-query GVM-vs-GS-nInd absolute errors."""
+    pairs = figure5_rows(evaluation)
+    below = sum(1 for x, y in pairs if y <= x + 1e-9)
+    rows = [
+        (f"{x:,.1f}", f"{y:,.1f}", "yes" if y <= x + 1e-9 else "NO")
+        for x, y in pairs
+    ]
+    table = render_table(
+        "Figure 5 — absolute cardinality error per query (GVM vs GS-nInd)",
+        ["GVM error (x)", "GS-nInd error (y)", "y <= x"],
+        rows,
+    )
+    return table + f"\npoints under x=y: {below}/{len(pairs)}"
+
+
+def render_figure6(
+    by_join_count: dict[int, WorkloadEvaluation],
+    techniques: Sequence[str] = ("GS-nInd", "GVM"),
+) -> str:
+    """Figure 6 as a table: average view-matching calls per query."""
+    rows = []
+    for join_count in sorted(by_join_count):
+        evaluation = by_join_count[join_count]
+        cells = [str(join_count)]
+        for name in techniques:
+            cells.append(f"{evaluation.report(name).mean_vm_calls:,.0f}")
+        gvm = evaluation.report("GVM").mean_vm_calls
+        gs = evaluation.report(techniques[0]).mean_vm_calls
+        cells.append(f"{gvm / gs:.2f}x" if gs else "n/a")
+        rows.append(cells)
+    return render_table(
+        "Figure 6 — avg. view-matching calls per query",
+        ["joins", *techniques, "GVM/GS"],
+        rows,
+    )
+
+
+def render_figure7(
+    by_pool: dict[str, WorkloadEvaluation],
+    techniques: Sequence[str],
+    join_count: int,
+) -> str:
+    """Figure 7 as a table: mean absolute error per technique per pool."""
+    rows = []
+    for pool_name in by_pool:
+        evaluation = by_pool[pool_name]
+        cells = [pool_name]
+        for name in techniques:
+            if name in evaluation.reports:
+                cells.append(f"{evaluation.report(name).mean_absolute_error:,.1f}")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    return render_table(
+        f"Figure 7 — avg. absolute error, {join_count}-way join workload",
+        ["pool", *techniques],
+        rows,
+    )
+
+
+def render_figure8(
+    by_pool: dict[str, WorkloadEvaluation],
+    technique: str,
+    join_count: int,
+) -> str:
+    """Figure 8 as a table: analysis vs histogram-manipulation time."""
+    rows = []
+    for pool_name in by_pool:
+        report = by_pool[pool_name].report(technique)
+        rows.append(
+            [
+                pool_name,
+                f"{report.mean_analysis_ms:.2f}",
+                f"{report.mean_estimation_ms:.2f}",
+                f"{report.mean_analysis_ms + report.mean_estimation_ms:.2f}",
+            ]
+        )
+    return render_table(
+        f"Figure 8 — {technique} time per query (ms), {join_count}-way joins",
+        ["pool", "decomposition analysis", "histogram manipulation", "total"],
+        rows,
+    )
+
+
+def render_summary(report: TechniqueReport) -> str:
+    """One-line accuracy/efficiency summary of a technique's report."""
+    return (
+        f"{report.name}: mean |error| = {report.mean_absolute_error:,.1f}, "
+        f"vm calls = {report.mean_vm_calls:,.0f}, "
+        f"analysis = {report.mean_analysis_ms:.2f} ms, "
+        f"estimation = {report.mean_estimation_ms:.2f} ms"
+    )

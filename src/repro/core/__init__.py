@@ -1,0 +1,84 @@
+"""The paper's primary contribution: conditional selectivity, the
+``getSelectivity`` dynamic program, error functions and the GVM baseline."""
+
+from repro.core.decompose import (
+    count_decompositions,
+    enumerate_decompositions,
+    lemma1_bounds,
+    standard_decomposition,
+)
+from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
+from repro.core.estimator import (
+    CardinalityEstimator,
+    make_gs_diff,
+    make_gs_nind,
+    make_gs_opt,
+    make_nosit,
+)
+from repro.core.groupby import cardenas, estimate_group_count
+from repro.core.get_selectivity import (
+    EstimationResult,
+    GetSelectivity,
+    NoApplicableStatisticsError,
+)
+from repro.core.gvm import GreedyViewMatching, GVMEstimate
+from repro.core.matching import (
+    AttributeMatch,
+    FactorMatch,
+    ViewMatcher,
+    estimate_factor,
+)
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    Predicate,
+    attributes_of,
+    connected_components,
+    filter_predicates,
+    is_separable,
+    join_predicates,
+    predicate_set,
+    tables_of,
+)
+from repro.core.selectivity import Decomposition, Factor
+
+__all__ = [
+    "Attribute",
+    "AttributeMatch",
+    "CardinalityEstimator",
+    "Decomposition",
+    "DiffError",
+    "ErrorFunction",
+    "EstimationResult",
+    "Factor",
+    "FactorMatch",
+    "FilterPredicate",
+    "GVMEstimate",
+    "GetSelectivity",
+    "GreedyViewMatching",
+    "JoinPredicate",
+    "NIndError",
+    "NoApplicableStatisticsError",
+    "OptError",
+    "Predicate",
+    "ViewMatcher",
+    "attributes_of",
+    "cardenas",
+    "connected_components",
+    "count_decompositions",
+    "estimate_group_count",
+    "enumerate_decompositions",
+    "estimate_factor",
+    "filter_predicates",
+    "is_separable",
+    "join_predicates",
+    "lemma1_bounds",
+    "make_gs_diff",
+    "make_gs_nind",
+    "make_gs_opt",
+    "make_nosit",
+    "predicate_set",
+    "standard_decomposition",
+    "tables_of",
+]

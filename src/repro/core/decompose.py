@@ -1,0 +1,109 @@
+"""Decomposition-space machinery: standard decomposition, exhaustive
+enumeration and the T(n) counting recurrence of Lemma 1.
+
+The exhaustive enumerator is exponential by design — it exists to validate
+``getSelectivity`` (Theorem 1 says the DP never misses the most accurate
+non-separable decomposition) and to demonstrate Lemma 1's combinatorial
+explosion in the search-space benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from itertools import combinations
+from typing import Iterator
+
+from repro.core.predicates import PredicateSet, connected_components
+from repro.core.selectivity import EMPTY_DECOMPOSITION, Decomposition, Factor
+
+
+def standard_decomposition(predicates: PredicateSet) -> list[PredicateSet]:
+    """Lemma 2: the unique decomposition of ``Sel_R(P)`` into non-separable
+    unconditioned factors — one per table-connected component."""
+    return connected_components(predicates)
+
+
+def _proper_subsets(predicates: PredicateSet) -> Iterator[PredicateSet]:
+    """Non-empty proper subsets, in a deterministic order."""
+    items = sorted(predicates, key=str)
+    for size in range(1, len(items)):
+        for combo in combinations(items, size):
+            yield frozenset(combo)
+
+
+def simplify_factor(p: PredicateSet, q: PredicateSet) -> list[Factor]:
+    """Apply Property 2 (separable decomposition) to ``Sel(P|Q)``.
+
+    Splits the factor along the table-connected components of ``P | Q``
+    and drops components with an empty P-part (``Sel({}|Q_i) = 1``).  The
+    returned factors are all non-separable; this transformation is exact
+    (no assumptions).
+    """
+    components = connected_components(p | q)
+    factors = []
+    for component in components:
+        p_c = p & component
+        if p_c:
+            factors.append(Factor(p_c, q & component))
+    return factors
+
+
+def enumerate_decompositions(
+    predicates: PredicateSet, simplify_separable: bool = False
+) -> Iterator[Decomposition]:
+    """All decompositions of ``Sel_R(P)`` via repeated atomic decomposition.
+
+    Following Lemma 1's counting scheme, a decomposition is produced by
+    peeling a non-empty ``P'`` off the remaining predicates at each step:
+    ``Sel(P) = Sel(P'|P - P') * (decomposition of Sel(P - P'))``, with the
+    whole set as the single-factor base case.
+
+    With ``simplify_separable`` every separable factor is replaced by its
+    exact separable decomposition (:func:`simplify_factor`), so the yielded
+    decompositions consist of non-separable factors only — the search space
+    Theorem 1 is stated over.  (Different raw chains may simplify to the
+    same decomposition; no deduplication is attempted.)
+    """
+    predicates = frozenset(predicates)
+    if not predicates:
+        yield EMPTY_DECOMPOSITION
+        return
+
+    def head_factors(p: PredicateSet, q: PredicateSet) -> tuple[Factor, ...]:
+        if simplify_separable:
+            return tuple(simplify_factor(p, q))
+        return (Factor(p, q),)
+
+    yield Decomposition(head_factors(predicates, frozenset()))
+    for first in _proper_subsets(predicates):
+        rest = predicates - first
+        heads = head_factors(first, rest)
+        for tail in enumerate_decompositions(rest, simplify_separable):
+            yield Decomposition(heads + tail.factors)
+
+
+def count_decompositions(n: int) -> int:
+    """T(n): the number of decompositions of ``Sel_R(p1, ..., pn)``.
+
+    Matches the recurrence in the proof of Lemma 1:
+    ``T(1) = 1``; ``T(n) = sum_{i=1..n} C(n, i) * T(n - i)`` with
+    ``T(0) = 1`` (the empty product).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+
+    @lru_cache(maxsize=None)
+    def t(k: int) -> int:
+        if k <= 1:
+            return 1
+        return sum(math.comb(k, i) * t(k - i) for i in range(1, k + 1))
+
+    return t(n)
+
+
+def lemma1_bounds(n: int) -> tuple[float, float]:
+    """The Lemma 1 bounds ``(0.5 * (n+1)!, 1.5^n * n!)`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError("Lemma 1 is stated for n >= 1")
+    return 0.5 * math.factorial(n + 1), 1.5**n * math.factorial(n)

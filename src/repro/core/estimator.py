@@ -1,0 +1,128 @@
+"""High-level cardinality estimation facade.
+
+:class:`CardinalityEstimator` wires a database catalog, a SIT pool and an
+error function into the ``getSelectivity`` DP, exposing the operations an
+optimizer (or an experiment harness) needs: selectivity and cardinality of
+a query and of all its sub-queries.
+
+Factory helpers build the estimator variants the paper evaluates:
+``noSit`` (base statistics only, the traditional optimizer), ``GS-nInd``,
+``GS-Diff`` and ``GS-Opt``.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
+from repro.core.get_selectivity import EstimationResult, GetSelectivity
+from repro.core.predicates import PredicateSet
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+from repro.stats.pool import SITPool
+
+
+class CardinalityEstimator:
+    """Estimates selectivities/cardinalities of SPJ queries using SITs."""
+
+    def __init__(
+        self,
+        database: Database,
+        pool: SITPool,
+        error_function: ErrorFunction | None = None,
+        sit_driven_pruning: bool = False,
+        name: str | None = None,
+    ):
+        self.database = database
+        self.pool = pool
+        self.error_function = (
+            error_function if error_function is not None else DiffError(pool)
+        )
+        self.algorithm = GetSelectivity(
+            pool, self.error_function, sit_driven_pruning=sit_driven_pruning
+        )
+        self.name = name if name is not None else f"GS-{self.error_function.name}"
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> EstimationResult:
+        """Full ``getSelectivity`` result (selectivity, error, decomposition)."""
+        return self.algorithm(query.predicates)
+
+    def selectivity(self, query: Query) -> float:
+        """Most accurate ``Sel_R(P)`` for the query's predicate set."""
+        return self.estimate(query).selectivity
+
+    def cardinality(self, query: Query) -> float:
+        """Estimated output cardinality: ``Sel_R(P) * |R^x|``."""
+        return self.selectivity(query) * self.database.cross_product_size(query.tables)
+
+    def cardinality_sql(self, sql: str) -> float:
+        """Estimate the output cardinality of a SQL SELECT statement.
+
+        Accepts the conjunctive SPJ subset of :mod:`repro.sql` and binds
+        it against this estimator's database schema.
+        """
+        from repro.sql import parse_query
+
+        return self.cardinality(parse_query(sql, self.database.schema))
+
+    def subquery_selectivity(self, query: Query, predicates: PredicateSet) -> float:
+        """Selectivity of one sub-query; free after :meth:`estimate` thanks
+        to the DP's memo table."""
+        return self.algorithm(frozenset(predicates)).selectivity
+
+    def subquery_cardinality(self, query: Query, predicates: PredicateSet) -> float:
+        predicates = frozenset(predicates)
+        sub = query.subquery(predicates)
+        return self.subquery_selectivity(query, predicates) * (
+            self.database.cross_product_size(sub.tables)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def view_matching_calls(self) -> int:
+        return self.algorithm.matcher.calls
+
+    @property
+    def analysis_seconds(self) -> float:
+        return self.algorithm.analysis_seconds
+
+    @property
+    def estimation_seconds(self) -> float:
+        return self.algorithm.estimation_seconds
+
+    def reset(self) -> None:
+        """Clear memoization and counters (e.g. between workload queries
+        when measuring per-query costs)."""
+        self.algorithm.reset()
+
+
+# ----------------------------------------------------------------------
+# The paper's estimator variants
+# ----------------------------------------------------------------------
+def make_gs_nind(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
+    """GS-nInd: getSelectivity counting independence assumptions."""
+    return CardinalityEstimator(database, pool, NIndError(), name="GS-nInd", **kwargs)
+
+
+def make_gs_diff(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
+    """GS-Diff: getSelectivity with the distribution-aware error function."""
+    return CardinalityEstimator(
+        database, pool, DiffError(pool), name="GS-Diff", **kwargs
+    )
+
+
+def make_gs_opt(
+    database: Database, pool: SITPool, executor: Executor | None = None, **kwargs
+) -> CardinalityEstimator:
+    """GS-Opt: the theoretical optimum (true per-factor errors)."""
+    executor = executor if executor is not None else Executor(database)
+    return CardinalityEstimator(
+        database, pool, OptError(executor), name="GS-Opt", **kwargs
+    )
+
+
+def make_nosit(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
+    """noSit: the traditional optimizer — base-table histograms only."""
+    return CardinalityEstimator(
+        database, pool.base_only(), NIndError(), name="noSit", **kwargs
+    )

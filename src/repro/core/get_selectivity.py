@@ -1,0 +1,275 @@
+"""The ``getSelectivity`` dynamic programming algorithm (Figure 3).
+
+Given tables ``R``, predicates ``P``, a pool of SITs and a monotonic,
+algebraic error function, ``getSelectivity`` returns the most accurate
+approximation of ``Sel_R(P)`` among all *non-separable* decompositions
+(Theorem 1), in ``O(3^n)`` instead of the factorial cost of exhaustive
+enumeration (Lemma 1).
+
+Structure follows the paper's pseudo-code:
+
+* memoization table keyed by the predicate set (lines 1-2);
+* separable selectivities are split into their standard decomposition and
+  solved independently (lines 3-7, Lemma 2);
+* non-separable ones try every atomic decomposition
+  ``Sel(P'|Q) * Sel(Q)`` (lines 9-15), matching SITs for the conditional
+  factor through the view-matching routine of Section 3.3;
+* the winning factor is *estimated* only once, after the search
+  (lines 16-17) — the paper's split between "decomposition analysis" and
+  "histogram manipulation" time, which Figure 8 reports separately.
+
+The optional SIT-driven pruning of Section 3.4 skips atomic decompositions
+whose conditional factor could not possibly use a non-base SIT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
+from repro.core.matching import (
+    FactorMatch,
+    ViewMatcher,
+    enumerate_matches,
+    estimate_factor,
+    select_match,
+)
+from repro.core.predicates import PredicateSet, connected_components
+from repro.core.selectivity import Decomposition, Factor
+from repro.stats.pool import SITPool
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """Outcome of ``getSelectivity`` for one predicate set.
+
+    ``coverage`` is the total size of the SIT expressions the chosen
+    decomposition exploits; it is the *tie-breaker* among equal-error
+    decompositions (prefer actually-used conditioning).  Like ``error``
+    it is additive under ``E_merge``, so lexicographic ``(error,
+    -coverage)`` comparison preserves the DP's principle of optimality.
+    """
+
+    selectivity: float
+    error: float
+    decomposition: Decomposition
+    matches: tuple[FactorMatch, ...]
+    coverage: float = 0.0
+
+    @property
+    def factor_count(self) -> int:
+        return len(self.decomposition)
+
+
+def _match_coverage(match: FactorMatch) -> float:
+    """Total conditioning actually used by a factor's SITs."""
+    return float(
+        sum(len(am.sit.expression) for am in match.attribute_matches)
+    )
+
+
+_EMPTY_RESULT = EstimationResult(1.0, 0.0, Decomposition(()), ())
+
+
+class GetSelectivity:
+    """A reusable ``getSelectivity`` instance.
+
+    The memoization table persists across calls, so during the optimization
+    of one query every selectivity request for a sub-plan after the first
+    is a table lookup — the reuse property Section 4 builds on.  Create a
+    fresh instance (or call :meth:`reset`) when the SIT pool changes.
+    """
+
+    def __init__(
+        self,
+        pool: SITPool,
+        error_function: ErrorFunction,
+        sit_driven_pruning: bool = False,
+        matcher: ViewMatcher | None = None,
+    ):
+        self.pool = pool
+        self.error_function = error_function
+        self.sit_driven_pruning = sit_driven_pruning
+        self.matcher = matcher if matcher is not None else ViewMatcher(pool)
+        self._memo: dict[PredicateSet, EstimationResult] = {}
+        # Pure function of (P', Q) for a fixed pool and error function, so
+        # it survives reset() (which only clears per-query accounting).
+        self._match_cache: dict[
+            tuple[PredicateSet, PredicateSet], tuple[FactorMatch | None, float]
+        ] = {}
+        #: accumulated seconds in search + SIT selection (Figure 8's
+        #: "decomposition analysis") and in numeric estimation ("histogram
+        #: manipulation").
+        self.analysis_seconds = 0.0
+        self.estimation_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear per-query state: memo, call counter, timing accumulators
+        (the factor-match cache is pool-pure and survives)."""
+        self._memo.clear()
+        self.matcher.reset_counter()
+        self.analysis_seconds = 0.0
+        self.estimation_seconds = 0.0
+
+    def __call__(self, predicates: PredicateSet) -> EstimationResult:
+        """Most accurate estimation of ``Sel_R(P)`` with ``R = tables(P)``."""
+        predicates = frozenset(predicates)
+        started = time.perf_counter()
+        result = self._solve(predicates)
+        self.analysis_seconds += time.perf_counter() - started
+        return result
+
+    def cached_results(self) -> dict[PredicateSet, EstimationResult]:
+        """The memo table: free estimates for every solved sub-query."""
+        return dict(self._memo)
+
+    # ------------------------------------------------------------------
+    def _solve(self, predicates: PredicateSet) -> EstimationResult:
+        if not predicates:
+            return _EMPTY_RESULT
+        cached = self._memo.get(predicates)  # lines 1-2
+        if cached is not None:
+            return cached
+        components = connected_components(predicates)
+        if len(components) > 1:  # lines 3-7
+            result = self._solve_separable(components)
+        else:  # lines 9-17
+            result = self._solve_non_separable(predicates)
+        self._memo[predicates] = result  # line 18
+        return result
+
+    def _solve_separable(self, components: list[PredicateSet]) -> EstimationResult:
+        selectivity = 1.0
+        error = 0.0
+        coverage = 0.0
+        decomposition = Decomposition(())
+        matches: tuple[FactorMatch, ...] = ()
+        for component in components:
+            partial = self._solve(component)
+            selectivity *= partial.selectivity
+            error = merge(error, partial.error)
+            coverage += partial.coverage
+            decomposition = decomposition.merged(partial.decomposition)
+            matches = matches + partial.matches
+        return EstimationResult(selectivity, error, decomposition, matches, coverage)
+
+    def _solve_non_separable(self, predicates: PredicateSet) -> EstimationResult:
+        best_key = (INFINITE_ERROR, 0.0)
+        best_match: FactorMatch | None = None
+        best_tail: EstimationResult | None = None
+        for p_part in self._atomic_decompositions(predicates):
+            q_part = predicates - p_part
+            if self.sit_driven_pruning and not self._worth_exploring(p_part, q_part):
+                continue
+            tail = self._solve(q_part)  # line 11
+            if tail.error > best_key[0]:
+                continue  # monotonicity: this decomposition cannot win
+            match, factor_error = self._best_factor_match(p_part, q_part)  # line 12
+            if match is None:
+                continue
+            total = merge(factor_error, tail.error)
+            coverage = _match_coverage(match) + tail.coverage
+            key = (total, -coverage)
+            if key < best_key:  # lines 13-15, ties broken by coverage
+                best_key = key
+                best_match = match
+                best_tail = tail
+        if best_match is None or best_tail is None:
+            # No SITs at all for some attribute: surface it explicitly
+            # rather than inventing a number.
+            raise NoApplicableStatisticsError(predicates)
+        started = time.perf_counter()
+        factor_selectivity = estimate_factor(best_match)  # line 16
+        self.estimation_seconds += time.perf_counter() - started
+        selectivity = factor_selectivity * best_tail.selectivity  # line 17
+        decomposition = best_tail.decomposition.extended(best_match.factor)
+        matches = (best_match, *best_tail.matches)
+        return EstimationResult(
+            selectivity, best_key[0], decomposition, matches, -best_key[1]
+        )
+
+    # ------------------------------------------------------------------
+    def _atomic_decompositions(
+        self, predicates: PredicateSet
+    ) -> Iterator[PredicateSet]:
+        """Line 10: every non-empty ``P' ⊆ P`` in a deterministic order.
+
+        ``P' = P`` (with ``Q`` empty) is included — it is the decomposition
+        a traditional optimizer implicitly uses.
+        """
+        items = sorted(predicates, key=str)
+        for size in range(1, len(items) + 1):
+            for combo in combinations(items, size):
+                yield frozenset(combo)
+
+    def _best_factor_match(
+        self, p_part: PredicateSet, q_part: PredicateSet
+    ) -> tuple[FactorMatch | None, float]:
+        key = (p_part, q_part)
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            # Still one logical view-matching invocation (Figure 6 metric).
+            self.matcher.calls += 1
+            return cached
+        result = self._compute_factor_match(p_part, q_part)
+        self._match_cache[key] = result
+        return result
+
+    def _compute_factor_match(
+        self, p_part: PredicateSet, q_part: PredicateSet
+    ) -> tuple[FactorMatch | None, float]:
+        factor = Factor(p_part, q_part)
+        candidates = self.matcher.candidates_for_factor(factor)
+        if candidates is None:
+            return None, INFINITE_ERROR
+        if self.error_function.requires_combinations:
+            best: FactorMatch | None = None
+            best_error = INFINITE_ERROR
+            for match in enumerate_matches(candidates):
+                error = self.error_function.factor_error(match)
+                if error < best_error:
+                    best, best_error = match, error
+            return best, best_error
+        match = select_match(candidates, self.error_function)
+        return match, self.error_function.factor_error(match)
+
+    def _worth_exploring(self, p_part: PredicateSet, q_part: PredicateSet) -> bool:
+        """Section 3.4's pruning: keep ``Q = {}`` (the fallback every query
+        needs) and decompositions where some attribute of ``P'`` has a
+        non-base SIT whose expression is contained in ``Q``."""
+        if not q_part:
+            return True
+        attributes = set()
+        for predicate in p_part:
+            attributes.update(predicate.attributes)
+        for attribute in attributes:
+            for sit in self.pool.for_attribute(attribute):
+                if sit.expression and sit.expression <= q_part:
+                    return True
+        return False
+
+
+class NoApplicableStatisticsError(RuntimeError):
+    """Raised when no SIT (not even a base histogram) covers an attribute."""
+
+    def __init__(self, predicates: PredicateSet):
+        names = ", ".join(sorted(str(p) for p in predicates))
+        super().__init__(
+            f"no applicable statistics to approximate Sel({names}); "
+            "ensure the pool contains base histograms for every attribute"
+        )
+        self.predicates = predicates
+
+
+def query_cardinality(
+    result: EstimationResult, table_sizes: dict[str, int], tables: frozenset[str]
+) -> float:
+    """Scale a selectivity back to a cardinality: ``Sel * |R1 x ... x Rn|``."""
+    size = 1.0
+    for table in tables:
+        size *= table_sizes[table]
+    return result.selectivity * size

@@ -1,0 +1,492 @@
+"""Candidate-SIT matching and factor approximation (Section 3.3).
+
+Approximating one decomposition factor ``Sel_R(P|Q)`` proceeds in the three
+conceptual steps of the paper:
+
+1. every join predicate in ``P`` is replaced by a pair of *wildcard*
+   selection predicates on its operands;
+2. the resulting expression is split with the separable-decomposition
+   property into table-connected components, partitioning ``Q`` into
+   per-component conditionings ``Q_c``;
+3. inside each component every required attribute is matched against the
+   available SITs: a candidate is any ``SIT(a|Q')`` with ``Q' ⊆ Q_c`` and
+   ``Q'`` *maximal* (no other candidate strictly between ``Q'`` and
+   ``Q_c``).  The error function picks among maximal candidates.
+
+The same module implements the actual numeric approximation
+(:func:`estimate_factor`): join predicates are estimated by histogram-
+joining the matched SITs — each join also *derives* a new histogram that
+downstream predicates on the same attribute use (Example 3) — and filter
+predicates by range lookups.
+
+:class:`ViewMatcher` owns the matching logic and counts invocations; the
+count is the efficiency metric of the paper's Figure 6 (both
+``getSelectivity`` and the GVM baseline share this routine).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.predicates import (
+    Attribute,
+    PredicateSet,
+)
+from repro.core.selectivity import Factor
+from repro.histograms.maxdiff import DEFAULT_MAX_BUCKETS
+from repro.histograms.operations import join_histograms
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.errors import ErrorFunction
+
+
+@dataclass(frozen=True)
+class AttributeMatch:
+    """The SIT chosen for one attribute of a factor.
+
+    ``weight`` is the number of predicates (of the factor's ``P``) this
+    attribute accounts for: 1 per filter predicate, 0.5 per join operand,
+    so weights over a factor sum to ``|P|``.  ``conditioning`` is the
+    component conditioning ``Q_c`` and ``assumed = Q_c - Q'`` the predicates
+    the approximation assumes independence from.
+    """
+
+    attribute: Attribute
+    weight: float
+    sit: SIT
+    conditioning: PredicateSet
+    assumed: PredicateSet
+
+
+@dataclass(frozen=True)
+class FactorMatch:
+    """A complete SIT assignment for one factor."""
+
+    factor: Factor
+    attribute_matches: tuple[AttributeMatch, ...]
+
+    def sit_for(self, attribute: Attribute) -> SIT:
+        """The SIT chosen for ``attribute`` in this match."""
+        for match in self.attribute_matches:
+            if match.attribute == attribute:
+                return match.sit
+        raise KeyError(f"no match for attribute {attribute}")
+
+
+@dataclass(frozen=True)
+class AttributeCandidates:
+    """The maximal candidate SITs for one attribute of a factor."""
+
+    attribute: Attribute
+    weight: float
+    conditioning: PredicateSet
+    candidates: tuple[SIT, ...]
+
+
+@dataclass(frozen=True)
+class FactorCandidates:
+    """Per-attribute maximal candidate lists for one factor."""
+
+    factor: Factor
+    attributes: tuple[AttributeCandidates, ...]
+
+
+@dataclass
+class ViewMatcher:
+    """Finds candidate SITs for factors; the shared 'view matching routine'.
+
+    ``calls`` counts factor-level invocations — the quantity Figure 6 of the
+    paper reports for both getSelectivity and GVM.
+    """
+
+    pool: SITPool
+    calls: int = 0
+    _attribute_cache: dict[tuple[Attribute, PredicateSet], tuple[SIT, ...]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _factor_cache: dict[tuple[PredicateSet, PredicateSet], FactorCandidates | None] = (
+        field(init=False, default_factory=dict, repr=False)
+    )
+
+    def reset_counter(self) -> None:
+        """Zero the view-matching call counter (caches are kept)."""
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    def candidates_for_factor(self, factor: Factor) -> FactorCandidates | None:
+        """Steps 1-3 of Section 3.3; ``None`` when some attribute has no
+        candidate SIT at all (the decomposition gets error infinity).
+
+        ``calls`` counts every logical invocation (the paper's Figure 6
+        metric); results are cached, so repeated invocations are cheap but
+        still counted.
+        """
+        self.calls += 1
+        key = (factor.p, factor.q)
+        if key in self._factor_cache:
+            return self._factor_cache[key]
+        result = self._compute_factor_candidates(factor)
+        self._factor_cache[key] = result
+        return result
+
+    def _compute_factor_candidates(self, factor: Factor) -> FactorCandidates | None:
+        weights = _attribute_weights(factor.p)
+        component_of = _component_assignment(factor, weights)
+        attribute_candidates: list[AttributeCandidates] = []
+        for attribute in sorted(weights):
+            conditioning = component_of[attribute]
+            candidates = self.maximal_candidates(attribute, conditioning)
+            if not candidates:
+                return None
+            attribute_candidates.append(
+                AttributeCandidates(
+                    attribute, weights[attribute], conditioning, candidates
+                )
+            )
+        return FactorCandidates(factor, tuple(attribute_candidates))
+
+    def candidates_for_attribute(
+        self, attribute: Attribute, conditioning: PredicateSet
+    ) -> tuple[SIT, ...]:
+        """Per-attribute entry point used by the GVM baseline; counted as a
+        view-matching invocation like :meth:`candidates_for_factor`.
+
+        Unlike :meth:`maximal_candidates` this returns *every* applicable
+        SIT (largest expressions first): GVM needs the non-maximal
+        fallbacks because its single-plan compatibility constraint can rule
+        the maximal ones out.
+        """
+        self.calls += 1
+        applicable = [
+            sit
+            for sit in self.pool.for_attribute(attribute)
+            if sit.expression <= conditioning
+        ]
+        applicable.sort(key=lambda sit: (-len(sit.expression), str(sit)))
+        return tuple(applicable)
+
+    def maximal_candidates(
+        self, attribute: Attribute, conditioning: PredicateSet
+    ) -> tuple[SIT, ...]:
+        """All ``SIT(attribute|Q')`` with ``Q' ⊆ conditioning``, ``Q'``
+        maximal (Section 3.3's candidate definition)."""
+        key = (attribute, conditioning)
+        cached = self._attribute_cache.get(key)
+        if cached is not None:
+            return cached
+        applicable = [
+            sit
+            for sit in self.pool.for_attribute(attribute)
+            if sit.expression <= conditioning
+        ]
+        maximal = tuple(
+            sorted(
+                (
+                    sit
+                    for sit in applicable
+                    if not any(
+                        sit.expression < other.expression for other in applicable
+                    )
+                ),
+                key=str,
+            )
+        )
+        self._attribute_cache[key] = maximal
+        return maximal
+
+
+def _attribute_weights(predicates: PredicateSet) -> dict[Attribute, float]:
+    """Predicate weight carried by each attribute of ``P`` (step 1)."""
+    weights: dict[Attribute, float] = {}
+    for predicate in predicates:
+        if predicate.is_join:
+            for attribute in (predicate.left, predicate.right):
+                weights[attribute] = weights.get(attribute, 0.0) + 0.5
+        else:
+            attribute = predicate.attribute
+            weights[attribute] = weights.get(attribute, 0.0) + 1.0
+    return weights
+
+
+def _component_assignment(
+    factor: Factor, weights: dict[Attribute, float]
+) -> dict[Attribute, PredicateSet]:
+    """Step 2: separate the wildcard-transformed factor and map every
+    required attribute to its component's share of ``Q``.
+
+    Wildcard selections touch a single table each, so the component
+    structure is fully determined by ``Q``'s table links; a union-find
+    over table names avoids materializing wildcard predicates.
+    """
+    parent: dict[str, str] = {}
+
+    def find(table: str) -> str:
+        root = table
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[table] != root:
+            parent[table], table = root, parent[table]
+        return root
+
+    for predicate in factor.q:
+        tables = sorted(predicate.tables)
+        for table in tables[1:]:
+            parent[find(tables[0])] = find(table)
+
+    q_by_root: dict[str, set] = {}
+    for predicate in factor.q:
+        root = find(next(iter(predicate.tables)))
+        q_by_root.setdefault(root, set()).add(predicate)
+    frozen_by_root = {root: frozenset(preds) for root, preds in q_by_root.items()}
+    empty: PredicateSet = frozenset()
+    return {
+        attribute: frozen_by_root.get(find(attribute.table), empty)
+        if factor.q
+        else empty
+        for attribute in weights
+    }
+
+
+# ----------------------------------------------------------------------
+# Selecting among candidates and estimating the factor
+# ----------------------------------------------------------------------
+def select_match(
+    candidates: FactorCandidates, error_function: "ErrorFunction"
+) -> FactorMatch:
+    """Choose one SIT per attribute by the error function's ranking."""
+    matches = tuple(
+        _attribute_match(entry, error_function.rank_candidate(entry))
+        for entry in candidates.attributes
+    )
+    return FactorMatch(candidates.factor, matches)
+
+
+def enumerate_matches(
+    candidates: FactorCandidates, limit: int = 64
+) -> Iterator[FactorMatch]:
+    """All per-attribute candidate combinations (capped at ``limit``).
+
+    Used by the theoretical GS-Opt variant, which scores every combination
+    with the true error instead of a heuristic ranking.
+    """
+    count = 1
+    chosen: list[list[SIT]] = []
+    for entry in candidates.attributes:
+        count *= len(entry.candidates)
+        chosen.append(list(entry.candidates))
+    if count > limit:
+        # Degrade gracefully: keep only the largest-expression candidate per
+        # attribute beyond the cap.
+        chosen = [[entry.candidates[0]] for entry in candidates.attributes]
+
+    def recurse(index: int, acc: list[AttributeMatch]) -> Iterator[FactorMatch]:
+        if index == len(candidates.attributes):
+            yield FactorMatch(candidates.factor, tuple(acc))
+            return
+        entry = candidates.attributes[index]
+        for sit in chosen[index]:
+            acc.append(_attribute_match(entry, sit))
+            yield from recurse(index + 1, acc)
+            acc.pop()
+
+    yield from recurse(0, [])
+
+
+def _attribute_match(entry: AttributeCandidates, sit: SIT) -> AttributeMatch:
+    return AttributeMatch(
+        attribute=entry.attribute,
+        weight=entry.weight,
+        sit=sit,
+        conditioning=entry.conditioning,
+        assumed=entry.conditioning - sit.expression,
+    )
+
+
+@dataclass(frozen=True)
+class ImplicitTerm:
+    """One term of the implicit expansion of a factor approximation.
+
+    Estimating ``Sel_R(P|Q)`` with unidimensional SITs implicitly applies a
+    chain of atomic decompositions (Example 3): one term per predicate of
+    ``P``, conditioned on the previously processed predicates and on the
+    factor's ``Q``.  ``context`` is what the term is conditioned on,
+    ``covered`` the part actually captured (by the SITs' expressions and by
+    derived join histograms); ``assumed = context - covered`` are the
+    independence assumptions this term makes.  Error functions price these
+    assumptions (Sections 3.2 and 3.5).
+    """
+
+    predicate: object
+    context: PredicateSet
+    covered: PredicateSet
+    sits: tuple[SIT, ...]
+
+    @property
+    def assumed(self) -> PredicateSet:
+        return self.context - self.covered
+
+
+def implicit_terms(match: FactorMatch) -> list[ImplicitTerm]:
+    """The implicit expansion of ``match``'s factor approximation.
+
+    Mirrors :func:`estimate_factor` exactly: joins first (in the same
+    deterministic order, merging coverage through derived histograms),
+    then filters.  Context is restricted to the predicate's table-connected
+    closure — predicates over disjoint tables are independent *exactly*
+    (Property 2), so they are never charged.
+    """
+    factor = match.factor
+    conditioning = {am.attribute: am.conditioning for am in match.attribute_matches}
+    covered: dict[Attribute, frozenset] = {
+        am.attribute: frozenset(am.sit.expression) for am in match.attribute_matches
+    }
+    backing: dict[Attribute, tuple[SIT, ...]] = {
+        am.attribute: (am.sit,) for am in match.attribute_matches
+    }
+    # Union-find over attributes: two attributes share a component when
+    # their tables are linked by the factor's Q predicates (wildcard
+    # components, as in step 2 of Section 3.3) or by an already-processed
+    # join of P.
+    attrs = sorted(covered)
+    index_of = {a: i for i, a in enumerate(attrs)}
+    parent = list(range(len(attrs)))
+
+    def uf_find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def uf_union(i: int, j: int) -> None:
+        ri, rj = uf_find(i), uf_find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    table_parent: dict[str, str] = {}
+
+    def table_find(table: str) -> str:
+        root = table
+        while table_parent.setdefault(root, root) != root:
+            root = table_parent[root]
+        while table_parent[table] != root:
+            table_parent[table], table = root, table_parent[table]
+        return root
+
+    for predicate in factor.q:
+        tables = sorted(predicate.tables)
+        for table in tables[1:]:
+            table_parent[table_find(tables[0])] = table_find(table)
+
+    first_for_root: dict[str, int] = {}
+    for attribute in attrs:
+        root = table_find(attribute.table)
+        if root in first_for_root:
+            uf_union(first_for_root[root], index_of[attribute])
+        else:
+            first_for_root[root] = index_of[attribute]
+
+    processed: list = []
+    terms: list[ImplicitTerm] = []
+
+    def context_of(predicate) -> PredicateSet:
+        roots = {uf_find(index_of[a]) for a in predicate.attributes}
+        context: set = set()
+        # Q-predicates conditioning any attribute of the (merged) component.
+        for attribute in attrs:
+            if uf_find(index_of[attribute]) in roots:
+                context |= conditioning[attribute]
+        # Previously processed P-predicates in the same component.
+        for previous in processed:
+            if any(uf_find(index_of[a]) in roots for a in previous.attributes):
+                context.add(previous)
+        return frozenset(context)
+
+    joins = sorted((p for p in factor.p if p.is_join), key=str)
+    filters = sorted((p for p in factor.p if not p.is_join), key=str)
+    for join in joins:
+        context = context_of(join)
+        joint_covered = covered[join.left] | covered[join.right]
+        terms.append(
+            ImplicitTerm(
+                join,
+                context,
+                joint_covered,
+                backing[join.left] + backing[join.right],
+            )
+        )
+        merged_cover = joint_covered | {join}
+        merged_backing = backing[join.left] + backing[join.right]
+        covered[join.left] = covered[join.right] = merged_cover
+        backing[join.left] = backing[join.right] = merged_backing
+        uf_union(index_of[join.left], index_of[join.right])
+        processed.append(join)
+    same_attribute_filters: dict[Attribute, set] = {}
+    for predicate in filters:
+        attribute = predicate.attribute
+        # Filters on one attribute are estimated as a single intersected
+        # range (see estimate_factor), so their conjunction is exact: the
+        # previously processed same-attribute filters count as covered.
+        extra = same_attribute_filters.setdefault(attribute, set())
+        terms.append(
+            ImplicitTerm(
+                predicate,
+                context_of(predicate),
+                covered[attribute] | frozenset(extra),
+                backing[attribute],
+            )
+        )
+        extra.add(predicate)
+        processed.append(predicate)
+    return terms
+
+
+def estimate_factor(
+    match: FactorMatch, max_buckets: int = DEFAULT_MAX_BUCKETS
+) -> float:
+    """Numerically approximate ``Sel_R(P|Q)`` with the matched SITs.
+
+    Joins are estimated by histogram joins in a deterministic order; each
+    join replaces both operands' histograms with the derived joined
+    histogram so later predicates on the same attribute see the refined
+    distribution (Example 3).  Filters are then estimated from whatever
+    histogram their attribute currently maps to.  The factor multiplies
+    all of these — any residual independence is exactly what the error
+    functions charge for.
+    """
+    histograms = {
+        attribute_match.attribute: attribute_match.sit.histogram
+        for attribute_match in match.attribute_matches
+    }
+    selectivity = 1.0
+    joins = sorted((p for p in match.factor.p if p.is_join), key=str)
+    filters = sorted((p for p in match.factor.p if not p.is_join), key=str)
+    for join in joins:
+        left = histograms[join.left]
+        right = histograms[join.right]
+        result = join_histograms(left, right, max_buckets=max_buckets)
+        selectivity *= result.selectivity
+        histograms[join.left] = result.histogram
+        histograms[join.right] = result.histogram
+        if selectivity == 0.0:
+            return 0.0
+    # Filters on the same attribute are intersected (their conjunction is
+    # one range), not multiplied under independence.
+    ranges: dict[Attribute, tuple[float, float]] = {}
+    for predicate in filters:
+        low, high = ranges.get(predicate.attribute, (-math.inf, math.inf))
+        ranges[predicate.attribute] = (
+            max(low, predicate.low),
+            min(high, predicate.high),
+        )
+    for attribute in sorted(ranges):
+        low, high = ranges[attribute]
+        if low > high:
+            return 0.0
+        selectivity *= histograms[attribute].estimate_range_selectivity(low, high)
+        if selectivity == 0.0:
+            return 0.0
+    return selectivity

@@ -1,0 +1,84 @@
+"""Conditional selectivity expressions and decompositions.
+
+A :class:`Factor` is one term ``Sel_R(P|Q)`` of a decomposition
+(Definition 1); a :class:`Decomposition` is a product of factors obtained
+by repeatedly applying atomic (Property 1) and separable (Property 2)
+decompositions.  These objects are *symbolic* — evaluating them against a
+set of SITs is the job of :mod:`repro.core.matching` and
+:mod:`repro.core.get_selectivity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predicates import PredicateSet, tables_of
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One conditional selectivity term ``Sel_R(P|Q)``.
+
+    ``tables`` defaults to ``tables(P | Q)``; it may include extra tables
+    (they cancel in the selectivity ratio, Definition 1).
+    """
+
+    p: PredicateSet
+    q: PredicateSet
+    tables: frozenset[str] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        p = frozenset(self.p)
+        q = frozenset(self.q)
+        if p & q:
+            raise ValueError("P and Q of a factor must be disjoint")
+        if not p:
+            raise ValueError("a factor needs at least one predicate in P")
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "q", q)
+        tables = frozenset(self.tables) | tables_of(p | q)
+        object.__setattr__(self, "tables", tables)
+
+    @property
+    def conditioned(self) -> bool:
+        return bool(self.q)
+
+    @property
+    def predicates(self) -> PredicateSet:
+        return self.p | self.q
+
+    def __str__(self) -> str:
+        p_text = ", ".join(sorted(str(x) for x in self.p))
+        if not self.q:
+            return f"Sel({p_text})"
+        q_text = ", ".join(sorted(str(x) for x in self.q))
+        return f"Sel({p_text} | {q_text})"
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A product of conditional selectivity factors for some ``Sel_R(P)``."""
+
+    factors: tuple[Factor, ...]
+
+    @property
+    def predicates(self) -> PredicateSet:
+        out: set = set()
+        for factor in self.factors:
+            out |= factor.p
+        return frozenset(out)
+
+    def extended(self, factor: Factor) -> "Decomposition":
+        return Decomposition((factor, *self.factors))
+
+    def merged(self, other: "Decomposition") -> "Decomposition":
+        return Decomposition(self.factors + other.factors)
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    def __str__(self) -> str:
+        return " * ".join(str(f) for f in self.factors) if self.factors else "1"
+
+
+EMPTY_DECOMPOSITION = Decomposition(())

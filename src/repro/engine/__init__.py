@@ -1,0 +1,19 @@
+"""In-memory relational engine: schemas, column-store tables, exact SPJ
+evaluation used as ground truth for every experiment."""
+
+from repro.engine.database import Database, Table
+from repro.engine.executor import Executor, JoinResult, equi_join_pairs
+from repro.engine.expressions import Query
+from repro.engine.schema import ForeignKey, Schema, TableSchema
+
+__all__ = [
+    "Database",
+    "Executor",
+    "ForeignKey",
+    "JoinResult",
+    "Query",
+    "Schema",
+    "Table",
+    "TableSchema",
+    "equi_join_pairs",
+]

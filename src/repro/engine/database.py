@@ -1,0 +1,97 @@
+"""In-memory column-store tables and the database catalog.
+
+Every column is a ``float64`` numpy array; ``NaN`` is NULL.  The
+:class:`Database` is the single object the rest of the library passes
+around: ground-truth evaluation, histogram/SIT construction and the
+workload generator all read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predicates import Attribute
+from repro.engine.schema import Schema, TableSchema
+
+
+@dataclass
+class Table:
+    """One table: a schema plus equal-length column arrays."""
+
+    schema: TableSchema
+    data: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {column: len(array) for column, array in self.data.items()}
+        if set(lengths) != set(self.schema.columns):
+            missing = set(self.schema.columns) - set(lengths)
+            extra = set(lengths) - set(self.schema.columns)
+            raise ValueError(
+                f"table {self.schema.name}: column mismatch "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        if len(set(lengths.values())) > 1:
+            raise ValueError(
+                f"table {self.schema.name}: ragged columns {lengths}"
+            )
+        # Normalize to float64 so NaN-as-NULL works uniformly.
+        for column, array in self.data.items():
+            self.data[column] = np.asarray(array, dtype=np.float64)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        if not self.schema.columns:
+            return 0
+        return len(self.data[self.schema.columns[0]])
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.data[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no column {name!r}") from None
+
+    def __len__(self) -> int:
+        return self.row_count
+
+
+@dataclass
+class Database:
+    """A set of tables plus the system catalog (row counts)."""
+
+    schema: Schema
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        if table.name not in self.schema.tables:
+            raise ValueError(f"table {table.name!r} is not in the schema")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"table {name!r} has no data loaded") from None
+
+    def column(self, attribute: Attribute) -> np.ndarray:
+        return self.table(attribute.table).column(attribute.column)
+
+    def row_count(self, table: str) -> int:
+        """Catalog lookup |T|."""
+        return self.table(table).row_count
+
+    def cross_product_size(self, tables) -> int:
+        """|R1 x ... x Rn| from catalog lookups (Section 2)."""
+        size = 1
+        for name in tables:
+            size *= self.row_count(name)
+        return size
+
+    @property
+    def table_names(self) -> frozenset[str]:
+        return frozenset(self.tables)

@@ -1,0 +1,296 @@
+"""Vectorized SPJ execution and exact selectivity ground truth.
+
+The paper defines the selectivity of a predicate set ``P`` over tables ``R``
+as ``|sigma_P(R^x)| / |R^x|``.  Materializing ``R^x`` is hopeless, so the
+executor evaluates ``sigma_P`` per *connected component* of ``P`` (see
+:func:`repro.core.predicates.connected_components`) and multiplies the
+component cardinalities — exactly Property 2 (separable decomposition),
+which holds with no assumptions.  Inside a component, joins run as
+vectorized numpy hash joins and filters as boolean masks.
+
+Component cardinalities are memoized, which is what makes evaluating the
+ground truth for every sub-query of a 10-predicate workload query feasible:
+the ``2^n`` sub-queries share a much smaller set of distinct components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    PredicateSet,
+    connected_components,
+    tables_of,
+)
+from repro.engine.database import Database
+
+
+def equi_join_pairs(
+    left: np.ndarray, right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)`` with ``left[i] == right[j]`` (NaN excluded).
+
+    Returns two equal-length int arrays.  Runs in ``O((n + m) log m)`` using
+    sort + searchsorted; the pair-expansion step is fully vectorized.
+    """
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    left_valid = np.flatnonzero(~np.isnan(left))
+    right_valid = np.flatnonzero(~np.isnan(right))
+    if left_valid.size == 0 or right_valid.size == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+
+    right_keys = right[right_valid]
+    order = np.argsort(right_keys, kind="stable")
+    right_sorted = right_keys[order]
+
+    left_keys = left[left_valid]
+    starts = np.searchsorted(right_sorted, left_keys, side="left")
+    stops = np.searchsorted(right_sorted, left_keys, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+
+    left_idx = np.repeat(left_valid, counts)
+    # Positions within the sorted right array for every emitted pair:
+    # for pair group i the positions are starts[i] .. stops[i]-1.
+    group_offsets = np.cumsum(counts) - counts
+    positions = (
+        np.arange(total, dtype=np.intp)
+        - np.repeat(group_offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    right_idx = right_valid[order[positions]]
+    return left_idx, right_idx
+
+
+@dataclass
+class JoinResult:
+    """A materialized join: per-table row-index arrays of equal length.
+
+    ``indices[t][k]`` is the row of table ``t`` participating in result
+    tuple ``k``.  Tables absent from ``indices`` were not touched by the
+    evaluated predicates.
+    """
+
+    database: Database
+    indices: dict[str, np.ndarray]
+
+    @property
+    def row_count(self) -> int:
+        if not self.indices:
+            return 0
+        return len(next(iter(self.indices.values())))
+
+    def column(self, attribute: Attribute) -> np.ndarray:
+        """Values of ``attribute`` over the result tuples."""
+        base = self.database.column(attribute)
+        return base[self.indices[attribute.table]]
+
+
+class Executor:
+    """Exact SPJ evaluation over a :class:`Database` with memoized counts."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._count_cache: dict[PredicateSet, int] = {}
+        #: number of component evaluations that missed the cache (test hook)
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Cardinality / selectivity ground truth
+    # ------------------------------------------------------------------
+    def cardinality(
+        self, predicates: PredicateSet, tables: frozenset[str] | None = None
+    ) -> int:
+        """``|sigma_P(R^x)|`` where ``R`` defaults to ``tables(P)``.
+
+        Tables in ``tables`` not referenced by any predicate contribute a
+        plain cartesian factor ``|T|``.
+        """
+        predicates = frozenset(predicates)
+        referenced = tables_of(predicates)
+        if tables is None:
+            tables = referenced
+        elif not referenced <= tables:
+            raise ValueError("predicates reference tables outside the given set")
+        count = 1
+        for component in connected_components(predicates):
+            count *= self._component_cardinality(component)
+            if count == 0:
+                break
+        for table in tables - referenced:
+            count *= self.database.row_count(table)
+        return count
+
+    def selectivity(
+        self, predicates: PredicateSet, tables: frozenset[str] | None = None
+    ) -> float:
+        """Exact ``Sel_R(P)`` (Definition 1 with ``Q`` empty)."""
+        predicates = frozenset(predicates)
+        if tables is None:
+            tables = tables_of(predicates)
+        if not predicates:
+            return 1.0
+        denominator = self.database.cross_product_size(tables)
+        if denominator == 0:
+            return 0.0
+        return self.cardinality(predicates, tables) / denominator
+
+    def conditional_selectivity(
+        self,
+        p_predicates: PredicateSet,
+        q_predicates: PredicateSet,
+        tables: frozenset[str] | None = None,
+    ) -> float:
+        """Exact ``Sel_R(P|Q)`` per Definition 1.
+
+        Returns 1.0 when the conditioned relation is empty (the factor is
+        vacuous in that case; any decomposition containing it multiplies
+        against a zero ``Sel(Q)``).
+        """
+        p_predicates = frozenset(p_predicates)
+        q_predicates = frozenset(q_predicates)
+        union = p_predicates | q_predicates
+        if tables is None:
+            tables = tables_of(union)
+        q_card = self.cardinality(q_predicates, tables)
+        if q_card == 0:
+            return 1.0
+        return self.cardinality(union, tables) / q_card
+
+    # ------------------------------------------------------------------
+    # Materialized execution (histogram/SIT construction needs values)
+    # ------------------------------------------------------------------
+    def execute(
+        self, predicates: PredicateSet, tables: frozenset[str] | None = None
+    ) -> JoinResult:
+        """Materialize ``sigma_P`` over the connected closure of ``P``.
+
+        ``tables`` may add unreferenced tables; they are *not* expanded into
+        the result (their contribution is a pure cross-product factor), so
+        callers that need a column of an unreferenced table should read the
+        base column directly — its distribution over the cross product is
+        its base distribution.
+        """
+        predicates = frozenset(predicates)
+        referenced = tables_of(predicates)
+        if tables is not None and not referenced <= tables:
+            raise ValueError("predicates reference tables outside the given set")
+        indices: dict[str, np.ndarray] = {}
+        for component in connected_components(predicates):
+            part = self._evaluate_component(component)
+            if not indices:
+                indices = part.indices
+                continue
+            indices = self._cross_indices(indices, part.indices)
+        return JoinResult(self.database, indices)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _component_cardinality(self, component: PredicateSet) -> int:
+        cached = self._count_cache.get(component)
+        if cached is not None:
+            return cached
+        self.cache_misses += 1
+        count = self._evaluate_component(component).row_count
+        self._count_cache[component] = count
+        return count
+
+    def _evaluate_component(self, component: PredicateSet) -> JoinResult:
+        """Evaluate one table-connected predicate set bottom-up.
+
+        Strategy: pre-filter each table with its filter predicates, seed the
+        result with the smallest filtered table, then repeatedly apply join
+        predicates — extending the result by a hash join when exactly one
+        side is already placed, or by a mask when both are.
+        """
+        filters: dict[str, list[FilterPredicate]] = {}
+        joins: list[JoinPredicate] = []
+        for predicate in component:
+            if isinstance(predicate, FilterPredicate):
+                filters.setdefault(predicate.attribute.table, []).append(predicate)
+            else:
+                joins.append(predicate)
+
+        tables = tables_of(component)
+        surviving: dict[str, np.ndarray] = {}
+        for table in tables:
+            rows = self.database.row_count(table)
+            mask = np.ones(rows, dtype=bool)
+            for predicate in filters.get(table, ()):  # NaN compares False
+                values = self.database.column(predicate.attribute)
+                mask &= (values >= predicate.low) & (values <= predicate.high)
+            surviving[table] = np.flatnonzero(mask)
+
+        # Seed with the most selective table for smaller intermediates.
+        seed = min(tables, key=lambda t: len(surviving[t]))
+        indices: dict[str, np.ndarray] = {seed: surviving[seed]}
+        pending = sorted(joins, key=str)  # deterministic order
+        while pending:
+            progressed = False
+            remaining: list[JoinPredicate] = []
+            for join in pending:
+                left_in = join.left.table in indices
+                right_in = join.right.table in indices
+                if left_in and right_in:
+                    self._apply_join_mask(indices, join)
+                    progressed = True
+                elif left_in or right_in:
+                    placed, incoming = (
+                        (join.left, join.right) if left_in else (join.right, join.left)
+                    )
+                    self._apply_join_extend(indices, placed, incoming, surviving)
+                    progressed = True
+                else:
+                    remaining.append(join)
+            pending = remaining
+            if pending and not progressed:
+                # Connectivity of the component guarantees progress.
+                raise AssertionError("disconnected joins inside a component")
+        return JoinResult(self.database, indices)
+
+    def _apply_join_mask(self, indices: dict[str, np.ndarray], join: JoinPredicate) -> None:
+        left_values = self.database.column(join.left)[indices[join.left.table]]
+        right_values = self.database.column(join.right)[indices[join.right.table]]
+        mask = left_values == right_values  # NaN == NaN is False
+        for table in list(indices):
+            indices[table] = indices[table][mask]
+
+    def _apply_join_extend(
+        self,
+        indices: dict[str, np.ndarray],
+        placed: Attribute,
+        incoming: Attribute,
+        surviving: dict[str, np.ndarray],
+    ) -> None:
+        placed_values = self.database.column(placed)[indices[placed.table]]
+        incoming_rows = surviving[incoming.table]
+        incoming_values = self.database.column(incoming)[incoming_rows]
+        left_idx, right_idx = equi_join_pairs(placed_values, incoming_values)
+        for table in list(indices):
+            indices[table] = indices[table][left_idx]
+        indices[incoming.table] = incoming_rows[right_idx]
+
+    @staticmethod
+    def _cross_indices(
+        first: dict[str, np.ndarray], second: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Cartesian product of two disjoint partial results."""
+        n = len(next(iter(first.values()))) if first else 0
+        m = len(next(iter(second.values()))) if second else 0
+        out: dict[str, np.ndarray] = {}
+        for table, rows in first.items():
+            out[table] = np.repeat(rows, m)
+        for table, rows in second.items():
+            out[table] = np.tile(rows, n)
+        return out

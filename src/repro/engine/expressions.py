@@ -1,0 +1,69 @@
+"""Canonical SPJ query representation.
+
+Section 2 of the paper represents every SPJ query as predicates applied to
+the cartesian product of the referenced tables; :class:`Query` is that
+canonical form.  Projection attributes are irrelevant to cardinality and
+are therefore not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predicates import (
+    Predicate,
+    PredicateSet,
+    filter_predicates,
+    join_predicates,
+    tables_of,
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """An SPJ query in the paper's canonical form: ``sigma_P(R^x)``.
+
+    ``tables`` may include tables not referenced by any predicate (pure
+    cross-product factors); by default it is exactly ``tables(P)``.
+    """
+
+    predicates: PredicateSet
+    tables: frozenset[str] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        predicates = frozenset(self.predicates)
+        object.__setattr__(self, "predicates", predicates)
+        referenced = tables_of(predicates)
+        tables = frozenset(self.tables) | referenced
+        object.__setattr__(self, "tables", tables)
+
+    @classmethod
+    def of(cls, *predicates: Predicate) -> "Query":
+        return cls(frozenset(predicates))
+
+    @property
+    def joins(self) -> PredicateSet:
+        return join_predicates(self.predicates)
+
+    @property
+    def filters(self) -> PredicateSet:
+        return filter_predicates(self.predicates)
+
+    @property
+    def join_count(self) -> int:
+        return len(self.joins)
+
+    @property
+    def filter_count(self) -> int:
+        return len(self.filters)
+
+    def subquery(self, predicates: PredicateSet) -> "Query":
+        """The sub-query applying only ``predicates`` (must be a subset)."""
+        predicates = frozenset(predicates)
+        if not predicates <= self.predicates:
+            raise ValueError("sub-query predicates must be a subset of the query")
+        return Query(predicates)
+
+    def __str__(self) -> str:
+        parts = " AND ".join(sorted(str(p) for p in self.predicates))
+        return f"sigma[{parts}]({' x '.join(sorted(self.tables))})"

@@ -1,0 +1,96 @@
+"""Schema objects for the in-memory relational engine.
+
+The engine stores each table column as a 1-D ``numpy`` array of ``float64``;
+``NaN`` encodes SQL ``NULL`` (the workload generator uses NULLs to model
+dangling foreign keys, as the paper's data sets do).  Schemas carry enough
+metadata — column names, declared foreign keys — for the workload generator
+and the optimizer to reason about join paths without touching the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predicates import Attribute
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared foreign key ``source.column -> target.key``."""
+
+    source_table: str
+    source_column: str
+    target_table: str
+    target_column: str
+
+    @property
+    def source(self) -> Attribute:
+        return Attribute(self.source_table, self.source_column)
+
+    @property
+    def target(self) -> Attribute:
+        return Attribute(self.target_table, self.target_column)
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.target}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Column layout of one table."""
+
+    name: str
+    columns: tuple[str, ...]
+    primary_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in table {self.name}")
+        if self.primary_key is not None and self.primary_key not in self.columns:
+            raise ValueError(
+                f"primary key {self.primary_key!r} is not a column of {self.name}"
+            )
+
+    def attribute(self, column: str) -> Attribute:
+        if column not in self.columns:
+            raise KeyError(f"{self.name} has no column {column!r}")
+        return Attribute(self.name, column)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(Attribute(self.name, column) for column in self.columns)
+
+
+@dataclass
+class Schema:
+    """A database schema: table layouts plus declared foreign keys."""
+
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add_table(self, table: TableSchema) -> None:
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name!r} already declared")
+        self.tables[table.name] = table
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        for endpoint in (
+            (foreign_key.source_table, foreign_key.source_column),
+            (foreign_key.target_table, foreign_key.target_column),
+        ):
+            table, column = endpoint
+            if table not in self.tables:
+                raise ValueError(f"unknown table {table!r} in foreign key")
+            if column not in self.tables[table].columns:
+                raise ValueError(f"unknown column {table}.{column} in foreign key")
+        self.foreign_keys.append(foreign_key)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def join_edges(self) -> list[tuple[Attribute, Attribute]]:
+        """All (source, target) attribute pairs joinable via declared FKs."""
+        return [(fk.source, fk.target) for fk in self.foreign_keys]

@@ -1,0 +1,178 @@
+"""Histogram core: buckets, the histogram container, range estimation.
+
+All histograms in this library are unidimensional, matching the paper's
+experimental setup ("each SIT is a unidimensional maxDiff histogram with at
+most 200 buckets").  A histogram summarizes the multiset of non-NULL values
+of one attribute over some relation (a base table, or the result of a SIT's
+generating query expression).
+
+Buckets carry ``(low, high, frequency, distinct)``.  Ranges are estimated
+with the standard continuous-uniformity assumption inside buckets; equality
+predicates use the ``frequency / distinct`` uniform-spread assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket over the closed value interval [low, high]."""
+
+    low: float
+    high: float
+    frequency: float
+    distinct: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"bucket with low {self.low} > high {self.high}")
+        if self.frequency < 0 or self.distinct < 0:
+            raise ValueError("bucket frequency/distinct must be non-negative")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def overlap_fraction(self, low: float, high: float) -> float:
+        """Fraction of this bucket's mass inside [low, high].
+
+        Point buckets (width 0) are either fully inside or outside.  Wide
+        buckets use continuous uniformity.
+        """
+        if high < self.low or low > self.high:
+            return 0.0
+        if self.width == 0.0:
+            return 1.0
+        lo = max(low, self.low)
+        hi = min(high, self.high)
+        if lo > hi:
+            return 0.0
+        fraction = (hi - lo) / self.width
+        # Any non-empty intersection covers at least one distinct value's
+        # share of the bucket; taking the max keeps range estimates
+        # monotone in the query range while handling point lookups.
+        floor = 1.0 / max(self.distinct, 1.0)
+        return min(max(fraction, floor), 1.0)
+
+
+class Histogram:
+    """An immutable sequence of ordered, non-overlapping buckets.
+
+    ``total`` is the number of tuples in the summarized relation *including*
+    NULLs; ``null_count`` of them fall outside every bucket.  Selectivities
+    are fractions of ``total`` (NULL never satisfies a predicate), matching
+    SQL semantics.
+    """
+
+    def __init__(self, buckets: list[Bucket], null_count: float = 0.0):
+        previous_high = -math.inf
+        for bucket in buckets:
+            if bucket.low < previous_high:
+                raise ValueError("buckets must be ordered and non-overlapping")
+            previous_high = bucket.high
+        self.buckets: tuple[Bucket, ...] = tuple(buckets)
+        self.null_count = float(null_count)
+        self._frequency = float(sum(b.frequency for b in buckets))
+        self.total = self._frequency + self.null_count
+        self._lows = np.array([b.low for b in buckets], dtype=np.float64)
+        self._highs = np.array([b.high for b in buckets], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def frequency(self) -> float:
+        """Total non-NULL tuple count."""
+        return self._frequency
+
+    @property
+    def distinct(self) -> float:
+        return float(sum(b.distinct for b in self.buckets))
+
+    @property
+    def low(self) -> float:
+        if not self.buckets:
+            raise ValueError("empty histogram has no domain")
+        return self.buckets[0].low
+
+    @property
+    def high(self) -> float:
+        if not self.buckets:
+            raise ValueError("empty histogram has no domain")
+        return self.buckets[-1].high
+
+    def is_empty(self) -> bool:
+        return not self.buckets or self._frequency == 0.0
+
+    # ------------------------------------------------------------------
+    def estimate_range_count(self, low: float, high: float) -> float:
+        """Estimated number of tuples with value in the closed [low, high]."""
+        if low > high or self.is_empty():
+            return 0.0
+        count = 0.0
+        for bucket in self.buckets:
+            if bucket.low > high:
+                break
+            count += bucket.frequency * bucket.overlap_fraction(low, high)
+        return count
+
+    def estimate_range_selectivity(self, low: float, high: float) -> float:
+        """Estimated ``Sel(low <= a <= high)`` as a fraction of ``total``."""
+        if self.total == 0.0:
+            return 0.0
+        return min(1.0, self.estimate_range_count(low, high) / self.total)
+
+    def estimate_range_distinct(self, low: float, high: float) -> float:
+        """Estimated number of distinct values in the closed [low, high]."""
+        if low > high or self.is_empty():
+            return 0.0
+        distinct = 0.0
+        for bucket in self.buckets:
+            if bucket.low > high:
+                break
+            distinct += bucket.distinct * bucket.overlap_fraction(low, high)
+        return distinct
+
+    def estimate_equality_count(self, value: float) -> float:
+        """Estimated number of tuples equal to ``value``."""
+        for bucket in self.buckets:
+            if bucket.low <= value <= bucket.high:
+                if bucket.distinct <= 0:
+                    return 0.0
+                return bucket.frequency / bucket.distinct
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def scale(self, factor: float) -> "Histogram":
+        """A copy with all frequencies (and null count) multiplied."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        buckets = [
+            Bucket(b.low, b.high, b.frequency * factor, b.distinct)
+            for b in self.buckets
+        ]
+        return Histogram(buckets, null_count=self.null_count * factor)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(buckets={self.bucket_count}, total={self.total:g}, "
+            f"nulls={self.null_count:g})"
+        )
+
+
+def values_and_frequencies(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Distinct non-NULL values, their frequencies, and the NULL count."""
+    values = np.asarray(values, dtype=np.float64)
+    nulls = int(np.isnan(values).sum())
+    clean = values[~np.isnan(values)]
+    if clean.size == 0:
+        return np.empty(0), np.empty(0, dtype=np.int64), nulls
+    distinct, counts = np.unique(clean, return_counts=True)
+    return distinct, counts, nulls

@@ -1,0 +1,45 @@
+"""Cascades-style optimizer substrate: memo, transformation rules,
+exploration, the Section 4.2 getSelectivity coupling, and a cost model."""
+
+from repro.optimizer.cost import CostModel, PlanNode
+from repro.optimizer.execution import execute_plan
+from repro.optimizer.explorer import (
+    ExplorationResult,
+    explore,
+    subplan_predicate_sets,
+)
+from repro.optimizer.integration import GroupEstimate, MemoCoupledEstimator
+from repro.optimizer.memo import Entry, Group, GroupKey, Memo, Operator, initial_plan
+from repro.optimizer.rules import (
+    DEFAULT_RULES,
+    JoinAssociativity,
+    JoinCommutativity,
+    Rule,
+    SelectCommutativity,
+    SelectPullUp,
+    SelectPushDown,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_RULES",
+    "Entry",
+    "ExplorationResult",
+    "Group",
+    "GroupEstimate",
+    "GroupKey",
+    "JoinAssociativity",
+    "JoinCommutativity",
+    "Memo",
+    "MemoCoupledEstimator",
+    "Operator",
+    "PlanNode",
+    "Rule",
+    "SelectCommutativity",
+    "SelectPullUp",
+    "SelectPushDown",
+    "execute_plan",
+    "explore",
+    "initial_plan",
+    "subplan_predicate_sets",
+]

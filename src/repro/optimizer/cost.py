@@ -1,0 +1,98 @@
+"""A simple cost model over the explored memo.
+
+Cardinality estimation exists to serve plan choice; this module closes the
+loop.  Costs follow the classic textbook model for in-memory hash
+execution: an operator pays its inputs' costs plus the tuples it touches
+and emits.  The best plan per group is the min-cost entry; plan extraction
+walks those choices recursively.
+
+The model is deliberately simple — it is the substrate for demonstrating
+that better cardinalities change plan choice, not a contribution per se.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.predicates import PredicateSet
+from repro.engine.database import Database
+from repro.optimizer.memo import Entry, GroupKey, Memo, Operator
+
+#: maps a predicate set to an estimated selectivity
+SelectivityOracle = Callable[[PredicateSet], float]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One node of an extracted physical-ish plan."""
+
+    entry: Entry
+    children: tuple["PlanNode", ...]
+    cardinality: float
+    cost: float
+
+    def render(self, indent: int = 0) -> str:
+        """Pretty-print the plan tree with cardinalities and costs."""
+        pad = "  " * indent
+        head = (
+            f"{pad}{self.entry} "
+            f"[card={self.cardinality:,.0f} cost={self.cost:,.0f}]"
+        )
+        lines = [head]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def operators(self) -> list[Entry]:
+        out = [self.entry]
+        for child in self.children:
+            out.extend(child.operators())
+        return out
+
+
+class CostModel:
+    """Cost/best-plan computation over an explored memo."""
+
+    def __init__(self, database: Database, selectivity: SelectivityOracle):
+        self.database = database
+        self.selectivity = selectivity
+        self._best: dict[GroupKey, PlanNode] = {}
+
+    # ------------------------------------------------------------------
+    def group_cardinality(self, key: GroupKey) -> float:
+        """Estimated output cardinality of a memo group."""
+        size = self.database.cross_product_size(key.tables)
+        if not key.predicates:
+            return float(size)
+        return self.selectivity(key.predicates) * size
+
+    def best_plan(self, memo: Memo, key: GroupKey) -> PlanNode:
+        """Min-cost plan for ``key`` (memoized)."""
+        cached = self._best.get(key)
+        if cached is not None:
+            return cached
+        group = memo.groups[key]
+        best: PlanNode | None = None
+        for entry in group.entries:
+            plan = self._plan_for(memo, key, entry)
+            if best is None or plan.cost < best.cost:
+                best = plan
+        if best is None:
+            raise ValueError(f"group {key} has no entries")
+        self._best[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    def _plan_for(self, memo: Memo, key: GroupKey, entry: Entry) -> PlanNode:
+        output = self.group_cardinality(key)
+        if entry.operator is Operator.GET:
+            rows = float(self.database.row_count(entry.table))
+            return PlanNode(entry, (), rows, rows)
+        children = tuple(memo.groups[k] and self.best_plan(memo, k) for k in entry.inputs)
+        cost = output + sum(child.cost for child in children)
+        if entry.operator is Operator.SELECT:
+            cost += children[0].cardinality  # scan the input
+        else:  # JOIN: build + probe
+            cost += children[0].cardinality + children[1].cardinality
+        return PlanNode(entry, children, output, cost)

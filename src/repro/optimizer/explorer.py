@@ -1,0 +1,66 @@
+"""Exploration loop: applies transformation rules to a fixpoint.
+
+Mirrors the exploration phase of a Cascades optimizer at the logical level:
+starting from the initial plan's memo, every rule is applied to every entry
+until no rule produces a new entry.  The memo then contains every
+equivalence class (sub-plan) reachable by the rule set, which is the search
+space ``getSelectivity`` couples with in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predicates import PredicateSet
+from repro.engine.expressions import Query
+from repro.optimizer.memo import GroupKey, Memo, initial_plan
+from repro.optimizer.rules import DEFAULT_RULES, Rule
+
+
+@dataclass
+class ExplorationResult:
+    """Explored memo plus bookkeeping counters."""
+
+    memo: Memo
+    root: GroupKey
+    rule_applications: int = 0
+    new_entries: int = 0
+
+
+def explore(
+    query: Query,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    max_iterations: int = 64,
+) -> ExplorationResult:
+    """Build and fully explore the memo for ``query``."""
+    memo = Memo()
+    root = initial_plan(memo, query.tables, query.predicates)
+    result = ExplorationResult(memo, root)
+    for _ in range(max_iterations):
+        changed = False
+        # Snapshot: rules may add groups/entries while we iterate.
+        work = [
+            (group, entry)
+            for group in list(memo.groups.values())
+            for entry in list(group.entries)
+        ]
+        for group, entry in work:
+            for rule in rules:
+                for derived in rule.apply(memo, group, entry):
+                    result.rule_applications += 1
+                    if memo.group(derived.key).add(derived.entry):
+                        result.new_entries += 1
+                        changed = True
+        if not changed:
+            break
+    return result
+
+
+def subplan_predicate_sets(result: ExplorationResult) -> list[PredicateSet]:
+    """The predicate sets of all explored sub-plans (memo group keys),
+    smallest first — the selectivity requests an optimizer would issue."""
+    keys = sorted(
+        result.memo.groups,
+        key=lambda key: (len(key.predicates), str(key)),
+    )
+    return [key.predicates for key in keys if key.predicates]

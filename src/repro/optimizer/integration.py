@@ -1,0 +1,140 @@
+"""Coupling ``getSelectivity`` with the optimizer's search (Section 4.2).
+
+Every memo entry ``E`` in a group representing ``Sel_R(P)`` splits ``P``
+into the entry's parameter ``p_E`` and the predicates of its inputs
+``Q_E = P - p_E``, inducing the atomic decomposition
+
+    Sel_R(P) = Sel_R(p_E | Q_E) * Sel_R(Q_E)
+
+where ``Sel_R(Q_E)`` separates into the entry's input groups (which have
+already been estimated — groups are processed inputs-first).  Instead of
+the full ``O(3^n)`` enumeration, only these memo-induced decompositions
+are scored; the paper notes this may miss the globally most accurate
+decomposition but imposes almost no overhead on the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
+from repro.core.matching import (
+    FactorMatch,
+    ViewMatcher,
+    estimate_factor,
+    select_match,
+)
+from repro.core.predicates import PredicateSet
+from repro.core.selectivity import Factor
+from repro.engine.database import Database
+from repro.engine.expressions import Query
+from repro.optimizer.explorer import ExplorationResult, explore
+from repro.optimizer.memo import Entry, GroupKey, Operator
+from repro.stats.pool import SITPool
+
+
+@dataclass
+class GroupEstimate:
+    """Best estimate found for one memo group."""
+
+    key: GroupKey
+    selectivity: float
+    error: float
+    best_entry: Entry | None
+
+
+@dataclass
+class MemoCoupledEstimator:
+    """The Section 4.2 estimator: getSelectivity restricted to the
+    decompositions the optimizer's own search induces."""
+
+    database: Database
+    pool: SITPool
+    error_function: ErrorFunction
+    matcher: ViewMatcher = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.matcher is None:
+            self.matcher = ViewMatcher(self.pool)
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> dict[GroupKey, GroupEstimate]:
+        """Explore ``query`` and estimate every memo group bottom-up."""
+        exploration = explore(query)
+        return self.estimate_memo(exploration)
+
+    def estimate_memo(
+        self, exploration: ExplorationResult
+    ) -> dict[GroupKey, GroupEstimate]:
+        memo = exploration.memo
+        estimates: dict[GroupKey, GroupEstimate] = {}
+        # Inputs always have strictly fewer predicates, so ordering groups
+        # by |predicates| processes every entry after its inputs.
+        for key in sorted(memo.groups, key=lambda k: (len(k.predicates), str(k))):
+            group = memo.groups[key]
+            best_selectivity = 1.0
+            best_error = INFINITE_ERROR
+            best_entry: Entry | None = None
+            if not key.predicates:
+                estimates[key] = GroupEstimate(key, 1.0, 0.0, None)
+                continue
+            for entry in group.entries:
+                outcome = self._entry_estimate(entry, key, estimates)
+                if outcome is None:
+                    continue
+                selectivity, error = outcome
+                if error < best_error:
+                    best_selectivity, best_error, best_entry = (
+                        selectivity,
+                        error,
+                        entry,
+                    )
+            estimates[key] = GroupEstimate(
+                key, best_selectivity, best_error, best_entry
+            )
+        return estimates
+
+    def selectivity(self, query: Query) -> float:
+        """Explore ``query`` and return the root group's selectivity."""
+        exploration = explore(query)
+        estimates = self.estimate_memo(exploration)
+        return estimates[exploration.root].selectivity
+
+    def cardinality(self, query: Query) -> float:
+        """Estimated output cardinality via the memo-coupled search."""
+        return self.selectivity(query) * self.database.cross_product_size(
+            query.tables
+        )
+
+    # ------------------------------------------------------------------
+    def _entry_estimate(
+        self,
+        entry: Entry,
+        key: GroupKey,
+        estimates: dict[GroupKey, GroupEstimate],
+    ) -> tuple[float, float] | None:
+        if entry.operator is Operator.GET:
+            return 1.0, 0.0
+        q_predicates: PredicateSet = frozenset()
+        input_selectivity = 1.0
+        input_error = 0.0
+        for input_key in entry.inputs:
+            estimate = estimates.get(input_key)
+            if estimate is None or estimate.error == INFINITE_ERROR:
+                return None
+            q_predicates |= input_key.predicates
+            input_selectivity *= estimate.selectivity
+            input_error = merge(input_error, estimate.error)
+        factor = Factor(frozenset((entry.parameter,)), q_predicates)
+        match = self._match(factor)
+        if match is None:
+            return None
+        factor_error = self.error_function.factor_error(match)
+        selectivity = estimate_factor(match) * input_selectivity
+        return selectivity, merge(factor_error, input_error)
+
+    def _match(self, factor: Factor) -> FactorMatch | None:
+        candidates = self.matcher.candidates_for_factor(factor)
+        if candidates is None:
+            return None
+        return select_match(candidates, self.error_function)

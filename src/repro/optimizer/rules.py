@@ -1,0 +1,191 @@
+"""Transformation rules for the Cascades-style explorer (Section 4.1).
+
+Rules are antecedent/consequent patterns over memo entries.  The set below
+is the classic SPJ exploration kit:
+
+* **join commutativity** — ``A ⋈ B  =>  B ⋈ A``;
+* **join associativity** — ``(A ⋈_p2 B) ⋈_p1 C  =>  A ⋈_p2 (B ⋈_p1 C)``
+  when ``p1`` only references tables of ``B ∪ C``;
+* **select pull-up** — ``T1 ⋈ (sigma_P T2)  =>  sigma_P (T1 ⋈ T2)`` (the
+  paper's example rule) and its mirror image;
+* **select push-down** — ``sigma_P (T1 ⋈ T2)  =>  (sigma_P T1) ⋈ T2`` when
+  ``P`` only references ``T1``'s tables;
+* **select-select commutativity** — reorders adjacent filters.
+
+Applying a rule yields new entries in existing or new groups; the explorer
+iterates to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.predicates import JoinPredicate
+from repro.optimizer.memo import Entry, Group, GroupKey, Memo, Operator
+
+
+@dataclass(frozen=True)
+class Derived:
+    """A rule product: an entry to insert into the group with ``key``."""
+
+    key: GroupKey
+    entry: Entry
+
+
+class Rule:
+    """Base class; subclasses implement :meth:`apply`."""
+
+    name = "rule"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        raise NotImplementedError
+
+
+class JoinCommutativity(Rule):
+    name = "join-commutativity"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        if entry.operator is not Operator.JOIN:
+            return
+        left, right = entry.inputs
+        yield Derived(group.key, Entry(Operator.JOIN, entry.parameter, (right, left)))
+
+
+class JoinAssociativity(Rule):
+    """``(A ⋈_p2 B) ⋈_p1 C  =>  A ⋈_p2 (B ⋈_p1 C)``.
+
+    Requires ``p1`` to reference only tables of ``B ∪ C`` so the rotated
+    join is well formed.
+    """
+
+    name = "join-associativity"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        if entry.operator is not Operator.JOIN:
+            return
+        outer = entry.parameter
+        left_key, right_key = entry.inputs
+        left_group = memo.group(left_key)
+        for inner in list(left_group.entries):
+            if inner.operator is not Operator.JOIN:
+                continue
+            a_key, b_key = inner.inputs
+            if not isinstance(outer, JoinPredicate):
+                continue
+            if not outer.tables <= (b_key.tables | right_key.tables):
+                continue
+            bc_key = GroupKey(
+                b_key.tables | right_key.tables,
+                b_key.predicates | right_key.predicates | {outer},
+            )
+            yield Derived(bc_key, Entry(Operator.JOIN, outer, (b_key, right_key)))
+            yield Derived(
+                group.key, Entry(Operator.JOIN, inner.parameter, (a_key, bc_key))
+            )
+
+
+class SelectPullUp(Rule):
+    """``T1 ⋈ (sigma_P T2)  =>  sigma_P (T1 ⋈ T2)`` and the mirror image."""
+
+    name = "select-pull-up"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        if entry.operator is not Operator.JOIN:
+            return
+        left_key, right_key = entry.inputs
+        for side, (outer_key, other_key) in enumerate(
+            ((left_key, right_key), (right_key, left_key))
+        ):
+            outer_group = memo.group(outer_key)
+            for inner in list(outer_group.entries):
+                if inner.operator is not Operator.SELECT:
+                    continue
+                (child_key,) = inner.inputs
+                join_key = GroupKey(
+                    child_key.tables | other_key.tables,
+                    child_key.predicates
+                    | other_key.predicates
+                    | {entry.parameter},
+                )
+                inputs = (
+                    (child_key, other_key) if side == 0 else (other_key, child_key)
+                )
+                yield Derived(
+                    join_key, Entry(Operator.JOIN, entry.parameter, inputs)
+                )
+                yield Derived(
+                    group.key,
+                    Entry(Operator.SELECT, inner.parameter, (join_key,)),
+                )
+
+
+class SelectPushDown(Rule):
+    """``sigma_P (T1 ⋈ T2)  =>  (sigma_P T1) ⋈ T2`` when P fits T1."""
+
+    name = "select-push-down"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        if entry.operator is not Operator.SELECT:
+            return
+        predicate = entry.parameter
+        (child_key,) = entry.inputs
+        child_group = memo.group(child_key)
+        for inner in list(child_group.entries):
+            if inner.operator is not Operator.JOIN:
+                continue
+            left_key, right_key = inner.inputs
+            for side, target_key in enumerate((left_key, right_key)):
+                if not predicate.tables <= target_key.tables:
+                    continue
+                selected_key = GroupKey(
+                    target_key.tables, target_key.predicates | {predicate}
+                )
+                yield Derived(
+                    selected_key,
+                    Entry(Operator.SELECT, predicate, (target_key,)),
+                )
+                inputs = (
+                    (selected_key, right_key)
+                    if side == 0
+                    else (left_key, selected_key)
+                )
+                yield Derived(
+                    group.key, Entry(Operator.JOIN, inner.parameter, inputs)
+                )
+
+
+class SelectCommutativity(Rule):
+    """``sigma_P1 (sigma_P2 T)  =>  sigma_P2 (sigma_P1 T)``."""
+
+    name = "select-commutativity"
+
+    def apply(self, memo: Memo, group: Group, entry: Entry) -> Iterable[Derived]:
+        if entry.operator is not Operator.SELECT:
+            return
+        (child_key,) = entry.inputs
+        child_group = memo.group(child_key)
+        for inner in list(child_group.entries):
+            if inner.operator is not Operator.SELECT:
+                continue
+            (grandchild_key,) = inner.inputs
+            swapped_key = GroupKey(
+                grandchild_key.tables,
+                grandchild_key.predicates | {entry.parameter},
+            )
+            yield Derived(
+                swapped_key,
+                Entry(Operator.SELECT, entry.parameter, (grandchild_key,)),
+            )
+            yield Derived(
+                group.key, Entry(Operator.SELECT, inner.parameter, (swapped_key,))
+            )
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    JoinCommutativity(),
+    JoinAssociativity(),
+    SelectPullUp(),
+    SelectPushDown(),
+    SelectCommutativity(),
+)

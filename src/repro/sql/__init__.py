@@ -1,0 +1,32 @@
+"""SQL front-end: parse conjunctive SELECT-FROM-WHERE statements into the
+canonical SPJ predicate form the estimators operate on."""
+
+from repro.sql.binder import BindingError, BoundQuery, bind, parse_query
+from repro.sql.lexer import SQLSyntaxError, Token, TokenType, tokenize
+from repro.sql.parser import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    JoinComparison,
+    SelectStatement,
+    TableRef,
+    parse_select,
+)
+
+__all__ = [
+    "BetweenPredicate",
+    "BindingError",
+    "BoundQuery",
+    "ColumnRef",
+    "Comparison",
+    "JoinComparison",
+    "SQLSyntaxError",
+    "SelectStatement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "bind",
+    "parse_query",
+    "parse_select",
+    "tokenize",
+]

@@ -1,0 +1,159 @@
+"""Name resolution: SQL AST -> canonical predicates against a schema.
+
+The binder resolves table/column references, normalizes comparison
+operators into the library's closed-interval :class:`FilterPredicate`
+form, merges satisfiable same-attribute ranges (so estimation does not
+double-count one attribute), and rejects what the canonical SPJ form
+cannot express (self-joins, non-equi joins).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.engine.expressions import Query
+from repro.engine.schema import Schema
+from repro.sql.parser import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    JoinComparison,
+    SelectStatement,
+    parse_select,
+)
+
+
+class BindingError(ValueError):
+    """Raised when names do not resolve against the schema."""
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """A resolved query: canonical predicates plus the projection."""
+
+    query: Query
+    projection: tuple[Attribute, ...] | None  # None means SELECT *
+
+
+class _Scope:
+    """Binding-name -> table-name resolution for one FROM clause."""
+
+    def __init__(self, statement: SelectStatement, schema: Schema):
+        self.schema = schema
+        self.tables: dict[str, str] = {}
+        for ref in statement.tables:
+            if ref.name not in schema.tables:
+                raise BindingError(f"unknown table {ref.name!r}")
+            binding = ref.binding
+            if binding in self.tables:
+                raise BindingError(f"duplicate table binding {binding!r}")
+            self.tables[binding] = ref.name
+        names = list(self.tables.values())
+        if len(set(names)) != len(names):
+            raise BindingError(
+                "self-joins (the same table twice) are not supported by the "
+                "canonical SPJ form"
+            )
+
+    def resolve(self, column: ColumnRef) -> Attribute:
+        if column.table is not None:
+            table = self.tables.get(column.table)
+            if table is None:
+                raise BindingError(f"unknown table or alias {column.table!r}")
+            if column.column not in self.schema.table(table).columns:
+                raise BindingError(f"table {table!r} has no column {column.column!r}")
+            return Attribute(table, column.column)
+        owners = [
+            table
+            for table in self.tables.values()
+            if column.column in self.schema.table(table).columns
+        ]
+        if not owners:
+            raise BindingError(f"unknown column {column.column!r}")
+        if len(owners) > 1:
+            raise BindingError(
+                f"ambiguous column {column.column!r} "
+                f"(in tables {', '.join(sorted(owners))})"
+            )
+        return Attribute(owners[0], column.column)
+
+
+def _range_of(comparison: Comparison) -> tuple[float, float]:
+    value = comparison.value
+    if comparison.operator == "=":
+        return value, value
+    if comparison.operator == "<=":
+        return -math.inf, value
+    if comparison.operator == ">=":
+        return value, math.inf
+    if comparison.operator == "<":
+        return -math.inf, math.nextafter(value, -math.inf)
+    if comparison.operator == ">":
+        return math.nextafter(value, math.inf), math.inf
+    raise AssertionError(f"unexpected operator {comparison.operator!r}")
+
+
+def bind(statement: SelectStatement, schema: Schema) -> BoundQuery:
+    """Resolve ``statement`` against ``schema``."""
+    scope = _Scope(statement, schema)
+
+    # Accumulate filter ranges per attribute so `a > 5 AND a < 10` becomes
+    # one predicate; keep genuinely empty intersections as two predicates
+    # (the query is unsatisfiable, and the executor evaluates that exactly).
+    ranges: dict[Attribute, tuple[float, float]] = {}
+    unsatisfiable: list[Predicate] = []
+    joins: set[JoinPredicate] = set()
+
+    def add_range(attribute: Attribute, low: float, high: float) -> None:
+        if low > high:
+            raise BindingError(
+                f"empty range for {attribute}: [{low:g}, {high:g}]"
+            )
+        if attribute in ranges:
+            old_low, old_high = ranges[attribute]
+            merged_low, merged_high = max(old_low, low), min(old_high, high)
+            if merged_low > merged_high:
+                unsatisfiable.append(FilterPredicate(attribute, low, high))
+                return
+            ranges[attribute] = (merged_low, merged_high)
+        else:
+            ranges[attribute] = (low, high)
+
+    for predicate in statement.predicates:
+        if isinstance(predicate, Comparison):
+            low, high = _range_of(predicate)
+            add_range(scope.resolve(predicate.column), low, high)
+        elif isinstance(predicate, BetweenPredicate):
+            add_range(scope.resolve(predicate.column), predicate.low, predicate.high)
+        elif isinstance(predicate, JoinComparison):
+            left = scope.resolve(predicate.left)
+            right = scope.resolve(predicate.right)
+            if left.table == right.table:
+                raise BindingError(
+                    f"self-join predicate {left} = {right} is not supported"
+                )
+            joins.add(JoinPredicate(left, right))
+        else:  # pragma: no cover - parser produces only the three kinds
+            raise AssertionError(f"unexpected predicate AST {predicate!r}")
+
+    predicates: set[Predicate] = set(joins) | set(unsatisfiable)
+    for attribute, (low, high) in ranges.items():
+        predicates.add(FilterPredicate(attribute, low, high))
+
+    tables = frozenset(scope.tables.values())
+    projection: tuple[Attribute, ...] | None = None
+    if statement.projection is not None:
+        projection = tuple(scope.resolve(column) for column in statement.projection)
+    return BoundQuery(Query(frozenset(predicates), tables=tables), projection)
+
+
+def parse_query(sql: str, schema: Schema) -> Query:
+    """One-call convenience: SQL text -> canonical :class:`Query`."""
+    return bind(parse_select(sql), schema).query

@@ -1,0 +1,135 @@
+"""Tokenizer for the SQL subset the front-end accepts.
+
+The estimator operates on conjunctive SPJ queries, so the lexer covers
+exactly what those need: identifiers (optionally qualified), numeric
+literals, comparison operators, parentheses, commas, ``*`` and the
+keyword set of SELECT/FROM/WHERE/AND/BETWEEN/AS.  Errors carry the
+offending position for readable messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenType(Enum):
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"  # = <> < <= > >=
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    LPAREN = "("
+    RPAREN = ")"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    ("select", "from", "where", "and", "between", "as", "on", "statistics", "create")
+)
+
+OPERATOR_CHARS = frozenset("=<>!")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.position}"
+
+
+class SQLSyntaxError(ValueError):
+    """Raised on malformed SQL, with the source position."""
+
+    def __init__(self, message: str, position: int, source: str):
+        pointer = " " * position + "^"
+        super().__init__(f"{message} at position {position}\n  {source}\n  {pointer}")
+        self.position = position
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; always ends with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, char, index))
+            index += 1
+        elif char == ".":
+            tokens.append(Token(TokenType.DOT, char, index))
+            index += 1
+        elif char == "*":
+            tokens.append(Token(TokenType.STAR, char, index))
+            index += 1
+        elif char == "(":
+            tokens.append(Token(TokenType.LPAREN, char, index))
+            index += 1
+        elif char == ")":
+            tokens.append(Token(TokenType.RPAREN, char, index))
+            index += 1
+        elif char in OPERATOR_CHARS:
+            stop = index + 1
+            while stop < length and source[stop] in OPERATOR_CHARS:
+                stop += 1
+            text = source[index:stop]
+            if text not in ("=", "<", "<=", ">", ">=", "<>", "!="):
+                raise SQLSyntaxError(f"unknown operator {text!r}", index, source)
+            tokens.append(Token(TokenType.OPERATOR, text, index))
+            index = stop
+        elif char.isdigit() or (
+            char in "+-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            stop = index + 1
+            seen_dot = False
+            seen_exponent = False
+            while stop < length:
+                nxt = source[stop]
+                if nxt.isdigit():
+                    stop += 1
+                elif nxt == "." and not seen_dot and not seen_exponent:
+                    seen_dot = True
+                    stop += 1
+                elif nxt in "eE" and not seen_exponent and stop + 1 < length:
+                    follow = source[stop + 1]
+                    if follow.isdigit() or follow in "+-":
+                        seen_exponent = True
+                        stop += 2
+                    else:
+                        break
+                else:
+                    break
+            text = source[index:stop]
+            try:
+                float(text)
+            except ValueError:
+                raise SQLSyntaxError(f"bad numeric literal {text!r}", index, source)
+            tokens.append(Token(TokenType.NUMBER, text, index))
+            index = stop
+        elif char.isalpha() or char == "_":
+            stop = index + 1
+            while stop < length and (source[stop].isalnum() or source[stop] == "_"):
+                stop += 1
+            text = source[index:stop]
+            token_type = (
+                TokenType.KEYWORD if text.lower() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, text, index))
+            index = stop
+        else:
+            raise SQLSyntaxError(f"unexpected character {char!r}", index, source)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,225 @@
+"""Recursive-descent parser for the conjunctive SPJ SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT projection FROM tables [WHERE condition]
+    projection := '*' | column (',' column)*
+    tables     := table_ref (',' table_ref)*
+    table_ref  := identifier [[AS] identifier]
+    condition  := predicate (AND predicate)*
+    predicate  := column op literal
+                | literal op column
+                | column '=' column            -- equi-join
+                | column BETWEEN literal AND literal
+    column     := identifier ['.' identifier]
+    op         := '=' | '<' | '<=' | '>' | '>='
+
+The parser produces an untyped AST; name resolution against a schema and
+conversion to the canonical predicate form happens in
+:mod:`repro.sql.binder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.sql.lexer import SQLSyntaxError, Token, TokenType, tokenize
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference."""
+
+    table: str | None
+    column: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: float
+    position: int
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column op literal`` (normalized so the column is on the left)."""
+
+    column: ColumnRef
+    operator: str  # '=', '<', '<=', '>', '>='
+    value: float
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    column: ColumnRef
+    low: float
+    high: float
+
+
+@dataclass(frozen=True)
+class JoinComparison:
+    left: ColumnRef
+    right: ColumnRef
+
+
+PredicateAST = Union[Comparison, BetweenPredicate, JoinComparison]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None
+
+    @property
+    def binding(self) -> str:
+        return self.alias if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    projection: tuple[ColumnRef, ...] | None  # None means '*'
+    tables: tuple[TableRef, ...]
+    predicates: tuple[PredicateAST, ...]
+
+
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> SQLSyntaxError:
+        token = token if token is not None else self.peek()
+        return SQLSyntaxError(message, token.position, self.source)
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.advance()
+        if token.type is not TokenType.KEYWORD or token.lowered != keyword:
+            raise self.error(f"expected {keyword.upper()}", token)
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and token.lowered == keyword:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.advance()
+        if token.type is not token_type:
+            raise self.error(f"expected {token_type.value}", token)
+        return token
+
+    # -- grammar --------------------------------------------------------
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        projection = self.parse_projection()
+        self.expect_keyword("from")
+        tables = self.parse_tables()
+        predicates: tuple = ()
+        if self.accept_keyword("where"):
+            predicates = self.parse_condition()
+        end = self.advance()
+        if end.type is not TokenType.END:
+            raise self.error("unexpected trailing input", end)
+        return SelectStatement(projection, tables, predicates)
+
+    def parse_projection(self) -> tuple[ColumnRef, ...] | None:
+        if self.peek().type is TokenType.STAR:
+            self.advance()
+            return None
+        columns = [self.parse_column()]
+        while self.peek().type is TokenType.COMMA:
+            self.advance()
+            columns.append(self.parse_column())
+        return tuple(columns)
+
+    def parse_tables(self) -> tuple[TableRef, ...]:
+        tables = [self.parse_table_ref()]
+        while self.peek().type is TokenType.COMMA:
+            self.advance()
+            tables.append(self.parse_table_ref())
+        return tuple(tables)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect(TokenType.IDENTIFIER).text
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect(TokenType.IDENTIFIER).text
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def parse_condition(self) -> tuple[PredicateAST, ...]:
+        predicates = [self.parse_predicate()]
+        while self.accept_keyword("and"):
+            predicates.append(self.parse_predicate())
+        return tuple(predicates)
+
+    def parse_predicate(self) -> PredicateAST:
+        if self.peek().type is TokenType.NUMBER:
+            # literal op column
+            literal = self.parse_literal()
+            operator = self.expect(TokenType.OPERATOR).text
+            column = self.parse_column()
+            return Comparison(column, _mirror_operator(operator, self), literal.value)
+        column = self.parse_column()
+        if self.accept_keyword("between"):
+            low = self.parse_literal()
+            self.expect_keyword("and")
+            high = self.parse_literal()
+            return BetweenPredicate(column, low.value, high.value)
+        operator_token = self.expect(TokenType.OPERATOR)
+        operator = operator_token.text
+        if operator in ("<>", "!="):
+            raise self.error("inequality predicates are not supported", operator_token)
+        if self.peek().type is TokenType.NUMBER:
+            literal = self.parse_literal()
+            return Comparison(column, operator, literal.value)
+        other = self.parse_column()
+        if operator != "=":
+            raise self.error(
+                "only equi-joins between columns are supported", operator_token
+            )
+        return JoinComparison(column, other)
+
+    def parse_column(self) -> ColumnRef:
+        first = self.expect(TokenType.IDENTIFIER)
+        if self.peek().type is TokenType.DOT:
+            self.advance()
+            second = self.expect(TokenType.IDENTIFIER)
+            return ColumnRef(first.text, second.text, first.position)
+        return ColumnRef(None, first.text, first.position)
+
+    def parse_literal(self) -> Literal:
+        token = self.expect(TokenType.NUMBER)
+        return Literal(float(token.text), token.position)
+
+
+def _mirror_operator(operator: str, parser: _Parser) -> str:
+    if operator in ("<>", "!="):
+        raise parser.error("inequality predicates are not supported")
+    return _MIRROR[operator]
+
+
+def parse_select(source: str) -> SelectStatement:
+    """Parse a SELECT statement of the supported subset."""
+    return _Parser(source).parse_select()

@@ -1,0 +1,36 @@
+"""Statistics on query expressions (SITs): definitions, construction from a
+database, ``diff_H`` computation and workload-driven pool generation."""
+
+from repro.stats.advisor import AdvisorConfig, SITAdvisor, SITRecommendation
+from repro.stats.builder import SITBuilder
+from repro.stats.diff import approximate_diff, exact_diff
+from repro.stats.feedback import FeedbackEstimator, FeedbackRepository
+from repro.stats.io import PoolFormatError, load_pool, save_pool
+from repro.stats.sampling import SamplingSITBuilder
+from repro.stats.pool import (
+    SITPool,
+    build_workload_pool,
+    connected_join_subsets,
+    workload_sit_requests,
+)
+from repro.stats.sit import SIT
+
+__all__ = [
+    "AdvisorConfig",
+    "FeedbackEstimator",
+    "FeedbackRepository",
+    "SIT",
+    "SITAdvisor",
+    "SITBuilder",
+    "SITRecommendation",
+    "SITPool",
+    "SamplingSITBuilder",
+    "approximate_diff",
+    "PoolFormatError",
+    "build_workload_pool",
+    "connected_join_subsets",
+    "exact_diff",
+    "load_pool",
+    "save_pool",
+    "workload_sit_requests",
+]

@@ -1,0 +1,114 @@
+"""Workload-driven SIT selection under a space budget.
+
+The paper assumes a pool of SITs exists and asks how to best *use* it;
+deciding which SITs to *build* is the companion problem (studied for [4]
+in follow-on work).  This advisor implements the natural greedy policy
+suggested by the paper's own findings:
+
+* a SIT only matters if its generating expression actually reshapes the
+  attribute's distribution — measured exactly by ``diff_H`` (Section 3.5,
+  "H2 provides no benefit over the base histogram" when ``diff = 0``);
+* a SIT matters more when more workload queries can apply it;
+* SITs over small expressions (1-2 joins) deliver most of the accuracy
+  (Section 5.2), so ties favor cheaper expressions.
+
+``score = diff_H * applicability / (1 + joins)`` with the top-``k``
+candidates materialized on top of the base histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.predicates import attributes_of
+from repro.engine.expressions import Query
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import SITPool, workload_sit_requests
+from repro.stats.sit import SIT
+
+
+@dataclass(frozen=True)
+class AdvisorConfig:
+    """Budget and candidate-generation knobs."""
+
+    max_sits: int = 20
+    max_joins: int = 2
+    #: candidates with diff below this provide no benefit (Example 4)
+    min_diff: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_sits < 0:
+            raise ValueError("max_sits must be non-negative")
+        if self.max_joins < 0:
+            raise ValueError("max_joins must be non-negative")
+
+
+@dataclass(frozen=True)
+class SITRecommendation:
+    """One scored candidate."""
+
+    sit: SIT
+    score: float
+    applicability: int  # queries whose joins subsume the expression
+
+    def __str__(self) -> str:
+        return f"{self.sit} (score={self.score:.3f}, queries={self.applicability})"
+
+
+@dataclass
+class SITAdvisor:
+    """Recommends which SITs to materialize for a workload."""
+
+    builder: SITBuilder
+    config: AdvisorConfig = field(default_factory=AdvisorConfig)
+
+    def candidates(self, queries: Iterable[Query]) -> list[SITRecommendation]:
+        """All scored candidates, best first.
+
+        Candidate generation mirrors the paper's ``J_i`` pools (every
+        attribute/connected-join-subset pair present in the workload);
+        every candidate is built to obtain its ``diff_H``, which is the
+        advisor's whole evidence base.
+        """
+        queries = list(queries)
+        requests = workload_sit_requests(queries, self.config.max_joins)
+        recommendations: list[SITRecommendation] = []
+        for expression in sorted(
+            requests, key=lambda e: (len(e), sorted(map(str, e)))
+        ):
+            if not expression:
+                continue  # base histograms are always built
+            applicability = sum(
+                1 for query in queries if expression <= query.joins
+            )
+            if applicability == 0:
+                continue
+            attributes = sorted(requests[expression])
+            for sit in self.builder.build_many(expression, attributes):
+                if sit.diff < self.config.min_diff:
+                    continue
+                score = sit.diff * applicability / (1.0 + sit.join_count)
+                recommendations.append(
+                    SITRecommendation(sit, score, applicability)
+                )
+        recommendations.sort(key=lambda r: (-r.score, str(r.sit)))
+        return recommendations
+
+    def recommend(self, queries: Iterable[Query]) -> list[SITRecommendation]:
+        """The top ``max_sits`` candidates."""
+        return self.candidates(queries)[: self.config.max_sits]
+
+    def build_pool(self, queries: Iterable[Query]) -> SITPool:
+        """Base histograms plus the recommended SITs."""
+        queries = list(queries)
+        pool = SITPool()
+        for attribute in sorted(
+            attributes_of(frozenset().union(*(q.predicates for q in queries)))
+            if queries
+            else ()
+        ):
+            pool.add(self.builder.build_base(attribute))
+        for recommendation in self.recommend(queries):
+            pool.add(recommendation.sit)
+        return pool

@@ -1,0 +1,112 @@
+"""Construction of SITs from a database.
+
+SIT construction executes the generating query expression and builds a
+histogram of the requested attribute over the result.  A SIT *pool*
+typically contains many SITs sharing the same expression (one per
+attribute), so :class:`SITBuilder` groups requests by expression and
+executes each expression exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.predicates import Attribute, PredicateSet, tables_of
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.histograms.base import Histogram
+from repro.histograms.maxdiff import DEFAULT_MAX_BUCKETS, build_maxdiff
+from repro.stats.diff import approximate_diff, exact_diff
+from repro.stats.sit import SIT
+
+HistogramBuilder = Callable[[np.ndarray, int], Histogram]
+
+
+@dataclass
+class SITBuilder:
+    """Builds SITs (and plain base histograms) from a :class:`Database`.
+
+    Parameters
+    ----------
+    database:
+        Source data.
+    histogram_builder:
+        Bucketing scheme; defaults to MaxDiff(V,A) as in the paper.
+    max_buckets:
+        Paper default: 200.
+    exact_diffs:
+        When True (default) ``diff_H`` is computed exactly from tuples; when
+        False it is approximated from the two histograms (the cheaper
+        variant the paper describes for production use).
+    """
+
+    database: Database
+    histogram_builder: HistogramBuilder = build_maxdiff
+    max_buckets: int = DEFAULT_MAX_BUCKETS
+    exact_diffs: bool = True
+    _executor: Executor = field(init=False)
+    _base_cache: dict[Attribute, SIT] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._executor = Executor(self.database)
+
+    # ------------------------------------------------------------------
+    def build_base(self, attribute: Attribute) -> SIT:
+        """A base-table histogram as a SIT with an empty expression."""
+        cached = self._base_cache.get(attribute)
+        if cached is not None:
+            return cached
+        values = self.database.column(attribute)
+        histogram = self._summarize(values)
+        sit = SIT(attribute, frozenset(), histogram, diff=0.0)
+        self._base_cache[attribute] = sit
+        return sit
+
+    def build(self, attribute: Attribute, expression: PredicateSet) -> SIT:
+        """Build ``SIT(attribute | expression)``."""
+        return self.build_many(expression, [attribute])[0]
+
+    def build_many(
+        self, expression: PredicateSet, attributes: Iterable[Attribute]
+    ) -> list[SIT]:
+        """Build several SITs over one expression with a single execution."""
+        expression = frozenset(expression)
+        attributes = list(attributes)
+        if not expression:
+            return [self.build_base(attribute) for attribute in attributes]
+        result = self._executor.execute(expression)
+        expression_tables = tables_of(expression)
+        sits = []
+        for attribute in attributes:
+            if attribute.table in expression_tables:
+                values = result.column(attribute)
+            else:
+                # Unreferenced table: its distribution over the cross
+                # product equals the base distribution.
+                values = self.database.column(attribute)
+            histogram = self._summarize(values)
+            diff = self._compute_diff(attribute, values, histogram)
+            sits.append(SIT(attribute, expression, histogram, diff=diff))
+        return sits
+
+    # ------------------------------------------------------------------
+    def _summarize(self, values: np.ndarray) -> Histogram:
+        """Turn the expression-result values into the SIT's statistic.
+
+        Subclasses may summarize differently (e.g. from a sample); the
+        returned histogram's ``total`` must still estimate the full result
+        cardinality.
+        """
+        return self.histogram_builder(values, self.max_buckets)
+
+    def _compute_diff(
+        self, attribute: Attribute, values: np.ndarray, histogram: Histogram
+    ) -> float:
+        if self.exact_diffs:
+            base_values = self.database.column(attribute)
+            return exact_diff(base_values, values)
+        base = self.build_base(attribute)
+        return approximate_diff(base.histogram, histogram)

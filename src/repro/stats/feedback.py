@@ -1,0 +1,125 @@
+"""Execution-feedback corrections (LEO-style, related work [25]).
+
+Stillger et al.'s LEO monitors executed queries and repairs cardinality
+estimates from the observed truth.  The paper contrasts its own approach
+(multiple context-dependent statistics per attribute) with LEO's single
+adjusted histogram; this module implements the feedback idea *on top of*
+SITs so the two are complementary:
+
+* :class:`FeedbackRepository` records exact cardinalities observed during
+  execution, keyed by the canonical predicate set;
+* :class:`FeedbackEstimator` wraps any :class:`CardinalityEstimator` and
+  answers from feedback when the requested predicate set (or a
+  table-disjoint composition of recorded sets — Property 2 makes that
+  exact) has been observed, falling back to the SIT-based estimate
+  otherwise.
+
+Feedback entries are exact at recording time but go stale under updates;
+the repository supports invalidation by table for that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.predicates import (
+    PredicateSet,
+    connected_components,
+    tables_of,
+)
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a stats <-> core import cycle
+    from repro.core.estimator import CardinalityEstimator
+
+
+@dataclass
+class FeedbackRepository:
+    """Observed (predicate set -> exact cardinality) records."""
+
+    _records: dict[PredicateSet, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def record(self, predicates: PredicateSet, cardinality: int) -> None:
+        """Store an observed exact cardinality for a predicate set."""
+        if cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+        self._records[frozenset(predicates)] = int(cardinality)
+
+    def record_from_execution(
+        self, executor: Executor, predicates: PredicateSet
+    ) -> int:
+        """Execute once, record the truth, return it."""
+        cardinality = executor.cardinality(frozenset(predicates))
+        self.record(predicates, cardinality)
+        return cardinality
+
+    def lookup(self, predicates: PredicateSet) -> int | None:
+        """The recorded cardinality, or None (hit/miss counters update)."""
+        value = self._records.get(frozenset(predicates))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop all records touching ``table`` (data changed); returns the
+        number of dropped records."""
+        stale = [p for p in self._records if table in tables_of(p)]
+        for predicates in stale:
+            del self._records[predicates]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class FeedbackEstimator:
+    """A cardinality estimator that prefers observed truth.
+
+    Resolution order for a query over predicates ``P``:
+
+    1. ``P`` recorded -> the exact observed cardinality;
+    2. every connected component of ``P`` recorded -> the exact product
+       (separable decomposition holds with no assumptions);
+    3. otherwise the wrapped SIT-based estimate, with any recorded
+       components substituted for their estimated factors.
+    """
+
+    base: "CardinalityEstimator"
+    feedback: FeedbackRepository = field(default_factory=FeedbackRepository)
+
+    @property
+    def database(self):
+        return self.base.database
+
+    def cardinality(self, query: Query) -> float:
+        """Feedback-first cardinality (see class docstring for the order)."""
+        predicates = query.predicates
+        if not predicates:
+            return float(self.database.cross_product_size(query.tables))
+        exact = self.feedback.lookup(predicates)
+        unreferenced = query.tables - tables_of(predicates)
+        multiplier = float(self.database.cross_product_size(unreferenced))
+        if exact is not None:
+            return exact * multiplier
+        cardinality = multiplier
+        for component in connected_components(predicates):
+            observed = self.feedback.lookup(component)
+            if observed is not None:
+                cardinality *= observed
+            else:
+                cardinality *= self.base.subquery_cardinality(
+                    query, component
+                ) / 1.0
+        return cardinality
+
+    def observe(self, executor: Executor, query: Query) -> int:
+        """Execute ``query`` and feed the truth back (what a LEO-style
+        monitor does after plan execution)."""
+        return self.feedback.record_from_execution(executor, query.predicates)

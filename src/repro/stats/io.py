@@ -1,0 +1,178 @@
+"""Serialization of SITs and pools.
+
+Statistics are built once and used across many optimization sessions, so
+they must survive a process restart.  The format is plain JSON — buckets
+are small (≤ 200 per SIT) and portability beats compactness here.
+
+Layout::
+
+    {"version": 1,
+     "sits": [{"attribute": {"table": ..., "column": ...},
+               "diff": 0.42,
+               "expression": [<predicate>, ...],
+               "histogram": {"null_count": 0.0,
+                              "buckets": [[low, high, frequency, distinct], ...]}},
+              ...]}
+
+Predicates serialize as ``{"kind": "filter"|"join", ...}``.  Infinities
+round-trip through the strings ``"-inf"``/``"inf"`` (JSON has no inf).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any
+
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+FORMAT_VERSION = 1
+
+
+class PoolFormatError(ValueError):
+    """Raised when a serialized pool cannot be decoded."""
+
+
+def _encode_float(value: float) -> Any:
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _decode_float(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+def _encode_predicate(predicate: Predicate) -> dict:
+    if isinstance(predicate, FilterPredicate):
+        return {
+            "kind": "filter",
+            "table": predicate.attribute.table,
+            "column": predicate.attribute.column,
+            "low": _encode_float(predicate.low),
+            "high": _encode_float(predicate.high),
+        }
+    if isinstance(predicate, JoinPredicate):
+        return {
+            "kind": "join",
+            "left_table": predicate.left.table,
+            "left_column": predicate.left.column,
+            "right_table": predicate.right.table,
+            "right_column": predicate.right.column,
+        }
+    raise PoolFormatError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def _decode_predicate(data: dict) -> Predicate:
+    kind = data.get("kind")
+    if kind == "filter":
+        return FilterPredicate(
+            Attribute(data["table"], data["column"]),
+            _decode_float(data["low"]),
+            _decode_float(data["high"]),
+        )
+    if kind == "join":
+        return JoinPredicate(
+            Attribute(data["left_table"], data["left_column"]),
+            Attribute(data["right_table"], data["right_column"]),
+        )
+    raise PoolFormatError(f"unknown predicate kind {kind!r}")
+
+
+def _encode_histogram(histogram: Histogram) -> dict:
+    return {
+        "null_count": histogram.null_count,
+        "buckets": [
+            [b.low, b.high, b.frequency, b.distinct] for b in histogram.buckets
+        ],
+    }
+
+
+def _decode_histogram(data: dict) -> Histogram:
+    try:
+        buckets = [
+            Bucket(float(low), float(high), float(frequency), float(distinct))
+            for low, high, frequency, distinct in data["buckets"]
+        ]
+        return Histogram(buckets, null_count=float(data.get("null_count", 0.0)))
+    except (KeyError, TypeError, ValueError) as error:
+        raise PoolFormatError(f"bad histogram payload: {error}") from error
+
+
+def encode_sit(sit: SIT) -> dict:
+    """Encode one SIT as a JSON-serializable dict."""
+    return {
+        "attribute": {"table": sit.attribute.table, "column": sit.attribute.column},
+        "diff": sit.diff,
+        "expression": [
+            _encode_predicate(p) for p in sorted(sit.expression, key=str)
+        ],
+        "histogram": _encode_histogram(sit.histogram),
+    }
+
+
+def decode_sit(data: dict) -> SIT:
+    """Decode one SIT; raises :class:`PoolFormatError` on bad payloads."""
+    try:
+        attribute = Attribute(
+            data["attribute"]["table"], data["attribute"]["column"]
+        )
+        expression = frozenset(
+            _decode_predicate(p) for p in data.get("expression", [])
+        )
+        return SIT(
+            attribute,
+            expression,
+            _decode_histogram(data["histogram"]),
+            diff=float(data.get("diff", 0.0)),
+        )
+    except (KeyError, TypeError) as error:
+        raise PoolFormatError(f"bad SIT payload: {error}") from error
+
+
+def dumps_pool(pool: SITPool) -> str:
+    """Serialize a pool to a JSON string."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "sits": [encode_sit(sit) for sit in pool],
+    }
+    return json.dumps(payload)
+
+
+def loads_pool(text: str) -> SITPool:
+    """Deserialize a pool from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PoolFormatError(f"not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise PoolFormatError("top-level payload must be an object")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise PoolFormatError(f"unsupported format version {version!r}")
+    return SITPool([decode_sit(entry) for entry in payload.get("sits", [])])
+
+
+def save_pool(pool: SITPool, path: str | pathlib.Path) -> None:
+    """Write a pool to ``path`` as JSON."""
+    pathlib.Path(path).write_text(dumps_pool(pool))
+
+
+def load_pool(path: str | pathlib.Path) -> SITPool:
+    """Read a pool previously written by :func:`save_pool`."""
+    return loads_pool(pathlib.Path(path).read_text())

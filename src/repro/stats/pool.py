@@ -1,0 +1,148 @@
+"""SIT pools: the sets of available statistics an estimator may use.
+
+The paper's experiments use pools ``J_i`` containing every SIT of the form
+``SIT_R(a | Q)`` where ``Q`` is a (connected) set of at most ``i`` join
+predicates syntactically present in some workload query and ``a`` is an
+attribute of that query whose table participates in ``Q``.  ``J_0``
+contains all and only base-table histograms; every ``J_i`` includes them
+too ("at most i join predicates").
+
+Separable expressions are excluded per Assumption 1 (minimality of
+histograms): a SIT over a cross-product expression is dominated by SITs
+over its connected parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.core.predicates import (
+    Attribute,
+    PredicateSet,
+    attributes_of,
+    connected_components,
+    tables_of,
+)
+from repro.engine.expressions import Query
+from repro.stats.builder import SITBuilder
+from repro.stats.sit import SIT
+
+
+@dataclass
+class SITPool:
+    """A queryable collection of SITs, indexed by attribute."""
+
+    sits: list[SIT] = field(default_factory=list)
+    _by_attribute: dict[Attribute, list[SIT]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _by_member: dict = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        sits, self.sits = self.sits, []
+        for sit in sits:
+            self.add(sit)
+
+    def add(self, sit: SIT) -> None:
+        """Add a SIT, maintaining the attribute and expression indexes."""
+        self.sits.append(sit)
+        self._by_attribute.setdefault(sit.attribute, []).append(sit)
+        for predicate in sit.expression:
+            self._by_member.setdefault(predicate, []).append(sit)
+
+    def with_expression_member(self, predicate) -> list[SIT]:
+        """All SITs whose generating expression contains ``predicate``."""
+        return self._by_member.get(predicate, [])
+
+    def for_attribute(self, attribute: Attribute) -> list[SIT]:
+        """All SITs (including the base histogram) on ``attribute``."""
+        return self._by_attribute.get(attribute, [])
+
+    def base(self, attribute: Attribute) -> SIT | None:
+        """The base-table histogram on ``attribute``, if present."""
+        for sit in self.for_attribute(attribute):
+            if sit.is_base:
+                return sit
+        return None
+
+    def base_only(self) -> "SITPool":
+        """The ``J_0`` restriction of this pool (base histograms only)."""
+        return SITPool([sit for sit in self.sits if sit.is_base])
+
+    def restrict_joins(self, max_joins: int) -> "SITPool":
+        """The ``J_i`` restriction: SITs with at most ``max_joins`` joins."""
+        return SITPool([sit for sit in self.sits if sit.join_count <= max_joins])
+
+    def __len__(self) -> int:
+        return len(self.sits)
+
+    def __iter__(self) -> Iterator[SIT]:
+        return iter(self.sits)
+
+    def __contains__(self, sit: SIT) -> bool:
+        return sit in self.sits
+
+
+def connected_join_subsets(
+    joins: PredicateSet, max_size: int
+) -> list[PredicateSet]:
+    """All non-empty, table-connected subsets of ``joins`` up to ``max_size``."""
+    join_list = sorted(joins, key=str)
+    subsets: list[PredicateSet] = []
+    for size in range(1, min(max_size, len(join_list)) + 1):
+        for combo in combinations(join_list, size):
+            candidate = frozenset(combo)
+            if len(connected_components(candidate)) == 1:
+                subsets.append(candidate)
+    return subsets
+
+
+def workload_sit_requests(
+    queries: Iterable[Query], max_joins: int
+) -> dict[PredicateSet, set[Attribute]]:
+    """The (expression -> attributes) map a ``J_{max_joins}`` pool needs.
+
+    An empty-expression entry collects every attribute syntactically present
+    in the workload (those get base histograms).
+    """
+    requests: dict[PredicateSet, set[Attribute]] = {frozenset(): set()}
+    for query in queries:
+        query_attributes = attributes_of(query.predicates)
+        requests[frozenset()].update(query_attributes)
+        for expression in connected_join_subsets(query.joins, max_joins):
+            expression_tables = tables_of(expression)
+            matching = {
+                attribute
+                for attribute in query_attributes
+                if attribute.table in expression_tables
+            }
+            if matching:
+                requests.setdefault(expression, set()).update(matching)
+    return requests
+
+
+def build_workload_pool(
+    builder: SITBuilder, queries: Iterable[Query], max_joins: int
+) -> SITPool:
+    """Build the paper's ``J_{max_joins}`` pool for a workload.
+
+    The returned pool can be cheaply narrowed with
+    :meth:`SITPool.restrict_joins` to obtain every smaller ``J_i`` without
+    rebuilding, which is how the Figure 7/8 sweeps are produced.
+    """
+    queries = list(queries)
+    requests = workload_sit_requests(queries, max_joins)
+    pool = SITPool()
+    seen: set[tuple[Attribute, PredicateSet]] = set()
+    for expression in sorted(requests, key=lambda e: (len(e), sorted(map(str, e)))):
+        attributes = sorted(
+            a for a in requests[expression] if (a, expression) not in seen
+        )
+        if not attributes:
+            continue
+        for sit in builder.build_many(expression, attributes):
+            pool.add(sit)
+            seen.add((sit.attribute, expression))
+    return pool

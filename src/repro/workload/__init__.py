@@ -1,0 +1,32 @@
+"""Synthetic data and workload generation: the paper's snowflake database,
+random SPJ workloads, and the motivating mini TPC-H instance."""
+
+from repro.workload.queries import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    connected_subqueries,
+)
+from repro.workload.snowflake import (
+    SnowflakeConfig,
+    generate_snowflake,
+    snowflake_schema,
+)
+from repro.workload.tpch import (
+    TPCHConfig,
+    generate_tpch,
+    motivating_query,
+    tpch_schema,
+)
+
+__all__ = [
+    "SnowflakeConfig",
+    "TPCHConfig",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "connected_subqueries",
+    "generate_snowflake",
+    "generate_tpch",
+    "motivating_query",
+    "snowflake_schema",
+    "tpch_schema",
+]

@@ -1,0 +1,211 @@
+"""Random SPJ workload generation (Section 5, "Workloads").
+
+Each workload consists of randomly generated SPJ queries with ``J`` join
+predicates (a connected subtree of the schema's foreign-key graph) and
+``F`` filter predicates.  Filters target a base-table selectivity around
+0.05 (the paper's default); when a generated query returns no tuples its
+filter ranges are progressively stretched until at least one tuple
+survives, as the paper prescribes.
+
+The module also defines the *sub-query* universe used by the accuracy
+metric: every predicate subset that forms a single table-connected
+component — precisely the sub-plans an optimizer's memo enumerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    PredicateSet,
+    connected_components,
+)
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of one generated workload."""
+
+    join_count: int = 3
+    filter_count: int = 3
+    target_selectivity: float = 0.05
+    seed: int = 7
+    #: widen factor applied per stretch round when a query comes up empty
+    stretch_factor: float = 1.6
+    max_stretch_rounds: int = 30
+
+    def __post_init__(self) -> None:
+        if self.join_count < 0:
+            raise ValueError("join_count must be non-negative")
+        if self.filter_count < 0:
+            raise ValueError("filter_count must be non-negative")
+        if not 0.0 < self.target_selectivity <= 1.0:
+            raise ValueError("target_selectivity must be in (0, 1]")
+
+
+def _key_columns(database: Database) -> set[Attribute]:
+    """Attributes acting as keys (PKs and FK endpoints) — not filterable."""
+    keys: set[Attribute] = set()
+    for table in database.schema.tables.values():
+        if table.primary_key is not None:
+            keys.add(Attribute(table.name, table.primary_key))
+    for fk in database.schema.foreign_keys:
+        keys.add(fk.source)
+        keys.add(fk.target)
+    return keys
+
+
+class WorkloadGenerator:
+    """Generates reproducible random SPJ workloads over a database."""
+
+    def __init__(self, database: Database, config: WorkloadConfig):
+        self.database = database
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._executor = Executor(database)
+        self._edges = [
+            JoinPredicate(fk.source, fk.target)
+            for fk in database.schema.foreign_keys
+        ]
+        if config.join_count > len(self._edges):
+            raise ValueError(
+                f"join_count {config.join_count} exceeds the schema's "
+                f"{len(self._edges)} foreign-key edges"
+            )
+        keys = _key_columns(database)
+        self._filterable: dict[str, list[Attribute]] = {}
+        for table in database.schema.tables.values():
+            columns = [a for a in table.attributes if a not in keys]
+            if columns:
+                self._filterable[table.name] = columns
+
+    # ------------------------------------------------------------------
+    def generate(self, count: int) -> list[Query]:
+        """Generate ``count`` non-empty queries."""
+        return [self.generate_one() for _ in range(count)]
+
+    def generate_one(self) -> Query:
+        """Generate one non-empty random SPJ query."""
+        joins = self._random_join_subtree()
+        filters = self._random_filters(joins)
+        query = Query(frozenset(joins) | frozenset(filters))
+        return self._ensure_non_empty(query)
+
+    # ------------------------------------------------------------------
+    def _random_join_subtree(self) -> list[JoinPredicate]:
+        """A random connected subgraph with ``join_count`` edges, grown by
+        repeatedly attaching a random incident edge."""
+        target = self.config.join_count
+        if target == 0:
+            return []
+        order = self._rng.permutation(len(self._edges))
+        chosen = [self._edges[int(order[0])]]
+        tables = set(chosen[0].tables)
+        while len(chosen) < target:
+            candidates = [
+                edge
+                for edge in self._edges
+                if edge not in chosen and (edge.tables & tables)
+            ]
+            if not candidates:  # should not happen on a connected FK graph
+                candidates = [e for e in self._edges if e not in chosen]
+            edge = candidates[int(self._rng.integers(len(candidates)))]
+            chosen.append(edge)
+            tables.update(edge.tables)
+        return chosen
+
+    def _random_filters(self, joins: list[JoinPredicate]) -> list[FilterPredicate]:
+        if joins:
+            tables = sorted({t for j in joins for t in j.tables})
+        else:
+            tables = sorted(self._filterable)
+        attributes = [a for t in tables for a in self._filterable.get(t, [])]
+        if not attributes:
+            return []
+        count = min(self.config.filter_count, len(attributes))
+        picked_indices = self._rng.choice(len(attributes), size=count, replace=False)
+        return [self._filter_around_quantile(attributes[int(i)]) for i in picked_indices]
+
+    def _filter_around_quantile(self, attribute: Attribute) -> FilterPredicate:
+        """A range filter of ~``target_selectivity`` on the base table,
+        centred at a random quantile of the (non-NULL) values."""
+        values = self.database.column(attribute)
+        values = np.sort(values[~np.isnan(values)])
+        if values.size == 0:
+            return FilterPredicate(attribute, 0.0, 0.0)
+        width = self.config.target_selectivity
+        start = float(self._rng.uniform(0.0, max(1e-9, 1.0 - width)))
+        low = float(values[int(start * (values.size - 1))])
+        high = float(values[int(min(1.0, start + width) * (values.size - 1))])
+        if high < low:
+            low, high = high, low
+        return FilterPredicate(attribute, low, high)
+
+    def _ensure_non_empty(self, query: Query) -> Query:
+        """Stretch filter ranges until the query returns at least one tuple."""
+        executor = self._executor
+        current = query
+        for _ in range(self.config.max_stretch_rounds):
+            if executor.cardinality(current.predicates) > 0:
+                return current
+            stretched: set = set(current.joins)
+            for predicate in current.filters:
+                stretched.add(self._stretch(predicate))
+            widened = Query(frozenset(stretched))
+            if widened.predicates == current.predicates:
+                break
+            current = widened
+        if executor.cardinality(current.predicates) == 0:
+            # Last resort: drop the filters entirely (joins stay).
+            current = Query(current.joins)
+        return current
+
+    def _stretch(self, predicate: FilterPredicate) -> FilterPredicate:
+        values = self.database.column(predicate.attribute)
+        values = values[~np.isnan(values)]
+        lo_bound = float(values.min()) if values.size else predicate.low
+        hi_bound = float(values.max()) if values.size else predicate.high
+        width = max(predicate.high - predicate.low, 1.0)
+        grow = width * (self.config.stretch_factor - 1.0) / 2.0
+        return FilterPredicate(
+            predicate.attribute,
+            max(lo_bound, predicate.low - grow),
+            min(hi_bound, predicate.high + grow),
+        )
+
+
+# ----------------------------------------------------------------------
+# The sub-query universe for accuracy metrics
+# ----------------------------------------------------------------------
+def connected_subqueries(
+    query: Query, max_count: int | None = None, seed: int = 0
+) -> list[PredicateSet]:
+    """All non-empty predicate subsets forming one connected component.
+
+    These are the sub-plans an optimizer would materialize in its memo.
+    With ``max_count`` the list is down-sampled deterministically (the full
+    query itself is always kept).
+    """
+    items = sorted(query.predicates, key=str)
+    subsets: list[PredicateSet] = []
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            candidate = frozenset(combo)
+            if len(connected_components(candidate)) == 1:
+                subsets.append(candidate)
+    if max_count is not None and len(subsets) > max_count:
+        rng = np.random.default_rng(seed)
+        keep = rng.choice(len(subsets) - 1, size=max_count - 1, replace=False)
+        sampled = [subsets[int(i)] for i in sorted(keep)]
+        sampled.append(subsets[-1])  # the full query
+        subsets = sampled
+    return subsets

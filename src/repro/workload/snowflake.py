@@ -1,0 +1,297 @@
+"""The paper's synthetic snowflake database (Section 5, "Data Sets").
+
+Eight tables in a snowflake around a ``sales`` fact table, with:
+
+* **skewed foreign keys** — the number of fact tuples per dimension key
+  follows a Zipfian distribution (the intro's "number of line-items for a
+  given order follows a Zipfian distribution");
+* **correlated attributes** — fact measures derive from dimension
+  attributes through the foreign key (e.g. ``sales.price`` follows
+  ``product.list_price``), so filters interact with joins;
+* **dangling foreign keys** — a configurable 5-20% of fact tuples carry a
+  NULL foreign key, chosen uniformly or correlated with an attribute, so
+  some foreign-key joins violate referential integrity exactly as the
+  paper's data does.
+
+Row counts scale with ``config.scale`` (also settable via the
+``REPRO_SCALE`` environment variable in the benchmark harness); the
+default is laptop-sized while preserving the paper's 3-orders-of-magnitude
+spread between the largest and smallest table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.database import Database, Table
+from repro.engine.schema import ForeignKey, Schema, TableSchema
+
+#: (table, rows at scale 1.0); the fact table is 2000x the smallest table.
+_BASE_ROWS = {
+    "sales": 20_000,
+    "customer": 2_000,
+    "product": 1_000,
+    "store": 200,
+    "promotion": 100,
+    "nation": 50,
+    "category": 40,
+    "region": 10,
+}
+
+
+@dataclass(frozen=True)
+class SnowflakeConfig:
+    """Knobs of the synthetic database generator."""
+
+    scale: float = 1.0
+    seed: int = 42
+    #: Zipf exponent for foreign-key frequency skew (0 = uniform).
+    skew: float = 1.0
+    #: fraction of fact-table foreign keys replaced by NULL (per FK edge
+    #: listed in ``dangling_edges``); the paper uses 5%-20%.
+    dangling_fraction: float = 0.10
+    #: 'random' or 'correlated' (dangling rows are the highest-price sales)
+    dangling_mode: str = "random"
+    #: FK columns of ``sales`` that receive dangling NULLs
+    dangling_edges: tuple[str, ...] = ("customer_id", "promotion_id")
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 0.0 <= self.dangling_fraction < 1.0:
+            raise ValueError("dangling_fraction must be in [0, 1)")
+        if self.dangling_mode not in ("random", "correlated"):
+            raise ValueError("dangling_mode must be 'random' or 'correlated'")
+
+
+def snowflake_schema() -> Schema:
+    """The 8-table snowflake schema with its 7 foreign-key edges."""
+    schema = Schema()
+    schema.add_table(
+        TableSchema(
+            "sales",
+            (
+                "customer_id",
+                "product_id",
+                "store_id",
+                "promotion_id",
+                "price",
+                "quantity",
+                "discount",
+                "ship_days",
+            ),
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "customer",
+            ("customer_id", "nation_id", "age", "income", "segment"),
+            primary_key="customer_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "product",
+            ("product_id", "category_id", "weight", "list_price"),
+            primary_key="product_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "store",
+            ("store_id", "size_sqft", "opened_year", "staff"),
+            primary_key="store_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "promotion",
+            ("promotion_id", "budget", "media_type", "duration"),
+            primary_key="promotion_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "nation",
+            ("nation_id", "region_id", "population", "gdp"),
+            primary_key="nation_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "category",
+            ("category_id", "margin", "shelf_level", "turnover"),
+            primary_key="category_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "region",
+            ("region_id", "climate", "tax_rate", "area"),
+            primary_key="region_id",
+        )
+    )
+    for fk in (
+        ForeignKey("sales", "customer_id", "customer", "customer_id"),
+        ForeignKey("sales", "product_id", "product", "product_id"),
+        ForeignKey("sales", "store_id", "store", "store_id"),
+        ForeignKey("sales", "promotion_id", "promotion", "promotion_id"),
+        ForeignKey("customer", "nation_id", "nation", "nation_id"),
+        ForeignKey("product", "category_id", "category", "category_id"),
+        ForeignKey("nation", "region_id", "region", "region_id"),
+    ):
+        schema.add_foreign_key(fk)
+    return schema
+
+
+def _zipf_keys(rng: np.ndarray, count: int, domain: int, skew: float) -> np.ndarray:
+    """``count`` foreign-key values over ``0..domain-1`` with Zipfian
+    frequencies; the rank-to-key mapping is shuffled so key identity does
+    not encode popularity."""
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = ranks ** (-skew) if skew > 0 else np.ones(domain)
+    weights /= weights.sum()
+    permutation = rng.permutation(domain)
+    drawn = rng.choice(domain, size=count, p=weights)
+    return permutation[drawn].astype(np.float64)
+
+
+def generate_snowflake(config: SnowflakeConfig | None = None) -> Database:
+    """Generate the full synthetic snowflake database."""
+    config = config if config is not None else SnowflakeConfig()
+    rng = np.random.default_rng(config.seed)
+    rows = {
+        name: max(4, int(round(base * config.scale)))
+        for name, base in _BASE_ROWS.items()
+    }
+    schema = snowflake_schema()
+    database = Database(schema)
+
+    # --- region ------------------------------------------------------
+    n = rows["region"]
+    region = {
+        "region_id": np.arange(n, dtype=np.float64),
+        "climate": rng.integers(0, 5, n).astype(np.float64),
+        "tax_rate": np.round(rng.uniform(5, 25, n)),
+        "area": np.round(rng.lognormal(3.0, 1.0, n)),
+    }
+    database.add_table(Table(schema.table("region"), region))
+
+    # --- nation: population correlated with region ------------------
+    n = rows["nation"]
+    nation_region = _zipf_keys(rng, n, rows["region"], config.skew * 0.6)
+    nation = {
+        "nation_id": np.arange(n, dtype=np.float64),
+        "region_id": nation_region,
+        "population": np.round(
+            rng.lognormal(4.0, 0.8, n) * (1.0 + nation_region)
+        ),
+        "gdp": np.round(rng.lognormal(5.0, 1.0, n)),
+    }
+    database.add_table(Table(schema.table("nation"), nation))
+
+    # --- category ----------------------------------------------------
+    n = rows["category"]
+    category = {
+        "category_id": np.arange(n, dtype=np.float64),
+        "margin": np.round(rng.uniform(5, 60, n)),
+        "shelf_level": rng.integers(0, 4, n).astype(np.float64),
+        "turnover": np.round(rng.lognormal(3.0, 0.7, n)),
+    }
+    database.add_table(Table(schema.table("category"), category))
+
+    # --- promotion ---------------------------------------------------
+    n = rows["promotion"]
+    promotion = {
+        "promotion_id": np.arange(n, dtype=np.float64),
+        "budget": np.round(rng.lognormal(6.0, 1.2, n)),
+        "media_type": rng.integers(0, 6, n).astype(np.float64),
+        "duration": rng.integers(1, 60, n).astype(np.float64),
+    }
+    database.add_table(Table(schema.table("promotion"), promotion))
+
+    # --- store -------------------------------------------------------
+    n = rows["store"]
+    store = {
+        "store_id": np.arange(n, dtype=np.float64),
+        "size_sqft": np.round(rng.lognormal(7.0, 0.5, n)),
+        "opened_year": rng.integers(1970, 2004, n).astype(np.float64),
+        "staff": np.round(rng.lognormal(2.5, 0.6, n)),
+    }
+    database.add_table(Table(schema.table("store"), store))
+
+    # --- product: list_price skewed, weight correlated with category --
+    n = rows["product"]
+    product_category = _zipf_keys(rng, n, rows["category"], config.skew * 0.8)
+    product = {
+        "product_id": np.arange(n, dtype=np.float64),
+        "category_id": product_category,
+        "weight": np.round(rng.lognormal(1.5, 0.8, n) * (1 + product_category % 7)),
+        "list_price": np.round(rng.lognormal(3.5, 1.0, n)),
+    }
+    database.add_table(Table(schema.table("product"), product))
+
+    # --- customer: income correlated with nation ---------------------
+    n = rows["customer"]
+    customer_nation = _zipf_keys(rng, n, rows["nation"], config.skew)
+    nation_income_level = rng.permutation(rows["nation"]).astype(np.float64)
+    customer = {
+        "customer_id": np.arange(n, dtype=np.float64),
+        "nation_id": customer_nation,
+        "age": rng.integers(18, 90, n).astype(np.float64),
+        "income": np.round(
+            rng.lognormal(3.0, 0.5, n)
+            * (1.0 + nation_income_level[customer_nation.astype(int)])
+        ),
+        "segment": rng.integers(0, 5, n).astype(np.float64),
+    }
+    database.add_table(Table(schema.table("customer"), customer))
+
+    # --- sales fact table --------------------------------------------
+    n = rows["sales"]
+    sales_customer = _zipf_keys(rng, n, rows["customer"], config.skew)
+    sales_product = _zipf_keys(rng, n, rows["product"], config.skew)
+    sales_store = _zipf_keys(rng, n, rows["store"], config.skew * 0.7)
+    sales_promotion = _zipf_keys(rng, n, rows["promotion"], config.skew * 0.5)
+    list_price = product["list_price"][sales_product.astype(int)]
+    discount = np.round(rng.uniform(0, 50, n))
+    price = np.round(list_price * (1.0 - discount / 200.0) + rng.normal(0, 2, n))
+    price = np.maximum(price, 1.0)
+    quantity = np.maximum(1.0, np.round(rng.lognormal(1.2, 0.7, n) * 50.0 / (price + 10.0)))
+    sales = {
+        "customer_id": sales_customer,
+        "product_id": sales_product,
+        "store_id": sales_store,
+        "promotion_id": sales_promotion,
+        "price": price,
+        "quantity": quantity,
+        "discount": discount,
+        "ship_days": rng.integers(1, 30, n).astype(np.float64),
+    }
+    _apply_dangling(sales, config, rng)
+    database.add_table(Table(schema.table("sales"), sales))
+    return database
+
+
+def _apply_dangling(
+    sales: dict[str, np.ndarray], config: SnowflakeConfig, rng: np.random.Generator
+) -> None:
+    """Replace a fraction of fact foreign keys with NULL (NaN)."""
+    if config.dangling_fraction <= 0.0:
+        return
+    n = len(sales["price"])
+    k = int(round(n * config.dangling_fraction))
+    if k == 0:
+        return
+    for column in config.dangling_edges:
+        if column not in sales:
+            raise ValueError(f"unknown dangling edge column {column!r}")
+        if config.dangling_mode == "random":
+            rows = rng.choice(n, size=k, replace=False)
+        else:  # correlated: the most expensive sales dangle
+            rows = np.argsort(sales["price"])[-k:]
+        values = sales[column].copy()
+        values[rows] = np.nan
+        sales[column] = values

@@ -1,0 +1,154 @@
+"""Miniature TPC-H-style database for the paper's motivating example.
+
+Figure 1 of the paper uses the query
+
+    SELECT * FROM lineitem L, orders O, customer C
+    WHERE L.orderkey = O.orderkey AND O.custkey = C.custkey
+      AND C.nation = 'USA' AND O.total_price > 100K
+
+over a *skewed* TPC-H instance where (i) the number of line-items per
+order is Zipfian and expensive orders consist of many line-items, and
+(ii) the majority of customers live in the US.  Under those two skews a
+traditional optimizer underestimates the query cardinality badly, one SIT
+fixes one skew source, and only using both SITs together (the paper's
+conditional-selectivity framework) fixes both.
+
+This generator reproduces both skew mechanisms with tunable strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.database import Database, Table
+from repro.engine.expressions import Query
+from repro.engine.schema import ForeignKey, Schema, TableSchema
+
+#: numeric code of the dominant nation ('USA' in the paper's narrative)
+USA = 0.0
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Skew knobs for the motivating-example database."""
+
+    customers: int = 200
+    orders: int = 1000
+    seed: int = 17
+    #: Zipf exponent for line-items-per-order (higher = more skew)
+    lineitem_skew: float = 1.3
+    #: Zipf exponent for orders-per-customer; frequent customers are
+    #: preferentially in the dominant nation, so the nation filter
+    #: correlates with the orders-customer join (the intro's second skew)
+    order_skew: float = 1.1
+    #: fraction of customers in the dominant nation
+    usa_fraction: float = 0.75
+    nations: int = 25
+
+
+def tpch_schema() -> Schema:
+    """The customer/orders/lineitem schema with its two FK edges."""
+    schema = Schema()
+    schema.add_table(
+        TableSchema(
+            "customer", ("custkey", "nation", "acctbal"), primary_key="custkey"
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "orders",
+            ("orderkey", "custkey", "total_price"),
+            primary_key="orderkey",
+        )
+    )
+    schema.add_table(
+        TableSchema("lineitem", ("orderkey", "quantity", "extended_price"))
+    )
+    schema.add_foreign_key(ForeignKey("orders", "custkey", "customer", "custkey"))
+    schema.add_foreign_key(ForeignKey("lineitem", "orderkey", "orders", "orderkey"))
+    return schema
+
+
+def generate_tpch(config: TPCHConfig | None = None) -> Database:
+    """Generate the skewed mini TPC-H instance."""
+    config = config if config is not None else TPCHConfig()
+    rng = np.random.default_rng(config.seed)
+    schema = tpch_schema()
+    database = Database(schema)
+
+    # customers: most live in the dominant nation
+    n = config.customers
+    nation = np.where(
+        rng.random(n) < config.usa_fraction,
+        USA,
+        rng.integers(1, config.nations, n).astype(np.float64),
+    )
+    customer = {
+        "custkey": np.arange(n, dtype=np.float64),
+        "nation": nation,
+        "acctbal": np.round(rng.lognormal(6.0, 1.0, n)),
+    }
+    database.add_table(Table(schema.table("customer"), customer))
+
+    # orders: line-items per order Zipfian; total_price grows with the
+    # number of line-items, so "expensive orders have many line-items".
+    m = config.orders
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    weights = ranks ** (-config.lineitem_skew)
+    weights /= weights.sum()
+    expected_items = np.maximum(1, np.round(weights * m * 6)).astype(int)
+    items_per_order = rng.permutation(expected_items)
+    unit_price = rng.lognormal(3.0, 0.3, m)
+    total_price = np.round(items_per_order * unit_price * 10)
+    # Orders per customer are Zipfian, and the busy customers are mostly in
+    # the dominant nation: nation = USA then correlates with the O-C join.
+    customer_ranks = np.arange(1, n + 1, dtype=np.float64)
+    customer_weights = customer_ranks ** (-config.order_skew)
+    customer_weights /= customer_weights.sum()
+    usa_customers = np.flatnonzero(nation == USA)
+    other_customers = np.flatnonzero(nation != USA)
+    rank_to_customer = np.concatenate(
+        [rng.permutation(usa_customers), rng.permutation(other_customers)]
+    )
+    custkey = rank_to_customer[rng.choice(n, size=m, p=customer_weights)]
+    orders = {
+        "orderkey": np.arange(m, dtype=np.float64),
+        "custkey": custkey.astype(np.float64),
+        "total_price": total_price,
+    }
+    database.add_table(Table(schema.table("orders"), orders))
+
+    # lineitems: exactly items_per_order[k] rows for order k
+    orderkey = np.repeat(np.arange(m, dtype=np.float64), items_per_order)
+    k = orderkey.size
+    lineitem = {
+        "orderkey": orderkey,
+        "quantity": rng.integers(1, 50, k).astype(np.float64),
+        "extended_price": np.round(rng.lognormal(3.0, 0.4, k) * 10),
+    }
+    database.add_table(Table(schema.table("lineitem"), lineitem))
+    return database
+
+
+def motivating_query(database: Database, price_quantile: float = 0.9) -> Query:
+    """The Figure 1 query: both joins plus the two skew-correlated filters.
+
+    ``total_price > (quantile)`` plays the paper's ``> 100K`` role and
+    ``nation = USA`` the nation filter.
+    """
+    prices = database.column(Attribute("orders", "total_price"))
+    threshold = float(np.quantile(prices, price_quantile))
+    join_lo = JoinPredicate(
+        Attribute("lineitem", "orderkey"), Attribute("orders", "orderkey")
+    )
+    join_oc = JoinPredicate(
+        Attribute("orders", "custkey"), Attribute("customer", "custkey")
+    )
+    price_filter = FilterPredicate(
+        Attribute("orders", "total_price"), threshold, float("inf")
+    )
+    nation_filter = FilterPredicate(Attribute("customer", "nation"), USA, USA)
+    return Query.of(join_lo, join_oc, price_filter, nation_filter)

@@ -1,0 +1,112 @@
+"""Tests for harness evaluation options."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.core.estimator import make_gs_diff
+from repro.core.predicates import FilterPredicate
+from repro.engine.expressions import Query
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+
+
+@pytest.fixture(scope="module")
+def setting(two_table_db_module):
+    db = two_table_db_module
+    from repro.core.predicates import Attribute, JoinPredicate
+
+    join = JoinPredicate(Attribute("R", "x"), Attribute("S", "y"))
+    queries = [
+        Query.of(join, FilterPredicate(Attribute("R", "a"), 0, 20)),
+        Query.of(join, FilterPredicate(Attribute("S", "b"), 10, 60)),
+    ]
+    pool = build_workload_pool(SITBuilder(db), queries, max_joins=1)
+    return db, queries, pool
+
+
+@pytest.fixture(scope="module")
+def two_table_db_module():
+    import numpy as np
+
+    from repro.engine.database import Database, Table
+    from repro.engine.schema import ForeignKey, Schema, TableSchema
+
+    rng = np.random.default_rng(0)
+    schema = Schema()
+    schema.add_table(TableSchema("R", ("x", "a")))
+    schema.add_table(TableSchema("S", ("y", "b"), primary_key="y"))
+    schema.add_foreign_key(ForeignKey("R", "x", "S", "y"))
+    db = Database(schema)
+    weights = 1.0 / (np.arange(1, 51) ** 1.2)
+    weights /= weights.sum()
+    r_x = rng.choice(50, size=1000, p=weights).astype(float)
+    db.add_table(
+        Table(
+            schema.table("R"),
+            {"x": r_x, "a": (r_x * 2 + rng.integers(0, 5, 1000)).astype(float)},
+        )
+    )
+    db.add_table(
+        Table(
+            schema.table("S"),
+            {
+                "y": np.arange(50.0),
+                "b": rng.integers(0, 100, 50).astype(float),
+            },
+        )
+    )
+    return db
+
+
+class TestEvaluateOptions:
+    def test_without_gvm(self, setting):
+        db, queries, pool = setting
+        harness = Harness(db)
+        evaluation = harness.evaluate(
+            queries, pool, {"GS-Diff": make_gs_diff}, include_gvm=False
+        )
+        assert set(evaluation.reports) == {"GS-Diff"}
+
+    def test_subquery_cap_respected(self, setting):
+        db, queries, pool = setting
+        harness = Harness(db)
+        evaluation = harness.evaluate(
+            queries,
+            pool,
+            {"GS-Diff": make_gs_diff},
+            include_gvm=False,
+            max_subqueries=3,
+        )
+        for metrics in evaluation.report("GS-Diff").per_query:
+            assert len(metrics.estimates) <= 3
+
+    def test_full_universe_when_uncapped(self, setting):
+        db, queries, pool = setting
+        harness = Harness(db)
+        evaluation = harness.evaluate(
+            queries,
+            pool,
+            {"GS-Diff": make_gs_diff},
+            include_gvm=False,
+            max_subqueries=None,
+        )
+        # join + filter -> 3 connected sub-queries: {j}, {f}, {j, f}.
+        for metrics in evaluation.report("GS-Diff").per_query:
+            assert len(metrics.estimates) == 3
+
+    def test_truth_shared_across_techniques(self, setting):
+        db, queries, pool = setting
+        harness = Harness(db)
+        first = harness.evaluate(
+            queries, pool, {"GS-Diff": make_gs_diff}, include_gvm=False
+        )
+        misses = harness.executor.cache_misses
+        second = harness.evaluate(
+            queries, pool, {"GS-Diff": make_gs_diff}, include_gvm=False
+        )
+        # Ground truth is memoized: the second evaluation adds no misses.
+        assert harness.executor.cache_misses == misses
+        assert (
+            first.report("GS-Diff").mean_absolute_error
+            == second.report("GS-Diff").mean_absolute_error
+        )

@@ -1,0 +1,58 @@
+"""Edge-case tests for bench reporting helpers."""
+
+from repro.bench.harness import QueryMetrics, TechniqueReport
+from repro.bench.reporting import render_summary, render_table
+from repro.engine.expressions import Query
+
+
+def metrics(error: float, calls: int = 3) -> QueryMetrics:
+    return QueryMetrics(
+        query=Query(frozenset()),
+        mean_absolute_error=error,
+        full_query_error=error,
+        vm_calls=calls,
+        analysis_seconds=0.010,
+        estimation_seconds=0.002,
+    )
+
+
+class TestTechniqueReport:
+    def test_empty_report_defaults(self):
+        report = TechniqueReport("x")
+        assert report.mean_absolute_error == 0.0
+        assert report.mean_vm_calls == 0.0
+        assert report.mean_analysis_ms == 0.0
+        assert report.mean_estimation_ms == 0.0
+
+    def test_means(self):
+        report = TechniqueReport("x", [metrics(10.0), metrics(30.0)])
+        assert report.mean_absolute_error == 20.0
+        assert report.mean_vm_calls == 3.0
+        assert report.mean_analysis_ms == 10.0
+        assert report.mean_estimation_ms == 2.0
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        table = render_table("Title", ["a"], [])
+        assert "Title" in table
+        assert "a" in table
+
+    def test_wide_cells_expand_columns(self):
+        table = render_table("T", ["h"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in table
+
+    def test_right_alignment(self):
+        table = render_table("T", ["col"], [["1"], ["22"]])
+        lines = table.splitlines()
+        assert lines[-1].endswith("22")
+        assert lines[-2].endswith(" 1")
+
+
+class TestRenderSummary:
+    def test_contains_all_metrics(self):
+        report = TechniqueReport("GS-X", [metrics(5.0)])
+        text = render_summary(report)
+        assert "GS-X" in text
+        assert "5.0" in text
+        assert "ms" in text

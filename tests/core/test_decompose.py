@@ -1,0 +1,163 @@
+"""Tests for decomposition counting/enumeration — Lemmas 1 and 2."""
+
+import math
+
+import pytest
+
+from repro.core.decompose import (
+    count_decompositions,
+    enumerate_decompositions,
+    lemma1_bounds,
+    standard_decomposition,
+)
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+TC = Attribute("T", "c")
+
+
+def filters(n: int):
+    """n filter predicates over n distinct tables (fully separable)."""
+    return [FilterPredicate(Attribute(f"T{i}", "a"), 0, i + 1) for i in range(n)]
+
+
+def chain(n: int):
+    """n predicates forming one connected chain over n+1 tables."""
+    return [
+        JoinPredicate(Attribute(f"T{i}", "x"), Attribute(f"T{i+1}", "y"))
+        for i in range(n)
+    ]
+
+
+class TestCountDecompositions:
+    def test_base_cases(self):
+        assert count_decompositions(0) == 1
+        assert count_decompositions(1) == 1
+        # n=2: {p1p2}, {p1|p2}{p2}, {p2|p1}{p1}
+        assert count_decompositions(2) == 3
+        # n=3: 3 singleton-first * T(2)=3 each? verify recurrence by hand:
+        # sum C(3,1)T(2) + C(3,2)T(1) + C(3,3)T(0) = 3*3 + 3*1 + 1 = 13
+        assert count_decompositions(3) == 13
+
+    def test_matches_enumeration(self):
+        for n in range(1, 6):
+            enumerated = sum(1 for _ in enumerate_decompositions(frozenset(chain(n))))
+            assert enumerated == count_decompositions(n), f"n={n}"
+
+    @pytest.mark.parametrize("n", range(1, 11))
+    def test_lemma1_bounds(self, n):
+        lower, upper = lemma1_bounds(n)
+        value = count_decompositions(n)
+        assert lower <= value <= upper
+
+    def test_lemma1_bounds_invalid(self):
+        with pytest.raises(ValueError):
+            lemma1_bounds(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            count_decompositions(-1)
+
+    def test_growth_is_superexponential(self):
+        # T(n+1)/T(n) >= n+2 per the proof of Lemma 1.
+        previous = count_decompositions(1)
+        for n in range(2, 10):
+            current = count_decompositions(n)
+            assert current >= (n + 1) * previous
+            previous = current
+
+
+class TestEnumerateDecompositions:
+    def test_single_predicate(self):
+        (predicate,) = filters(1)
+        decompositions = list(enumerate_decompositions(frozenset((predicate,))))
+        assert len(decompositions) == 1
+        assert len(decompositions[0]) == 1
+
+    def test_empty_set(self):
+        decompositions = list(enumerate_decompositions(frozenset()))
+        assert len(decompositions) == 1
+        assert len(decompositions[0]) == 0
+
+    def test_factors_partition_predicates(self):
+        predicates = frozenset(chain(3))
+        for decomposition in enumerate_decompositions(predicates):
+            covered = set()
+            for factor in decomposition.factors:
+                assert not (covered & factor.p), "P parts must not overlap"
+                covered |= factor.p
+            assert covered == set(predicates)
+
+    def test_telescoping_structure(self):
+        """Each factor's Q is exactly the union of the later factors' Ps."""
+        predicates = frozenset(chain(3))
+        for decomposition in enumerate_decompositions(predicates):
+            factors = decomposition.factors
+            for index, factor in enumerate(factors):
+                tail = set()
+                for later in factors[index + 1 :]:
+                    tail |= later.p
+                assert factor.q == frozenset(tail)
+
+    def test_last_factor_unconditioned(self):
+        predicates = frozenset(chain(4))
+        for decomposition in enumerate_decompositions(predicates):
+            assert not decomposition.factors[-1].q
+
+    def test_simplification_collapses_separable_sets(self):
+        # Every decomposition of a fully separable set simplifies to the
+        # unique standard decomposition Sel(p1)*Sel(p2)*Sel(p3).
+        predicates = frozenset(filters(3))
+        simplified = {
+            frozenset((factor.p, factor.q) for factor in decomposition.factors)
+            for decomposition in enumerate_decompositions(
+                predicates, simplify_separable=True
+            )
+        }
+        assert len(simplified) == 1
+        ((factors),) = simplified
+        assert all(not q for _, q in factors)
+
+    def test_simplified_factors_are_non_separable(self):
+        from repro.core.predicates import connected_components
+
+        predicates = frozenset(chain(2)) | frozenset(filters(1))
+        for decomposition in enumerate_decompositions(
+            predicates, simplify_separable=True
+        ):
+            for factor in decomposition.factors:
+                assert len(connected_components(factor.p | factor.q)) == 1
+
+    def test_connected_chain_unaffected_by_simplification(self):
+        # For a 2-chain every factor is already non-separable.
+        predicates = frozenset(chain(2))
+        full = [d.factors for d in enumerate_decompositions(predicates)]
+        simplified = [
+            d.factors
+            for d in enumerate_decompositions(predicates, simplify_separable=True)
+        ]
+        assert full == simplified
+
+
+class TestStandardDecomposition:
+    def test_lemma2_uniqueness_and_idempotence(self):
+        join = JoinPredicate(RX, SY)
+        filter_s = FilterPredicate(SB, 0, 10)
+        filter_t = FilterPredicate(TC, 5, 5)
+        components = standard_decomposition(
+            frozenset((join, filter_s, filter_t))
+        )
+        assert len(components) == 2
+        for component in components:
+            assert standard_decomposition(component) == [component]
+
+    def test_connected_set_is_its_own_standard_decomposition(self):
+        predicates = frozenset(chain(3))
+        assert standard_decomposition(predicates) == [predicates]
+
+    def test_component_count_equals_factor_count(self):
+        predicates = frozenset(filters(4))
+        assert len(standard_decomposition(predicates)) == 4

@@ -1,0 +1,184 @@
+"""Tests for the nInd, Diff and Opt error functions (Sections 3.2, 3.5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DiffError, NIndError, OptError, merge
+from repro.core.matching import ViewMatcher, select_match
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.core.selectivity import Factor
+from repro.engine.database import Database, Table
+from repro.engine.executor import Executor
+from repro.engine.schema import Schema, TableSchema
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+RS = Attribute("R", "s")
+SY = Attribute("S", "y")
+SA = Attribute("S", "a")
+ST = Attribute("S", "t")
+TT = Attribute("T", "t")
+
+JOIN_RS = JoinPredicate(RS, SY)
+JOIN_ST = JoinPredicate(ST, TT)
+
+
+def uniform(total=1000.0):
+    return Histogram([Bucket(0, 100, total, 100)])
+
+
+def make_sit(attribute, expression=frozenset(), diff=0.0):
+    return SIT(attribute, frozenset(expression), uniform(), diff=diff)
+
+
+def pool_of(*sits):
+    return SITPool(list(sits))
+
+
+def match_for(pool, error_function, p, q):
+    matcher = ViewMatcher(pool)
+    candidates = matcher.candidates_for_factor(Factor(frozenset(p), frozenset(q)))
+    assert candidates is not None
+    return select_match(candidates, error_function)
+
+
+class TestMerge:
+    def test_merge_is_sum(self):
+        assert merge(1.5, 2.5) == 4.0
+
+    def test_identity(self):
+        assert merge(0.0, 3.0) == 3.0
+
+
+class TestNInd:
+    def test_fully_covered_factor_is_free(self):
+        pool = pool_of(make_sit(SA), make_sit(SA, {JOIN_RS}))
+        error = NIndError()
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS})
+        assert error.factor_error(match) == 0.0
+
+    def test_one_assumption_counts_one(self):
+        pool = pool_of(make_sit(SA), make_sit(SA, {JOIN_RS}))
+        error = NIndError()
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS, JOIN_ST})
+        assert error.factor_error(match) == 1.0
+
+    def test_base_sit_counts_full_conditioning(self):
+        pool = pool_of(make_sit(SA))
+        error = NIndError()
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS, JOIN_ST})
+        assert error.factor_error(match) == 2.0
+
+    def test_rank_prefers_larger_coverage(self):
+        covered = make_sit(SA, {JOIN_RS, JOIN_ST})
+        partial = make_sit(SA, {JOIN_RS})
+        pool = pool_of(make_sit(SA), partial, covered)
+        error = NIndError()
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS, JOIN_ST})
+        assert match.attribute_matches[0].sit == covered
+
+    def test_monotonic_via_merge(self):
+        # Definition 3: increasing any component error cannot decrease the
+        # merged error.
+        assert merge(1.0, 2.0) <= merge(1.5, 2.0)
+
+
+class TestDiff:
+    def test_example4_prefers_informative_sit(self):
+        """Example 4: with SIT(S.a|R⋈S) (diff high) and SIT(S.a|S⋈T)
+        (diff 0), the factor Sel(S.a<10 | R⋈S, S⋈T) must use the first."""
+        h1 = make_sit(SA, {JOIN_RS}, diff=0.6)
+        h2 = make_sit(SA, {JOIN_ST}, diff=0.0)
+        pool = pool_of(make_sit(SA), h1, h2)
+        error = DiffError(pool)
+        filter_a = FilterPredicate(SA, -math.inf, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS, JOIN_ST})
+        assert match.attribute_matches[0].sit == h1
+
+    def test_known_strong_dependence_is_expensive_to_ignore(self):
+        informative = make_sit(SA, {JOIN_RS}, diff=0.9)
+        pool = pool_of(make_sit(SA), informative)
+        error = DiffError(pool, unknown_cost=0.05)
+        filter_a = FilterPredicate(SA, 0, 10)
+        # Use the base SIT (forced by restricting the pool of candidates):
+        base_only = pool_of(make_sit(SA))
+        error_with_knowledge = DiffError(pool, unknown_cost=0.05)
+        match = match_for(base_only, error_with_knowledge, {filter_a}, {JOIN_RS})
+        assert error_with_knowledge.factor_error(match) == pytest.approx(0.9)
+
+    def test_unknown_dependence_costs_prior(self):
+        pool = pool_of(make_sit(SA))
+        error = DiffError(pool, unknown_cost=0.05)
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS})
+        assert error.factor_error(match) == pytest.approx(0.05)
+
+    def test_no_assumptions_is_free(self):
+        covering = make_sit(SA, {JOIN_RS})
+        pool = pool_of(make_sit(SA), covering)
+        error = DiffError(pool)
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, error, {filter_a}, {JOIN_RS})
+        assert error.factor_error(match) == 0.0
+
+    def test_degrades_to_scaled_nind_without_sits(self):
+        pool = pool_of(make_sit(SA))
+        diff = DiffError(pool, unknown_cost=0.25)
+        nind = NIndError()
+        filter_a = FilterPredicate(SA, 0, 10)
+        match = match_for(pool, diff, {filter_a}, {JOIN_RS, JOIN_ST})
+        assert diff.factor_error(match) == pytest.approx(
+            0.25 * nind.factor_error(match)
+        )
+
+    def test_invalid_unknown_cost(self):
+        with pytest.raises(ValueError):
+            DiffError(pool_of(), unknown_cost=2.0)
+
+
+class TestOpt:
+    @pytest.fixture()
+    def db(self):
+        rng = np.random.default_rng(0)
+        schema = Schema()
+        schema.add_table(TableSchema("R", ("a",)))
+        db = Database(schema)
+        db.add_table(
+            Table(
+                schema.table("R"),
+                {"a": rng.integers(0, 100, 1000).astype(float)},
+            )
+        )
+        return db
+
+    def test_exact_estimate_has_near_zero_error(self, db):
+        from repro.stats.builder import SITBuilder
+
+        builder = SITBuilder(db)
+        pool = pool_of(builder.build_base(RA))
+        error = OptError(Executor(db))
+        filter_a = FilterPredicate(RA, 0, 49)
+        match = match_for(pool, error, {filter_a}, set())
+        assert error.factor_error(match) < 0.05
+
+    def test_wrong_estimate_has_positive_error(self, db):
+        # A histogram that pretends R.a is uniform on [0, 1000] badly
+        # underestimates the true selectivity of [0, 49].
+        wrong = SIT(RA, frozenset(), Histogram([Bucket(0, 1000, 1000, 1000)]))
+        pool = pool_of(wrong)
+        error = OptError(Executor(db))
+        filter_a = FilterPredicate(RA, 0, 49)
+        match = match_for(pool, error, {filter_a}, set())
+        assert error.factor_error(match) > 1.0
+
+    def test_requires_combinations_flag(self, db):
+        assert OptError(Executor(db)).requires_combinations is True

@@ -1,0 +1,39 @@
+"""Tests for the estimator facade's SQL entry point and error surfaces."""
+
+import pytest
+
+from repro.core.estimator import make_gs_diff
+from repro.sql.binder import BindingError
+from repro.sql.lexer import SQLSyntaxError
+
+
+class TestCardinalitySQL:
+    def test_simple_filter_query(self, two_table_db, two_table_pool):
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        value = estimator.cardinality_sql(
+            "SELECT * FROM R WHERE a BETWEEN 0 AND 20"
+        )
+        assert 0 < value < 2000
+
+    def test_join_query(self, two_table_db, two_table_pool):
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        value = estimator.cardinality_sql(
+            "SELECT * FROM R, S WHERE R.x = S.y"
+        )
+        # FK integrity in the fixture: every R row joins exactly once.
+        assert value == pytest.approx(2000, rel=0.05)
+
+    def test_syntax_errors_propagate(self, two_table_db, two_table_pool):
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        with pytest.raises(SQLSyntaxError):
+            estimator.cardinality_sql("SELECT FROM WHERE")
+
+    def test_binding_errors_propagate(self, two_table_db, two_table_pool):
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        with pytest.raises(BindingError):
+            estimator.cardinality_sql("SELECT * FROM nonexistent")
+
+    def test_cross_product_sql(self, two_table_db, two_table_pool):
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        value = estimator.cardinality_sql("SELECT * FROM R, S")
+        assert value == pytest.approx(2000 * 50)

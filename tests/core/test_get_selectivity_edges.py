@@ -1,0 +1,123 @@
+"""Remaining edge cases for the getSelectivity DP."""
+
+import pytest
+
+from repro.core.errors import NIndError
+from repro.core.get_selectivity import (
+    GetSelectivity,
+    NoApplicableStatisticsError,
+    query_cardinality,
+)
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+TC = Attribute("T", "c")
+
+JOIN = JoinPredicate(RX, SY)
+FILTER_A = FilterPredicate(RA, 0, 10)
+FILTER_T = FilterPredicate(TC, 0, 50)
+
+
+def uniform():
+    return Histogram([Bucket(0, 100, 1000, 100)])
+
+
+def make_sit(attribute, expression=frozenset(), diff=0.0):
+    return SIT(attribute, frozenset(expression), uniform(), diff=diff)
+
+
+class TestCoverageTieBreaking:
+    def test_coverage_accumulates_across_factors(self):
+        pool = SITPool(
+            [
+                make_sit(RA),
+                make_sit(RX),
+                make_sit(SY),
+                make_sit(RA, {JOIN}, diff=0.5),
+            ]
+        )
+        algorithm = GetSelectivity(pool, NIndError())
+        result = algorithm(frozenset({FILTER_A, JOIN}))
+        # Best decomposition uses SIT(R.a|join): coverage counts its
+        # one-predicate expression.
+        assert result.coverage >= 1.0
+
+    def test_base_only_pool_zero_coverage(self):
+        pool = SITPool([make_sit(RA), make_sit(RX), make_sit(SY)])
+        algorithm = GetSelectivity(pool, NIndError())
+        result = algorithm(frozenset({FILTER_A, JOIN}))
+        assert result.coverage == 0.0
+
+    def test_separable_branch_sums_coverage(self):
+        pool = SITPool(
+            [
+                make_sit(RA, {JOIN}, diff=0.5),
+                make_sit(RA),
+                make_sit(RX),
+                make_sit(SY),
+                make_sit(TC),
+            ]
+        )
+        algorithm = GetSelectivity(pool, NIndError())
+        combined = algorithm(frozenset({FILTER_A, JOIN, FILTER_T}))
+        connected_only = algorithm(frozenset({FILTER_A, JOIN}))
+        assert combined.coverage == connected_only.coverage
+
+
+class TestErrorSurfaces:
+    def test_error_message_lists_predicates(self):
+        pool = SITPool([make_sit(RA)])
+        algorithm = GetSelectivity(pool, NIndError())
+        with pytest.raises(NoApplicableStatisticsError) as excinfo:
+            algorithm(frozenset({JOIN}))
+        assert "R.x=S.y" in str(excinfo.value)
+        assert excinfo.value.predicates == frozenset({JOIN})
+
+    def test_partial_statistics_still_fail_loudly(self):
+        pool = SITPool([make_sit(RX)])  # S.y missing entirely
+        algorithm = GetSelectivity(pool, NIndError())
+        with pytest.raises(NoApplicableStatisticsError):
+            algorithm(frozenset({JOIN}))
+
+
+class TestQueryCardinality:
+    def test_scaling(self):
+        pool = SITPool([make_sit(RA)])
+        algorithm = GetSelectivity(pool, NIndError())
+        result = algorithm(frozenset({FILTER_A}))
+        value = query_cardinality(result, {"R": 1000}, frozenset(("R",)))
+        assert value == pytest.approx(result.selectivity * 1000)
+
+    def test_multiple_tables_multiply(self):
+        pool = SITPool([make_sit(RA)])
+        algorithm = GetSelectivity(pool, NIndError())
+        result = algorithm(frozenset({FILTER_A}))
+        value = query_cardinality(
+            result, {"R": 1000, "S": 10}, frozenset(("R", "S"))
+        )
+        assert value == pytest.approx(result.selectivity * 10_000)
+
+
+class TestDecompositionIntrospection:
+    def test_factors_cover_all_predicates(self):
+        pool = SITPool([make_sit(RA), make_sit(RX), make_sit(SY), make_sit(TC)])
+        algorithm = GetSelectivity(pool, NIndError())
+        predicates = frozenset({FILTER_A, JOIN, FILTER_T})
+        result = algorithm(predicates)
+        covered = set()
+        for factor in result.decomposition.factors:
+            covered |= factor.p
+        assert covered == set(predicates)
+
+    def test_matches_align_with_factors(self):
+        pool = SITPool([make_sit(RA), make_sit(RX), make_sit(SY)])
+        algorithm = GetSelectivity(pool, NIndError())
+        result = algorithm(frozenset({FILTER_A, JOIN}))
+        assert len(result.matches) == len(result.decomposition)
+        for match, factor in zip(result.matches, result.decomposition.factors):
+            assert match.factor == factor

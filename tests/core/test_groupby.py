@@ -1,0 +1,74 @@
+"""Tests for the Group-By cardinality extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import make_gs_diff
+from repro.core.groupby import cardenas, estimate_group_count
+from repro.core.predicates import FilterPredicate
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+
+
+class TestCardenas:
+    def test_degenerate_cases(self):
+        assert cardenas(0, 100) == 0.0
+        assert cardenas(10, 0) == 0.0
+        assert cardenas(1, 50) == 1.0
+
+    def test_many_rows_saturate_domain(self):
+        assert cardenas(10, 10_000) == pytest.approx(10.0)
+
+    def test_few_rows_bound_groups(self):
+        assert cardenas(1_000_000, 5) == pytest.approx(5.0, rel=0.01)
+
+    def test_monotone_in_rows(self):
+        values = [cardenas(100, rows) for rows in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestEstimateGroupCount:
+    def true_groups(self, db, query, attribute):
+        executor = Executor(db)
+        result = executor.execute(query.predicates)
+        values = result.column(attribute)
+        return len(np.unique(values[~np.isnan(values)]))
+
+    def test_group_by_join_preserved_attribute(
+        self, two_table_db, two_table_pool, two_table_join, two_table_attrs
+    ):
+        query = Query.of(two_table_join)
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        estimate = estimate_group_count(estimator, query, two_table_attrs["Sb"])
+        true = self.true_groups(two_table_db, query, two_table_attrs["Sb"])
+        assert estimate == pytest.approx(true, rel=0.35)
+
+    def test_group_by_filtered_attribute(
+        self, two_table_db, two_table_pool, two_table_attrs
+    ):
+        predicate = FilterPredicate(two_table_attrs["Ra"], 0, 30)
+        query = Query.of(predicate)
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        estimate = estimate_group_count(estimator, query, two_table_attrs["Ra"])
+        true = self.true_groups(two_table_db, query, two_table_attrs["Ra"])
+        assert estimate == pytest.approx(true, rel=0.4)
+
+    def test_groups_bounded_by_rows(
+        self, two_table_db, two_table_pool, two_table_join, two_table_attrs
+    ):
+        query = Query.of(
+            two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 4)
+        )
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        estimate = estimate_group_count(estimator, query, two_table_attrs["Sb"])
+        assert estimate <= estimator.cardinality(query) + 1e-9
+
+    def test_unknown_attribute_rejected(
+        self, two_table_db, two_table_pool, two_table_attrs
+    ):
+        from repro.core.predicates import Attribute
+
+        query = Query.of(FilterPredicate(two_table_attrs["Ra"], 0, 30))
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        with pytest.raises(ValueError):
+            estimate_group_count(estimator, query, Attribute("Z", "q"))

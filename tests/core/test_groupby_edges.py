@@ -1,0 +1,47 @@
+"""Edge cases for the Group-By extension."""
+
+import pytest
+
+from repro.core.estimator import CardinalityEstimator
+from repro.core.errors import NIndError
+from repro.core.groupby import estimate_group_count
+from repro.core.predicates import Attribute, FilterPredicate
+from repro.engine.expressions import Query
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+
+def uniform():
+    return Histogram([Bucket(0, 100, 1000, 100)])
+
+
+class TestGroupByFallbacks:
+    def test_no_statistic_falls_back_to_row_count(self, two_table_db):
+        # Pool covers only R.a; grouping on R.x has no statistic.
+        pool = SITPool([SIT(Attribute("R", "a"), frozenset(), uniform())])
+        estimator = CardinalityEstimator(two_table_db, pool, NIndError())
+        query = Query.of(FilterPredicate(Attribute("R", "a"), 0, 20))
+        groups = estimate_group_count(estimator, query, Attribute("R", "x"))
+        assert groups == pytest.approx(estimator.cardinality(query))
+
+    def test_filter_on_grouping_attribute_restricts_domain(
+        self, two_table_db, two_table_pool
+    ):
+        estimator = CardinalityEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        attribute = Attribute("R", "a")
+        narrow = Query.of(FilterPredicate(attribute, 0, 8))
+        wide = Query.of(FilterPredicate(attribute, 0, 80))
+        narrow_groups = estimate_group_count(estimator, narrow, attribute)
+        wide_groups = estimate_group_count(estimator, wide, attribute)
+        assert narrow_groups < wide_groups
+
+    def test_empty_query_zero_groups(self, two_table_db, two_table_pool):
+        estimator = CardinalityEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        query = Query.of(FilterPredicate(Attribute("R", "a"), 5000, 6000))
+        groups = estimate_group_count(estimator, query, Attribute("R", "a"))
+        assert groups == pytest.approx(0.0, abs=1.0)

@@ -1,0 +1,112 @@
+"""Edge-case tests for matching internals: combination enumeration,
+selection, and the call-counting contract."""
+
+import pytest
+
+from repro.core.errors import NIndError
+from repro.core.matching import (
+    ViewMatcher,
+    enumerate_matches,
+    select_match,
+)
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.core.selectivity import Factor
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+JOIN = JoinPredicate(RX, SY)
+J2 = JoinPredicate(Attribute("R", "x2"), Attribute("S", "y2"))
+FILTER = FilterPredicate(RA, 0, 10)
+
+
+def uniform():
+    return Histogram([Bucket(0, 100, 1000, 100)])
+
+
+def make_sit(attribute, expression=frozenset(), diff=0.0):
+    return SIT(attribute, frozenset(expression), uniform(), diff=diff)
+
+
+class TestEnumerateMatches:
+    def candidates(self, pool, p, q):
+        matcher = ViewMatcher(pool)
+        return matcher.candidates_for_factor(Factor(frozenset(p), frozenset(q)))
+
+    def test_single_candidate_single_match(self):
+        pool = SITPool([make_sit(RA)])
+        candidates = self.candidates(pool, {FILTER}, set())
+        matches = list(enumerate_matches(candidates))
+        assert len(matches) == 1
+
+    def test_cartesian_expansion(self):
+        pool = SITPool(
+            [
+                make_sit(RA, {JOIN}, diff=0.2),
+                make_sit(RA, {J2}, diff=0.4),
+            ]
+        )
+        candidates = self.candidates(pool, {FILTER}, {JOIN, J2})
+        matches = list(enumerate_matches(candidates))
+        assert len(matches) == 2
+
+    def test_cap_degrades_to_first_candidates(self):
+        sits = [make_sit(RA, {JOIN}, diff=0.1), make_sit(RA, {J2}, diff=0.2)]
+        pool = SITPool(sits)
+        candidates = self.candidates(pool, {FILTER}, {JOIN, J2})
+        matches = list(enumerate_matches(candidates, limit=1))
+        assert len(matches) == 1
+
+    def test_matches_share_factor(self):
+        pool = SITPool([make_sit(RA)])
+        candidates = self.candidates(pool, {FILTER}, set())
+        for match in enumerate_matches(candidates):
+            assert match.factor.p == frozenset({FILTER})
+
+
+class TestCallCounting:
+    def test_factor_cache_still_counts(self):
+        pool = SITPool([make_sit(RA)])
+        matcher = ViewMatcher(pool)
+        factor = Factor(frozenset({FILTER}), frozenset())
+        matcher.candidates_for_factor(factor)
+        matcher.candidates_for_factor(factor)
+        assert matcher.calls == 2
+
+    def test_reset_counter_preserves_cache(self):
+        pool = SITPool([make_sit(RA)])
+        matcher = ViewMatcher(pool)
+        factor = Factor(frozenset({FILTER}), frozenset())
+        first = matcher.candidates_for_factor(factor)
+        matcher.reset_counter()
+        assert matcher.calls == 0
+        assert matcher.candidates_for_factor(factor) is first
+
+
+class TestAttributeMatchFields:
+    def test_assumed_is_conditioning_minus_expression(self):
+        partial = make_sit(RA, {JOIN})
+        pool = SITPool([make_sit(RA), partial])
+        matcher = ViewMatcher(pool)
+        candidates = matcher.candidates_for_factor(
+            Factor(frozenset({FILTER}), frozenset({JOIN, J2}))
+        )
+        match = select_match(candidates, NIndError())
+        (am,) = match.attribute_matches
+        assert am.sit == partial
+        assert am.conditioning == frozenset({JOIN, J2})
+        assert am.assumed == frozenset({J2})
+
+    def test_sit_for_lookup(self):
+        pool = SITPool([make_sit(RA)])
+        matcher = ViewMatcher(pool)
+        candidates = matcher.candidates_for_factor(
+            Factor(frozenset({FILTER}), frozenset())
+        )
+        match = select_match(candidates, NIndError())
+        assert match.sit_for(RA).attribute == RA
+        with pytest.raises(KeyError):
+            match.sit_for(SY)

@@ -1,0 +1,83 @@
+"""Tests for the symbolic Factor/Decomposition objects."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.core.selectivity import EMPTY_DECOMPOSITION, Decomposition, Factor
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+
+JOIN = JoinPredicate(RX, SY)
+FILTER = FilterPredicate(RA, 0, 10)
+OTHER = FilterPredicate(Attribute("T", "c"), 5, 5)
+
+
+class TestFactor:
+    def test_tables_inferred(self):
+        factor = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        assert factor.tables == frozenset(("R", "S"))
+
+    def test_extra_tables_kept(self):
+        factor = Factor(
+            frozenset({FILTER}), frozenset(), tables=frozenset(("R", "Z"))
+        )
+        assert "Z" in factor.tables
+
+    def test_overlapping_p_q_rejected(self):
+        with pytest.raises(ValueError):
+            Factor(frozenset({FILTER}), frozenset({FILTER}))
+
+    def test_empty_p_rejected(self):
+        with pytest.raises(ValueError):
+            Factor(frozenset(), frozenset({JOIN}))
+
+    def test_conditioned_flag(self):
+        assert Factor(frozenset({FILTER}), frozenset({JOIN})).conditioned
+        assert not Factor(frozenset({FILTER}), frozenset()).conditioned
+
+    def test_predicates_union(self):
+        factor = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        assert factor.predicates == frozenset({FILTER, JOIN})
+
+    def test_string_forms(self):
+        unconditioned = Factor(frozenset({FILTER}), frozenset())
+        assert str(unconditioned) == "Sel(0<=R.a<=10)"
+        conditioned = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        assert "|" in str(conditioned)
+
+    def test_hashable(self):
+        first = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        second = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        assert first == second
+        assert {first} == {second}
+
+
+class TestDecomposition:
+    def test_empty(self):
+        assert len(EMPTY_DECOMPOSITION) == 0
+        assert str(EMPTY_DECOMPOSITION) == "1"
+        assert EMPTY_DECOMPOSITION.predicates == frozenset()
+
+    def test_extended_prepends(self):
+        tail = Decomposition((Factor(frozenset({JOIN}), frozenset()),))
+        head = Factor(frozenset({FILTER}), frozenset({JOIN}))
+        combined = tail.extended(head)
+        assert combined.factors[0] == head
+        assert len(combined) == 2
+
+    def test_merged(self):
+        first = Decomposition((Factor(frozenset({FILTER}), frozenset()),))
+        second = Decomposition((Factor(frozenset({OTHER}), frozenset()),))
+        merged = first.merged(second)
+        assert merged.predicates == frozenset({FILTER, OTHER})
+
+    def test_string_joins_factors(self):
+        decomposition = Decomposition(
+            (
+                Factor(frozenset({FILTER}), frozenset({JOIN})),
+                Factor(frozenset({JOIN}), frozenset()),
+            )
+        )
+        assert " * " in str(decomposition)

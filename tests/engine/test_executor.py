@@ -1,0 +1,208 @@
+"""Unit tests for the vectorized SPJ executor (ground truth engine)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.database import Database, Table
+from repro.engine.executor import Executor, equi_join_pairs
+from repro.engine.schema import Schema, TableSchema
+
+
+class TestEquiJoinPairs:
+    def test_simple_match(self):
+        left = np.array([1.0, 2.0, 3.0])
+        right = np.array([2.0, 2.0, 4.0])
+        li, ri = equi_join_pairs(left, right)
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (1, 1)]
+
+    def test_no_matches(self):
+        li, ri = equi_join_pairs(np.array([1.0]), np.array([2.0]))
+        assert li.size == 0 and ri.size == 0
+
+    def test_nan_never_matches(self):
+        left = np.array([np.nan, 1.0])
+        right = np.array([np.nan, 1.0])
+        li, ri = equi_join_pairs(left, right)
+        assert list(zip(li.tolist(), ri.tolist())) == [(1, 1)]
+
+    def test_empty_inputs(self):
+        li, ri = equi_join_pairs(np.array([]), np.array([1.0]))
+        assert li.size == 0
+
+    def test_cross_match_counts(self):
+        left = np.full(3, 7.0)
+        right = np.full(4, 7.0)
+        li, ri = equi_join_pairs(left, right)
+        assert li.size == 12
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        left = rng.integers(0, 10, 40).astype(float)
+        right = rng.integers(0, 10, 30).astype(float)
+        li, ri = equi_join_pairs(left, right)
+        expected = {
+            (i, j)
+            for i in range(40)
+            for j in range(30)
+            if left[i] == right[j]
+        }
+        assert set(zip(li.tolist(), ri.tolist())) == expected
+
+
+@pytest.fixture(scope="module")
+def simple_db() -> Database:
+    schema = Schema()
+    schema.add_table(TableSchema("R", ("x", "a")))
+    schema.add_table(TableSchema("S", ("y", "b")))
+    schema.add_table(TableSchema("T", ("z",)))
+    db = Database(schema)
+    db.add_table(
+        Table(
+            schema.table("R"),
+            {
+                "x": np.array([0.0, 0.0, 1.0, 2.0, np.nan]),
+                "a": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            },
+        )
+    )
+    db.add_table(
+        Table(
+            schema.table("S"),
+            {
+                "y": np.array([0.0, 1.0, 1.0, 3.0]),
+                "b": np.array([1.0, 2.0, 3.0, 4.0]),
+            },
+        )
+    )
+    db.add_table(Table(schema.table("T"), {"z": np.array([5.0, 6.0])}))
+    return db
+
+
+RX = Attribute("R", "x")
+RA = Attribute("R", "a")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+TZ = Attribute("T", "z")
+
+
+class TestCardinality:
+    def test_empty_predicates(self, simple_db):
+        executor = Executor(simple_db)
+        assert executor.cardinality(frozenset()) == 1
+        assert (
+            executor.cardinality(frozenset(), frozenset(("R",))) == 5
+        )
+
+    def test_single_filter(self, simple_db):
+        executor = Executor(simple_db)
+        predicate = FilterPredicate(RA, 15, 45)
+        assert executor.cardinality(frozenset((predicate,))) == 3
+
+    def test_filter_excludes_nan(self, simple_db):
+        executor = Executor(simple_db)
+        predicate = FilterPredicate(RX, -math.inf, math.inf)
+        assert executor.cardinality(frozenset((predicate,))) == 4
+
+    def test_join_cardinality(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        # x values 0,0 match y=0 (one row) -> 2 pairs; x=1 matches y=1,1 -> 2
+        assert executor.cardinality(frozenset((join,))) == 4
+
+    def test_join_plus_filters(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        filt = FilterPredicate(SB, 2, 3)
+        assert executor.cardinality(frozenset((join, filt))) == 2
+
+    def test_cross_component_multiplies(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        filt = FilterPredicate(TZ, 5, 5)
+        assert executor.cardinality(frozenset((join, filt))) == 4 * 1
+
+    def test_unreferenced_tables_multiply(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        count = executor.cardinality(
+            frozenset((join,)), frozenset(("R", "S", "T"))
+        )
+        assert count == 4 * 2
+
+    def test_table_mismatch_raises(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        with pytest.raises(ValueError):
+            executor.cardinality(frozenset((join,)), frozenset(("R",)))
+
+    def test_memoization(self, simple_db):
+        executor = Executor(simple_db)
+        join = frozenset((JoinPredicate(RX, SY),))
+        executor.cardinality(join)
+        misses = executor.cache_misses
+        executor.cardinality(join)
+        assert executor.cache_misses == misses
+
+
+class TestSelectivity:
+    def test_definition_1(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        selectivity = executor.selectivity(frozenset((join,)))
+        assert selectivity == pytest.approx(4 / (5 * 4))
+
+    def test_empty_predicates_are_one(self, simple_db):
+        assert Executor(simple_db).selectivity(frozenset()) == 1.0
+
+    def test_conditional_matches_ratio(self, simple_db):
+        executor = Executor(simple_db)
+        join = frozenset((JoinPredicate(RX, SY),))
+        filt = frozenset((FilterPredicate(SB, 2, 3),))
+        conditional = executor.conditional_selectivity(filt, join)
+        assert conditional == pytest.approx(2 / 4)
+
+    def test_conditional_on_empty_relation(self, simple_db):
+        executor = Executor(simple_db)
+        impossible = frozenset((FilterPredicate(RA, 1000, 2000),))
+        anything = frozenset((FilterPredicate(RX, 0, 0),))
+        assert executor.conditional_selectivity(anything, impossible) == 1.0
+
+    def test_atomic_decomposition_property_holds_exactly(self, simple_db):
+        """Property 1: Sel(P,Q) = Sel(P|Q) * Sel(Q), with no assumptions."""
+        executor = Executor(simple_db)
+        p = frozenset((FilterPredicate(SB, 2, 3),))
+        q = frozenset((JoinPredicate(RX, SY),))
+        left = executor.selectivity(p | q)
+        right = executor.conditional_selectivity(p, q) * executor.selectivity(q)
+        assert left == pytest.approx(right)
+
+
+class TestExecute:
+    def test_join_result_columns(self, simple_db):
+        executor = Executor(simple_db)
+        join = JoinPredicate(RX, SY)
+        result = executor.execute(frozenset((join,)))
+        assert result.row_count == 4
+        values = sorted(result.column(RA).tolist())
+        assert values == [10.0, 20.0, 30.0, 30.0]
+
+    def test_cross_component_execution(self, simple_db):
+        executor = Executor(simple_db)
+        predicates = frozenset(
+            (FilterPredicate(RA, 10, 20), FilterPredicate(TZ, 5, 6))
+        )
+        result = executor.execute(predicates)
+        assert result.row_count == 4  # 2 R rows x 2 T rows
+
+    def test_three_way_join_chain(self, simple_db):
+        schema = simple_db.schema
+        executor = Executor(simple_db)
+        # R.x = S.y and S.b = T.z has no matches (b in 1..4, z in 5..6)
+        predicates = frozenset(
+            (JoinPredicate(RX, SY), JoinPredicate(SB, TZ))
+        )
+        assert executor.cardinality(predicates) == 0

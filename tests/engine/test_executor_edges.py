@@ -1,0 +1,112 @@
+"""Additional executor edge cases: cross products, empty results,
+materialization consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.database import Database, Table
+from repro.engine.executor import Executor
+from repro.engine.schema import Schema, TableSchema
+
+
+@pytest.fixture(scope="module")
+def db():
+    schema = Schema()
+    schema.add_table(TableSchema("A", ("k", "v")))
+    schema.add_table(TableSchema("B", ("k", "w")))
+    schema.add_table(TableSchema("C", ("u",)))
+    database = Database(schema)
+    database.add_table(
+        Table(
+            schema.table("A"),
+            {"k": np.array([1.0, 2.0, 2.0]), "v": np.array([10.0, 20.0, 30.0])},
+        )
+    )
+    database.add_table(
+        Table(
+            schema.table("B"),
+            {"k": np.array([2.0, 3.0]), "w": np.array([5.0, 6.0])},
+        )
+    )
+    database.add_table(Table(schema.table("C"), {"u": np.array([7.0, 8.0, 9.0])}))
+    return database
+
+
+AK = Attribute("A", "k")
+AV = Attribute("A", "v")
+BK = Attribute("B", "k")
+CU = Attribute("C", "u")
+
+
+class TestCrossProducts:
+    def test_execute_cross_component_row_count(self, db):
+        executor = Executor(db)
+        predicates = frozenset(
+            (FilterPredicate(AV, 15, 35), FilterPredicate(CU, 7, 8))
+        )
+        result = executor.execute(predicates)
+        assert result.row_count == 2 * 2
+        # Every (A-row, C-row) combination appears exactly once.
+        pairs = set(
+            zip(result.indices["A"].tolist(), result.indices["C"].tolist())
+        )
+        assert len(pairs) == 4
+
+    def test_cross_component_column_values(self, db):
+        executor = Executor(db)
+        predicates = frozenset(
+            (FilterPredicate(AV, 15, 35), FilterPredicate(CU, 7, 8))
+        )
+        result = executor.execute(predicates)
+        values = sorted(result.column(CU).tolist())
+        assert values == [7.0, 7.0, 8.0, 8.0]
+
+
+class TestEmptyResults:
+    def test_empty_filter_zero_everywhere(self, db):
+        executor = Executor(db)
+        impossible = frozenset((FilterPredicate(AV, 1000, 2000),))
+        assert executor.cardinality(impossible) == 0
+        assert executor.selectivity(impossible) == 0.0
+        assert executor.execute(impossible).row_count == 0
+
+    def test_empty_join_short_circuits(self, db):
+        executor = Executor(db)
+        predicates = frozenset(
+            (
+                JoinPredicate(AK, BK),
+                FilterPredicate(AV, 1000, 2000),
+                FilterPredicate(CU, 7, 9),
+            )
+        )
+        assert executor.cardinality(predicates) == 0
+
+
+class TestConsistency:
+    def test_execute_row_count_matches_cardinality(self, db):
+        executor = Executor(db)
+        cases = [
+            frozenset((JoinPredicate(AK, BK),)),
+            frozenset((JoinPredicate(AK, BK), FilterPredicate(AV, 15, 35))),
+            frozenset((FilterPredicate(AV, 0, 100), FilterPredicate(CU, 8, 9))),
+        ]
+        for predicates in cases:
+            assert (
+                executor.execute(predicates).row_count
+                == executor.cardinality(predicates)
+            )
+
+    def test_execute_rejects_foreign_tables(self, db):
+        executor = Executor(db)
+        with pytest.raises(ValueError):
+            executor.execute(
+                frozenset((JoinPredicate(AK, BK),)), tables=frozenset(("A",))
+            )
+
+    def test_selectivity_with_extra_tables_scales_denominator(self, db):
+        executor = Executor(db)
+        join = frozenset((JoinPredicate(AK, BK),))
+        base = executor.selectivity(join)
+        widened = executor.selectivity(join, frozenset(("A", "B", "C")))
+        assert widened == pytest.approx(base)  # |C| cancels exactly

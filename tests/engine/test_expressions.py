@@ -1,0 +1,55 @@
+"""Tests for the canonical SPJ query representation."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.expressions import Query
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+
+JOIN = JoinPredicate(RX, SY)
+FILTER = FilterPredicate(RA, 0, 10)
+
+
+class TestQuery:
+    def test_tables_derived_from_predicates(self):
+        query = Query.of(JOIN, FILTER)
+        assert query.tables == frozenset(("R", "S"))
+
+    def test_extra_tables_preserved(self):
+        query = Query(frozenset({FILTER}), tables=frozenset(("R", "T")))
+        assert query.tables == frozenset(("R", "T"))
+
+    def test_join_filter_partitions(self):
+        query = Query.of(JOIN, FILTER)
+        assert query.joins == frozenset({JOIN})
+        assert query.filters == frozenset({FILTER})
+        assert query.join_count == 1
+        assert query.filter_count == 1
+
+    def test_subquery(self):
+        query = Query.of(JOIN, FILTER)
+        sub = query.subquery(frozenset({FILTER}))
+        assert sub.predicates == frozenset({FILTER})
+        assert sub.tables == frozenset(("R",))
+
+    def test_subquery_must_be_subset(self):
+        query = Query.of(FILTER)
+        with pytest.raises(ValueError):
+            query.subquery(frozenset({JOIN}))
+
+    def test_string_form_is_deterministic(self):
+        first = Query.of(JOIN, FILTER)
+        second = Query.of(FILTER, JOIN)
+        assert str(first) == str(second)
+
+    def test_equality_and_hash(self):
+        assert Query.of(JOIN, FILTER) == Query.of(FILTER, JOIN)
+        assert hash(Query.of(JOIN)) == hash(Query.of(JOIN))
+
+    def test_empty_query(self):
+        query = Query(frozenset())
+        assert query.join_count == 0
+        assert query.tables == frozenset()

@@ -1,0 +1,110 @@
+"""Tests for schema objects and the database catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute
+from repro.engine.database import Database, Table
+from repro.engine.schema import ForeignKey, Schema, TableSchema
+
+
+class TestTableSchema:
+    def test_attributes(self):
+        table = TableSchema("R", ("a", "b"), primary_key="a")
+        assert table.attribute("a") == Attribute("R", "a")
+        assert table.attributes == (Attribute("R", "a"), Attribute("R", "b"))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("R", ("a", "a"))
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("R", ("a",), primary_key="z")
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(KeyError):
+            TableSchema("R", ("a",)).attribute("b")
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        schema.add_table(TableSchema("R", ("a",)))
+        with pytest.raises(ValueError):
+            schema.add_table(TableSchema("R", ("b",)))
+
+    def test_foreign_key_validation(self):
+        schema = Schema()
+        schema.add_table(TableSchema("R", ("x",)))
+        schema.add_table(TableSchema("S", ("y",)))
+        schema.add_foreign_key(ForeignKey("R", "x", "S", "y"))
+        assert schema.join_edges() == [(Attribute("R", "x"), Attribute("S", "y"))]
+        with pytest.raises(ValueError):
+            schema.add_foreign_key(ForeignKey("R", "z", "S", "y"))
+        with pytest.raises(ValueError):
+            schema.add_foreign_key(ForeignKey("R", "x", "Q", "y"))
+
+    def test_unknown_table_lookup(self):
+        with pytest.raises(KeyError):
+            Schema().table("missing")
+
+
+class TestTable:
+    def schema(self):
+        return TableSchema("R", ("a", "b"))
+
+    def test_column_mismatch(self):
+        with pytest.raises(ValueError):
+            Table(self.schema(), {"a": np.array([1.0])})
+
+    def test_ragged_columns(self):
+        with pytest.raises(ValueError):
+            Table(
+                self.schema(),
+                {"a": np.array([1.0]), "b": np.array([1.0, 2.0])},
+            )
+
+    def test_normalizes_to_float(self):
+        table = Table(
+            self.schema(),
+            {"a": np.array([1, 2]), "b": np.array([3, 4])},
+        )
+        assert table.column("a").dtype == np.float64
+        assert len(table) == 2
+
+    def test_unknown_column(self):
+        table = Table(
+            self.schema(), {"a": np.array([1.0]), "b": np.array([2.0])}
+        )
+        with pytest.raises(KeyError):
+            table.column("z")
+
+
+class TestDatabase:
+    def make(self) -> Database:
+        schema = Schema()
+        schema.add_table(TableSchema("R", ("a",)))
+        schema.add_table(TableSchema("S", ("b",)))
+        db = Database(schema)
+        db.add_table(Table(schema.table("R"), {"a": np.arange(10.0)}))
+        db.add_table(Table(schema.table("S"), {"b": np.arange(5.0)}))
+        return db
+
+    def test_catalog_lookups(self):
+        db = self.make()
+        assert db.row_count("R") == 10
+        assert db.cross_product_size(("R", "S")) == 50
+        assert db.table_names == frozenset(("R", "S"))
+
+    def test_column_by_attribute(self):
+        db = self.make()
+        assert db.column(Attribute("S", "b")).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unknown_table_rejected(self):
+        db = self.make()
+        orphan = TableSchema("Z", ("q",))
+        with pytest.raises(ValueError):
+            db.add_table(Table(orphan, {"q": np.array([1.0])}))
+        with pytest.raises(KeyError):
+            db.table("Z")

@@ -1,0 +1,72 @@
+"""Tests for the equi-depth and equi-width bucketing schemes."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.equidepth import build_equidepth
+from repro.histograms.equiwidth import build_equiwidth
+from repro.histograms.maxdiff import build_maxdiff
+
+BUILDERS = [build_equidepth, build_equiwidth, build_maxdiff]
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+class TestCommonBuilderContract:
+    def test_mass_conserved(self, builder):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2000, 10000).astype(float)
+        values[:250] = np.nan
+        histogram = builder(values, 64)
+        assert histogram.frequency == pytest.approx(9750)
+        assert histogram.null_count == 250
+
+    def test_bucket_budget(self, builder):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 5000, 20000).astype(float)
+        assert builder(values, 32).bucket_count <= 32
+
+    def test_domain_bounds(self, builder):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(-100, 100, 3000)
+        histogram = builder(values, 50)
+        assert histogram.low == pytest.approx(values.min())
+        assert histogram.high == pytest.approx(values.max())
+
+    def test_small_domain_exact(self, builder):
+        values = np.array([1.0, 1.0, 2.0, 5.0])
+        histogram = builder(values, 16)
+        assert histogram.estimate_equality_count(1.0) == pytest.approx(2)
+
+    def test_empty(self, builder):
+        assert builder(np.array([]), 8).is_empty()
+
+    def test_invalid_budget(self, builder):
+        with pytest.raises(ValueError):
+            builder(np.array([1.0]), 0)
+
+    def test_uniform_range_estimate(self, builder):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 1000, 30000)
+        histogram = builder(values, 100)
+        true = ((values >= 250) & (values <= 500)).sum()
+        assert histogram.estimate_range_count(250, 500) == pytest.approx(
+            true, rel=0.08
+        )
+
+
+class TestEquiDepthSpecific:
+    def test_bucket_masses_balanced(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 1, 50000)
+        histogram = build_equidepth(values, 20)
+        masses = [b.frequency for b in histogram.buckets]
+        assert max(masses) < 3 * min(masses)
+
+
+class TestEquiWidthSpecific:
+    def test_bucket_widths_balanced(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0, 1000, 50000)
+        histogram = build_equiwidth(values, 20)
+        widths = [b.width for b in histogram.buckets]
+        assert max(widths) < 2.5 * (min(w for w in widths if w > 0) + 1e-9)

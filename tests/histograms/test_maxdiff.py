@@ -1,0 +1,87 @@
+"""Unit tests for MaxDiff(V,A) construction."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.maxdiff import build_maxdiff
+
+
+class TestBuildMaxDiff:
+    def test_few_distinct_values_get_singleton_buckets(self):
+        values = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        histogram = build_maxdiff(values, max_buckets=10)
+        assert histogram.bucket_count == 3
+        assert [b.frequency for b in histogram.buckets] == [2, 1, 3]
+        assert all(b.low == b.high for b in histogram.buckets)
+
+    def test_bucket_budget_respected(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, 5000).astype(float)
+        histogram = build_maxdiff(values, max_buckets=20)
+        assert histogram.bucket_count <= 20
+
+    def test_mass_conservation(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 500, 3000).astype(float)
+        values[:100] = np.nan
+        histogram = build_maxdiff(values, max_buckets=50)
+        assert histogram.frequency == pytest.approx(2900)
+        assert histogram.null_count == 100
+        assert histogram.total == 3000
+
+    def test_spike_isolated(self):
+        # One value with 90% of the mass: MaxDiff must isolate it so
+        # equality estimates on the spike are near-exact.
+        values = np.concatenate(
+            [np.full(9000, 42.0), np.arange(1000, dtype=float)]
+        )
+        histogram = build_maxdiff(values, max_buckets=10)
+        estimate = histogram.estimate_equality_count(42.0)
+        assert estimate == pytest.approx(9000, rel=0.15)
+
+    def test_domain_covered(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 100, 4000)
+        histogram = build_maxdiff(values, max_buckets=30)
+        assert histogram.low == pytest.approx(values.min())
+        assert histogram.high == pytest.approx(values.max())
+
+    def test_uniform_data_range_accuracy(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 1000, 20000)
+        histogram = build_maxdiff(values, max_buckets=100)
+        true = ((values >= 100) & (values <= 300)).sum()
+        estimate = histogram.estimate_range_count(100, 300)
+        assert estimate == pytest.approx(true, rel=0.05)
+
+    def test_empty_and_all_null(self):
+        assert build_maxdiff(np.array([])).is_empty()
+        histogram = build_maxdiff(np.array([np.nan, np.nan]))
+        assert histogram.is_empty()
+        assert histogram.null_count == 2
+
+    def test_single_bucket_allowed(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 100, 1000).astype(float)
+        histogram = build_maxdiff(values, max_buckets=1)
+        assert histogram.bucket_count == 1
+        assert histogram.frequency == 1000
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            build_maxdiff(np.array([1.0]), max_buckets=0)
+
+    def test_zipfian_accuracy_beats_tail(self):
+        # The frequent head values should be estimated much better than a
+        # uniform split would manage.
+        rng = np.random.default_rng(6)
+        ranks = np.arange(1, 2001)
+        weights = 1.0 / ranks**1.3
+        weights /= weights.sum()
+        values = rng.choice(2000, size=50000, p=weights).astype(float)
+        histogram = build_maxdiff(values, max_buckets=200)
+        top = float(np.bincount(values.astype(int)).argmax())
+        true = (values == top).sum()
+        assert histogram.estimate_equality_count(top) == pytest.approx(
+            true, rel=0.25
+        )

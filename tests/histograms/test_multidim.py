@@ -1,0 +1,109 @@
+"""Tests for the 2-D grid histogram, including the empirical validation of
+the paper's Assumption 1 (minimality of histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.equiwidth import build_equiwidth
+from repro.histograms.multidim import GridHistogram2D, build_grid2d
+
+
+class TestGrid2DBasics:
+    def test_mass_accounting_with_nulls(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0])
+        y = np.array([1.0, np.nan, 3.0, 4.0])
+        grid = build_grid2d(x, y, cells_per_axis=2)
+        assert grid.total == 4.0
+        assert grid.frequency == 2.0  # rows 0 and 3
+
+    def test_full_box_recovers_everything(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, 5000)
+        y = rng.uniform(0, 10, 5000)
+        grid = build_grid2d(x, y, cells_per_axis=8)
+        assert grid.estimate_box_count(0, 10, 0, 10) == pytest.approx(5000)
+
+    def test_uniform_quadrant(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, 50000)
+        y = rng.uniform(0, 10, 50000)
+        grid = build_grid2d(x, y, cells_per_axis=10)
+        assert grid.estimate_box_selectivity(0, 5, 0, 5) == pytest.approx(
+            0.25, abs=0.01
+        )
+
+    def test_empty_box(self):
+        grid = build_grid2d(np.array([1.0]), np.array([1.0]), 2)
+        assert grid.estimate_box_count(5, 4, 0, 1) == 0.0
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            build_grid2d(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            build_grid2d(np.array([1.0]), np.array([1.0]), 0)
+
+    def test_degenerate_domain(self):
+        grid = build_grid2d(np.full(10, 3.0), np.full(10, 7.0), 4)
+        assert grid.estimate_box_count(3, 3, 7, 7) > 0
+
+
+class TestAssumption1:
+    """Assumption 1: for a separable (independent) pair of predicates, two
+    1-D histograms with the same combined space are at least as accurate
+    as one 2-D histogram — and capture correlated pairs worse, which is
+    exactly why separability is the boundary of the assumption."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.n = 60_000
+        # independent pair
+        self.x_ind = np.round(rng.uniform(0, 1000, self.n))
+        self.y_ind = np.round(rng.normal(500, 150, self.n))
+        # strongly correlated pair
+        self.x_cor = np.round(rng.uniform(0, 1000, self.n))
+        self.y_cor = np.round(self.x_cor + rng.normal(0, 20, self.n))
+
+    @staticmethod
+    def one_d_estimate(x, y, box, buckets):
+        hx = build_equiwidth(x, buckets)
+        hy = build_equiwidth(y, buckets)
+        return (
+            hx.estimate_range_selectivity(box[0], box[1])
+            * hy.estimate_range_selectivity(box[2], box[3])
+        )
+
+    @staticmethod
+    def truth(x, y, box):
+        mask = (x >= box[0]) & (x <= box[1]) & (y >= box[2]) & (y <= box[3])
+        return mask.mean()
+
+    def boxes(self):
+        return [
+            (100, 300, 400, 600),
+            (0, 500, 0, 500),
+            (700, 900, 300, 800),
+            (250, 260, 240, 280),
+        ]
+
+    def test_independent_pair_one_d_is_as_accurate(self):
+        # Space parity: two 98-bucket 1-D histograms vs a 14x14 grid.
+        grid = build_grid2d(self.x_ind, self.y_ind, cells_per_axis=14)
+        one_d_errors = []
+        two_d_errors = []
+        for box in self.boxes():
+            true = self.truth(self.x_ind, self.y_ind, box)
+            one_d = self.one_d_estimate(self.x_ind, self.y_ind, box, 98)
+            two_d = grid.estimate_box_selectivity(*box)
+            one_d_errors.append(abs(one_d - true))
+            two_d_errors.append(abs(two_d - true))
+        assert sum(one_d_errors) <= sum(two_d_errors) + 1e-3
+
+    def test_correlated_pair_needs_the_joint_distribution(self):
+        grid = build_grid2d(self.x_cor, self.y_cor, cells_per_axis=14)
+        box = (100, 300, 100, 300)  # on the diagonal: strong interaction
+        true = self.truth(self.x_cor, self.y_cor, box)
+        one_d = self.one_d_estimate(self.x_cor, self.y_cor, box, 98)
+        two_d = grid.estimate_box_selectivity(*box)
+        assert abs(two_d - true) < abs(one_d - true) / 2

@@ -1,0 +1,156 @@
+"""Unit tests for histogram join, variation distance and compaction."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import equi_join_pairs
+from repro.histograms.base import Bucket, Histogram
+from repro.histograms.maxdiff import build_maxdiff
+from repro.histograms.operations import (
+    compact,
+    join_histograms,
+    variation_distance,
+)
+
+
+def exact_join_size(left: np.ndarray, right: np.ndarray) -> int:
+    li, _ = equi_join_pairs(left, right)
+    return li.size
+
+
+class TestJoinHistograms:
+    def test_point_vs_point(self):
+        left = Histogram([Bucket(1, 1, 5, 1), Bucket(2, 2, 3, 1)])
+        right = Histogram([Bucket(2, 2, 4, 1), Bucket(3, 3, 7, 1)])
+        result = join_histograms(left, right)
+        assert result.pair_count == pytest.approx(12)  # 3 * 4 at value 2
+        assert result.selectivity == pytest.approx(12 / (8 * 11))
+
+    def test_key_foreign_key_join_exact_under_uniformity(self):
+        # Dimension: keys 0..9 (point buckets); fact: uniform fk.
+        rng = np.random.default_rng(0)
+        fact = rng.integers(0, 10, 1000).astype(float)
+        dim = np.arange(10, dtype=float)
+        h_fact = build_maxdiff(fact, 200)
+        h_dim = build_maxdiff(dim, 200)
+        result = join_histograms(h_fact, h_dim)
+        true = exact_join_size(fact, dim)
+        assert result.pair_count == pytest.approx(true, rel=1e-9)
+
+    def test_skewed_fk_join_accuracy(self):
+        rng = np.random.default_rng(1)
+        weights = 1.0 / np.arange(1, 101) ** 1.2
+        weights /= weights.sum()
+        fact = rng.choice(100, size=20000, p=weights).astype(float)
+        dim = np.arange(100, dtype=float)
+        result = join_histograms(build_maxdiff(fact, 200), build_maxdiff(dim, 200))
+        true = exact_join_size(fact, dim)
+        assert result.pair_count == pytest.approx(true, rel=0.01)
+
+    def test_nulls_reduce_selectivity_but_not_pairs(self):
+        fact = np.array([0.0, 0.0, 1.0, np.nan, np.nan])
+        dim = np.array([0.0, 1.0])
+        result = join_histograms(build_maxdiff(fact, 10), build_maxdiff(dim, 10))
+        assert result.pair_count == pytest.approx(3)
+        # Denominator counts the NULL tuples.
+        assert result.selectivity == pytest.approx(3 / (5 * 2))
+
+    def test_disjoint_domains(self):
+        left = build_maxdiff(np.array([1.0, 2.0]), 10)
+        right = build_maxdiff(np.array([5.0, 6.0]), 10)
+        result = join_histograms(left, right)
+        assert result.pair_count == 0.0
+        assert result.histogram.is_empty()
+
+    def test_empty_input(self):
+        left = Histogram([])
+        right = build_maxdiff(np.array([1.0]), 10)
+        assert join_histograms(left, right).selectivity == 0.0
+
+    def test_derived_histogram_models_join_distribution(self):
+        """Example 3: the joined histogram estimates post-join filters."""
+        rng = np.random.default_rng(2)
+        weights = 1.0 / np.arange(1, 51) ** 1.5
+        weights /= weights.sum()
+        fact = rng.choice(50, size=10000, p=weights).astype(float)
+        dim = np.arange(50, dtype=float)
+        result = join_histograms(build_maxdiff(fact, 200), build_maxdiff(dim, 200))
+        joined = result.histogram
+        # Post-join, key distribution equals fact's distribution (dim keys
+        # are unique); check a range over the hot head.
+        li, _ = equi_join_pairs(fact, dim)
+        matched = fact[li]
+        true = ((matched >= 0) & (matched <= 5)).sum()
+        estimate = joined.estimate_range_count(0, 5)
+        assert estimate == pytest.approx(true, rel=0.05)
+
+    def test_wide_bucket_vs_wide_bucket(self):
+        rng = np.random.default_rng(3)
+        left_values = rng.integers(0, 1000, 30000).astype(float)
+        right_values = rng.integers(0, 1000, 5000).astype(float)
+        result = join_histograms(
+            build_maxdiff(left_values, 50), build_maxdiff(right_values, 37)
+        )
+        true = exact_join_size(left_values, right_values)
+        assert result.pair_count == pytest.approx(true, rel=0.1)
+
+    def test_max_buckets_compaction(self):
+        rng = np.random.default_rng(4)
+        left = build_maxdiff(rng.integers(0, 5000, 20000).astype(float), 200)
+        right = build_maxdiff(rng.integers(0, 5000, 20000).astype(float), 200)
+        result = join_histograms(left, right, max_buckets=100)
+        assert result.histogram.bucket_count <= 100
+
+
+class TestVariationDistance:
+    def test_identical_distributions(self):
+        histogram = build_maxdiff(np.arange(100, dtype=float), 50)
+        assert variation_distance(histogram, histogram) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        left = build_maxdiff(np.array([1.0, 2.0]), 10)
+        right = build_maxdiff(np.array([10.0, 11.0]), 10)
+        assert variation_distance(left, right) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(5)
+        left = build_maxdiff(rng.normal(0, 1, 1000), 30)
+        right = build_maxdiff(rng.normal(0.5, 1, 1000), 30)
+        assert variation_distance(left, right) == pytest.approx(
+            variation_distance(right, left)
+        )
+
+    def test_range(self):
+        rng = np.random.default_rng(6)
+        left = build_maxdiff(rng.integers(0, 50, 500).astype(float), 20)
+        right = build_maxdiff(rng.integers(25, 75, 500).astype(float), 20)
+        distance = variation_distance(left, right)
+        assert 0.0 < distance < 1.0
+
+    def test_empty_cases(self):
+        empty = Histogram([])
+        other = build_maxdiff(np.array([1.0]), 10)
+        assert variation_distance(empty, empty) == 0.0
+        assert variation_distance(empty, other) == 1.0
+
+
+class TestCompact:
+    def test_reduces_bucket_count(self):
+        buckets = [Bucket(float(i), float(i), 1.0, 1.0) for i in range(100)]
+        histogram = Histogram(buckets)
+        compacted = compact(histogram, 10)
+        assert compacted.bucket_count <= 10
+        assert compacted.frequency == pytest.approx(100)
+
+    def test_preserves_nulls(self):
+        buckets = [Bucket(float(i), float(i), 1.0, 1.0) for i in range(10)]
+        histogram = Histogram(buckets, null_count=5)
+        assert compact(histogram, 3).null_count == 5
+
+    def test_noop_when_under_budget(self):
+        histogram = Histogram([Bucket(0, 1, 5, 2)])
+        assert compact(histogram, 10).bucket_count == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            compact(Histogram([]), 0)

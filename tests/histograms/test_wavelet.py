@@ -1,0 +1,102 @@
+"""Tests for Haar-wavelet synopses."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.wavelet import (
+    build_wavelet,
+    haar_decompose,
+    haar_reconstruct,
+    threshold_levels,
+)
+
+
+class TestHaarTransform:
+    def test_roundtrip_identity(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 100, 64)
+        levels = haar_decompose(data)
+        np.testing.assert_allclose(haar_reconstruct(levels), data, atol=1e-9)
+
+    def test_level_shapes(self):
+        levels = haar_decompose(np.arange(8.0))
+        assert [len(level) for level in levels] == [1, 1, 2, 4]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            haar_decompose(np.arange(6.0))
+
+    def test_average_preserves_mass(self):
+        data = np.array([1.0, 3.0, 5.0, 7.0])
+        levels = haar_decompose(data)
+        assert levels[0][0] == pytest.approx(data.mean())
+
+    def test_threshold_keeps_top_coefficients(self):
+        data = np.zeros(16)
+        data[3] = 100.0  # one spike -> few large coefficients
+        levels = haar_decompose(data)
+        kept = threshold_levels(levels, 4)
+        reconstructed = haar_reconstruct(kept)
+        assert reconstructed[3] == pytest.approx(100.0, rel=0.5)
+
+    def test_threshold_zero_keeps_only_average(self):
+        data = np.array([2.0, 4.0, 6.0, 8.0])
+        kept = threshold_levels(haar_decompose(data), 0)
+        np.testing.assert_allclose(haar_reconstruct(kept), np.full(4, 5.0))
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_levels(haar_decompose(np.arange(4.0)), -1)
+
+
+class TestBuildWavelet:
+    def test_small_domains_exact(self):
+        values = np.array([1.0, 1.0, 2.0, 5.0])
+        histogram = build_wavelet(values, max_coefficients=16)
+        assert histogram.estimate_equality_count(1.0) == pytest.approx(2)
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 3000, 20000).astype(float)
+        values[:100] = np.nan
+        histogram = build_wavelet(values, max_coefficients=100)
+        assert histogram.frequency == pytest.approx(19900, rel=1e-6)
+        assert histogram.null_count == 100
+
+    def test_uniform_range_accuracy(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 1000, 30000)
+        histogram = build_wavelet(values, max_coefficients=64)
+        true = ((values >= 200) & (values <= 450)).sum()
+        assert histogram.estimate_range_count(200, 450) == pytest.approx(
+            true, rel=0.1
+        )
+
+    def test_spiky_data_benefits_from_coefficients(self):
+        # A distribution with a few hot regions: more coefficients must
+        # not hurt, and should measurably help over the 1-coefficient
+        # (flat) synopsis.
+        rng = np.random.default_rng(3)
+        hot = rng.normal(100, 3, 20000)
+        cold = rng.uniform(0, 1000, 2000)
+        values = np.round(np.concatenate([hot, cold]))
+        flat = build_wavelet(values, max_coefficients=1)
+        rich = build_wavelet(values, max_coefficients=128)
+        true = ((values >= 90) & (values <= 110)).sum()
+        flat_error = abs(flat.estimate_range_count(90, 110) - true)
+        rich_error = abs(rich.estimate_range_count(90, 110) - true)
+        assert rich_error < flat_error / 2
+
+    def test_empty_and_invalid(self):
+        assert build_wavelet(np.array([]), 8).is_empty()
+        with pytest.raises(ValueError):
+            build_wavelet(np.array([1.0]), 0)
+
+    def test_usable_as_sit_builder_scheme(self, two_table_db, two_table_attrs):
+        from repro.stats.builder import SITBuilder
+
+        builder = SITBuilder(
+            two_table_db, histogram_builder=build_wavelet, max_buckets=64
+        )
+        sit = builder.build_base(two_table_attrs["Ra"])
+        assert sit.histogram.frequency == pytest.approx(2000)

@@ -1,0 +1,99 @@
+"""Tests for transformation rules and the exploration fixpoint."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.expressions import Query
+from repro.optimizer.explorer import explore, subplan_predicate_sets
+from repro.optimizer.memo import GroupKey, Operator
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+TZ = Attribute("T", "z")
+SBF = Attribute("S", "bf")
+
+JOIN_RS = JoinPredicate(RX, SY)
+JOIN_ST = JoinPredicate(SB, TZ)
+FILTER_A = FilterPredicate(RA, 0, 10)
+FILTER_S = FilterPredicate(SBF, 5, 20)
+
+
+class TestExplore:
+    def test_fixpoint_reached(self):
+        query = Query.of(JOIN_RS, JOIN_ST, FILTER_A)
+        result = explore(query)
+        # Re-exploring the explored memo must add nothing.
+        before = result.memo.entry_count()
+        second = explore(query)
+        assert second.memo.entry_count() == before
+
+    def test_commutativity_generates_swapped_joins(self):
+        query = Query.of(JOIN_RS)
+        result = explore(query)
+        root_entries = result.memo.groups[result.root].entries
+        joins = [e for e in root_entries if e.operator is Operator.JOIN]
+        inputs = {e.inputs for e in joins}
+        assert len(inputs) >= 2  # (R,S) and (S,R)
+
+    def test_associativity_generates_both_join_orders(self):
+        query = Query.of(JOIN_RS, JOIN_ST)
+        result = explore(query)
+        # Sub-plan S⋈T must exist even though the initial plan was
+        # (R⋈S)⋈T.
+        st_key = GroupKey(frozenset(("S", "T")), frozenset({JOIN_ST}))
+        assert st_key in result.memo
+
+    def test_select_pull_up_creates_filtered_join_group(self):
+        """The paper's Figure 4: the top group acquires a SELECT entry over
+        the join of unfiltered inputs."""
+        query = Query.of(JOIN_RS, FILTER_A)
+        result = explore(query)
+        root_entries = result.memo.groups[result.root].entries
+        operators = {entry.operator for entry in root_entries}
+        assert Operator.SELECT in operators
+        assert Operator.JOIN in operators
+
+    def test_all_groups_are_subsets_of_query(self):
+        query = Query.of(JOIN_RS, JOIN_ST, FILTER_A, FILTER_S)
+        result = explore(query)
+        for key in result.memo.groups:
+            assert key.predicates <= query.predicates
+
+    def test_entry_inputs_exist(self):
+        query = Query.of(JOIN_RS, JOIN_ST, FILTER_A)
+        result = explore(query)
+        for group in result.memo.groups.values():
+            for entry in group.entries:
+                for input_key in entry.inputs:
+                    assert input_key in result.memo
+
+    def test_entry_consistency(self):
+        """Each entry's parameter plus input predicates equals its group's
+        predicate set — the invariant Section 4.2's decompositions need."""
+        query = Query.of(JOIN_RS, JOIN_ST, FILTER_A)
+        result = explore(query)
+        for key, group in result.memo.groups.items():
+            for entry in group.entries:
+                if entry.operator is Operator.GET:
+                    continue
+                predicates = {entry.parameter}
+                for input_key in entry.inputs:
+                    predicates |= input_key.predicates
+                assert frozenset(predicates) == key.predicates
+
+
+class TestSubplanPredicateSets:
+    def test_ordered_smallest_first(self):
+        query = Query.of(JOIN_RS, JOIN_ST, FILTER_A)
+        result = explore(query)
+        sets = subplan_predicate_sets(result)
+        sizes = [len(s) for s in sets]
+        assert sizes == sorted(sizes)
+        assert query.predicates in sets
+
+    def test_empty_sets_excluded(self):
+        query = Query.of(JOIN_RS)
+        sets = subplan_predicate_sets(explore(query))
+        assert all(sets)

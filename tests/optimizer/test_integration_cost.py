@@ -1,0 +1,87 @@
+"""Tests for the memo-coupled estimator (Section 4.2) and the cost model."""
+
+import pytest
+
+from repro.core.errors import DiffError, NIndError
+from repro.core.estimator import make_gs_diff
+from repro.core.predicates import FilterPredicate
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+from repro.optimizer.cost import CostModel
+from repro.optimizer.explorer import explore
+from repro.optimizer.integration import MemoCoupledEstimator
+
+
+@pytest.fixture()
+def query(two_table_join, two_table_attrs):
+    return Query.of(
+        two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 20)
+    )
+
+
+class TestMemoCoupledEstimator:
+    def test_estimates_every_group(self, two_table_db, two_table_pool, query):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, DiffError(two_table_pool)
+        )
+        exploration = explore(query)
+        estimates = estimator.estimate_memo(exploration)
+        assert set(estimates) == set(exploration.memo.groups)
+
+    def test_root_close_to_truth(self, two_table_db, two_table_pool, query):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, DiffError(two_table_pool)
+        )
+        true = Executor(two_table_db).cardinality(query.predicates)
+        assert estimator.cardinality(query) == pytest.approx(true, rel=0.25)
+
+    def test_never_better_than_full_dp(self, two_table_db, two_table_pool, query):
+        """The memo restricts the decomposition space, so its best error is
+        at least the full DP's best error."""
+        error_function = NIndError()
+        coupled = MemoCoupledEstimator(two_table_db, two_table_pool, error_function)
+        exploration = explore(query)
+        estimates = coupled.estimate_memo(exploration)
+        from repro.core.get_selectivity import GetSelectivity
+
+        full = GetSelectivity(two_table_pool, error_function)
+        assert estimates[exploration.root].error >= full(query.predicates).error - 1e-9
+
+    def test_selectivity_in_unit_interval(self, two_table_db, two_table_pool, query):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, DiffError(two_table_pool)
+        )
+        assert 0.0 <= estimator.selectivity(query) <= 1.0
+
+
+class TestCostModel:
+    def test_plan_extraction(self, two_table_db, two_table_pool, query):
+        exploration = explore(query)
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        model = CostModel(
+            two_table_db,
+            lambda predicates: estimator.algorithm(predicates).selectivity,
+        )
+        plan = model.best_plan(exploration.memo, exploration.root)
+        assert plan.cost > 0
+        assert plan.cardinality >= 0
+        rendered = plan.render()
+        assert "JOIN" in rendered
+
+    def test_costs_monotone_in_children(self, two_table_db, two_table_pool, query):
+        exploration = explore(query)
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        model = CostModel(
+            two_table_db,
+            lambda predicates: estimator.algorithm(predicates).selectivity,
+        )
+        plan = model.best_plan(exploration.memo, exploration.root)
+        for child in plan.children:
+            assert plan.cost >= child.cost
+
+    def test_group_cardinality_empty_predicates(self, two_table_db, two_table_pool):
+        model = CostModel(two_table_db, lambda predicates: 1.0)
+        from repro.optimizer.memo import GroupKey
+
+        key = GroupKey(frozenset(("R",)), frozenset())
+        assert model.group_cardinality(key) == two_table_db.row_count("R")

@@ -1,0 +1,67 @@
+"""Edge cases for the memo-coupled estimator."""
+
+import pytest
+
+from repro.core.errors import NIndError
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.expressions import Query
+from repro.optimizer.explorer import explore
+from repro.optimizer.integration import MemoCoupledEstimator
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+from repro.histograms.base import Bucket, Histogram
+
+
+def uniform():
+    return Histogram([Bucket(0, 100, 1000, 100)])
+
+
+class TestMemoCoupledEdgeCases:
+    def test_missing_statistics_surface_as_infinite_error(self, two_table_db):
+        # Pool covers only R.a: join groups cannot be estimated.
+        pool = SITPool([SIT(Attribute("R", "a"), frozenset(), uniform())])
+        estimator = MemoCoupledEstimator(two_table_db, pool, NIndError())
+        query = Query.of(
+            JoinPredicate(Attribute("R", "x"), Attribute("S", "y"))
+        )
+        exploration = explore(query)
+        estimates = estimator.estimate_memo(exploration)
+        root = estimates[exploration.root]
+        assert root.error == float("inf")
+        assert root.best_entry is None
+
+    def test_filter_only_query(self, two_table_db, two_table_pool):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        query = Query.of(FilterPredicate(Attribute("R", "a"), 0, 20))
+        selectivity = estimator.selectivity(query)
+        assert 0.0 < selectivity < 1.0
+
+    def test_leaf_groups_are_free(self, two_table_db, two_table_pool):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        query = Query.of(
+            JoinPredicate(Attribute("R", "x"), Attribute("S", "y"))
+        )
+        exploration = explore(query)
+        estimates = estimator.estimate_memo(exploration)
+        for key, estimate in estimates.items():
+            if not key.predicates:
+                assert estimate.selectivity == 1.0
+                assert estimate.error == 0.0
+
+    def test_best_entries_recorded(self, two_table_db, two_table_pool):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        query = Query.of(
+            JoinPredicate(Attribute("R", "x"), Attribute("S", "y")),
+            FilterPredicate(Attribute("R", "a"), 0, 20),
+        )
+        exploration = explore(query)
+        estimates = estimator.estimate_memo(exploration)
+        root = estimates[exploration.root]
+        assert root.best_entry is not None
+        assert root.best_entry in exploration.memo.groups[exploration.root].entries

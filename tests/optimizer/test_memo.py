@@ -1,0 +1,89 @@
+"""Tests for the Cascades-style memo and initial plan construction."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.optimizer.memo import (
+    Entry,
+    GroupKey,
+    Memo,
+    Operator,
+    initial_plan,
+)
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+TZ = Attribute("T", "z")
+
+JOIN_RS = JoinPredicate(RX, SY)
+JOIN_ST = JoinPredicate(SB, TZ)
+FILTER_A = FilterPredicate(RA, 0, 10)
+
+
+class TestMemoBasics:
+    def test_group_creation_idempotent(self):
+        memo = Memo()
+        key = GroupKey(frozenset(("R",)), frozenset())
+        assert memo.group(key) is memo.group(key)
+        assert len(memo) == 1
+
+    def test_entry_dedup(self):
+        memo = Memo()
+        key = memo.add_get("R")
+        assert not memo.group(key).add(
+            Entry(Operator.GET, None, (), table="R")
+        )
+        assert memo.entry_count() == 1
+
+    def test_add_select_extends_key(self):
+        memo = Memo()
+        base = memo.add_get("R")
+        selected = memo.add_select(FILTER_A, base)
+        assert selected.predicates == frozenset({FILTER_A})
+        assert selected.tables == frozenset(("R",))
+
+    def test_add_join_unions(self):
+        memo = Memo()
+        left = memo.add_get("R")
+        right = memo.add_get("S")
+        joined = memo.add_join(JOIN_RS, left, right)
+        assert joined.tables == frozenset(("R", "S"))
+        assert joined.predicates == frozenset({JOIN_RS})
+
+
+class TestInitialPlan:
+    def test_single_table_query(self):
+        memo = Memo()
+        root = initial_plan(memo, frozenset(("R",)), frozenset({FILTER_A}))
+        assert root.predicates == frozenset({FILTER_A})
+        assert memo.groups[root].entries[0].operator is Operator.SELECT
+
+    def test_join_query_root_covers_everything(self):
+        memo = Memo()
+        predicates = frozenset({JOIN_RS, JOIN_ST, FILTER_A})
+        root = initial_plan(memo, frozenset(), predicates)
+        assert root.predicates == predicates
+        assert root.tables == frozenset(("R", "S", "T"))
+
+    def test_filters_pushed_to_leaves(self):
+        memo = Memo()
+        predicates = frozenset({JOIN_RS, FILTER_A})
+        initial_plan(memo, frozenset(), predicates)
+        filtered_leaf = GroupKey(frozenset(("R",)), frozenset({FILTER_A}))
+        assert filtered_leaf in memo
+
+    def test_disconnected_rejected(self):
+        memo = Memo()
+        far = FilterPredicate(Attribute("Z", "q"), 0, 1)
+        with pytest.raises(ValueError):
+            initial_plan(memo, frozenset(), frozenset({FILTER_A, far}))
+
+    def test_join_free_multi_table_rejected(self):
+        memo = Memo()
+        far = FilterPredicate(Attribute("Z", "q"), 0, 1)
+        with pytest.raises(ValueError):
+            initial_plan(
+                memo, frozenset(("R", "Z")), frozenset({FILTER_A, far})
+            )

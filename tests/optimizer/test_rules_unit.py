@@ -1,0 +1,135 @@
+"""Direct unit tests for individual transformation rules."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.optimizer.memo import Entry, GroupKey, Memo, Operator
+from repro.optimizer.rules import (
+    JoinAssociativity,
+    JoinCommutativity,
+    SelectCommutativity,
+    SelectPullUp,
+    SelectPushDown,
+)
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+TZ = Attribute("T", "z")
+
+JOIN_RS = JoinPredicate(RX, SY)
+JOIN_ST = JoinPredicate(SB, TZ)
+FILTER_A = FilterPredicate(RA, 0, 10)
+FILTER_A2 = FilterPredicate(RA, 5, 20)
+
+
+def seeded_memo():
+    memo = Memo()
+    r = memo.add_get("R")
+    s = memo.add_get("S")
+    t = memo.add_get("T")
+    return memo, r, s, t
+
+
+class TestJoinCommutativity:
+    def test_swaps_inputs(self):
+        memo, r, s, _ = seeded_memo()
+        key = memo.add_join(JOIN_RS, r, s)
+        group = memo.groups[key]
+        entry = group.entries[0]
+        derived = list(JoinCommutativity().apply(memo, group, entry))
+        assert len(derived) == 1
+        assert derived[0].entry.inputs == (s, r)
+        assert derived[0].key == key
+
+    def test_ignores_non_joins(self):
+        memo, r, _, _ = seeded_memo()
+        key = memo.add_select(FILTER_A, r)
+        group = memo.groups[key]
+        assert list(JoinCommutativity().apply(memo, group, group.entries[0])) == []
+
+
+class TestJoinAssociativity:
+    def test_rotates_left_deep_to_right_deep(self):
+        memo, r, s, t = seeded_memo()
+        rs = memo.add_join(JOIN_RS, r, s)
+        root = memo.add_join(JOIN_ST, rs, t)
+        group = memo.groups[root]
+        entry = group.entries[0]
+        derived = list(JoinAssociativity().apply(memo, group, entry))
+        # Produces the S⋈T group and the rotated root entry.
+        st_key = GroupKey(frozenset(("S", "T")), frozenset({JOIN_ST}))
+        assert any(d.key == st_key for d in derived)
+        assert any(
+            d.key == root and d.entry.inputs[0] == r for d in derived
+        )
+
+    def test_requires_predicate_fit(self):
+        # Outer join predicate touching A cannot rotate to (B⋈C).
+        memo, r, s, t = seeded_memo()
+        st = memo.add_join(JOIN_ST, s, t)
+        root = memo.add_join(JOIN_RS, st, r)  # outer predicate touches S
+        group = memo.groups[root]
+        entry = group.entries[0]
+        derived = list(JoinAssociativity().apply(memo, group, entry))
+        # Rotation valid only when outer ⊆ tables(B ∪ C) = {T, R}:
+        # JOIN_RS touches R and S -> no derivation from this shape.
+        assert all(d.key.tables != frozenset(("T", "R")) for d in derived)
+
+
+class TestSelectPullUp:
+    def test_filter_moves_above_join(self):
+        memo, r, s, _ = seeded_memo()
+        filtered_r = memo.add_select(FILTER_A, r)
+        root = memo.add_join(JOIN_RS, filtered_r, s)
+        group = memo.groups[root]
+        entry = group.entries[0]
+        derived = list(SelectPullUp().apply(memo, group, entry))
+        selects = [
+            d for d in derived if d.entry.operator is Operator.SELECT
+        ]
+        assert selects
+        assert all(d.key == root for d in selects)
+        joins = [d for d in derived if d.entry.operator is Operator.JOIN]
+        assert any(d.key.predicates == frozenset({JOIN_RS}) for d in joins)
+
+
+class TestSelectPushDown:
+    def test_filter_moves_below_join(self):
+        memo, r, s, _ = seeded_memo()
+        rs = memo.add_join(JOIN_RS, r, s)
+        root = memo.add_select(FILTER_A, rs)
+        group = memo.groups[root]
+        entry = group.entries[0]
+        derived = list(SelectPushDown().apply(memo, group, entry))
+        pushed = GroupKey(frozenset(("R",)), frozenset({FILTER_A}))
+        assert any(d.key == pushed for d in derived)
+        assert any(
+            d.key == root and d.entry.operator is Operator.JOIN for d in derived
+        )
+
+    def test_no_push_when_tables_do_not_fit(self):
+        memo, r, s, _ = seeded_memo()
+        rs = memo.add_join(JOIN_RS, r, s)
+        cross_filter = FilterPredicate(Attribute("Q", "c"), 0, 1)
+        key = GroupKey(rs.tables, rs.predicates | {cross_filter})
+        memo.group(key).add(Entry(Operator.SELECT, cross_filter, (rs,)))
+        group = memo.groups[key]
+        derived = list(SelectPushDown().apply(memo, group, group.entries[0]))
+        assert derived == []
+
+
+class TestSelectCommutativity:
+    def test_reorders_adjacent_filters(self):
+        memo, r, _, _ = seeded_memo()
+        inner = memo.add_select(FILTER_A, r)
+        root = memo.add_select(FILTER_A2, inner)
+        group = memo.groups[root]
+        entry = group.entries[0]
+        derived = list(SelectCommutativity().apply(memo, group, entry))
+        swapped_inner = GroupKey(frozenset(("R",)), frozenset({FILTER_A2}))
+        assert any(d.key == swapped_inner for d in derived)
+        assert any(
+            d.key == root and d.entry.parameter == FILTER_A for d in derived
+        )

@@ -1,0 +1,173 @@
+"""Property-based tests for the conditional-selectivity core.
+
+These validate the paper's exact identities (Properties 1 and 2, Lemma 2)
+against the executor on randomly generated micro-databases, and structural
+invariants of the decomposition machinery.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import (
+    count_decompositions,
+    enumerate_decompositions,
+    lemma1_bounds,
+    simplify_factor,
+    standard_decomposition,
+)
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    connected_components,
+)
+from repro.engine.database import Database, Table
+from repro.engine.executor import Executor
+from repro.engine.schema import Schema, TableSchema
+
+
+# ----------------------------------------------------------------------
+# Random micro-databases and predicate sets
+# ----------------------------------------------------------------------
+@st.composite
+def micro_database(draw):
+    """Three tiny tables R(x,a), S(y,b), T(z,c) with values in 0..5."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    schema = Schema()
+    schema.add_table(TableSchema("R", ("x", "a")))
+    schema.add_table(TableSchema("S", ("y", "b")))
+    schema.add_table(TableSchema("T", ("z", "c")))
+    db = Database(schema)
+    for name, columns in (("R", ("x", "a")), ("S", ("y", "b")), ("T", ("z", "c"))):
+        rows = int(rng.integers(1, 12))
+        data = {}
+        for column in columns:
+            values = rng.integers(0, 6, rows).astype(float)
+            nulls = rng.random(rows) < 0.1
+            values[nulls] = np.nan
+            data[column] = values
+        db.add_table(Table(schema.table(name), data))
+    return db
+
+
+PREDICATE_CHOICES = [
+    JoinPredicate(Attribute("R", "x"), Attribute("S", "y")),
+    JoinPredicate(Attribute("S", "b"), Attribute("T", "z")),
+    FilterPredicate(Attribute("R", "a"), 1, 4),
+    FilterPredicate(Attribute("S", "b"), 0, 2),
+    FilterPredicate(Attribute("T", "c"), 2, 5),
+]
+
+predicate_sets = st.sets(
+    st.sampled_from(PREDICATE_CHOICES), min_size=1, max_size=5
+).map(frozenset)
+
+
+class TestExactIdentities:
+    @given(db=micro_database(), predicates=predicate_sets, split=st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_property1_atomic_decomposition(self, db, predicates, split):
+        """Sel(P,Q) = Sel(P|Q) * Sel(Q) holds exactly, always."""
+        executor = Executor(db)
+        items = sorted(predicates, key=str)
+        cut = split % (len(items) + 1)
+        p = frozenset(items[:cut])
+        q = frozenset(items[cut:])
+        tables = frozenset(("R", "S", "T"))
+        left = executor.selectivity(p | q, tables)
+        q_sel = executor.selectivity(q, tables)
+        right = executor.conditional_selectivity(p, q, tables) * q_sel
+        if q_sel > 0:
+            assert left == pytest.approx(right, rel=1e-12, abs=1e-15)
+        else:
+            assert left == 0.0
+
+    @given(db=micro_database(), predicates=predicate_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_property2_separable_decomposition(self, db, predicates):
+        """Sel(P) over components multiplies exactly."""
+        executor = Executor(db)
+        product = 1.0
+        for component in connected_components(predicates):
+            product *= executor.selectivity(component)
+        assert executor.selectivity(predicates) == pytest.approx(
+            product, rel=1e-12, abs=1e-15
+        )
+
+    @given(db=micro_database(), predicates=predicate_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_selectivity_in_unit_interval(self, db, predicates):
+        executor = Executor(db)
+        assert 0.0 <= executor.selectivity(predicates) <= 1.0
+
+    @given(db=micro_database(), predicates=predicate_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_adding_predicates_never_increases_cardinality(self, db, predicates):
+        executor = Executor(db)
+        items = sorted(predicates, key=str)
+        tables = frozenset(("R", "S", "T"))
+        previous = executor.cardinality(frozenset(), tables)
+        for stop in range(1, len(items) + 1):
+            current = executor.cardinality(frozenset(items[:stop]), tables)
+            assert current <= previous
+            previous = current
+
+
+class TestDecompositionStructure:
+    @given(predicates=predicate_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_standard_decomposition_partitions(self, predicates):
+        components = standard_decomposition(predicates)
+        union = frozenset().union(*components) if components else frozenset()
+        assert union == predicates
+        total = sum(len(component) for component in components)
+        assert total == len(predicates)
+
+    @given(predicates=predicate_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_standard_decomposition_components_non_separable(self, predicates):
+        for component in standard_decomposition(predicates):
+            assert len(connected_components(component)) == 1
+
+    @given(predicates=st.sets(st.sampled_from(PREDICATE_CHOICES), min_size=1, max_size=4).map(frozenset))
+    @settings(max_examples=20, deadline=None)
+    def test_enumeration_count_matches_recurrence(self, predicates):
+        enumerated = sum(1 for _ in enumerate_decompositions(predicates))
+        assert enumerated == count_decompositions(len(predicates))
+
+    @given(predicates=st.sets(st.sampled_from(PREDICATE_CHOICES), min_size=1, max_size=4).map(frozenset))
+    @settings(max_examples=20, deadline=None)
+    def test_simplified_factors_non_separable_and_partition(self, predicates):
+        for decomposition in enumerate_decompositions(
+            predicates, simplify_separable=True
+        ):
+            covered = set()
+            for factor in decomposition.factors:
+                assert len(connected_components(factor.p | factor.q)) == 1
+                covered |= factor.p
+            assert covered == set(predicates)
+
+    @given(n=st.integers(1, 9))
+    def test_lemma1_bounds_hold(self, n):
+        lower, upper = lemma1_bounds(n)
+        assert lower <= count_decompositions(n) <= upper
+
+    @given(predicates=predicate_sets, split=st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_simplify_factor_covers_p(self, predicates, split):
+        items = sorted(predicates, key=str)
+        cut = split % (len(items) + 1)
+        p = frozenset(items[:cut])
+        q = frozenset(items[cut:])
+        if not p:
+            return
+        factors = simplify_factor(p, q)
+        covered = frozenset().union(*(f.p for f in factors))
+        assert covered == p
+        for factor in factors:
+            assert factor.q <= q

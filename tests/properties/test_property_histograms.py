@@ -1,0 +1,136 @@
+"""Property-based tests for histogram construction and operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.histograms.base import values_and_frequencies
+from repro.histograms.equidepth import build_equidepth
+from repro.histograms.equiwidth import build_equiwidth
+from repro.histograms.maxdiff import build_maxdiff
+from repro.histograms.operations import join_histograms, variation_distance
+from repro.stats.diff import exact_diff
+
+value_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 300),
+    elements=st.one_of(
+        st.integers(-50, 50).map(float),
+        st.just(float("nan")),
+    ),
+)
+
+nonempty_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 300),
+    elements=st.integers(-50, 50).map(float),
+)
+
+BUILDERS = [build_maxdiff, build_equidepth, build_equiwidth]
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+class TestBuilderProperties:
+    @given(values=value_arrays, buckets=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation(self, builder, values, buckets):
+        histogram = builder(values, buckets)
+        nulls = int(np.isnan(values).sum())
+        assert histogram.null_count == nulls
+        assert histogram.frequency == pytest.approx(values.size - nulls)
+        assert histogram.bucket_count <= buckets
+
+    @given(values=nonempty_arrays, buckets=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_full_domain_range_recovers_everything(self, builder, values, buckets):
+        histogram = builder(values, buckets)
+        count = histogram.estimate_range_count(values.min(), values.max())
+        assert count == pytest.approx(values.size, rel=1e-6)
+
+    @given(
+        values=nonempty_arrays,
+        buckets=st.integers(1, 40),
+        low=st.integers(-60, 60),
+        width=st.integers(0, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_estimates_bounded_and_monotone(
+        self, builder, values, buckets, low, width
+    ):
+        histogram = builder(values, buckets)
+        narrow = histogram.estimate_range_count(low, low + width)
+        wide = histogram.estimate_range_count(low - 5, low + width + 5)
+        assert 0.0 <= narrow <= values.size * (1 + 1e-9)
+        assert narrow <= wide + 1e-9
+
+    @given(values=nonempty_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_when_buckets_exceed_distincts(self, builder, values):
+        distinct, counts, _ = values_and_frequencies(values)
+        histogram = builder(values, max_buckets=len(distinct) + 1)
+        for value, count in zip(distinct, counts):
+            assert histogram.estimate_equality_count(value) == pytest.approx(
+                count
+            )
+
+
+class TestJoinProperties:
+    @given(left=nonempty_arrays, right=nonempty_arrays, buckets=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_join_commutative_in_pair_count(self, left, right, buckets):
+        hl = build_maxdiff(left, buckets)
+        hr = build_maxdiff(right, buckets)
+        forward = join_histograms(hl, hr)
+        backward = join_histograms(hr, hl)
+        assert forward.pair_count == pytest.approx(
+            backward.pair_count, rel=1e-6, abs=1e-9
+        )
+
+    @given(values=nonempty_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_histograms_give_exact_joins(self, values):
+        """With one bucket per distinct value the join estimate is exact."""
+        other = values + 0.0
+        h = build_maxdiff(values, max_buckets=10_000)
+        result = join_histograms(h, h)
+        distinct, counts, _ = values_and_frequencies(values)
+        true_pairs = float((counts.astype(np.int64) ** 2).sum())
+        assert result.pair_count == pytest.approx(true_pairs, rel=1e-6)
+
+    @given(left=nonempty_arrays, right=nonempty_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_selectivity_in_unit_interval(self, left, right):
+        result = join_histograms(
+            build_maxdiff(left, 20), build_maxdiff(right, 20)
+        )
+        assert 0.0 <= result.selectivity <= 1.0
+
+
+class TestVariationDistanceProperties:
+    @given(values=nonempty_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero(self, values):
+        histogram = build_maxdiff(values, 10_000)
+        assert variation_distance(histogram, histogram) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(left=nonempty_arrays, right=nonempty_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_and_symmetry(self, left, right):
+        hl = build_maxdiff(left, 30)
+        hr = build_maxdiff(right, 30)
+        forward = variation_distance(hl, hr)
+        assert -1e-9 <= forward <= 1.0 + 1e-9
+        assert forward == pytest.approx(variation_distance(hr, hl), abs=1e-9)
+
+    @given(left=nonempty_arrays, right=nonempty_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_histograms_match_exact_diff(self, left, right):
+        hl = build_maxdiff(left, 10_000)
+        hr = build_maxdiff(right, 10_000)
+        assert variation_distance(hl, hr) == pytest.approx(
+            exact_diff(left, right), abs=1e-6
+        )

@@ -1,0 +1,111 @@
+"""Property-based tests for predicate canonicalization and set algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    attributes_of,
+    connected_components,
+    tables_of,
+)
+
+TABLES = ("R", "S", "T", "U")
+COLUMNS = ("a", "b", "c")
+
+attributes = st.builds(
+    Attribute, st.sampled_from(TABLES), st.sampled_from(COLUMNS)
+)
+
+
+@st.composite
+def filter_predicates(draw):
+    attribute = draw(attributes)
+    low = draw(st.integers(-50, 50))
+    width = draw(st.integers(0, 40))
+    return FilterPredicate(attribute, low, low + width)
+
+
+@st.composite
+def join_predicates(draw):
+    left = draw(attributes)
+    right = draw(
+        attributes.filter(lambda a: a.table != left.table)  # noqa: B023
+    )
+    return JoinPredicate(left, right)
+
+
+predicates = st.one_of(filter_predicates(), join_predicates())
+predicate_sets = st.sets(predicates, min_size=0, max_size=6).map(frozenset)
+
+
+class TestCanonicalization:
+    @given(join=join_predicates())
+    def test_join_operand_order_canonical(self, join):
+        assert join.left < join.right
+
+    @given(join=join_predicates())
+    def test_join_swap_invariance(self, join):
+        swapped = JoinPredicate(join.right, join.left)
+        assert swapped == join
+        assert hash(swapped) == hash(join)
+
+    @given(predicate=predicates)
+    def test_hash_stable(self, predicate):
+        assert hash(predicate) == hash(predicate)
+
+    @given(predicate=predicates)
+    def test_tables_match_attributes(self, predicate):
+        assert {a.table for a in predicate.attributes} == set(predicate.tables)
+
+
+class TestSetAlgebra:
+    @given(ps=predicate_sets)
+    def test_tables_of_is_union(self, ps):
+        expected = set()
+        for predicate in ps:
+            expected |= set(predicate.tables)
+        assert tables_of(ps) == frozenset(expected)
+
+    @given(ps=predicate_sets)
+    def test_attributes_of_is_union(self, ps):
+        expected = set()
+        for predicate in ps:
+            expected |= set(predicate.attributes)
+        assert attributes_of(ps) == frozenset(expected)
+
+    @given(ps=predicate_sets)
+    @settings(max_examples=60)
+    def test_components_partition(self, ps):
+        components = connected_components(ps)
+        union = set()
+        total = 0
+        for component in components:
+            assert component  # non-empty
+            union |= set(component)
+            total += len(component)
+        assert union == set(ps)
+        assert total == len(ps)
+
+    @given(ps=predicate_sets)
+    @settings(max_examples=60)
+    def test_components_table_disjoint(self, ps):
+        components = connected_components(ps)
+        for i, first in enumerate(components):
+            for second in components[i + 1 :]:
+                assert not (tables_of(first) & tables_of(second))
+
+    @given(ps=predicate_sets)
+    @settings(max_examples=60)
+    def test_components_are_connected(self, ps):
+        for component in connected_components(ps):
+            assert len(connected_components(component)) == 1
+
+    @given(ps=predicate_sets)
+    @settings(max_examples=40)
+    def test_components_order_insensitive(self, ps):
+        forward = connected_components(sorted(ps, key=str))
+        backward = connected_components(sorted(ps, key=str, reverse=True))
+        assert forward == backward

@@ -1,0 +1,71 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError, TokenType, tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("orders o_id _x a1")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_qualified_name(self):
+        assert types("a.b") == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+            TokenType.END,
+        ]
+
+    def test_numbers(self):
+        assert texts("1 2.5 1e3 3.2E-2 -7") == ["1", "2.5", "1e3", "3.2E-2", "-7"]
+        assert all(
+            t.type is TokenType.NUMBER for t in tokenize("1 2.5 1e3")[:-1]
+        )
+
+    def test_operators(self):
+        assert texts("= < <= > >= <>") == ["=", "<", "<=", ">", ">=", "<>"]
+        assert all(
+            t.type is TokenType.OPERATOR for t in tokenize("= < <=")[:-1]
+        )
+
+    def test_punctuation(self):
+        assert types("(*, )") == [
+            TokenType.LPAREN,
+            TokenType.STAR,
+            TokenType.COMMA,
+            TokenType.RPAREN,
+            TokenType.END,
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("a  =  5")
+        assert [t.position for t in tokens[:-1]] == [0, 3, 6]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("a ; b")
+        assert excinfo.value.position == 2
+
+    def test_bad_operator(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a =< b")
+
+    def test_whitespace_insensitive(self):
+        assert texts("a=5") == texts("a  =   5")

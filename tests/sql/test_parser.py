@@ -1,0 +1,99 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError
+from repro.sql.parser import (
+    BetweenPredicate,
+    Comparison,
+    JoinComparison,
+    parse_select,
+)
+
+
+class TestProjection:
+    def test_star(self):
+        statement = parse_select("SELECT * FROM r")
+        assert statement.projection is None
+
+    def test_column_list(self):
+        statement = parse_select("SELECT r.a, b FROM r")
+        assert len(statement.projection) == 2
+        assert statement.projection[0].table == "r"
+        assert statement.projection[1].table is None
+
+
+class TestTables:
+    def test_multiple_tables(self):
+        statement = parse_select("SELECT * FROM r, s, t")
+        assert [t.name for t in statement.tables] == ["r", "s", "t"]
+
+    def test_alias_with_as(self):
+        statement = parse_select("SELECT * FROM orders AS o")
+        assert statement.tables[0].binding == "o"
+
+    def test_alias_without_as(self):
+        statement = parse_select("SELECT * FROM orders o")
+        assert statement.tables[0].alias == "o"
+
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT *")
+
+
+class TestPredicates:
+    def test_no_where(self):
+        assert parse_select("SELECT * FROM r").predicates == ()
+
+    def test_comparison(self):
+        (pred,) = parse_select("SELECT * FROM r WHERE a < 5").predicates
+        assert isinstance(pred, Comparison)
+        assert pred.operator == "<"
+        assert pred.value == 5.0
+
+    def test_literal_on_left_is_mirrored(self):
+        (pred,) = parse_select("SELECT * FROM r WHERE 5 < a").predicates
+        assert isinstance(pred, Comparison)
+        assert pred.operator == ">"
+        assert pred.column.column == "a"
+
+    def test_between(self):
+        (pred,) = parse_select(
+            "SELECT * FROM r WHERE a BETWEEN 1 AND 10"
+        ).predicates
+        assert isinstance(pred, BetweenPredicate)
+        assert (pred.low, pred.high) == (1.0, 10.0)
+
+    def test_join(self):
+        (pred,) = parse_select(
+            "SELECT * FROM r, s WHERE r.x = s.y"
+        ).predicates
+        assert isinstance(pred, JoinComparison)
+
+    def test_conjunction(self):
+        statement = parse_select(
+            "SELECT * FROM r, s WHERE r.x = s.y AND r.a >= 3 AND s.b BETWEEN 0 AND 2"
+        )
+        assert len(statement.predicates) == 3
+
+    def test_between_binds_tighter_than_and(self):
+        statement = parse_select(
+            "SELECT * FROM r WHERE a BETWEEN 1 AND 2 AND b = 3"
+        )
+        assert len(statement.predicates) == 2
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM r, s WHERE r.x < s.y")
+
+    def test_inequality_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM r WHERE a <> 5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM r WHERE a = 1 ORDER")
+
+    def test_float_and_scientific_literals(self):
+        (pred,) = parse_select("SELECT * FROM r WHERE a <= 1.5e2").predicates
+        assert pred.value == 150.0

@@ -1,0 +1,67 @@
+"""SQL front-end exercised against the full snowflake schema."""
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.sql.binder import BindingError, parse_query
+from repro.workload.snowflake import snowflake_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return snowflake_schema()
+
+
+class TestSnowflakeSQL:
+    def test_three_way_join(self, schema):
+        query = parse_query(
+            "SELECT * FROM sales, customer, nation "
+            "WHERE sales.customer_id = customer.customer_id "
+            "AND customer.nation_id = nation.nation_id "
+            "AND nation.population >= 100",
+            schema,
+        )
+        assert query.join_count == 2
+        assert query.filter_count == 1
+        assert query.tables == frozenset(("sales", "customer", "nation"))
+
+    def test_unqualified_columns_resolve_across_tables(self, schema):
+        query = parse_query(
+            "SELECT price FROM sales, product "
+            "WHERE sales.product_id = product.product_id "
+            "AND list_price <= 50 AND quantity >= 2",
+            schema,
+        )
+        filters = {p.attribute.table for p in query.filters}
+        assert filters == {"product", "sales"}
+
+    def test_ambiguity_on_shared_column_names(self, schema):
+        # customer_id exists in both sales and customer.
+        with pytest.raises(BindingError):
+            parse_query(
+                "SELECT * FROM sales, customer WHERE customer_id = 3", schema
+            )
+
+    def test_full_snowflake_seven_joins(self, schema):
+        query = parse_query(
+            "SELECT * FROM sales, customer, product, store, promotion, "
+            "nation, category, region "
+            "WHERE sales.customer_id = customer.customer_id "
+            "AND sales.product_id = product.product_id "
+            "AND sales.store_id = store.store_id "
+            "AND sales.promotion_id = promotion.promotion_id "
+            "AND customer.nation_id = nation.nation_id "
+            "AND product.category_id = category.category_id "
+            "AND nation.region_id = region.region_id",
+            schema,
+        )
+        assert query.join_count == 7
+        assert len(query.tables) == 8
+
+    def test_executes_against_generated_data(self, tiny_snowflake):
+        query = parse_query(
+            "SELECT * FROM sales, store "
+            "WHERE sales.store_id = store.store_id AND store.staff >= 5",
+            tiny_snowflake.schema,
+        )
+        assert Executor(tiny_snowflake).cardinality(query.predicates) >= 0

@@ -1,0 +1,92 @@
+"""Tests for the workload-driven SIT advisor."""
+
+import pytest
+
+from repro.core.estimator import make_gs_diff
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+from repro.stats.advisor import AdvisorConfig, SITAdvisor
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+
+
+@pytest.fixture()
+def workload(two_table_join, two_table_attrs):
+    return [
+        Query.of(two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 20)),
+        Query.of(two_table_join, FilterPredicate(two_table_attrs["Sb"], 10, 40)),
+    ]
+
+
+class TestAdvisorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdvisorConfig(max_sits=-1)
+        with pytest.raises(ValueError):
+            AdvisorConfig(max_joins=-1)
+
+
+class TestRecommendations:
+    def test_high_diff_sits_rank_first(self, two_table_db, workload):
+        advisor = SITAdvisor(SITBuilder(two_table_db))
+        recommendations = advisor.candidates(workload)
+        assert recommendations
+        scores = [r.score for r in recommendations]
+        assert scores == sorted(scores, reverse=True)
+        # The skew-reweighted S-side attributes are the valuable picks
+        # (S.y: the Zipfian join key; S.b: reweighted by it).
+        top_attributes = {r.sit.attribute for r in recommendations[:2]}
+        assert top_attributes == {Attribute("S", "y"), Attribute("S", "b")}
+
+    def test_zero_diff_sits_excluded(self, two_table_db, workload):
+        # R.a's distribution is unchanged by the join (diff ~ 0): the
+        # advisor must not waste budget on it (Example 4's lesson).
+        advisor = SITAdvisor(SITBuilder(two_table_db))
+        recommended = {str(r.sit) for r in advisor.recommend(workload)}
+        assert "SIT(R.a | R.x=S.y)" not in recommended
+
+    def test_budget_respected(self, two_table_db, workload):
+        advisor = SITAdvisor(
+            SITBuilder(two_table_db), AdvisorConfig(max_sits=1)
+        )
+        assert len(advisor.recommend(workload)) <= 1
+
+    def test_applicability_counts_queries(self, two_table_db, workload):
+        advisor = SITAdvisor(SITBuilder(two_table_db))
+        for recommendation in advisor.candidates(workload):
+            assert recommendation.applicability == 2  # both queries join
+
+
+class TestAdvisorPool:
+    def test_pool_contains_base_histograms(self, two_table_db, workload):
+        advisor = SITAdvisor(SITBuilder(two_table_db))
+        pool = advisor.build_pool(workload)
+        for query in workload:
+            for predicate in query.filters:
+                assert pool.base(predicate.attribute) is not None
+
+    def test_small_budget_matches_full_pool_on_key_query(
+        self, two_table_db, workload
+    ):
+        """One well-chosen SIT captures most of the full pool's benefit."""
+        builder = SITBuilder(two_table_db)
+        advisor_pool = SITAdvisor(
+            builder, AdvisorConfig(max_sits=2)
+        ).build_pool(workload)
+        full_pool = build_workload_pool(builder, workload, max_joins=1)
+        executor = Executor(two_table_db)
+        query = workload[1]  # the S.b-filter query (the skewed one)
+        true = executor.cardinality(query.predicates)
+        advisor_error = abs(
+            make_gs_diff(two_table_db, advisor_pool).cardinality(query) - true
+        )
+        full_error = abs(
+            make_gs_diff(two_table_db, full_pool).cardinality(query) - true
+        )
+        assert advisor_error <= full_error * 1.5 + 1.0
+
+    def test_empty_workload(self, two_table_db):
+        advisor = SITAdvisor(SITBuilder(two_table_db))
+        pool = advisor.build_pool([])
+        assert len(pool) == 0

@@ -1,0 +1,37 @@
+"""Tests for the Chao1 distinct-count estimator used by sampled SITs."""
+
+import numpy as np
+import pytest
+
+from repro.stats.sampling import chao1_distinct
+
+
+class TestChao1:
+    def test_empty(self):
+        assert chao1_distinct(np.array([])) == 0.0
+
+    def test_all_nan(self):
+        assert chao1_distinct(np.array([np.nan, np.nan])) == 0.0
+
+    def test_saturated_sample_adds_nothing(self):
+        # Every value seen many times: f1 = 0, estimate equals observed.
+        values = np.repeat(np.arange(10.0), 5)
+        assert chao1_distinct(values) == 10.0
+
+    def test_singletons_inflate_estimate(self):
+        values = np.arange(100.0)  # all singletons
+        assert chao1_distinct(values) > 100.0
+
+    def test_estimates_population_within_factor(self):
+        rng = np.random.default_rng(0)
+        population = 500
+        sample = rng.choice(population, size=400, replace=True).astype(float)
+        observed = len(np.unique(sample))
+        estimate = chao1_distinct(sample)
+        assert observed <= estimate
+        assert estimate == pytest.approx(population, rel=0.5)
+
+    def test_lower_bound_property(self):
+        rng = np.random.default_rng(1)
+        sample = rng.choice(1000, size=200, replace=True).astype(float)
+        assert chao1_distinct(sample) >= len(np.unique(sample))

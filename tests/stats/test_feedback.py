@@ -1,0 +1,102 @@
+"""Tests for LEO-style execution feedback."""
+
+import pytest
+
+from repro.core.estimator import make_gs_diff
+from repro.core.predicates import FilterPredicate
+from repro.engine.executor import Executor
+from repro.engine.expressions import Query
+from repro.stats.feedback import FeedbackEstimator, FeedbackRepository
+
+
+@pytest.fixture()
+def query(two_table_join, two_table_attrs):
+    return Query.of(
+        two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 20)
+    )
+
+
+class TestRepository:
+    def test_record_and_lookup(self, query):
+        repository = FeedbackRepository()
+        repository.record(query.predicates, 123)
+        assert repository.lookup(query.predicates) == 123
+        assert repository.hits == 1
+
+    def test_miss_counted(self, query):
+        repository = FeedbackRepository()
+        assert repository.lookup(query.predicates) is None
+        assert repository.misses == 1
+
+    def test_negative_cardinality_rejected(self, query):
+        with pytest.raises(ValueError):
+            FeedbackRepository().record(query.predicates, -1)
+
+    def test_record_from_execution(self, two_table_db, query):
+        repository = FeedbackRepository()
+        executor = Executor(two_table_db)
+        value = repository.record_from_execution(executor, query.predicates)
+        assert value == executor.cardinality(query.predicates)
+        assert len(repository) == 1
+
+    def test_invalidate_table(self, query, two_table_attrs):
+        repository = FeedbackRepository()
+        repository.record(query.predicates, 5)
+        other = frozenset({FilterPredicate(two_table_attrs["Sb"], 0, 10)})
+        repository.record(other, 7)
+        dropped = repository.invalidate_table("R")
+        assert dropped == 1
+        assert len(repository) == 1
+        assert repository.lookup(other) == 7
+
+
+class TestFeedbackEstimator:
+    def test_observed_query_is_exact(self, two_table_db, two_table_pool, query):
+        executor = Executor(two_table_db)
+        estimator = FeedbackEstimator(make_gs_diff(two_table_db, two_table_pool))
+        estimator.observe(executor, query)
+        assert estimator.cardinality(query) == executor.cardinality(
+            query.predicates
+        )
+
+    def test_unobserved_falls_back_to_sits(
+        self, two_table_db, two_table_pool, query
+    ):
+        base = make_gs_diff(two_table_db, two_table_pool)
+        estimator = FeedbackEstimator(base)
+        assert estimator.cardinality(query) == pytest.approx(
+            base.cardinality(query)
+        )
+
+    def test_component_feedback_composes_exactly(
+        self, two_table_db, two_table_pool, two_table_attrs
+    ):
+        # Two table-disjoint filters: observing each component separately
+        # gives the exact product (Property 2).
+        executor = Executor(two_table_db)
+        f_r = FilterPredicate(two_table_attrs["Ra"], 0, 20)
+        f_s = FilterPredicate(two_table_attrs["Sb"], 0, 50)
+        query = Query.of(f_r, f_s)
+        estimator = FeedbackEstimator(make_gs_diff(two_table_db, two_table_pool))
+        estimator.observe(executor, Query.of(f_r))
+        estimator.observe(executor, Query.of(f_s))
+        assert estimator.cardinality(query) == executor.cardinality(
+            query.predicates
+        )
+
+    def test_empty_query(self, two_table_db, two_table_pool):
+        estimator = FeedbackEstimator(make_gs_diff(two_table_db, two_table_pool))
+        query = Query(frozenset(), tables=frozenset(("R",)))
+        assert estimator.cardinality(query) == 2000
+
+    def test_invalidation_restores_estimate(
+        self, two_table_db, two_table_pool, query
+    ):
+        executor = Executor(two_table_db)
+        base = make_gs_diff(two_table_db, two_table_pool)
+        estimator = FeedbackEstimator(base)
+        estimator.observe(executor, query)
+        estimator.feedback.invalidate_table("R")
+        assert estimator.cardinality(query) == pytest.approx(
+            base.cardinality(query)
+        )

@@ -1,0 +1,134 @@
+"""Tests for SIT pool serialization."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import make_gs_diff
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.expressions import Query
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.io import (
+    PoolFormatError,
+    decode_sit,
+    dumps_pool,
+    encode_sit,
+    load_pool,
+    loads_pool,
+    save_pool,
+)
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+
+
+def sample_sit():
+    histogram = Histogram(
+        [Bucket(0, 10, 100, 10), Bucket(11, 11, 50, 1)], null_count=5
+    )
+    return SIT(
+        RA,
+        frozenset(
+            {
+                JoinPredicate(RX, SY),
+                FilterPredicate(SY, -math.inf, 7),
+            }
+        ),
+        histogram,
+        diff=0.37,
+    )
+
+
+class TestSITRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_sit()
+        restored = decode_sit(encode_sit(original))
+        assert restored.attribute == original.attribute
+        assert restored.expression == original.expression
+        assert restored.diff == original.diff
+        assert restored.histogram.buckets == original.histogram.buckets
+        assert restored.histogram.null_count == original.histogram.null_count
+
+    def test_infinity_round_trips(self):
+        original = sample_sit()
+        restored = decode_sit(encode_sit(original))
+        filters = [p for p in restored.expression if not p.is_join]
+        assert filters[0].low == -math.inf
+
+    def test_base_sit(self):
+        original = SIT(RA, frozenset(), Histogram([Bucket(0, 1, 5, 2)]))
+        restored = decode_sit(encode_sit(original))
+        assert restored.is_base
+
+
+class TestPoolRoundTrip:
+    def test_dumps_loads(self):
+        pool = SITPool([sample_sit(), SIT(SY, frozenset(), Histogram([Bucket(0, 5, 9, 3)]))])
+        restored = loads_pool(dumps_pool(pool))
+        assert len(restored) == 2
+        assert {str(s) for s in restored} == {str(s) for s in pool}
+
+    def test_file_roundtrip(self, tmp_path):
+        pool = SITPool([sample_sit()])
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        restored = load_pool(path)
+        assert len(restored) == 1
+        assert restored.sits[0].diff == 0.37
+
+    def test_restored_pool_estimates_identically(
+        self, two_table_db, two_table_pool, two_table_join, two_table_attrs, tmp_path
+    ):
+        path = tmp_path / "pool.json"
+        save_pool(two_table_pool, path)
+        restored = load_pool(path)
+        query = Query.of(
+            two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 20)
+        )
+        original_estimate = make_gs_diff(two_table_db, two_table_pool).cardinality(query)
+        restored_estimate = make_gs_diff(two_table_db, restored).cardinality(query)
+        assert restored_estimate == pytest.approx(original_estimate)
+
+    def test_empty_pool(self):
+        assert len(loads_pool(dumps_pool(SITPool()))) == 0
+
+
+class TestFormatErrors:
+    def test_not_json(self):
+        with pytest.raises(PoolFormatError):
+            loads_pool("{nope")
+
+    def test_wrong_top_level(self):
+        with pytest.raises(PoolFormatError):
+            loads_pool("[1, 2]")
+
+    def test_unknown_version(self):
+        with pytest.raises(PoolFormatError):
+            loads_pool('{"version": 99, "sits": []}')
+
+    def test_bad_predicate_kind(self):
+        with pytest.raises(PoolFormatError):
+            decode_sit(
+                {
+                    "attribute": {"table": "R", "column": "a"},
+                    "expression": [{"kind": "mystery"}],
+                    "histogram": {"buckets": []},
+                }
+            )
+
+    def test_missing_histogram(self):
+        with pytest.raises(PoolFormatError):
+            decode_sit({"attribute": {"table": "R", "column": "a"}})
+
+    def test_bad_bucket_shape(self):
+        with pytest.raises(PoolFormatError):
+            decode_sit(
+                {
+                    "attribute": {"table": "R", "column": "a"},
+                    "expression": [],
+                    "histogram": {"buckets": [[1, 2]]},
+                }
+            )

@@ -1,0 +1,164 @@
+"""Tests for SIT pools and the paper's J_i pool generation."""
+
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.engine.expressions import Query
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import (
+    SITPool,
+    build_workload_pool,
+    connected_join_subsets,
+    workload_sit_requests,
+)
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+ST = Attribute("S", "t")
+TZ = Attribute("T", "z")
+UV = Attribute("U", "v")
+TU = Attribute("T", "u")
+
+JOIN_RS = JoinPredicate(RX, SY)
+JOIN_ST = JoinPredicate(ST, TZ)
+JOIN_TU = JoinPredicate(TU, UV)
+
+
+def uniform():
+    return Histogram([Bucket(0, 10, 100, 10)])
+
+
+def make_sit(attribute, expression=frozenset(), diff=0.0):
+    return SIT(attribute, frozenset(expression), uniform(), diff=diff)
+
+
+class TestSITPool:
+    def test_for_attribute(self):
+        base = make_sit(RA)
+        conditioned = make_sit(RA, {JOIN_RS})
+        pool = SITPool([base, conditioned, make_sit(SB)])
+        assert set(pool.for_attribute(RA)) == {base, conditioned}
+        assert pool.for_attribute(Attribute("Z", "q")) == []
+
+    def test_base_lookup(self):
+        base = make_sit(RA)
+        pool = SITPool([make_sit(RA, {JOIN_RS}), base])
+        assert pool.base(RA) == base
+        assert pool.base(SB) is None
+
+    def test_base_only_restriction(self):
+        pool = SITPool([make_sit(RA), make_sit(RA, {JOIN_RS})])
+        restricted = pool.base_only()
+        assert len(restricted) == 1
+        assert all(s.is_base for s in restricted)
+
+    def test_restrict_joins(self):
+        pool = SITPool(
+            [
+                make_sit(RA),
+                make_sit(RA, {JOIN_RS}),
+                make_sit(SB, {JOIN_RS, JOIN_ST}),
+            ]
+        )
+        assert len(pool.restrict_joins(0)) == 1
+        assert len(pool.restrict_joins(1)) == 2
+        assert len(pool.restrict_joins(2)) == 3
+
+    def test_with_expression_member(self):
+        conditioned = make_sit(RA, {JOIN_RS})
+        pool = SITPool([make_sit(RA), conditioned])
+        assert pool.with_expression_member(JOIN_RS) == [conditioned]
+        assert pool.with_expression_member(JOIN_ST) == []
+
+    def test_contains_and_iter(self):
+        sit = make_sit(RA)
+        pool = SITPool([sit])
+        assert sit in pool
+        assert list(pool) == [sit]
+
+
+class TestConnectedJoinSubsets:
+    def test_chain_subsets(self):
+        subsets = connected_join_subsets(frozenset({JOIN_RS, JOIN_ST}), 2)
+        assert frozenset({JOIN_RS}) in subsets
+        assert frozenset({JOIN_ST}) in subsets
+        assert frozenset({JOIN_RS, JOIN_ST}) in subsets
+
+    def test_disconnected_pairs_excluded(self):
+        far = JoinPredicate(Attribute("X", "x"), Attribute("Y", "y"))
+        subsets = connected_join_subsets(frozenset({JOIN_RS, far}), 2)
+        assert frozenset({JOIN_RS, far}) not in subsets
+        assert len(subsets) == 2
+
+    def test_size_cap(self):
+        joins = frozenset({JOIN_RS, JOIN_ST, JOIN_TU})
+        subsets = connected_join_subsets(joins, 1)
+        assert all(len(s) == 1 for s in subsets)
+
+
+class TestWorkloadRequests:
+    def make_query(self):
+        return Query.of(
+            JOIN_RS,
+            JOIN_ST,
+            FilterPredicate(RA, 0, 10),
+            FilterPredicate(TZ, 0, 5),
+        )
+
+    def test_base_histograms_for_all_attributes(self):
+        requests = workload_sit_requests([self.make_query()], max_joins=0)
+        assert requests[frozenset()] == {RA, RX, SY, ST, TZ}
+
+    def test_expressions_limited_by_join_count(self):
+        requests = workload_sit_requests([self.make_query()], max_joins=1)
+        expressions = [e for e in requests if e]
+        assert all(len(e) == 1 for e in expressions)
+
+    def test_attributes_require_table_in_expression(self):
+        requests = workload_sit_requests([self.make_query()], max_joins=1)
+        attrs = requests[frozenset({JOIN_RS})]
+        # R.a, R.x, S.y, S.t are on tables of R⋈S; T.z is not.
+        assert TZ not in attrs
+        assert RA in attrs
+
+    def test_j2_contains_two_join_expressions(self):
+        requests = workload_sit_requests([self.make_query()], max_joins=2)
+        assert frozenset({JOIN_RS, JOIN_ST}) in requests
+
+
+class TestBuildWorkloadPool:
+    def test_pool_counts_grow_with_join_limit(self, two_table_db, two_table_attrs):
+        builder = SITBuilder(two_table_db)
+        query = Query.of(
+            JoinPredicate(two_table_attrs["Rx"], two_table_attrs["Sy"]),
+            FilterPredicate(two_table_attrs["Ra"], 0, 20),
+        )
+        j0 = build_workload_pool(builder, [query], max_joins=0)
+        j1 = build_workload_pool(builder, [query], max_joins=1)
+        assert len(j0) < len(j1)
+        assert all(s.is_base for s in j0)
+
+    def test_restriction_equals_rebuild(self, two_table_db, two_table_attrs):
+        builder = SITBuilder(two_table_db)
+        query = Query.of(
+            JoinPredicate(two_table_attrs["Rx"], two_table_attrs["Sy"]),
+            FilterPredicate(two_table_attrs["Ra"], 0, 20),
+        )
+        j1 = build_workload_pool(builder, [query], max_joins=1)
+        j0_again = j1.restrict_joins(0)
+        j0 = build_workload_pool(builder, [query], max_joins=0)
+        assert {str(s) for s in j0_again} == {str(s) for s in j0}
+
+    def test_no_duplicate_sits(self, two_table_db, two_table_attrs):
+        builder = SITBuilder(two_table_db)
+        query = Query.of(
+            JoinPredicate(two_table_attrs["Rx"], two_table_attrs["Sy"]),
+            FilterPredicate(two_table_attrs["Ra"], 0, 20),
+        )
+        pool = build_workload_pool(builder, [query, query], max_joins=1)
+        names = [str(s) for s in pool]
+        assert len(names) == len(set(names))

@@ -1,0 +1,98 @@
+"""Tests for SIT objects and the diff_H discrepancy measure."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute, JoinPredicate
+from repro.histograms.base import Bucket, Histogram
+from repro.histograms.maxdiff import build_maxdiff
+from repro.stats.diff import approximate_diff, exact_diff
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+JOIN = JoinPredicate(RX, SY)
+
+
+def uniform():
+    return Histogram([Bucket(0, 10, 100, 10)])
+
+
+class TestSIT:
+    def test_base_sit(self):
+        sit = SIT(RA, frozenset(), uniform())
+        assert sit.is_base
+        assert sit.join_count == 0
+        assert sit.tables == frozenset(("R",))
+        assert str(sit) == "SIT(R.a)"
+
+    def test_join_sit(self):
+        sit = SIT(RA, frozenset({JOIN}), uniform(), diff=0.4)
+        assert not sit.is_base
+        assert sit.join_count == 1
+        assert sit.tables == frozenset(("R", "S"))
+        assert "R.x=S.y" in str(sit)
+
+    def test_invalid_diff(self):
+        with pytest.raises(ValueError):
+            SIT(RA, frozenset(), uniform(), diff=1.5)
+
+    def test_hashable(self):
+        first = SIT(RA, frozenset({JOIN}), uniform(), diff=0.4)
+        assert first in {first}
+
+
+class TestExactDiff:
+    def test_identical(self):
+        values = np.array([1.0, 2.0, 2.0, 3.0])
+        assert exact_diff(values, values) == 0.0
+
+    def test_disjoint(self):
+        assert exact_diff(np.array([1.0, 2.0]), np.array([5.0, 6.0])) == 1.0
+
+    def test_half_overlap(self):
+        # Base: {1: 1/2, 2: 1/2}; expr: {1: 1}. TV distance = 1/2.
+        assert exact_diff(
+            np.array([1.0, 2.0]), np.array([1.0])
+        ) == pytest.approx(0.5)
+
+    def test_empty_cases(self):
+        assert exact_diff(np.array([]), np.array([])) == 0.0
+        assert exact_diff(np.array([1.0]), np.array([])) == 1.0
+
+    def test_nulls_excluded(self):
+        base = np.array([1.0, 2.0, np.nan])
+        expr = np.array([1.0, 2.0])
+        assert exact_diff(base, expr) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 20, 200).astype(float)
+        b = rng.integers(5, 25, 300).astype(float)
+        assert exact_diff(a, b) == pytest.approx(exact_diff(b, a))
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 20, 500).astype(float)
+        b = rng.integers(0, 20, 500).astype(float)
+        assert 0.0 <= exact_diff(a, b) <= 1.0
+
+
+class TestApproximateDiff:
+    def test_close_to_exact_on_real_data(self):
+        rng = np.random.default_rng(2)
+        base = rng.integers(0, 300, 20000).astype(float)
+        weights = 1.0 / np.arange(1, 301) ** 1.2
+        weights /= weights.sum()
+        skewed = rng.choice(300, size=20000, p=weights).astype(float)
+        exact = exact_diff(base, skewed)
+        approx = approximate_diff(
+            build_maxdiff(base, 200), build_maxdiff(skewed, 200)
+        )
+        assert approx == pytest.approx(exact, abs=0.1)
+
+    def test_capped_at_one(self):
+        left = build_maxdiff(np.array([1.0]), 10)
+        right = build_maxdiff(np.array([100.0]), 10)
+        assert approximate_diff(left, right) == 1.0

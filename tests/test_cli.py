@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SIGMOD 2004" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "true cardinality" in out
+        assert "GS-Diff" in out
+
+    def test_estimate(self, capsys):
+        sql = (
+            "SELECT * FROM sales, customer "
+            "WHERE sales.customer_id = customer.customer_id "
+            "AND customer.age BETWEEN 20 AND 40"
+        )
+        assert main(["estimate", "--sql", sql, "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "GS-Diff" in out
+        assert "true" in out
+
+    def test_figures_quick(self, capsys):
+        assert (
+            main(["figures", "--scale", "0.05", "--queries", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "J0" in out and "J3" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_estimate_requires_sql(self):
+        with pytest.raises(SystemExit):
+            main(["estimate"])

@@ -1,0 +1,121 @@
+"""Tests for the random SPJ workload generator."""
+
+import pytest
+
+from repro.core.predicates import connected_components
+from repro.engine.executor import Executor
+from repro.workload.queries import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    connected_subqueries,
+)
+
+
+class TestWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(join_count=-1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(target_selectivity=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(filter_count=-2)
+
+
+class TestGeneration:
+    def generator(self, db, **kwargs):
+        defaults = dict(join_count=3, filter_count=3, seed=5)
+        defaults.update(kwargs)
+        return WorkloadGenerator(db, WorkloadConfig(**defaults))
+
+    def test_shape(self, tiny_snowflake):
+        queries = self.generator(tiny_snowflake).generate(6)
+        assert len(queries) == 6
+        for query in queries:
+            assert query.join_count == 3
+            assert query.filter_count <= 3
+
+    def test_queries_are_connected(self, tiny_snowflake):
+        for query in self.generator(tiny_snowflake).generate(6):
+            assert len(connected_components(query.predicates)) == 1
+
+    def test_queries_are_non_empty(self, tiny_snowflake):
+        executor = Executor(tiny_snowflake)
+        for query in self.generator(tiny_snowflake).generate(8):
+            assert executor.cardinality(query.predicates) > 0
+
+    def test_deterministic_per_seed(self, tiny_snowflake):
+        first = self.generator(tiny_snowflake, seed=9).generate(4)
+        second = self.generator(tiny_snowflake, seed=9).generate(4)
+        assert [q.predicates for q in first] == [q.predicates for q in second]
+
+    def test_join_count_limited_by_schema(self, tiny_snowflake):
+        with pytest.raises(ValueError):
+            self.generator(tiny_snowflake, join_count=50)
+
+    def test_filters_only_on_query_tables(self, tiny_snowflake):
+        for query in self.generator(tiny_snowflake).generate(6):
+            join_tables = set()
+            for join in query.joins:
+                join_tables.update(join.tables)
+            for predicate in query.filters:
+                assert predicate.attribute.table in join_tables
+
+    def test_filters_never_on_key_columns(self, tiny_snowflake):
+        for query in self.generator(tiny_snowflake).generate(6):
+            for predicate in query.filters:
+                assert not predicate.attribute.column.endswith("_id")
+
+    def test_seven_way_joins(self, tiny_snowflake):
+        queries = self.generator(tiny_snowflake, join_count=7).generate(3)
+        for query in queries:
+            assert query.join_count == 7
+            assert len(query.tables) == 8
+
+    def test_filter_selectivity_near_target(self, small_snowflake):
+        generator = self.generator(
+            small_snowflake, join_count=2, filter_count=2, seed=3
+        )
+        executor = Executor(small_snowflake)
+        ratios = []
+        for query in generator.generate(10):
+            for predicate in query.filters:
+                selectivity = executor.selectivity(frozenset({predicate}))
+                ratios.append(selectivity)
+        # Target is 0.05; stretching may widen some, so check the median.
+        ratios.sort()
+        assert 0.02 <= ratios[len(ratios) // 2] <= 0.25
+
+
+class TestConnectedSubqueries:
+    def test_all_connected(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake, WorkloadConfig(join_count=3, filter_count=2, seed=1)
+        )
+        query = generator.generate_one()
+        for subset in connected_subqueries(query):
+            assert len(connected_components(subset)) == 1
+
+    def test_includes_full_query(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake, WorkloadConfig(join_count=3, filter_count=2, seed=1)
+        )
+        query = generator.generate_one()
+        assert query.predicates in connected_subqueries(query)
+
+    def test_sampling_preserves_full_query(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake, WorkloadConfig(join_count=4, filter_count=3, seed=2)
+        )
+        query = generator.generate_one()
+        sampled = connected_subqueries(query, max_count=10, seed=1)
+        assert len(sampled) == 10
+        assert query.predicates in sampled
+
+    def test_sampling_deterministic(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake, WorkloadConfig(join_count=4, filter_count=3, seed=2)
+        )
+        query = generator.generate_one()
+        assert connected_subqueries(query, 10, seed=5) == connected_subqueries(
+            query, 10, seed=5
+        )

@@ -1,0 +1,143 @@
+"""Tests for the synthetic snowflake database generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute, JoinPredicate
+from repro.engine.executor import Executor
+from repro.workload.snowflake import (
+    SnowflakeConfig,
+    generate_snowflake,
+    snowflake_schema,
+)
+
+
+class TestSchema:
+    def test_eight_tables_seven_fk_edges(self):
+        schema = snowflake_schema()
+        assert len(schema.tables) == 8
+        assert len(schema.foreign_keys) == 7
+
+    def test_fk_graph_is_a_connected_tree(self):
+        schema = snowflake_schema()
+        joins = [JoinPredicate(fk.source, fk.target) for fk in schema.foreign_keys]
+        from repro.core.predicates import connected_components
+
+        assert len(connected_components(joins)) == 1
+
+    def test_attribute_counts_in_paper_range(self):
+        schema = snowflake_schema()
+        for table in schema.tables.values():
+            assert 4 <= len(table.columns) <= 8
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        first = generate_snowflake(SnowflakeConfig(scale=0.05, seed=3))
+        second = generate_snowflake(SnowflakeConfig(scale=0.05, seed=3))
+        for name in first.tables:
+            for column in first.schema.table(name).columns:
+                np.testing.assert_array_equal(
+                    first.column(Attribute(name, column)),
+                    second.column(Attribute(name, column)),
+                )
+
+    def test_different_seeds_differ(self):
+        first = generate_snowflake(SnowflakeConfig(scale=0.05, seed=3))
+        second = generate_snowflake(SnowflakeConfig(scale=0.05, seed=4))
+        assert not np.array_equal(
+            first.column(Attribute("sales", "price")),
+            second.column(Attribute("sales", "price")),
+        )
+
+    def test_scale_controls_row_counts(self):
+        small = generate_snowflake(SnowflakeConfig(scale=0.05))
+        large = generate_snowflake(SnowflakeConfig(scale=0.2))
+        assert large.row_count("sales") == 4 * small.row_count("sales")
+
+    def test_size_spread_preserved(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.2))
+        assert db.row_count("sales") >= 500 * db.row_count("region")
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SnowflakeConfig(scale=0)
+        with pytest.raises(ValueError):
+            SnowflakeConfig(dangling_fraction=1.5)
+        with pytest.raises(ValueError):
+            SnowflakeConfig(dangling_mode="sometimes")
+
+    def test_fk_skew(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.2, skew=1.2))
+        fks = db.column(Attribute("sales", "customer_id"))
+        fks = fks[~np.isnan(fks)].astype(int)
+        counts = np.bincount(fks)
+        counts = counts[counts > 0]
+        # Zipf: the busiest customer has far more sales than the median.
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_zero_skew_roughly_uniform(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.2, skew=0.0))
+        fks = db.column(Attribute("sales", "store_id"))
+        fks = fks[~np.isnan(fks)].astype(int)
+        counts = np.bincount(fks, minlength=db.row_count("store"))
+        assert counts.max() < 4 * max(counts.min(), 1)
+
+
+class TestDanglingForeignKeys:
+    def test_random_dangling_fraction(self):
+        db = generate_snowflake(
+            SnowflakeConfig(scale=0.2, dangling_fraction=0.15)
+        )
+        fks = db.column(Attribute("sales", "customer_id"))
+        assert np.isnan(fks).mean() == pytest.approx(0.15, abs=0.01)
+
+    def test_no_dangling_when_disabled(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.1, dangling_fraction=0.0))
+        fks = db.column(Attribute("sales", "customer_id"))
+        assert not np.isnan(fks).any()
+
+    def test_correlated_dangling_hits_expensive_sales(self):
+        db = generate_snowflake(
+            SnowflakeConfig(
+                scale=0.2, dangling_fraction=0.1, dangling_mode="correlated"
+            )
+        )
+        price = db.column(Attribute("sales", "price"))
+        fk = db.column(Attribute("sales", "customer_id"))
+        dangling_price = price[np.isnan(fk)].mean()
+        kept_price = price[~np.isnan(fk)].mean()
+        assert dangling_price > 2 * kept_price
+
+    def test_dangling_breaks_referential_integrity(self):
+        db = generate_snowflake(
+            SnowflakeConfig(scale=0.1, dangling_fraction=0.2)
+        )
+        executor = Executor(db)
+        join = JoinPredicate(
+            Attribute("sales", "customer_id"),
+            Attribute("customer", "customer_id"),
+        )
+        join_size = executor.cardinality(frozenset({join}))
+        assert join_size < db.row_count("sales")
+
+
+class TestCorrelations:
+    def test_price_follows_list_price(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.2))
+        price = db.column(Attribute("sales", "price"))
+        product = db.column(Attribute("sales", "product_id")).astype(int)
+        list_price = db.column(Attribute("product", "list_price"))[product]
+        correlation = np.corrcoef(price, list_price)[0, 1]
+        assert correlation > 0.8
+
+    def test_income_depends_on_nation(self):
+        db = generate_snowflake(SnowflakeConfig(scale=0.2))
+        income = db.column(Attribute("customer", "income"))
+        nation = db.column(Attribute("customer", "nation_id")).astype(int)
+        means = [
+            income[nation == n].mean()
+            for n in np.unique(nation)
+            if (nation == n).sum() >= 5
+        ]
+        assert max(means) > 3 * min(means)

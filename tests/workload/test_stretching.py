@@ -1,0 +1,58 @@
+"""Tests for the empty-result stretching behaviour of the generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Attribute, FilterPredicate
+from repro.engine.executor import Executor
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+
+
+class TestStretching:
+    def test_stretch_widens_range(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake,
+            WorkloadConfig(join_count=2, filter_count=2, seed=4),
+        )
+        predicate = FilterPredicate(Attribute("sales", "price"), 50, 60)
+        stretched = generator._stretch(predicate)
+        assert stretched.low <= predicate.low
+        assert stretched.high >= predicate.high
+        assert stretched.attribute == predicate.attribute
+
+    def test_stretch_clamped_to_domain(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake,
+            WorkloadConfig(join_count=2, filter_count=2, seed=4),
+        )
+        values = tiny_snowflake.column(Attribute("sales", "price"))
+        lo, hi = float(np.nanmin(values)), float(np.nanmax(values))
+        predicate = FilterPredicate(Attribute("sales", "price"), lo, hi)
+        stretched = generator._stretch(predicate)
+        assert stretched.low >= lo
+        assert stretched.high <= hi
+
+    def test_tight_target_still_yields_non_empty_queries(self, tiny_snowflake):
+        # An absurdly selective target forces the stretching path.
+        generator = WorkloadGenerator(
+            tiny_snowflake,
+            WorkloadConfig(
+                join_count=3,
+                filter_count=3,
+                seed=5,
+                target_selectivity=0.001,
+            ),
+        )
+        executor = Executor(tiny_snowflake)
+        for query in generator.generate(5):
+            assert executor.cardinality(query.predicates) > 0
+
+    def test_many_filters_capped_by_available_attributes(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake,
+            WorkloadConfig(join_count=1, filter_count=50, seed=6),
+        )
+        query = generator.generate_one()
+        # filter count bounded by distinct non-key attributes of the two
+        # joined tables.
+        assert query.filter_count <= 12
