@@ -1,0 +1,76 @@
+"""Core-DP and histogram-kernel speedup benchmark (bitmask vs. seed).
+
+Runs the :mod:`repro.bench.perf` suite — legacy (frozenset DP + loop
+kernels, the seed configuration) against the bitmask DP + vectorized
+kernels — and regenerates the repo-root ``BENCH_core.json`` artifact.
+The assertions are deliberately conservative (well under the measured
+speedups) so the benchmark is robust to noisy machines; the acceptance
+numbers live in ``BENCH_core.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_core_dp.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import perf
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def perf_result():
+    return perf.run(repeats=7)
+
+
+def test_dp_steady_state_speedup(perf_result, write_result):
+    """Reset-per-query regime (the optimizer inner loop): the bitmask DP
+    must comfortably beat the seed on every workload size."""
+    rows = perf_result["get_selectivity"]
+    for key, row in rows.items():
+        assert row["steady_speedup"] >= 2.0, (key, row["steady_speedup"])
+    assert rows["n7"]["steady_speedup"] >= 3.0
+    write_result("core_dp", perf.render(perf_result))
+
+
+def test_dp_cold_not_regressed(perf_result):
+    """A fresh-instance call is matching-layer bound (shared by both
+    paths); the bitmask machinery must not make it materially slower."""
+    for key, row in perf_result["get_selectivity"].items():
+        assert row["cold_speedup"] >= 0.6, (key, row["cold_speedup"])
+
+
+def test_histogram_kernel_speedups(perf_result):
+    histograms = perf_result["histograms"]
+    assert histograms["histogram_join"]["speedup"] >= 3.0
+    assert histograms["variation_distance"]["speedup"] >= 5.0
+
+
+def test_results_are_identical_across_paths(perf_result):
+    """The benchmark must compare equal work: both paths answer the same
+    query with the same selectivity (parity is exhaustively tested in
+    tests/core/test_bitmask_parity.py; this is the bench-level guard)."""
+    from repro.core.errors import NIndError
+    from repro.core.get_selectivity import GetSelectivity
+
+    for size in perf.PREDICATE_COUNTS:
+        predicates, pool = perf.build_scenario(size)
+        fast = GetSelectivity(pool, NIndError())(predicates)
+        oracle = GetSelectivity(pool, NIndError(), legacy=True)(predicates)
+        assert fast.selectivity == oracle.selectivity
+        assert fast.error == oracle.error
+        assert fast.decomposition == oracle.decomposition
+
+
+def test_write_bench_core_json(perf_result):
+    """Regenerate the repo-root artifact so CI keeps it fresh."""
+    payload = json.dumps(perf_result, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_core.json").write_text(payload)
+    reread = json.loads(payload)
+    assert reread["gates"]["n7_steady_speedup"] >= 3.0

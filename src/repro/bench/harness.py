@@ -44,6 +44,10 @@ class QueryMetrics:
     analysis_seconds: float
     estimation_seconds: float
     estimates: dict[PredicateSet, float] = field(default_factory=dict)
+    #: ``GetSelectivity.stats()`` snapshot taken after the query's last
+    #: sub-query (memo size, match-cache hits/misses, pruned count, ...);
+    #: empty for techniques without the observability hook (GVM).
+    stats: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -187,6 +191,7 @@ class Harness:
             analysis_seconds=estimator.analysis_seconds,
             estimation_seconds=estimator.estimation_seconds,
             estimates=estimates,
+            stats=estimator.algorithm.stats(),
         )
 
     def _run_gvm(

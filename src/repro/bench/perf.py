@@ -1,0 +1,301 @@
+"""Core-DP and histogram-algebra performance benchmarks.
+
+Measures the bitmask ``GetSelectivity`` rewrite against the preserved
+``LegacyGetSelectivity`` baseline, and the vectorized histogram algebra
+against the pure-Python reference kernels, then writes a machine-readable
+``BENCH_core.json`` at the repository root.  Run with::
+
+    PYTHONPATH=src python -m repro.bench.perf [output.json]
+
+Two regimes are timed for the DP:
+
+* ``cold``   — a fresh instance answers the full query once (universe
+  interning, factor matching and the whole ``O(3^n)`` enumeration);
+* ``steady`` — the per-query optimizer regime the harness uses: the same
+  instance is ``reset()`` between queries, so the pool-pure factor-match
+  cache and interned universe are warm and the measured cost is the
+  decomposition search itself.
+
+``analysis_ms`` / ``estimation_ms`` split each technique's time into the
+paper's Figure 8 categories (decomposition analysis vs. histogram
+manipulation) using the ``GetSelectivity`` timing accumulators.
+
+The histogram microbenchmarks join / diff two ~200-bucket maxDiff
+histograms — the paper's SIT format — through both kernel generations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import platform
+import random
+import statistics
+import sys
+import time
+from typing import Callable, Iterator
+
+import numpy as np
+
+import repro.core.matching as _matching
+
+from repro.core.errors import NIndError
+from repro.core.get_selectivity import GetSelectivity
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    attributes_of,
+)
+from repro.histograms.base import Bucket, Histogram
+from repro.histograms.maxdiff import build_maxdiff
+from repro.histograms.operations import (
+    join_histograms,
+    join_histograms_reference,
+    variation_distance,
+    variation_distance_reference,
+)
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[3] / "BENCH_core.json"
+
+#: predicate counts benchmarked (the acceptance gate reads ``n7``)
+PREDICATE_COUNTS = (5, 7, 9)
+
+COLUMNS = ("a", "b", "c")
+
+
+# ----------------------------------------------------------------------
+# Scenario construction (deterministic)
+# ----------------------------------------------------------------------
+def _scenario_histogram(rng: random.Random) -> Histogram:
+    count = rng.randint(2, 4)
+    edges = sorted(rng.sample(range(0, 401), 2 * count))
+    buckets = []
+    for i in range(count):
+        low, high = float(edges[2 * i]), float(edges[2 * i + 1])
+        frequency = float(rng.randint(100, 1000))
+        distinct = float(rng.randint(1, max(1, int(min(frequency, high - low + 1)))))
+        buckets.append(Bucket(low, high, frequency, distinct))
+    return Histogram(buckets)
+
+
+def build_scenario(size: int, seed: int = 0) -> tuple[frozenset, SITPool]:
+    """A connected chain-join workload with ``size`` predicates and a pool
+    with base SITs on every attribute plus a few conditioned SITs."""
+    rng = random.Random(20260806 + seed + size)
+    n_tables = min(5, size)
+    tables = [f"T{i}" for i in range(n_tables)]
+    joins = [
+        JoinPredicate(
+            Attribute(tables[i - 1], rng.choice(COLUMNS)),
+            Attribute(tables[i], rng.choice(COLUMNS)),
+        )
+        for i in range(1, n_tables)
+    ]
+    predicates: set = set(joins)
+    while len(predicates) < size:
+        table = rng.choice(tables)
+        low = float(rng.randint(0, 390))
+        predicates.add(
+            FilterPredicate(
+                Attribute(table, rng.choice(COLUMNS)), low, low + rng.randint(0, 60)
+            )
+        )
+    frozen = frozenset(predicates)
+    attributes = sorted(attributes_of(frozen))
+    pool = SITPool()
+    for attribute in attributes:
+        pool.add(SIT(attribute, frozenset(), _scenario_histogram(rng)))
+    for _ in range(4):
+        expression = frozenset(rng.sample(joins, rng.randint(1, min(2, len(joins)))))
+        pool.add(
+            SIT(
+                rng.choice(attributes),
+                expression,
+                _scenario_histogram(rng),
+                diff=round(rng.random(), 3),
+            )
+        )
+    return frozen, pool
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def _time_once(function: Callable[[], object]) -> float:
+    started = time.perf_counter()
+    function()
+    return time.perf_counter() - started
+
+
+def _best_of(function: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs (noise floor)."""
+    return min(_time_once(function) for _ in range(repeats))
+
+
+def _median_of(function: Callable[[], object], repeats: int) -> float:
+    return statistics.median(_time_once(function) for _ in range(repeats))
+
+
+@contextlib.contextmanager
+def seed_kernels() -> Iterator[None]:
+    """Run the factor-estimation pipeline on the seed's loop kernels.
+
+    The seed implementation used the pure-Python ``join_histograms``; the
+    vectorized kernel is part of this optimisation round, so the honest
+    end-to-end baseline patches the reference back in for the legacy DP.
+    """
+    original = _matching.join_histograms
+    _matching.join_histograms = join_histograms_reference
+    try:
+        yield
+    finally:
+        _matching.join_histograms = original
+
+
+def bench_get_selectivity(size: int, repeats: int) -> dict:
+    predicates, pool = build_scenario(size)
+
+    def fresh(legacy: bool) -> GetSelectivity:
+        return GetSelectivity(pool, NIndError(), legacy=legacy)
+
+    out: dict = {"predicates": size}
+    for name, legacy in (("legacy", True), ("bitmask", False)):
+        # legacy == the seed configuration: frozenset DP + loop kernels.
+        context = seed_kernels() if legacy else contextlib.nullcontext()
+        with context:
+            cold = _median_of(
+                lambda: fresh(legacy)(predicates), max(3, repeats // 2)
+            )
+            algorithm = fresh(legacy)
+            algorithm(predicates)  # warm the pool-pure caches
+
+            def steady_run() -> None:
+                algorithm.reset()
+                algorithm(predicates)
+
+            steady = _best_of(steady_run, repeats)
+        stats = algorithm.stats()
+        out[name] = {
+            "cold_ms": cold * 1000.0,
+            "steady_ms": steady * 1000.0,
+            "analysis_ms": stats["analysis_seconds"] * 1000.0,
+            "estimation_ms": stats["estimation_seconds"] * 1000.0,
+            "matcher_calls": stats["matcher_calls"],
+            "memo_entries": stats["memo_entries"],
+        }
+    out["cold_speedup"] = out["legacy"]["cold_ms"] / out["bitmask"]["cold_ms"]
+    out["steady_speedup"] = out["legacy"]["steady_ms"] / out["bitmask"]["steady_ms"]
+    return out
+
+
+def _micro_histograms(buckets: int = 200, size: int = 60_000):
+    rng = np.random.default_rng(7)
+    skewed = rng.zipf(1.3, size=size).clip(max=50_000).astype(float)
+    normal = np.floor(rng.normal(25_000.0, 8_000.0, size=size)).clip(0, 50_000)
+    return (
+        build_maxdiff(skewed, max_buckets=buckets),
+        build_maxdiff(normal, max_buckets=buckets),
+    )
+
+
+def bench_histogram_ops(repeats: int) -> dict:
+    left, right = _micro_histograms()
+    cases = {
+        "histogram_join": (
+            lambda: join_histograms_reference(left, right),
+            lambda: join_histograms(left, right),
+        ),
+        "variation_distance": (
+            lambda: variation_distance_reference(left, right),
+            lambda: variation_distance(left, right),
+        ),
+    }
+    out = {
+        "buckets": (left.bucket_count, right.bucket_count),
+    }
+    for name, (reference, vectorized) in cases.items():
+        reference_s = _best_of(reference, max(3, repeats // 3))
+        vectorized_s = _best_of(vectorized, repeats)
+        out[name] = {
+            "reference_ms": reference_s * 1000.0,
+            "vectorized_ms": vectorized_s * 1000.0,
+            "speedup": reference_s / vectorized_s,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+def run(repeats: int = 9) -> dict:
+    """Run every benchmark and return the ``BENCH_core.json`` payload."""
+    result = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+            "repeats": repeats,
+            "timer": "perf_counter; cold=median, steady/micro=best-of",
+            "baseline": (
+                "legacy = seed frozenset implementation "
+                "(LegacyGetSelectivity / *_reference kernels), "
+                "preserved in-tree and timed on this machine"
+            ),
+        },
+        "get_selectivity": {
+            f"n{size}": bench_get_selectivity(size, repeats)
+            for size in PREDICATE_COUNTS
+        },
+        "histograms": bench_histogram_ops(repeats),
+    }
+    result["gates"] = {
+        # The rewrite targets the optimizer inner loop: an end-to-end
+        # getSelectivity call per query in the harness's reset-per-query
+        # regime (cold calls are matching-layer bound, which both paths
+        # share; cold speedups are reported above for transparency).
+        "n7_steady_speedup": result["get_selectivity"]["n7"]["steady_speedup"],
+        "n7_steady_target": 3.0,
+        "histogram_join_speedup": result["histograms"]["histogram_join"][
+            "speedup"
+        ],
+        "variation_distance_speedup": result["histograms"][
+            "variation_distance"
+        ]["speedup"],
+        "histogram_target": 5.0,
+    }
+    return result
+
+
+def render(result: dict) -> str:
+    lines = ["core DP (getSelectivity), legacy vs bitmask:"]
+    for key, row in result["get_selectivity"].items():
+        lines.append(
+            f"  {key}: cold {row['legacy']['cold_ms']:8.2f} -> "
+            f"{row['bitmask']['cold_ms']:8.2f} ms ({row['cold_speedup']:5.1f}x)   "
+            f"steady {row['legacy']['steady_ms']:8.2f} -> "
+            f"{row['bitmask']['steady_ms']:8.2f} ms ({row['steady_speedup']:5.1f}x)"
+        )
+    lines.append("histogram algebra, reference vs vectorized:")
+    for name in ("histogram_join", "variation_distance"):
+        row = result["histograms"][name]
+        lines.append(
+            f"  {name}: {row['reference_ms']:8.2f} -> "
+            f"{row['vectorized_ms']:8.2f} ms ({row['speedup']:5.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = pathlib.Path(argv[0]) if argv else DEFAULT_OUTPUT
+    result = run()
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

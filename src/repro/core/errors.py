@@ -117,8 +117,13 @@ class DiffError:
     def rank_candidate(self, entry: AttributeCandidates) -> SIT:
         def score(sit: SIT) -> tuple[float, str]:
             assumed = entry.conditioning - sit.expression
+            # Sort before summing: float addition is not associative, and
+            # frozenset iteration order is hash-seed dependent (equal sets
+            # built through different operations may even iterate
+            # differently), so an unsorted sum is not reproducible.
             total = sum(
-                self._attribute_dependence(entry.attribute, q) for q in assumed
+                self._attribute_dependence(entry.attribute, q)
+                for q in sorted(assumed, key=str)
             )
             return (total, str(sit))
 
@@ -128,7 +133,10 @@ class DiffError:
     def factor_error(self, match: FactorMatch) -> float:
         total = 0.0
         for term in implicit_terms(match):
-            for assumed in term.assumed:
+            # Deterministic summation order (see rank_candidate): the same
+            # logical match must yield the bit-identical error no matter
+            # how its predicate sets were constructed.
+            for assumed in sorted(term.assumed, key=str):
                 total += self._pair_dependence(term.predicate, assumed)
         return total
 

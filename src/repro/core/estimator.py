@@ -31,6 +31,7 @@ class CardinalityEstimator:
         error_function: ErrorFunction | None = None,
         sit_driven_pruning: bool = False,
         name: str | None = None,
+        legacy: bool = False,
     ):
         self.database = database
         self.pool = pool
@@ -38,7 +39,10 @@ class CardinalityEstimator:
             error_function if error_function is not None else DiffError(pool)
         )
         self.algorithm = GetSelectivity(
-            pool, self.error_function, sit_driven_pruning=sit_driven_pruning
+            pool,
+            self.error_function,
+            sit_driven_pruning=sit_driven_pruning,
+            legacy=legacy,
         )
         self.name = name if name is not None else f"GS-{self.error_function.name}"
 
@@ -89,6 +93,10 @@ class CardinalityEstimator:
     @property
     def estimation_seconds(self) -> float:
         return self.algorithm.estimation_seconds
+
+    def stats(self) -> dict[str, float]:
+        """The DP's observability snapshot (see ``GetSelectivity.stats``)."""
+        return self.algorithm.stats()
 
     def reset(self) -> None:
         """Clear memoization and counters (e.g. between workload queries

@@ -20,6 +20,29 @@ Structure follows the paper's pseudo-code:
 
 The optional SIT-driven pruning of Section 3.4 skips atomic decompositions
 whose conditional factor could not possibly use a non-base SIT.
+
+Performance architecture
+------------------------
+Because ``getSelectivity`` runs inside the optimizer's cardinality-request
+loop, per-call latency is the budget.  :class:`GetSelectivity` therefore
+runs the whole DP on an interned **bitmask representation**
+(:mod:`repro.core.universe`): the memo and factor-match cache key on plain
+``int`` masks, submask enumeration is ``sub = (sub - 1) & mask``,
+connected components are a bitwise BFS over a precomputed adjacency table,
+and Section 3.4 pruning is a single ``expr & ~q == 0`` test per candidate
+SIT expression.  ``frozenset`` objects are materialized only at the public
+API boundary and on factor-match cache misses, so ``EstimationResult``,
+``Decomposition`` and every caller are unchanged.
+
+:class:`LegacyGetSelectivity` (also reachable as
+``GetSelectivity(..., legacy=True)``) preserves the original
+frozenset-based implementation verbatim; it is the oracle for the
+randomized parity suite (``tests/core/test_bitmask_parity.py``), which
+asserts the two paths return bit-identical selectivities, errors and
+decompositions.  Exact ties between decompositions are broken by the
+canonical (subset size, lexicographic over str-sorted predicates) order in
+both paths — the legacy path gets it implicitly from its enumeration
+order, the bitmask path from :meth:`PredicateUniverse.tie_break`.
 """
 
 from __future__ import annotations
@@ -39,6 +62,7 @@ from repro.core.matching import (
 )
 from repro.core.predicates import PredicateSet, connected_components
 from repro.core.selectivity import Decomposition, Factor
+from repro.core.universe import PredicateUniverse, iter_bits
 from repro.stats.pool import SITPool
 
 
@@ -75,13 +99,28 @@ _EMPTY_RESULT = EstimationResult(1.0, 0.0, Decomposition(()), ())
 
 
 class GetSelectivity:
-    """A reusable ``getSelectivity`` instance.
+    """A reusable ``getSelectivity`` instance (bitmask fast path).
 
     The memoization table persists across calls, so during the optimization
     of one query every selectivity request for a sub-plan after the first
     is a table lookup — the reuse property Section 4 builds on.  Create a
     fresh instance (or call :meth:`reset`) when the SIT pool changes.
+
+    ``GetSelectivity(pool, error_function, legacy=True)`` constructs the
+    reference :class:`LegacyGetSelectivity` implementation instead.
     """
+
+    def __new__(
+        cls,
+        pool: SITPool,
+        error_function: ErrorFunction,
+        sit_driven_pruning: bool = False,
+        matcher: ViewMatcher | None = None,
+        legacy: bool = False,
+    ):
+        if legacy and cls is GetSelectivity:
+            return super().__new__(LegacyGetSelectivity)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -89,34 +128,254 @@ class GetSelectivity:
         error_function: ErrorFunction,
         sit_driven_pruning: bool = False,
         matcher: ViewMatcher | None = None,
+        legacy: bool = False,
     ):
+        del legacy  # consumed by __new__
         self.pool = pool
         self.error_function = error_function
         self.sit_driven_pruning = sit_driven_pruning
         self.matcher = matcher if matcher is not None else ViewMatcher(pool)
-        self._memo: dict[PredicateSet, EstimationResult] = {}
+        #: bit-interning of every predicate this instance has seen; must
+        #: outlive reset() because the factor-match cache keys on its bits.
+        self.universe = PredicateUniverse(pool)
+        #: memo keyed by predicate mask (legacy subclass: by frozenset)
+        self._memo: dict = {}
         # Pure function of (P', Q) for a fixed pool and error function, so
         # it survives reset() (which only clears per-query accounting).
-        self._match_cache: dict[
-            tuple[PredicateSet, PredicateSet], tuple[FactorMatch | None, float]
-        ] = {}
+        # Fast path values are (match, error, coverage) triples; the legacy
+        # subclass stores (match, error) pairs, as the seed did.
+        self._match_cache: dict = {}
+        # estimate_factor(match) is a pure histogram computation per
+        # (P', Q); caching it across reset() means a steady-state optimizer
+        # only pays histogram manipulation for factors it has never
+        # estimated before (fast path only — the legacy baseline keeps the
+        # seed behaviour of re-estimating per query).
+        self._estimate_cache: dict = {}
         #: accumulated seconds in search + SIT selection (Figure 8's
         #: "decomposition analysis") and in numeric estimation ("histogram
         #: manipulation").
         self.analysis_seconds = 0.0
         self.estimation_seconds = 0.0
+        #: per-query observability counters (see :meth:`stats`)
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0
+        self.pruned_decompositions = 0
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Clear per-query state: memo, call counter, timing accumulators
-        (the factor-match cache is pool-pure and survives)."""
+        (the factor-match cache and universe are pool-pure and survive)."""
         self._memo.clear()
         self.matcher.reset_counter()
         self.analysis_seconds = 0.0
         self.estimation_seconds = 0.0
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0
+        self.pruned_decompositions = 0
+
+    def stats(self) -> dict[str, float]:
+        """Observability snapshot of the DP's internal state.
+
+        ``memo_entries`` and ``match_cache_entries`` are current sizes;
+        hits/misses, matcher calls, pruned-decomposition counts and the
+        two Figure 8 timing accumulators are per-query (cleared by
+        :meth:`reset`).
+        """
+        return {
+            "memo_entries": len(self._memo),
+            "match_cache_entries": len(self._match_cache),
+            "estimate_cache_entries": len(self._estimate_cache),
+            "match_cache_hits": self.match_cache_hits,
+            "match_cache_misses": self.match_cache_misses,
+            "matcher_calls": self.matcher.calls,
+            "pruned_decompositions": self.pruned_decompositions,
+            "universe_size": self.universe.size,
+            "analysis_seconds": self.analysis_seconds,
+            "estimation_seconds": self.estimation_seconds,
+        }
 
     def __call__(self, predicates: PredicateSet) -> EstimationResult:
         """Most accurate estimation of ``Sel_R(P)`` with ``R = tables(P)``."""
+        predicates = frozenset(predicates)
+        started = time.perf_counter()
+        mask = self.universe.intern(predicates)
+        result = self._solve(mask)
+        self.analysis_seconds += time.perf_counter() - started
+        return result
+
+    def cached_results(self) -> dict[PredicateSet, EstimationResult]:
+        """The memo table: free estimates for every solved sub-query."""
+        set_of = self.universe.set_of
+        return {set_of(mask): result for mask, result in self._memo.items()}
+
+    # ------------------------------------------------------------------
+    def _solve(self, mask: int) -> EstimationResult:
+        if not mask:
+            return _EMPTY_RESULT
+        cached = self._memo.get(mask)  # lines 1-2
+        if cached is not None:
+            return cached
+        components = self.universe.components(mask)
+        if len(components) > 1:  # lines 3-7
+            result = self._solve_separable(components)
+        else:  # lines 9-17
+            result = self._solve_non_separable(mask)
+        self._memo[mask] = result  # line 18
+        return result
+
+    def _solve_separable(self, components: list[int]) -> EstimationResult:
+        selectivity = 1.0
+        error = 0.0
+        coverage = 0.0
+        decomposition = Decomposition(())
+        matches: tuple[FactorMatch, ...] = ()
+        for component in components:
+            partial = self._solve(component)
+            selectivity *= partial.selectivity
+            error = merge(error, partial.error)
+            coverage += partial.coverage
+            decomposition = decomposition.merged(partial.decomposition)
+            matches = matches + partial.matches
+        return EstimationResult(selectivity, error, decomposition, matches, coverage)
+
+    def _solve_non_separable(self, mask: int) -> EstimationResult:
+        universe = self.universe
+        solve = self._solve
+        pruning = self.sit_driven_pruning
+        best_error = INFINITE_ERROR
+        best_coverage = 0.0
+        best_match: FactorMatch | None = None
+        best_tail: EstimationResult | None = None
+        best_p_mask = 0
+        best_tie: tuple[int, int] | None = None
+        # Line 10: every non-empty P' ⊆ P via submask enumeration
+        # (sub = (sub - 1) & mask); P' = P (Q empty) is included — it is
+        # the decomposition a traditional optimizer implicitly uses.
+        sub = mask
+        while sub:
+            p_mask = sub
+            sub = (sub - 1) & mask
+            q_mask = mask ^ p_mask
+            if pruning and q_mask and not self._worth_exploring_masks(
+                p_mask, q_mask
+            ):
+                self.pruned_decompositions += 1
+                continue
+            tail = solve(q_mask)  # line 11
+            if tail.error > best_error:
+                continue  # monotonicity: this decomposition cannot win
+            match, factor_error, match_coverage = self._best_factor_match(
+                p_mask, q_mask
+            )  # line 12
+            if match is None:
+                continue
+            total = merge(factor_error, tail.error)
+            if total > best_error:
+                continue
+            coverage = match_coverage + tail.coverage
+            if total == best_error and coverage == best_coverage:
+                # Exact tie on (error, -coverage): break it with the
+                # canonical (size, str-lex) order the legacy enumeration
+                # used implicitly — lines 13-15's determinism contract.
+                if best_match is None:
+                    continue  # ties against the (inf, 0) sentinel lose
+                if best_tie is None:
+                    best_tie = universe.tie_break(best_p_mask)
+                tie = universe.tie_break(p_mask)
+                if tie >= best_tie:
+                    continue
+                best_tie = tie
+            elif total == best_error and coverage < best_coverage:
+                continue
+            else:
+                best_tie = None
+            best_error = total
+            best_coverage = coverage
+            best_match = match
+            best_tail = tail
+            best_p_mask = p_mask
+        if best_match is None or best_tail is None:
+            # No SITs at all for some attribute: surface it explicitly
+            # rather than inventing a number.
+            raise NoApplicableStatisticsError(universe.set_of(mask))
+        estimate_key = (best_p_mask, mask ^ best_p_mask)
+        factor_selectivity = self._estimate_cache.get(estimate_key)
+        if factor_selectivity is None:
+            started = time.perf_counter()
+            factor_selectivity = estimate_factor(best_match)  # line 16
+            self.estimation_seconds += time.perf_counter() - started
+            self._estimate_cache[estimate_key] = factor_selectivity
+        selectivity = factor_selectivity * best_tail.selectivity  # line 17
+        decomposition = best_tail.decomposition.extended(best_match.factor)
+        matches = (best_match, *best_tail.matches)
+        return EstimationResult(
+            selectivity, best_error, decomposition, matches, best_coverage
+        )
+
+    # ------------------------------------------------------------------
+    def _best_factor_match(
+        self, p_mask: int, q_mask: int
+    ) -> tuple[FactorMatch | None, float, float]:
+        key = (p_mask, q_mask)
+        # One logical view-matching invocation (Figure 6 metric), counted
+        # exactly once whether or not the result is cached.
+        self.matcher.count_invocation()
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            self.match_cache_hits += 1
+            return cached
+        self.match_cache_misses += 1
+        universe = self.universe
+        match, error = self._compute_factor_match(
+            universe.set_of(p_mask), universe.set_of(q_mask)
+        )
+        coverage = _match_coverage(match) if match is not None else 0.0
+        result = (match, error, coverage)
+        self._match_cache[key] = result
+        return result
+
+    def _compute_factor_match(
+        self, p_part: PredicateSet, q_part: PredicateSet
+    ) -> tuple[FactorMatch | None, float]:
+        factor = Factor(p_part, q_part)
+        candidates = self.matcher.candidates_for_factor(factor, count=False)
+        if candidates is None:
+            return None, INFINITE_ERROR
+        if self.error_function.requires_combinations:
+            best: FactorMatch | None = None
+            best_error = INFINITE_ERROR
+            for match in enumerate_matches(candidates):
+                error = self.error_function.factor_error(match)
+                if error < best_error:
+                    best, best_error = match, error
+            return best, best_error
+        match = select_match(candidates, self.error_function)
+        return match, self.error_function.factor_error(match)
+
+    def _worth_exploring_masks(self, p_mask: int, q_mask: int) -> bool:
+        """Section 3.4's pruning on masks: keep decompositions where some
+        attribute of ``P'`` has a non-base SIT whose expression is
+        contained in ``Q`` — one ``expr & ~q == 0`` test per expression.
+        (``Q = {}``, the fallback every query needs, is kept by the
+        caller.)"""
+        prune_masks = self.universe.prune_masks
+        not_q = ~q_mask
+        for bit in iter_bits(p_mask):
+            for expression_mask in prune_masks(bit):
+                if expression_mask & not_q == 0:
+                    return True
+        return False
+
+
+class LegacyGetSelectivity(GetSelectivity):
+    """The original frozenset-based ``getSelectivity`` implementation.
+
+    Kept verbatim as the oracle for the bitmask parity suite and as the
+    baseline the ``repro.bench.perf`` benchmarks measure speedups against.
+    Construct directly or via ``GetSelectivity(..., legacy=True)``.
+    """
+
+    def __call__(self, predicates: PredicateSet) -> EstimationResult:
         predicates = frozenset(predicates)
         started = time.perf_counter()
         result = self._solve(predicates)
@@ -124,8 +383,12 @@ class GetSelectivity:
         return result
 
     def cached_results(self) -> dict[PredicateSet, EstimationResult]:
-        """The memo table: free estimates for every solved sub-query."""
         return dict(self._memo)
+
+    def stats(self) -> dict[str, float]:
+        out = super().stats()
+        out["universe_size"] = 0  # the legacy path does not intern
+        return out
 
     # ------------------------------------------------------------------
     def _solve(self, predicates: PredicateSet) -> EstimationResult:
@@ -142,7 +405,9 @@ class GetSelectivity:
         self._memo[predicates] = result  # line 18
         return result
 
-    def _solve_separable(self, components: list[PredicateSet]) -> EstimationResult:
+    def _solve_separable(
+        self, components: list[PredicateSet]
+    ) -> EstimationResult:
         selectivity = 1.0
         error = 0.0
         coverage = 0.0
@@ -163,24 +428,25 @@ class GetSelectivity:
         best_tail: EstimationResult | None = None
         for p_part in self._atomic_decompositions(predicates):
             q_part = predicates - p_part
-            if self.sit_driven_pruning and not self._worth_exploring(p_part, q_part):
+            if self.sit_driven_pruning and not self._worth_exploring(
+                p_part, q_part
+            ):
+                self.pruned_decompositions += 1
                 continue
             tail = self._solve(q_part)  # line 11
             if tail.error > best_key[0]:
                 continue  # monotonicity: this decomposition cannot win
-            match, factor_error = self._best_factor_match(p_part, q_part)  # line 12
+            match, factor_error = self._best_factor_match(p_part, q_part)  # ln 12
             if match is None:
                 continue
             total = merge(factor_error, tail.error)
             coverage = _match_coverage(match) + tail.coverage
             key = (total, -coverage)
-            if key < best_key:  # lines 13-15, ties broken by coverage
-                best_key = key
+            if key < best_key:  # lines 13-15, ties broken by coverage,
+                best_key = key  # then by enumeration (size, str-lex) order
                 best_match = match
                 best_tail = tail
         if best_match is None or best_tail is None:
-            # No SITs at all for some attribute: surface it explicitly
-            # rather than inventing a number.
             raise NoApplicableStatisticsError(predicates)
         started = time.perf_counter()
         factor_selectivity = estimate_factor(best_match)  # line 16
@@ -210,32 +476,17 @@ class GetSelectivity:
         self, p_part: PredicateSet, q_part: PredicateSet
     ) -> tuple[FactorMatch | None, float]:
         key = (p_part, q_part)
+        # One logical view-matching invocation (Figure 6 metric), counted
+        # exactly once whether or not the result is cached.
+        self.matcher.count_invocation()
         cached = self._match_cache.get(key)
         if cached is not None:
-            # Still one logical view-matching invocation (Figure 6 metric).
-            self.matcher.calls += 1
+            self.match_cache_hits += 1
             return cached
+        self.match_cache_misses += 1
         result = self._compute_factor_match(p_part, q_part)
         self._match_cache[key] = result
         return result
-
-    def _compute_factor_match(
-        self, p_part: PredicateSet, q_part: PredicateSet
-    ) -> tuple[FactorMatch | None, float]:
-        factor = Factor(p_part, q_part)
-        candidates = self.matcher.candidates_for_factor(factor)
-        if candidates is None:
-            return None, INFINITE_ERROR
-        if self.error_function.requires_combinations:
-            best: FactorMatch | None = None
-            best_error = INFINITE_ERROR
-            for match in enumerate_matches(candidates):
-                error = self.error_function.factor_error(match)
-                if error < best_error:
-                    best, best_error = match, error
-            return best, best_error
-        match = select_match(candidates, self.error_function)
-        return match, self.error_function.factor_error(match)
 
     def _worth_exploring(self, p_part: PredicateSet, q_part: PredicateSet) -> bool:
         """Section 3.4's pruning: keep ``Q = {}`` (the fallback every query

@@ -116,16 +116,34 @@ class ViewMatcher:
         """Zero the view-matching call counter (caches are kept)."""
         self.calls = 0
 
+    def count_invocation(self) -> None:
+        """Record one logical view-matching invocation (Figure 6 metric).
+
+        Callers that cache match results themselves (``getSelectivity``'s
+        factor-match cache, the memo-coupled estimator) count here exactly
+        once per logical request and look candidates up with
+        ``candidates_for_factor(..., count=False)`` — otherwise a cold
+        request would be double-counted (once by the caller, once by the
+        lookup).
+        """
+        self.calls += 1
+
     # ------------------------------------------------------------------
-    def candidates_for_factor(self, factor: Factor) -> FactorCandidates | None:
+    def candidates_for_factor(
+        self, factor: Factor, count: bool = True
+    ) -> FactorCandidates | None:
         """Steps 1-3 of Section 3.3; ``None`` when some attribute has no
         candidate SIT at all (the decomposition gets error infinity).
 
-        ``calls`` counts every logical invocation (the paper's Figure 6
-        metric); results are cached, so repeated invocations are cheap but
-        still counted.
+        With ``count=True`` (the default) this is counted as one logical
+        invocation (the paper's Figure 6 metric); results are cached, so
+        repeated invocations are cheap but still counted.  Callers doing
+        their own per-invocation accounting via :meth:`count_invocation`
+        pass ``count=False`` so each logical invocation is counted exactly
+        once.
         """
-        self.calls += 1
+        if count:
+            self.calls += 1
         key = (factor.p, factor.q)
         if key in self._factor_cache:
             return self._factor_cache[key]

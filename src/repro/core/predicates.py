@@ -32,6 +32,16 @@ class Attribute:
     table: str
     column: str
 
+    def __post_init__(self) -> None:
+        # Attributes key every per-attribute dict in the matching layer;
+        # caching the hash removes a measurable share of the cold-path
+        # profile (the generated dataclass __hash__ re-hashes the field
+        # tuple on every call).
+        object.__setattr__(self, "_hash", hash((self.table, self.column)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.table}.{self.column}"
 
@@ -59,26 +69,33 @@ class FilterPredicate:
         object.__setattr__(
             self, "_hash", hash((self.attribute, self.low, self.high))
         )
+        object.__setattr__(self, "_tables", frozenset((self.attribute.table,)))
+        object.__setattr__(self, "_attributes", frozenset((self.attribute,)))
 
     def __hash__(self) -> int:
         return self._hash
 
     @property
     def tables(self) -> frozenset[str]:
-        return frozenset((self.attribute.table,))
+        return self._tables
 
     @property
     def attributes(self) -> frozenset[Attribute]:
-        return frozenset((self.attribute,))
+        return self._attributes
 
     @property
     def is_join(self) -> bool:
         return False
 
     def __str__(self) -> str:
-        if self.low == self.high:
-            return f"{self.attribute}={self.low:g}"
-        return f"{self.low:g}<={self.attribute}<={self.high:g}"
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            if self.low == self.high:
+                cached = f"{self.attribute}={self.low:g}"
+            else:
+                cached = f"{self.low:g}<={self.attribute}<={self.high:g}"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 @dataclass(frozen=True, order=True)
@@ -102,17 +119,21 @@ class JoinPredicate:
             object.__setattr__(self, "left", left)
             object.__setattr__(self, "right", right)
         object.__setattr__(self, "_hash", hash((self.left, self.right)))
+        object.__setattr__(
+            self, "_tables", frozenset((self.left.table, self.right.table))
+        )
+        object.__setattr__(self, "_attributes", frozenset((self.left, self.right)))
 
     def __hash__(self) -> int:
         return self._hash
 
     @property
     def tables(self) -> frozenset[str]:
-        return frozenset((self.left.table, self.right.table))
+        return self._tables
 
     @property
     def attributes(self) -> frozenset[Attribute]:
-        return frozenset((self.left, self.right))
+        return self._attributes
 
     @property
     def is_join(self) -> bool:
@@ -127,7 +148,11 @@ class JoinPredicate:
         raise ValueError(f"{attribute} is not an operand of {self}")
 
     def __str__(self) -> str:
-        return f"{self.left}={self.right}"
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = f"{self.left}={self.right}"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 Predicate = Union[FilterPredicate, JoinPredicate]

@@ -81,6 +81,17 @@ class Histogram:
         self.total = self._frequency + self.null_count
         self._lows = np.array([b.low for b in buckets], dtype=np.float64)
         self._highs = np.array([b.high for b in buckets], dtype=np.float64)
+        self._freqs = np.array([b.frequency for b in buckets], dtype=np.float64)
+        self._dists = np.array([b.distinct for b in buckets], dtype=np.float64)
+
+    def bucket_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(lows, highs, frequencies, distincts)`` as float64 arrays.
+
+        Cached at construction; the vectorized histogram algebra in
+        :mod:`repro.histograms.operations` consumes these instead of
+        looping over :class:`Bucket` objects.
+        """
+        return self._lows, self._highs, self._freqs, self._dists
 
     # ------------------------------------------------------------------
     @property

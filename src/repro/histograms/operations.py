@@ -18,6 +18,17 @@ each edge one distinct value's share ``f/d`` and spreads the remainder over
 its spans proportionally to width.  This makes the common fact-to-dimension
 case (point buckets on the dimension key joining wide buckets on the fact
 foreign key) exact under the uniform-spread assumption.
+
+Performance: histogram manipulation is the second half of the paper's
+Figure 8 time budget, so the mass-assignment kernel is vectorized.  The
+sorted edge array indexes segments implicitly (segment ``2k`` is the point
+at ``edges[k]``, segment ``2k + 1`` the open span to ``edges[k + 1]``),
+``np.searchsorted`` locates each bucket's covered edge range, and per-edge
+/ per-span totals come from difference-array (cumsum) range additions —
+no Python-level bucket × edge loop.  The original loop implementation is
+kept (``join_histograms_reference`` / ``variation_distance_reference``) as
+the oracle for the equivalence tests and the baseline for the
+``repro.bench.perf`` microbenchmarks.
 """
 
 from __future__ import annotations
@@ -59,7 +70,7 @@ def _merged_segments(histograms: list[Histogram]) -> list[Segment]:
 def _assign_mass(
     histogram: Histogram, segments: list[Segment]
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Frequency and distinct-count mass of ``histogram`` per segment."""
+    """Frequency and distinct-count mass per segment (reference loop)."""
     frequencies = np.zeros(len(segments))
     distincts = np.zeros(len(segments))
     point_positions = {
@@ -106,6 +117,101 @@ def _assign_mass(
     return frequencies, distincts
 
 
+# ----------------------------------------------------------------------
+# Vectorized segment algebra
+# ----------------------------------------------------------------------
+def _merged_edges(histograms: list[Histogram]) -> np.ndarray:
+    """Sorted, de-duplicated union of all bucket edges.
+
+    The segment layout is implicit: with ``E`` edges there are ``2E - 1``
+    segments, segment ``2k`` being the point at ``edges[k]`` and segment
+    ``2k + 1`` the open span ``(edges[k], edges[k + 1])`` — the same order
+    :func:`_merged_segments` materializes.
+    """
+    arrays = []
+    for histogram in histograms:
+        lows, highs, _, _ = histogram.bucket_arrays()
+        arrays.append(lows)
+        arrays.append(highs)
+    return np.unique(np.concatenate(arrays))
+
+
+def _assign_mass_arrays(
+    histogram: Histogram, edges: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_assign_mass` over the implicit segment layout.
+
+    Every bucket endpoint is guaranteed to be a member of ``edges``, so a
+    wide bucket covers a contiguous run of edges (and the spans strictly
+    between them, each fully contained in the bucket).  Edge and span
+    contributions are therefore range-additions, realized with
+    difference arrays + ``cumsum``.
+    """
+    edge_count_total = len(edges)
+    segments = 2 * edge_count_total - 1
+    frequencies = np.zeros(segments)
+    distincts = np.zeros(segments)
+    lows, highs, freqs, dists = histogram.bucket_arrays()
+    if lows.size == 0:
+        return frequencies, distincts
+
+    point = lows == highs
+    if point.any():
+        indices = np.searchsorted(edges, lows[point])
+        np.add.at(frequencies, 2 * indices, freqs[point])
+        np.add.at(distincts, 2 * indices, dists[point])
+
+    wide = ~point
+    if wide.any():
+        b_low = lows[wide]
+        b_high = highs[wide]
+        b_freq = freqs[wide]
+        b_dist = np.maximum(dists[wide], 1.0)
+        first_edge = np.searchsorted(edges, b_low, side="left")
+        last_edge = np.searchsorted(edges, b_high, side="right") - 1
+        covered = last_edge - first_edge + 1  # >= 2: endpoints are edges
+        degenerate = covered >= b_dist
+
+        # Per covered edge: f/d (one distinct value's share) and 1 distinct
+        # — or an even split when the bucket has fewer distincts than edges.
+        edge_freq = np.where(degenerate, b_freq / covered, b_freq / b_dist)
+        edge_dist = np.where(degenerate, b_dist / covered, 1.0)
+        delta_f = np.zeros(edge_count_total + 1)
+        delta_d = np.zeros(edge_count_total + 1)
+        np.add.at(delta_f, first_edge, edge_freq)
+        np.add.at(delta_f, last_edge + 1, -edge_freq)
+        np.add.at(delta_d, first_edge, edge_dist)
+        np.add.at(delta_d, last_edge + 1, -edge_dist)
+        frequencies[0::2] += np.cumsum(delta_f[:-1])
+        distincts[0::2] += np.cumsum(delta_d[:-1])
+
+        # Remaining mass spreads over the spans inside the bucket
+        # proportionally to width: accumulate *densities* (mass / bucket
+        # width) with a range-add, then scale by each span's width.
+        if edge_count_total > 1:
+            width = b_high - b_low
+            rem_freq = np.where(degenerate, 0.0, b_freq - edge_freq * covered)
+            rem_dist = np.where(degenerate, 0.0, b_dist - covered)
+            dens_f = np.zeros(edge_count_total)
+            dens_d = np.zeros(edge_count_total)
+            np.add.at(dens_f, first_edge, rem_freq / width)
+            np.add.at(dens_f, last_edge, -(rem_freq / width))
+            np.add.at(dens_d, first_edge, rem_dist / width)
+            np.add.at(dens_d, last_edge, -(rem_dist / width))
+            span_widths = edges[1:] - edges[:-1]
+            frequencies[1::2] += np.cumsum(dens_f[:-1]) * span_widths
+            distincts[1::2] += np.cumsum(dens_d[:-1]) * span_widths
+    return frequencies, distincts
+
+
+def _segment_bounds(index: int, edges: np.ndarray) -> tuple[float, float]:
+    """(low, high) of implicit segment ``index`` over ``edges``."""
+    half, odd = divmod(index, 2)
+    if odd:
+        return float(edges[half]), float(edges[half + 1])
+    return float(edges[half]), float(edges[half])
+
+
 @dataclass(frozen=True)
 class HistogramJoinResult:
     """Outcome of ``H1 join H2``: matched-pair count, scalar selectivity
@@ -127,6 +233,41 @@ def join_histograms(
     they stay in the denominator of the returned selectivity, so dangling
     foreign keys correctly depress join selectivity.
     """
+    if left.is_empty() or right.is_empty():
+        return HistogramJoinResult(0.0, 0.0, Histogram([]))
+    edges = _merged_edges([left, right])
+    left_freq, left_distinct = _assign_mass_arrays(left, edges)
+    right_freq, right_distinct = _assign_mass_arrays(right, edges)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pairs = (
+            left_freq
+            * right_freq
+            / np.maximum(left_distinct, right_distinct)
+        )
+    keep = (left_distinct > 0.0) & (right_distinct > 0.0) & (pairs > 0.0)
+    total_pairs = float(pairs[keep].sum())
+    min_distinct = np.minimum(left_distinct, right_distinct)
+
+    buckets: list[Bucket] = []
+    for index in np.flatnonzero(keep):
+        low, high = _segment_bounds(int(index), edges)
+        buckets.append(
+            Bucket(low, high, float(pairs[index]), float(min_distinct[index]))
+        )
+
+    denominator = left.total * right.total
+    selectivity = total_pairs / denominator if denominator > 0 else 0.0
+    joined = Histogram(_merge_touching(buckets))
+    if max_buckets is not None and joined.bucket_count > max_buckets:
+        joined = compact(joined, max_buckets)
+    return HistogramJoinResult(total_pairs, selectivity, joined)
+
+
+def join_histograms_reference(
+    left: Histogram, right: Histogram, max_buckets: int | None = None
+) -> HistogramJoinResult:
+    """Pure-Python :func:`join_histograms` (oracle / benchmark baseline)."""
     if left.is_empty() or right.is_empty():
         return HistogramJoinResult(0.0, 0.0, Histogram([]))
     segments = _merged_segments([left, right])
@@ -208,6 +349,20 @@ def variation_distance(first: Histogram, second: Histogram) -> float:
     Returns a value in [0, 1]; 0 when the normalized distributions agree on
     every aligned segment.
     """
+    if first.is_empty() and second.is_empty():
+        return 0.0
+    if first.is_empty() or second.is_empty():
+        return 1.0
+    edges = _merged_edges([first, second])
+    first_freq, _ = _assign_mass_arrays(first, edges)
+    second_freq, _ = _assign_mass_arrays(second, edges)
+    p = first_freq / first.frequency
+    q = second_freq / second.frequency
+    return float(np.abs(p - q).sum() / 2.0)
+
+
+def variation_distance_reference(first: Histogram, second: Histogram) -> float:
+    """Pure-Python :func:`variation_distance` (oracle / benchmark baseline)."""
     if first.is_empty() and second.is_empty():
         return 0.0
     if first.is_empty() or second.is_empty():

@@ -52,6 +52,10 @@ class MemoCoupledEstimator:
     pool: SITPool
     error_function: ErrorFunction
     matcher: ViewMatcher = field(default=None)  # type: ignore[assignment]
+    #: (P, Q) -> (match, factor_error); memo entries across groups (and
+    #: queries over the same pool) repeat factors, so matching each logical
+    #: factor once mirrors getSelectivity's factor-match cache.
+    _match_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.matcher is None:
@@ -126,15 +130,25 @@ class MemoCoupledEstimator:
             input_selectivity *= estimate.selectivity
             input_error = merge(input_error, estimate.error)
         factor = Factor(frozenset((entry.parameter,)), q_predicates)
-        match = self._match(factor)
+        match, factor_error = self._match(factor)
         if match is None:
             return None
-        factor_error = self.error_function.factor_error(match)
         selectivity = estimate_factor(match) * input_selectivity
         return selectivity, merge(factor_error, input_error)
 
-    def _match(self, factor: Factor) -> FactorMatch | None:
-        candidates = self.matcher.candidates_for_factor(factor)
+    def _match(self, factor: Factor) -> tuple[FactorMatch | None, float]:
+        """Match one factor, caching per (P, Q) and counting each logical
+        view-matching invocation exactly once (Figure 6 accounting)."""
+        key = (factor.p, factor.q)
+        self.matcher.count_invocation()
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates = self.matcher.candidates_for_factor(factor, count=False)
         if candidates is None:
-            return None
-        return select_match(candidates, self.error_function)
+            result: tuple[FactorMatch | None, float] = (None, INFINITE_ERROR)
+        else:
+            match = select_match(candidates, self.error_function)
+            result = (match, self.error_function.factor_error(match))
+        self._match_cache[key] = result
+        return result

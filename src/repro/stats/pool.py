@@ -39,6 +39,14 @@ class SITPool:
         init=False, default_factory=dict, repr=False
     )
     _by_member: dict = field(init=False, default_factory=dict, repr=False)
+    _expressions_by_attribute: dict[Attribute, list[PredicateSet]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    #: monotonically increasing counter, bumped on every :meth:`add`.  The
+    #: bitmask universe (:mod:`repro.core.universe`) keys its attribute ->
+    #: SIT-expression mask index on this so a pool mutation invalidates the
+    #: derived masks without the pool knowing about bit layouts.
+    version: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
         sits, self.sits = self.sits, []
@@ -51,6 +59,22 @@ class SITPool:
         self._by_attribute.setdefault(sit.attribute, []).append(sit)
         for predicate in sit.expression:
             self._by_member.setdefault(predicate, []).append(sit)
+        if sit.expression:
+            expressions = self._expressions_by_attribute.setdefault(
+                sit.attribute, []
+            )
+            if sit.expression not in expressions:
+                expressions.append(sit.expression)
+        self.version += 1
+
+    def expressions_for_attribute(self, attribute: Attribute) -> list[PredicateSet]:
+        """Distinct non-empty generating expressions of SITs on ``attribute``.
+
+        This is the (attribute -> expressions) index Section 3.4's pruning
+        needs: a decomposition ``Sel(P'|Q)`` is worth exploring iff some
+        attribute of ``P'`` has one of these expressions contained in ``Q``.
+        """
+        return self._expressions_by_attribute.get(attribute, [])
 
     def with_expression_member(self, predicate) -> list[SIT]:
         """All SITs whose generating expression contains ``predicate``."""

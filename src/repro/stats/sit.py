@@ -49,7 +49,14 @@ class SIT:
         return sum(1 for p in self.expression if p.is_join)
 
     def __str__(self) -> str:
-        if self.is_base:
-            return f"SIT({self.attribute})"
-        expr = ", ".join(sorted(str(p) for p in self.expression))
-        return f"SIT({self.attribute} | {expr})"
+        # str(sit) is a deterministic tie-breaker inside candidate ranking,
+        # so it runs in the matching hot path; cache it on first use.
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            if self.is_base:
+                cached = f"SIT({self.attribute})"
+            else:
+                expr = ", ".join(sorted(str(p) for p in self.expression))
+                cached = f"SIT({self.attribute} | {expr})"
+            object.__setattr__(self, "_str", cached)
+        return cached

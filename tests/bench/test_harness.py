@@ -75,6 +75,18 @@ class TestHarness:
                 assert query_metrics.estimates
                 assert query_metrics.query.predicates in query_metrics.estimates
 
+    def test_stats_surfaced_for_getselectivity_techniques(self, evaluation):
+        for name, report in evaluation.reports.items():
+            for query_metrics in report.per_query:
+                if name == "GVM":
+                    assert query_metrics.stats == {}
+                else:
+                    assert query_metrics.stats["memo_entries"] > 0
+                    assert query_metrics.stats["matcher_calls"] == (
+                        query_metrics.stats["match_cache_hits"]
+                        + query_metrics.stats["match_cache_misses"]
+                    )
+
 
 class TestReporting:
     def test_render_table_alignment(self):

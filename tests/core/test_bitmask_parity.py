@@ -1,0 +1,204 @@
+"""Randomized parity suite: bitmask ``GetSelectivity`` vs the legacy oracle.
+
+The bitmask rewrite (interned universe, submask enumeration, bitwise
+connected components, mask-keyed caches) must be *behaviour preserving*:
+on every workload it has to return bit-identical selectivity, error,
+coverage, decomposition and SIT matches to the original frozenset
+implementation (``GetSelectivity(..., legacy=True)``), including exact
+tie-breaks between equal-error decompositions.
+
+The corpus below generates 200+ predicate sets (3-9 predicates, mixed
+filter/join, connected and separable, uniform histograms to force ties and
+skewed ones to break them) and sweeps error functions (nInd, Diff) and
+Section 3.4 pruning across it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DiffError, NIndError
+from repro.core.get_selectivity import (
+    GetSelectivity,
+    LegacyGetSelectivity,
+    NoApplicableStatisticsError,
+)
+from repro.core.predicates import (
+    Attribute,
+    FilterPredicate,
+    JoinPredicate,
+    attributes_of,
+    connected_components,
+)
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+TABLES = [f"T{i}" for i in range(6)]
+COLUMNS = ["a", "b", "c"]
+
+#: (size, how many corpus entries of that size) — 222 cases total, skewed
+#: towards small sizes so the exponential legacy oracle stays fast.
+SIZE_PLAN = [(3, 60), (4, 55), (5, 45), (6, 35), (7, 15), (8, 8), (9, 4)]
+
+
+def random_histogram(rng: random.Random) -> Histogram:
+    count = rng.randint(1, 4)
+    edges = sorted(rng.sample(range(0, 401), 2 * count))
+    buckets = []
+    for i in range(count):
+        low, high = float(edges[2 * i]), float(edges[2 * i + 1])
+        frequency = float(rng.randint(10, 1000))
+        distinct = float(rng.randint(1, max(1, int(min(frequency, high - low + 1)))))
+        buckets.append(Bucket(low, high, frequency, distinct))
+    return Histogram(buckets, null_count=float(rng.choice([0, 0, 0, 5])))
+
+
+def random_predicates(rng: random.Random, size: int) -> frozenset:
+    n_tables = rng.randint(2, min(5, size))
+    tables = rng.sample(TABLES, n_tables)
+    joins = []
+    for i in range(1, n_tables):
+        left = Attribute(tables[rng.randrange(i)], rng.choice(COLUMNS))
+        right = Attribute(tables[i], rng.choice(COLUMNS))
+        joins.append(JoinPredicate(left, right))
+    if len(joins) > 1 and rng.random() < 0.35:
+        joins.pop(rng.randrange(len(joins)))  # disconnect: separable case
+    predicates: set = set(joins)
+    while len(predicates) < size:
+        table = rng.choice(tables)
+        low = rng.randint(0, 390)
+        high = low + rng.randint(0, 60)
+        predicates.add(
+            FilterPredicate(Attribute(table, rng.choice(COLUMNS)), float(low), float(high))
+        )
+    return frozenset(predicates)
+
+
+def random_pool(rng: random.Random, predicates: frozenset) -> SITPool:
+    attributes = sorted(attributes_of(predicates))
+    uniform_ties = rng.random() < 0.3
+    shared = Histogram([Bucket(0.0, 400.0, 1000.0, 200.0)])
+
+    def histogram() -> Histogram:
+        return shared if uniform_ties else random_histogram(rng)
+
+    pool = SITPool()
+    for attribute in attributes:
+        pool.add(SIT(attribute, frozenset(), histogram(), diff=0.0))
+    joins = sorted((p for p in predicates if p.is_join), key=str)
+    for _ in range(rng.randint(0, 6)):
+        if not joins:
+            break
+        expression = frozenset(rng.sample(joins, rng.randint(1, min(3, len(joins)))))
+        attribute = rng.choice(attributes)
+        diff = 0.0 if uniform_ties else round(rng.random(), 3)
+        pool.add(SIT(attribute, expression, histogram(), diff=diff))
+    return pool
+
+
+def build_corpus() -> list[tuple[int, frozenset, SITPool, str, bool]]:
+    rng = random.Random(20260806)
+    corpus = []
+    index = 0
+    for size, count in SIZE_PLAN:
+        for _ in range(count):
+            predicates = random_predicates(rng, size)
+            pool = random_pool(rng, predicates)
+            error_name = "nInd" if index % 2 == 0 else "Diff"
+            pruning = index % 3 == 0
+            corpus.append((index, predicates, pool, error_name, pruning))
+            index += 1
+    return corpus
+
+
+CORPUS = build_corpus()
+
+
+def make_pair(pool, error_name, pruning):
+    def error_function():
+        return NIndError() if error_name == "nInd" else DiffError(pool)
+
+    fast = GetSelectivity(pool, error_function(), sit_driven_pruning=pruning)
+    oracle = GetSelectivity(
+        pool, error_function(), sit_driven_pruning=pruning, legacy=True
+    )
+    assert isinstance(oracle, LegacyGetSelectivity)
+    assert not isinstance(type(fast), type(LegacyGetSelectivity)) or not isinstance(
+        fast, LegacyGetSelectivity
+    )
+    return fast, oracle
+
+
+def assert_equal_results(fast_result, oracle_result):
+    assert fast_result.selectivity == oracle_result.selectivity
+    assert fast_result.error == oracle_result.error
+    assert fast_result.coverage == oracle_result.coverage
+    assert fast_result.decomposition == oracle_result.decomposition
+    assert fast_result.matches == oracle_result.matches
+
+
+@pytest.mark.parametrize(
+    "index,predicates,pool,error_name,pruning",
+    CORPUS,
+    ids=[f"case{c[0]:03d}-n{len(c[1])}-{c[3]}{'-prune' if c[4] else ''}" for c in CORPUS],
+)
+def test_bitmask_matches_legacy(index, predicates, pool, error_name, pruning):
+    fast, oracle = make_pair(pool, error_name, pruning)
+    assert_equal_results(fast(predicates), oracle(predicates))
+    # The memo answers sub-queries for free; those must agree too.  Use the
+    # oracle's memo as the probe set (same subsets exist in both).
+    rng = random.Random(index)
+    subsets = sorted(oracle.cached_results(), key=lambda s: sorted(map(str, s)))
+    for subset in rng.sample(subsets, min(3, len(subsets))):
+        assert_equal_results(fast(subset), oracle(subset))
+
+
+def test_corpus_is_large_and_varied():
+    assert len(CORPUS) >= 200
+    sizes = {len(c[1]) for c in CORPUS}
+    assert sizes == {3, 4, 5, 6, 7, 8, 9}
+    assert any(c[3] == "nInd" for c in CORPUS)
+    assert any(c[3] == "Diff" for c in CORPUS)
+    assert any(c[4] for c in CORPUS) and any(not c[4] for c in CORPUS)
+    # Both separable and non-separable workloads are exercised.
+    assert any(len(connected_components(c[1])) > 1 for c in CORPUS)
+    assert any(len(connected_components(c[1])) == 1 for c in CORPUS)
+
+
+def test_missing_statistics_parity():
+    rng = random.Random(7)
+    predicates = random_predicates(rng, 4)
+    pool = random_pool(rng, predicates)
+    # Drop one base histogram: both paths must refuse identically.
+    victim = sorted(attributes_of(predicates))[0]
+    crippled = SITPool([s for s in pool if not (s.is_base and s.attribute == victim)])
+    fast, oracle = make_pair(crippled, "nInd", False)
+    with pytest.raises(NoApplicableStatisticsError):
+        fast(predicates)
+    with pytest.raises(NoApplicableStatisticsError):
+        oracle(predicates)
+
+
+def test_incremental_interning_keeps_parity():
+    """Calling the same instance on sub-queries first (growing the universe
+    across calls, as the optimizer's cardinality-request loop does) must
+    not change any answer."""
+    rng = random.Random(99)
+    for _ in range(10):
+        predicates = random_predicates(rng, 6)
+        pool = random_pool(rng, predicates)
+        fast, oracle = make_pair(pool, "Diff", False)
+        ordered = sorted(predicates, key=str)
+        # Probe connected prefixes bottom-up, then the full set.
+        for end in range(1, len(ordered) + 1):
+            subset = frozenset(ordered[:end])
+            assert_equal_results(fast(subset), oracle(subset))
+
+
+def test_legacy_flag_constructs_legacy():
+    pool = SITPool([SIT(Attribute("T0", "a"), frozenset(), random_histogram(random.Random(1)))])
+    assert isinstance(GetSelectivity(pool, NIndError(), legacy=True), LegacyGetSelectivity)
+    assert not isinstance(GetSelectivity(pool, NIndError()), LegacyGetSelectivity)

@@ -1,0 +1,177 @@
+"""View-matching accounting and the ``stats()`` observability hook.
+
+Figure 6's metric is the number of *logical* view-matching invocations per
+query.  Historically the counter was split between ``_best_factor_match``
+(bumping on cache hits) and ``ViewMatcher.candidates_for_factor`` (bumping
+on cold lookups), which double-counted whenever both paths fired.  The
+counter is now single-sourced through ``ViewMatcher.count_invocation``;
+these tests pin the exactly-once contract on both DP implementations and
+on the memo-coupled estimator, and cover the ``stats()`` snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NIndError
+from repro.core.get_selectivity import GetSelectivity
+from repro.core.matching import ViewMatcher
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.core.selectivity import Factor
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+
+def _histogram() -> Histogram:
+    return Histogram([Bucket(0.0, 100.0, 1000.0, 50.0)])
+
+
+@pytest.fixture()
+def workload():
+    a = Attribute("R", "a")
+    b = Attribute("S", "b")
+    c = Attribute("T", "c")
+    join_rs = JoinPredicate(a, b)
+    join_st = JoinPredicate(b, c)
+    filter_r = FilterPredicate(a, 10.0, 40.0)
+    predicates = frozenset({join_rs, join_st, filter_r})
+    pool = SITPool()
+    for attribute in (a, b, c):
+        pool.add(SIT(attribute, frozenset(), _histogram()))
+    pool.add(SIT(a, frozenset({join_st}), _histogram(), diff=0.1))
+    return predicates, pool
+
+
+class TestMatcherCounting:
+    def test_count_invocation_bumps_once(self, workload):
+        _, pool = workload
+        matcher = ViewMatcher(pool)
+        assert matcher.calls == 0
+        matcher.count_invocation()
+        assert matcher.calls == 1
+
+    def test_candidates_for_factor_count_flag(self, workload):
+        predicates, pool = workload
+        matcher = ViewMatcher(pool)
+        p = frozenset([next(iter(predicates))])
+        factor = Factor(p, predicates - p)
+        matcher.candidates_for_factor(factor)
+        assert matcher.calls == 1
+        matcher.candidates_for_factor(factor, count=False)
+        assert matcher.calls == 1  # explicit opt-out: no bump
+
+    def test_exactly_once_whether_cached_or_not(self, workload):
+        """Warm factor-match caches must not change Figure 6 counts."""
+        predicates, pool = workload
+        algorithm = GetSelectivity(pool, NIndError())
+        algorithm(predicates)
+        cold_calls = algorithm.matcher.calls
+        assert cold_calls > 0
+        assert (
+            algorithm.match_cache_hits + algorithm.match_cache_misses
+            == cold_calls
+        )
+        # Memoized full query: zero further logical invocations.
+        algorithm(predicates)
+        assert algorithm.matcher.calls == cold_calls
+        # Per-query reset with warm match cache: every invocation is a
+        # cache hit, yet the logical count is identical to the cold run.
+        algorithm.reset()
+        algorithm(predicates)
+        assert algorithm.matcher.calls == cold_calls
+        assert algorithm.match_cache_misses == 0
+        assert algorithm.match_cache_hits == cold_calls
+
+    def test_legacy_and_bitmask_count_identically(self, workload):
+        predicates, pool = workload
+        fast = GetSelectivity(pool, NIndError())
+        oracle = GetSelectivity(pool, NIndError(), legacy=True)
+        fast(predicates)
+        oracle(predicates)
+        assert fast.matcher.calls == oracle.matcher.calls
+
+    def test_memo_coupled_counts_once_per_logical_factor(self, workload):
+        from repro.core.errors import INFINITE_ERROR
+        from repro.optimizer.integration import MemoCoupledEstimator
+
+        predicates, pool = workload
+        estimator = MemoCoupledEstimator.__new__(MemoCoupledEstimator)
+        estimator.pool = pool
+        estimator.error_function = NIndError()
+        estimator.matcher = ViewMatcher(pool)
+        estimator._match_cache = {}
+        p = frozenset([next(iter(sorted(predicates, key=str)))])
+        factor = Factor(p, predicates - p)
+        match, error = estimator._match(factor)
+        assert estimator.matcher.calls == 1
+        again = estimator._match(factor)
+        assert estimator.matcher.calls == 2  # counted, answered from cache
+        assert again == (match, error)
+        assert error < INFINITE_ERROR or match is None
+
+
+class TestStats:
+    EXPECTED_KEYS = {
+        "memo_entries",
+        "match_cache_entries",
+        "estimate_cache_entries",
+        "match_cache_hits",
+        "match_cache_misses",
+        "matcher_calls",
+        "pruned_decompositions",
+        "universe_size",
+        "analysis_seconds",
+        "estimation_seconds",
+    }
+
+    def test_snapshot_after_a_query(self, workload):
+        predicates, pool = workload
+        algorithm = GetSelectivity(pool, NIndError(), sit_driven_pruning=True)
+        algorithm(predicates)
+        stats = algorithm.stats()
+        assert set(stats) == self.EXPECTED_KEYS
+        assert stats["memo_entries"] >= 1
+        assert stats["match_cache_entries"] >= 1
+        assert stats["matcher_calls"] == (
+            stats["match_cache_hits"] + stats["match_cache_misses"]
+        )
+        assert stats["universe_size"] == len(predicates)
+        assert stats["analysis_seconds"] > 0.0
+        assert stats["analysis_seconds"] >= stats["estimation_seconds"] >= 0.0
+
+    def test_reset_clears_per_query_but_keeps_pool_pure_state(self, workload):
+        predicates, pool = workload
+        algorithm = GetSelectivity(pool, NIndError())
+        algorithm(predicates)
+        warm_cache = algorithm.stats()["match_cache_entries"]
+        algorithm.reset()
+        stats = algorithm.stats()
+        assert stats["memo_entries"] == 0
+        assert stats["matcher_calls"] == 0
+        assert stats["match_cache_hits"] == 0
+        assert stats["match_cache_misses"] == 0
+        assert stats["analysis_seconds"] == 0.0
+        assert stats["estimation_seconds"] == 0.0
+        # Pool-pure structures survive reset (Section 4 reuse).
+        assert stats["match_cache_entries"] == warm_cache
+        assert stats["estimate_cache_entries"] >= 1
+        assert stats["universe_size"] == len(predicates)
+
+    def test_legacy_reports_zero_universe(self, workload):
+        predicates, pool = workload
+        oracle = GetSelectivity(pool, NIndError(), legacy=True)
+        oracle(predicates)
+        stats = oracle.stats()
+        assert set(stats) == self.EXPECTED_KEYS
+        assert stats["universe_size"] == 0
+        assert stats["memo_entries"] >= 1
+
+    def test_pruning_counter_counts_skips(self, workload):
+        predicates, pool = workload
+        pruned = GetSelectivity(pool, NIndError(), sit_driven_pruning=True)
+        pruned(predicates)
+        unpruned = GetSelectivity(pool, NIndError())
+        unpruned(predicates)
+        assert pruned.stats()["pruned_decompositions"] > 0
+        assert unpruned.stats()["pruned_decompositions"] == 0

@@ -1,0 +1,182 @@
+"""Vectorized segment algebra vs. the pure-Python reference loops.
+
+The ``np.searchsorted`` + difference-array implementation of mass
+assignment (and the batched segment products in ``join_histograms`` /
+``variation_distance``) must agree with the original loop implementations
+— kept as ``*_reference`` — up to floating-point associativity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.histograms.base import Bucket, Histogram
+from repro.histograms.maxdiff import build_maxdiff
+from repro.histograms.operations import (
+    _assign_mass,
+    _assign_mass_arrays,
+    _merged_edges,
+    _merged_segments,
+    _segment_bounds,
+    join_histograms,
+    join_histograms_reference,
+    variation_distance,
+    variation_distance_reference,
+)
+
+RTOL = 1e-9
+ATOL = 1e-9
+
+
+def random_histogram(rng: random.Random, point_bias: float = 0.3) -> Histogram:
+    count = rng.randint(1, 6)
+    edges = sorted(rng.sample(range(0, 1001), 2 * count))
+    buckets = []
+    for i in range(count):
+        low, high = float(edges[2 * i]), float(edges[2 * i + 1])
+        if rng.random() < point_bias:
+            high = low  # point bucket
+        frequency = float(rng.randint(1, 5000))
+        width_cap = high - low + 1.0
+        distinct = float(rng.randint(1, max(1, int(min(frequency, width_cap)))))
+        buckets.append(Bucket(low, high, frequency, distinct))
+    return Histogram(buckets, null_count=float(rng.choice([0, 0, 7])))
+
+
+def maxdiff_pair(seed: int, size: int = 4000, buckets: int = 200):
+    rng = np.random.default_rng(seed)
+    first = np.floor(rng.zipf(1.4, size=size).clip(max=3000)).astype(float)
+    second = np.floor(rng.normal(1500.0, 300.0, size=size)).clip(0, 3000)
+    return (
+        build_maxdiff(first, max_buckets=buckets),
+        build_maxdiff(second, max_buckets=buckets),
+    )
+
+
+class TestSegmentLayout:
+    def test_merged_edges_match_segment_materialization(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            pair = [random_histogram(rng), random_histogram(rng)]
+            edges = _merged_edges(pair)
+            segments = _merged_segments(pair)
+            assert len(segments) == 2 * len(edges) - 1
+            for index, segment in enumerate(segments):
+                assert _segment_bounds(index, edges) == (segment.low, segment.high)
+
+    def test_assign_mass_equivalence(self):
+        rng = random.Random(17)
+        for _ in range(80):
+            pair = [random_histogram(rng), random_histogram(rng)]
+            edges = _merged_edges(pair)
+            segments = _merged_segments(pair)
+            for histogram in pair:
+                ref_f, ref_d = _assign_mass(histogram, segments)
+                vec_f, vec_d = _assign_mass_arrays(histogram, edges)
+                np.testing.assert_allclose(vec_f, ref_f, rtol=RTOL, atol=ATOL)
+                np.testing.assert_allclose(vec_d, ref_d, rtol=RTOL, atol=ATOL)
+                # Mass conservation: segment mass sums to the histogram's.
+                assert vec_f.sum() == pytest.approx(histogram.frequency)
+
+    def test_assign_mass_on_maxdiff_histograms(self):
+        first, second = maxdiff_pair(23)
+        edges = _merged_edges([first, second])
+        segments = _merged_segments([first, second])
+        for histogram in (first, second):
+            ref_f, ref_d = _assign_mass(histogram, segments)
+            vec_f, vec_d = _assign_mass_arrays(histogram, edges)
+            np.testing.assert_allclose(vec_f, ref_f, rtol=RTOL, atol=ATOL)
+            np.testing.assert_allclose(vec_d, ref_d, rtol=RTOL, atol=ATOL)
+
+    def test_empty_histogram_assigns_nothing(self):
+        histogram = Histogram([Bucket(0.0, 10.0, 5.0, 2.0)])
+        edges = _merged_edges([histogram])
+        freq, dist = _assign_mass_arrays(Histogram([]), edges)
+        assert freq.sum() == 0.0 and dist.sum() == 0.0
+
+
+class TestJoinEquivalence:
+    def assert_same_join(self, left, right, max_buckets=None):
+        fast = join_histograms(left, right, max_buckets=max_buckets)
+        ref = join_histograms_reference(left, right, max_buckets=max_buckets)
+        assert fast.pair_count == pytest.approx(ref.pair_count, rel=RTOL)
+        assert fast.selectivity == pytest.approx(ref.selectivity, rel=RTOL)
+        assert fast.histogram.bucket_count == ref.histogram.bucket_count
+        for ours, theirs in zip(fast.histogram.buckets, ref.histogram.buckets):
+            assert ours.low == theirs.low and ours.high == theirs.high
+            assert ours.frequency == pytest.approx(theirs.frequency, rel=RTOL)
+            assert ours.distinct == pytest.approx(theirs.distinct, rel=RTOL)
+
+    def test_random_pairs(self):
+        rng = random.Random(29)
+        for _ in range(60):
+            self.assert_same_join(random_histogram(rng), random_histogram(rng))
+
+    def test_maxdiff_pairs(self):
+        first, second = maxdiff_pair(31)
+        self.assert_same_join(first, second)
+
+    def test_maxdiff_pairs_compacted(self):
+        # Bucket *boundaries* may differ after compaction: the greedy
+        # merge breaks near-ties on combined frequency, which float-level
+        # differences between the two mass-assignment kernels can flip.
+        # The scalar outputs and conserved mass must still agree.
+        first, second = maxdiff_pair(31)
+        fast = join_histograms(first, second, max_buckets=50)
+        ref = join_histograms_reference(first, second, max_buckets=50)
+        assert fast.pair_count == pytest.approx(ref.pair_count, rel=RTOL)
+        assert fast.selectivity == pytest.approx(ref.selectivity, rel=RTOL)
+        assert fast.histogram.bucket_count <= 50
+        assert ref.histogram.bucket_count <= 50
+        assert fast.histogram.frequency == pytest.approx(
+            ref.histogram.frequency, rel=RTOL
+        )
+
+    def test_point_vs_wide(self):
+        dimension = Histogram([Bucket(float(k), float(k), 10.0, 1.0) for k in range(5)])
+        fact = Histogram([Bucket(0.0, 4.0, 1000.0, 5.0)], null_count=100.0)
+        self.assert_same_join(dimension, fact)
+
+    def test_empty_operands(self):
+        histogram = Histogram([Bucket(0.0, 1.0, 10.0, 2.0)])
+        for left, right in [
+            (Histogram([]), histogram),
+            (histogram, Histogram([])),
+            (Histogram([]), Histogram([])),
+        ]:
+            fast = join_histograms(left, right)
+            ref = join_histograms_reference(left, right)
+            assert fast.pair_count == ref.pair_count == 0.0
+            assert fast.selectivity == ref.selectivity == 0.0
+
+
+class TestVariationDistanceEquivalence:
+    def test_random_pairs(self):
+        rng = random.Random(37)
+        for _ in range(60):
+            first, second = random_histogram(rng), random_histogram(rng)
+            assert variation_distance(first, second) == pytest.approx(
+                variation_distance_reference(first, second), rel=RTOL, abs=ATOL
+            )
+
+    def test_maxdiff_pairs(self):
+        first, second = maxdiff_pair(41)
+        assert variation_distance(first, second) == pytest.approx(
+            variation_distance_reference(first, second), rel=RTOL
+        )
+
+    def test_identical_distributions_have_zero_distance(self):
+        rng = random.Random(43)
+        histogram = random_histogram(rng, point_bias=0.0)
+        assert variation_distance(histogram, histogram) == pytest.approx(0.0, abs=1e-12)
+        scaled = histogram.scale(3.0)  # normalization cancels scaling
+        assert variation_distance(histogram, scaled) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_cases(self):
+        histogram = Histogram([Bucket(0.0, 1.0, 10.0, 2.0)])
+        assert variation_distance(Histogram([]), Histogram([])) == 0.0
+        assert variation_distance(Histogram([]), histogram) == 1.0
+        assert variation_distance(histogram, Histogram([])) == 1.0
