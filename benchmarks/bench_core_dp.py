@@ -61,11 +61,29 @@ def test_results_are_identical_across_paths(perf_result):
 
     for size in perf.PREDICATE_COUNTS:
         predicates, pool = perf.build_scenario(size)
-        fast = GetSelectivity(pool, NIndError())(predicates)
-        oracle = GetSelectivity(pool, NIndError(), legacy=True)(predicates)
+        fast = GetSelectivity.create(pool, NIndError(), engine="bitmask")(
+            predicates
+        )
+        oracle = GetSelectivity.create(pool, NIndError(), engine="legacy")(
+            predicates
+        )
         assert fast.selectivity == oracle.selectivity
         assert fast.error == oracle.error
         assert fast.decomposition == oracle.decomposition
+
+
+def test_tracing_overhead_disabled_configuration(perf_result):
+    """The observability layer's production configuration (tracing
+    disabled) must stay in the same ballpark as the untraced steady
+    run; the per-run acceptance number (<=5% vs. the pre-observability
+    baseline) is recorded in ``BENCH_core.json``'s observability block.
+    The bound here is conservative to tolerate noisy CI machines."""
+    tracing = perf_result["observability"]["n7_tracing"]
+    steady = perf_result["get_selectivity"]["n7"]["bitmask"]["steady_ms"]
+    assert tracing["disabled_ms"] <= steady * 1.5
+    # enabled tracing is allowed to cost more, but not pathologically so
+    assert tracing["enabled_ms"] <= tracing["disabled_ms"] * 3.0
+    assert tracing["trace_stage_ms"].get("dp_enumeration", 0.0) > 0.0
 
 
 def test_write_bench_core_json(perf_result):

@@ -14,6 +14,8 @@ The public API is re-exported here; the subpackages are:
   integration;
 * :mod:`repro.workload` — the paper's synthetic snowflake database and
   random SPJ query generator;
+* :mod:`repro.obs` — observability: per-stage tracing, the metrics
+  registry, the unified ``StatsSnapshot`` and ``EXPLAIN ESTIMATE``;
 * :mod:`repro.bench` — the experiment harness regenerating every figure.
 """
 
@@ -32,6 +34,7 @@ from repro.core import (
     make_nosit,
 )
 from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
+from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
 from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
 
 __version__ = "1.0.0"
@@ -42,9 +45,11 @@ __all__ = [
     "Database",
     "DiffError",
     "Executor",
+    "ExplainResult",
     "FilterPredicate",
     "GreedyViewMatching",
     "JoinPredicate",
+    "MetricsRegistry",
     "NIndError",
     "OptError",
     "Query",
@@ -52,8 +57,10 @@ __all__ = [
     "SITBuilder",
     "SITPool",
     "Schema",
+    "StatsSnapshot",
     "Table",
     "TableSchema",
+    "Trace",
     "build_workload_pool",
     "make_gs_diff",
     "make_gs_nind",

@@ -8,6 +8,11 @@ Commands
 ``estimate --sql "SELECT ..."``
     Estimate the cardinality of a SQL query against the synthetic
     snowflake database, comparing noSit / GVM / GS-Diff with the truth.
+``explain "SELECT ..."``
+    ``EXPLAIN ESTIMATE``: print the winning ``getSelectivity``
+    decomposition factor by factor — the matched SIT (or independence
+    fallback) and error contribution of every ``Sel(p | Q)`` — as a text
+    tree, or machine-readably with ``--json``.
 ``figures``
     A quick textual regeneration of the Figure 7 sweep at a small scale
     (the full suite lives in ``pytest benchmarks/ --benchmark-only``).
@@ -91,6 +96,33 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.errors import DiffError, NIndError
+    from repro.core.estimator import CardinalityEstimator
+    from repro.sql import parse_query
+    from repro.stats.builder import SITBuilder
+    from repro.stats.pool import build_workload_pool
+    from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    database = generate_snowflake(SnowflakeConfig(scale=args.scale, seed=args.seed))
+    query = parse_query(args.sql, database.schema)
+    pool = build_workload_pool(
+        SITBuilder(database), [query], max_joins=min(query.join_count, args.max_joins)
+    )
+    error_function = (
+        NIndError() if args.error == "nind" else DiffError(pool)
+    )
+    estimator = CardinalityEstimator(
+        database, pool, error_function, engine=args.engine
+    )
+    result = estimator.explain(query)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render_text(include_stats=args.stats))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.harness import Harness
     from repro.bench.reporting import render_figure7
@@ -141,6 +173,37 @@ def main(argv: list[str] | None = None) -> int:
     estimate.add_argument("--seed", type=int, default=42)
     estimate.add_argument("--max-joins", type=int, default=2, dest="max_joins")
 
+    explain = sub.add_parser(
+        "explain", help="EXPLAIN ESTIMATE: the winning decomposition of a query"
+    )
+    explain.add_argument(
+        "sql", nargs="?", default=None, help="conjunctive SPJ SELECT"
+    )
+    explain.add_argument(
+        "--sql", dest="sql_flag", default=None, help=argparse.SUPPRESS
+    )
+    explain.add_argument(
+        "--error",
+        choices=("nind", "diff"),
+        default="diff",
+        help="error function ranking candidate decompositions (default: diff)",
+    )
+    explain.add_argument(
+        "--engine",
+        choices=("bitmask", "legacy"),
+        default="bitmask",
+        help="getSelectivity DP engine (default: bitmask)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the machine-readable structure"
+    )
+    explain.add_argument(
+        "--stats", action="store_true", help="append the StatsSnapshot to the tree"
+    )
+    explain.add_argument("--scale", type=float, default=0.25)
+    explain.add_argument("--seed", type=int, default=42)
+    explain.add_argument("--max-joins", type=int, default=2, dest="max_joins")
+
     figures = sub.add_parser("figures", help="quick Figure 7 sweep")
     figures.add_argument("--scale", type=float, default=0.15)
     figures.add_argument("--seed", type=int, default=42)
@@ -153,6 +216,12 @@ def main(argv: list[str] | None = None) -> int:
         return _demo()
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "explain":
+        if args.sql is None:
+            args.sql = args.sql_flag
+        if args.sql is None:
+            parser.error("explain requires a SQL query (positional or --sql)")
+        return _cmd_explain(args)
     if args.command == "figures":
         return _cmd_figures(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -21,11 +21,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.estimator import CardinalityEstimator
+from repro.core.get_selectivity import LEGACY_STATS_KEYS
 from repro.core.gvm import GreedyViewMatching
 from repro.core.predicates import PredicateSet, tables_of
 from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import StatsSnapshot
 from repro.stats.pool import SITPool
 from repro.workload.queries import connected_subqueries
 
@@ -44,10 +47,14 @@ class QueryMetrics:
     analysis_seconds: float
     estimation_seconds: float
     estimates: dict[PredicateSet, float] = field(default_factory=dict)
-    #: ``GetSelectivity.stats()`` snapshot taken after the query's last
-    #: sub-query (memo size, match-cache hits/misses, pruned count, ...);
-    #: empty for techniques without the observability hook (GVM).
+    #: legacy flat stats view taken after the query's last sub-query (memo
+    #: size, match-cache hits/misses, pruned count, ...); empty for
+    #: techniques without the observability hook (GVM).  Kept for one
+    #: release alongside :attr:`snapshot`, which carries the same data in
+    #: the unified ``StatsSnapshot`` schema.
     stats: dict[str, float] = field(default_factory=dict)
+    #: unified observability snapshot (``None`` for GVM)
+    snapshot: StatsSnapshot | None = None
 
 
 @dataclass
@@ -89,6 +96,42 @@ class TechniqueReport:
             sum(q.estimation_seconds for q in self.per_query)
             / len(self.per_query)
             * 1000.0
+        )
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Workload-level roll-up of the per-query snapshots.
+
+        Counters and cache hit/miss counts sum across queries; timings sum
+        (they are per-query accumulators); cache sizes keep the last
+        query's value.  This is the registry figure runs and BENCH output
+        report from.
+        """
+        registry = MetricsRegistry()
+        for metrics in self.per_query:
+            snapshot = metrics.snapshot
+            if snapshot is None:
+                continue
+            for name, value in snapshot.timings.items():
+                registry.gauge(f"timings.{name}").add(float(value))
+            for name, value in snapshot.counters.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                if name == "universe_size":  # a size, not an event count
+                    registry.gauge(f"counters.{name}").set(float(value))
+                else:
+                    registry.counter(f"counters.{name}").inc(float(value))
+            for name, value in snapshot.caches.items():
+                if name.endswith(("_hits", "_misses")):
+                    registry.counter(f"caches.{name}").inc(float(value))
+                else:
+                    registry.gauge(f"caches.{name}").set(float(value))
+        return registry
+
+    def aggregate_snapshot(self) -> StatsSnapshot:
+        """The roll-up of :meth:`aggregate_metrics` as a ``StatsSnapshot``."""
+        return StatsSnapshot.from_registry(
+            self.aggregate_metrics(),
+            meta={"technique": self.name, "queries": len(self.per_query)},
         )
 
 
@@ -135,13 +178,25 @@ class Harness:
         estimator_factories: dict[str, EstimatorFactory],
         include_gvm: bool = True,
         max_subqueries: int | None = None,
+        tracing: bool = False,
     ) -> WorkloadEvaluation:
-        """Run every technique over every query of the workload."""
+        """Run every technique over every query of the workload.
+
+        With ``tracing=True`` every ``getSelectivity`` estimator runs with
+        the per-stage :class:`repro.obs.trace.Trace` enabled, so the
+        per-query ``snapshot`` carries ``dp_enumeration`` /
+        ``factor_matching`` / ``histogram_join`` / ``error_scoring``
+        timings and the candidate-funnel counters (at a small measured
+        overhead; leave it off for timing-sensitive figure runs).
+        """
         reports: dict[str, TechniqueReport] = {}
         estimators = {
             name: factory(self.database, pool)
             for name, factory in estimator_factories.items()
         }
+        if tracing:
+            for estimator in estimators.values():
+                estimator.enable_tracing()
         for name in estimators:
             reports[name] = TechniqueReport(name)
         if include_gvm:
@@ -179,6 +234,7 @@ class Harness:
                 predicates, result.selectivity
             )
         errors = [abs(estimates[s] - truth[s]) for s in subqueries]
+        snapshot = estimator.stats_snapshot()
         return QueryMetrics(
             query=query,
             mean_absolute_error=sum(errors) / len(errors),
@@ -191,7 +247,10 @@ class Harness:
             analysis_seconds=estimator.analysis_seconds,
             estimation_seconds=estimator.estimation_seconds,
             estimates=estimates,
-            stats=estimator.algorithm.stats(),
+            # legacy flat keys, derived from the same snapshot (no
+            # deprecated stats() call, so figure runs stay warning-free)
+            stats=snapshot.flat(LEGACY_STATS_KEYS),
+            snapshot=snapshot,
         )
 
     def _run_gvm(

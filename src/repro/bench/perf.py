@@ -159,18 +159,19 @@ def seed_kernels() -> Iterator[None]:
 def bench_get_selectivity(size: int, repeats: int) -> dict:
     predicates, pool = build_scenario(size)
 
-    def fresh(legacy: bool) -> GetSelectivity:
-        return GetSelectivity(pool, NIndError(), legacy=legacy)
+    def fresh(engine: str) -> GetSelectivity:
+        return GetSelectivity.create(pool, NIndError(), engine=engine)
 
     out: dict = {"predicates": size}
-    for name, legacy in (("legacy", True), ("bitmask", False)):
+    for name in ("legacy", "bitmask"):
         # legacy == the seed configuration: frozenset DP + loop kernels.
-        context = seed_kernels() if legacy else contextlib.nullcontext()
+        is_legacy = name == "legacy"
+        context = seed_kernels() if is_legacy else contextlib.nullcontext()
         with context:
             cold = _median_of(
-                lambda: fresh(legacy)(predicates), max(3, repeats // 2)
+                lambda: fresh(name)(predicates), max(3, repeats // 2)
             )
-            algorithm = fresh(legacy)
+            algorithm = fresh(name)
             algorithm(predicates)  # warm the pool-pure caches
 
             def steady_run() -> None:
@@ -178,18 +179,56 @@ def bench_get_selectivity(size: int, repeats: int) -> dict:
                 algorithm(predicates)
 
             steady = _best_of(steady_run, repeats)
-        stats = algorithm.stats()
+        snapshot = algorithm.stats_snapshot()
         out[name] = {
             "cold_ms": cold * 1000.0,
             "steady_ms": steady * 1000.0,
-            "analysis_ms": stats["analysis_seconds"] * 1000.0,
-            "estimation_ms": stats["estimation_seconds"] * 1000.0,
-            "matcher_calls": stats["matcher_calls"],
-            "memo_entries": stats["memo_entries"],
+            "analysis_ms": snapshot.timings["analysis_seconds"] * 1000.0,
+            "estimation_ms": snapshot.timings["estimation_seconds"] * 1000.0,
+            "matcher_calls": snapshot.counters["matcher_calls"],
+            "memo_entries": snapshot.caches["memo_entries"],
+            "explored_decompositions": snapshot.counters[
+                "explored_decompositions"
+            ],
         }
     out["cold_speedup"] = out["legacy"]["cold_ms"] / out["bitmask"]["cold_ms"]
     out["steady_speedup"] = out["legacy"]["steady_ms"] / out["bitmask"]["steady_ms"]
     return out
+
+
+def bench_tracing_overhead(size: int, repeats: int) -> dict:
+    """Steady-state cost of the observability layer on the bitmask DP.
+
+    ``disabled_ms`` is the production configuration (``trace is None``:
+    one branch per instrumented call site); ``enabled_ms`` runs the same
+    workload with the per-stage :class:`repro.obs.trace.Trace` attached.
+    The disabled figure is the one the <=5% acceptance gate tracks against
+    the pre-observability baseline recorded in ``BENCH_core.json``.
+    """
+    predicates, pool = build_scenario(size)
+    algorithm = GetSelectivity.create(pool, NIndError(), engine="bitmask")
+    algorithm(predicates)  # warm pool-pure caches
+
+    def steady_run() -> None:
+        algorithm.reset()
+        algorithm(predicates)
+
+    disabled = _best_of(steady_run, repeats)
+    trace = algorithm.enable_tracing()
+    enabled = _best_of(steady_run, repeats)
+    stages = {
+        stage: seconds * 1000.0 for stage, seconds, _ in trace.stages()
+    }
+    counters = dict(trace.counters)
+    algorithm.disable_tracing()
+    return {
+        "predicates": size,
+        "disabled_ms": disabled * 1000.0,
+        "enabled_ms": enabled * 1000.0,
+        "enabled_overhead_pct": (enabled / disabled - 1.0) * 100.0,
+        "trace_stage_ms": stages,
+        "trace_counters": counters,
+    }
 
 
 def _micro_histograms(buckets: int = 200, size: int = 60_000):
@@ -249,6 +288,9 @@ def run(repeats: int = 9) -> dict:
             for size in PREDICATE_COUNTS
         },
         "histograms": bench_histogram_ops(repeats),
+        "observability": {
+            "n7_tracing": bench_tracing_overhead(7, repeats),
+        },
     }
     result["gates"] = {
         # The rewrite targets the optimizer inner loop: an end-to-end
@@ -264,6 +306,12 @@ def run(repeats: int = 9) -> dict:
             "variation_distance"
         ]["speedup"],
         "histogram_target": 5.0,
+        # Observability acceptance: the production configuration (tracing
+        # disabled) must stay within 5% of the pre-observability steady
+        # baseline; the same-run enabled overhead is recorded alongside.
+        "n7_tracing_enabled_overhead_pct": result["observability"][
+            "n7_tracing"
+        ]["enabled_overhead_pct"],
     }
     return result
 
@@ -284,6 +332,13 @@ def render(result: dict) -> str:
             f"  {name}: {row['reference_ms']:8.2f} -> "
             f"{row['vectorized_ms']:8.2f} ms ({row['speedup']:5.1f}x)"
         )
+    tracing = result["observability"]["n7_tracing"]
+    lines.append(
+        "observability (bitmask n7 steady): "
+        f"disabled {tracing['disabled_ms']:.3f} ms, "
+        f"enabled {tracing['enabled_ms']:.3f} ms "
+        f"({tracing['enabled_overhead_pct']:+.1f}%)"
+    )
     return "\n".join(lines)
 
 

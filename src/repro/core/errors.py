@@ -150,18 +150,16 @@ class DiffError:
         best: float | None = None
         for first, second in ((predicate, other), (other, predicate)):
             for attribute in first.attributes:
-                for sit in self._pool.for_attribute(attribute):
-                    if second in sit.expression:
-                        best = sit.diff if best is None else max(best, sit.diff)
+                for sit in self._pool.find(attribute, expression_member=second):
+                    best = sit.diff if best is None else max(best, sit.diff)
         value = self._unknown_cost if best is None else best
         self._dependence_cache[key] = value
         return value
 
     def _attribute_dependence(self, attribute, other) -> float:
         best: float | None = None
-        for sit in self._pool.for_attribute(attribute):
-            if other in sit.expression:
-                best = sit.diff if best is None else max(best, sit.diff)
+        for sit in self._pool.find(attribute, expression_member=other):
+            best = sit.diff if best is None else max(best, sit.diff)
         return self._unknown_cost if best is None else best
 
 

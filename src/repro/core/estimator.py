@@ -12,13 +12,24 @@ Factory helpers build the estimator variants the paper evaluates:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
-from repro.core.get_selectivity import EstimationResult, GetSelectivity
+from repro.core.get_selectivity import (
+    LEGACY_STATS_KEYS,
+    EstimationResult,
+    GetSelectivity,
+)
 from repro.core.predicates import PredicateSet
 from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query
+from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.trace import Trace
 from repro.stats.pool import SITPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.explain import ExplainResult
 
 
 class CardinalityEstimator:
@@ -31,18 +42,25 @@ class CardinalityEstimator:
         error_function: ErrorFunction | None = None,
         sit_driven_pruning: bool = False,
         name: str | None = None,
-        legacy: bool = False,
+        legacy: bool | None = None,
+        engine: str = "bitmask",
     ):
+        if legacy is not None:
+            deprecated(
+                "CardinalityEstimator(..., legacy=...) is deprecated; pass "
+                "engine='legacy' or engine='bitmask' instead"
+            )
+            engine = "legacy" if legacy else "bitmask"
         self.database = database
         self.pool = pool
         self.error_function = (
             error_function if error_function is not None else DiffError(pool)
         )
-        self.algorithm = GetSelectivity(
+        self.algorithm = GetSelectivity.create(
             pool,
             self.error_function,
+            engine=engine,
             sit_driven_pruning=sit_driven_pruning,
-            legacy=legacy,
         )
         self.name = name if name is not None else f"GS-{self.error_function.name}"
 
@@ -65,9 +83,30 @@ class CardinalityEstimator:
         Accepts the conjunctive SPJ subset of :mod:`repro.sql` and binds
         it against this estimator's database schema.
         """
+        return self.cardinality(self.parse_sql(sql))
+
+    def parse_sql(self, sql: str) -> Query:
+        """Parse + bind SQL against this estimator's schema (traced as the
+        ``parse_bind`` stage when tracing is enabled)."""
         from repro.sql import parse_query
 
-        return self.cardinality(parse_query(sql, self.database.schema))
+        trace = self.trace
+        if trace is not None:
+            with trace.span("parse_bind"):
+                return parse_query(sql, self.database.schema)
+        return parse_query(sql, self.database.schema)
+
+    def explain(self, query: Query | str) -> "ExplainResult":
+        """``EXPLAIN ESTIMATE``: the winning decomposition, factor by factor.
+
+        Accepts a bound :class:`Query` or SQL text.  Reuses the DP's memo,
+        so ``explain(q).selectivity == estimate(q).selectivity`` exactly.
+        """
+        from repro.obs.explain import build_explain
+
+        if isinstance(query, str):
+            query = self.parse_sql(query)
+        return build_explain(self, query)
 
     def subquery_selectivity(self, query: Query, predicates: PredicateSet) -> float:
         """Selectivity of one sub-query; free after :meth:`estimate` thanks
@@ -83,6 +122,11 @@ class CardinalityEstimator:
 
     # ------------------------------------------------------------------
     @property
+    def engine(self) -> str:
+        """The DP engine in use (``"bitmask"`` or ``"legacy"``)."""
+        return self.algorithm.engine
+
+    @property
     def view_matching_calls(self) -> int:
         return self.algorithm.matcher.calls
 
@@ -94,9 +138,41 @@ class CardinalityEstimator:
     def estimation_seconds(self) -> float:
         return self.algorithm.estimation_seconds
 
+    # -- observability --------------------------------------------------
+    @property
+    def trace(self) -> Trace | None:
+        """The attached trace, or ``None`` when tracing is disabled."""
+        return self.algorithm.trace
+
+    def enable_tracing(self, trace: Trace | None = None) -> Trace:
+        """Turn on per-stage tracing for this estimator's whole path."""
+        return self.algorithm.enable_tracing(trace)
+
+    def disable_tracing(self) -> None:
+        self.algorithm.disable_tracing()
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The unified observability snapshot (``StatsSnapshot`` schema),
+        tagged with this estimator's identity."""
+        snapshot = self.algorithm.stats_snapshot()
+        meta = dict(snapshot.meta)
+        meta.update(
+            {"estimator": self.name, "error_function": self.error_function.name}
+        )
+        return StatsSnapshot(
+            timings=snapshot.timings,
+            counters=snapshot.counters,
+            caches=snapshot.caches,
+            meta=meta,
+        )
+
     def stats(self) -> dict[str, float]:
-        """The DP's observability snapshot (see ``GetSelectivity.stats``)."""
-        return self.algorithm.stats()
+        """Deprecated flat view; use :meth:`stats_snapshot`."""
+        deprecated(
+            "CardinalityEstimator.stats() flat keys are deprecated; use "
+            "stats_snapshot() for the namespaced StatsSnapshot schema"
+        )
+        return self.stats_snapshot().flat(LEGACY_STATS_KEYS)
 
     def reset(self) -> None:
         """Clear memoization and counters (e.g. between workload queries

@@ -53,6 +53,9 @@ from itertools import combinations
 from typing import Iterator
 
 from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.trace import Trace
 from repro.core.matching import (
     FactorMatch,
     ViewMatcher,
@@ -97,6 +100,21 @@ def _match_coverage(match: FactorMatch) -> float:
 
 _EMPTY_RESULT = EstimationResult(1.0, 0.0, Decomposition(()), ())
 
+#: flat ``stats()`` keys of the pre-unification API (deprecated view),
+#: mapped onto their ``StatsSnapshot`` namespace paths.
+LEGACY_STATS_KEYS = {
+    "memo_entries": "caches.memo_entries",
+    "match_cache_entries": "caches.match_cache_entries",
+    "estimate_cache_entries": "caches.estimate_cache_entries",
+    "match_cache_hits": "caches.match_cache_hits",
+    "match_cache_misses": "caches.match_cache_misses",
+    "matcher_calls": "counters.matcher_calls",
+    "pruned_decompositions": "counters.pruned_decompositions",
+    "universe_size": "counters.universe_size",
+    "analysis_seconds": "timings.analysis_seconds",
+    "estimation_seconds": "timings.estimation_seconds",
+}
+
 
 class GetSelectivity:
     """A reusable ``getSelectivity`` instance (bitmask fast path).
@@ -106,9 +124,55 @@ class GetSelectivity:
     is a table lookup — the reuse property Section 4 builds on.  Create a
     fresh instance (or call :meth:`reset`) when the SIT pool changes.
 
-    ``GetSelectivity(pool, error_function, legacy=True)`` constructs the
-    reference :class:`LegacyGetSelectivity` implementation instead.
+    Engine selection goes through the explicit factory::
+
+        GetSelectivity.create(pool, error_fn, engine="bitmask")   # default
+        GetSelectivity.create(pool, error_fn, engine="legacy")    # oracle
+
+    The historical ``GetSelectivity(pool, error_fn, legacy=True)`` spelling
+    (a ``__new__``-level class swap) still works but emits a
+    :class:`DeprecationWarning`; it will be removed in the next release.
     """
+
+    #: engine identifier surfaced through ``stats_snapshot()`` and EXPLAIN
+    engine = "bitmask"
+
+    @classmethod
+    def create(
+        cls,
+        pool: SITPool,
+        error_function: ErrorFunction,
+        *,
+        engine: str = "bitmask",
+        sit_driven_pruning: bool = False,
+        matcher: ViewMatcher | None = None,
+    ) -> "GetSelectivity":
+        """Explicit engine-selecting factory (replaces ``legacy=True``).
+
+        ``engine`` is ``"bitmask"`` (the fast interned-mask DP) or
+        ``"legacy"`` (the preserved frozenset reference implementation).
+        Unlike the deprecated keyword this never swaps classes under a
+        subclass's feet: ``SubClass.create(...)`` builds ``SubClass`` for
+        the bitmask engine and the plain ``LegacyGetSelectivity`` oracle
+        for the legacy one.
+        """
+        if engine == "legacy":
+            return LegacyGetSelectivity(
+                pool,
+                error_function,
+                sit_driven_pruning=sit_driven_pruning,
+                matcher=matcher,
+            )
+        if engine != "bitmask":
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'bitmask' or 'legacy'"
+            )
+        return cls(
+            pool,
+            error_function,
+            sit_driven_pruning=sit_driven_pruning,
+            matcher=matcher,
+        )
 
     def __new__(
         cls,
@@ -116,10 +180,16 @@ class GetSelectivity:
         error_function: ErrorFunction,
         sit_driven_pruning: bool = False,
         matcher: ViewMatcher | None = None,
-        legacy: bool = False,
+        legacy: bool | None = None,
     ):
-        if legacy and cls is GetSelectivity:
-            return super().__new__(LegacyGetSelectivity)
+        if legacy is not None and cls is GetSelectivity:
+            deprecated(
+                "GetSelectivity(..., legacy=...) is deprecated; use "
+                "GetSelectivity.create(pool, error_fn, engine='legacy') "
+                "or engine='bitmask' instead"
+            )
+            if legacy:
+                return super().__new__(LegacyGetSelectivity)
         return super().__new__(cls)
 
     def __init__(
@@ -128,9 +198,12 @@ class GetSelectivity:
         error_function: ErrorFunction,
         sit_driven_pruning: bool = False,
         matcher: ViewMatcher | None = None,
-        legacy: bool = False,
+        legacy: bool | None = None,
     ):
-        del legacy  # consumed by __new__
+        # ``legacy`` is consumed (and deprecation-warned) by ``__new__``;
+        # it is accepted — and ignored — here so the historical call shape
+        # keeps working without ``__init__`` mutating its own signature,
+        # which is what used to break third-party subclasses.
         self.pool = pool
         self.error_function = error_function
         self.sit_driven_pruning = sit_driven_pruning
@@ -156,10 +229,25 @@ class GetSelectivity:
         #: manipulation").
         self.analysis_seconds = 0.0
         self.estimation_seconds = 0.0
-        #: per-query observability counters (see :meth:`stats`)
+        #: per-query observability counters (see :meth:`stats_snapshot`)
         self.match_cache_hits = 0
         self.match_cache_misses = 0
         self.pruned_decompositions = 0
+        self.explored_decompositions = 0
+        #: opt-in tracing; ``None`` == disabled (one branch per call site)
+        self.trace: Trace | None = None
+
+    # ------------------------------------------------------------------
+    def enable_tracing(self, trace: Trace | None = None) -> Trace:
+        """Attach a :class:`Trace` (shared with the matcher) and return it."""
+        self.trace = trace if trace is not None else Trace()
+        self.matcher.trace = self.trace
+        return self.trace
+
+    def disable_tracing(self) -> None:
+        """Detach tracing; instrumented sites fall back to one branch."""
+        self.trace = None
+        self.matcher.trace = None
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -172,34 +260,74 @@ class GetSelectivity:
         self.match_cache_hits = 0
         self.match_cache_misses = 0
         self.pruned_decompositions = 0
+        self.explored_decompositions = 0
+        if self.trace is not None:
+            self.trace.clear()
+
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """The DP's state as a :class:`MetricsRegistry` (the substrate of
+        :meth:`stats_snapshot`).  Timings land in ``timings.*``, event
+        counts in ``counters.*``, cache sizes and hit/miss counts in
+        ``caches.*``; per-stage trace timings and counters are folded in
+        when tracing is enabled."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge
+        counter = registry.counter
+        gauge("timings.analysis_seconds").set(self.analysis_seconds)
+        gauge("timings.estimation_seconds").set(self.estimation_seconds)
+        counter("counters.matcher_calls").inc(self.matcher.calls)
+        counter("counters.pruned_decompositions").inc(self.pruned_decompositions)
+        counter("counters.explored_decompositions").inc(
+            self.explored_decompositions
+        )
+        gauge("counters.universe_size").set(self.universe.size)
+        gauge("caches.memo_entries").set(len(self._memo))
+        gauge("caches.match_cache_entries").set(len(self._match_cache))
+        gauge("caches.estimate_cache_entries").set(len(self._estimate_cache))
+        counter("caches.match_cache_hits").inc(self.match_cache_hits)
+        counter("caches.match_cache_misses").inc(self.match_cache_misses)
+        trace = self.trace
+        if trace is not None:
+            for stage, seconds, calls in trace.stages():
+                gauge(f"timings.{stage}_seconds").set(seconds)
+                counter(f"counters.{stage}_calls").inc(calls)
+            for name, value in sorted(trace.counters.items()):
+                counter(f"counters.{name}").inc(value)
+        return registry
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The documented observability snapshot (see
+        :class:`repro.obs.snapshot.StatsSnapshot`).
+
+        Cache sizes are current; hits/misses, matcher calls, explored and
+        pruned decomposition counts and the two Figure 8 timing
+        accumulators are per-query (cleared by :meth:`reset`).
+        """
+        return StatsSnapshot.from_registry(
+            self.metrics_registry(),
+            meta={"engine": self.engine, "tracing": self.trace is not None},
+        )
 
     def stats(self) -> dict[str, float]:
-        """Observability snapshot of the DP's internal state.
-
-        ``memo_entries`` and ``match_cache_entries`` are current sizes;
-        hits/misses, matcher calls, pruned-decomposition counts and the
-        two Figure 8 timing accumulators are per-query (cleared by
-        :meth:`reset`).
-        """
-        return {
-            "memo_entries": len(self._memo),
-            "match_cache_entries": len(self._match_cache),
-            "estimate_cache_entries": len(self._estimate_cache),
-            "match_cache_hits": self.match_cache_hits,
-            "match_cache_misses": self.match_cache_misses,
-            "matcher_calls": self.matcher.calls,
-            "pruned_decompositions": self.pruned_decompositions,
-            "universe_size": self.universe.size,
-            "analysis_seconds": self.analysis_seconds,
-            "estimation_seconds": self.estimation_seconds,
-        }
+        """Deprecated flat view of :meth:`stats_snapshot` (old key set)."""
+        deprecated(
+            "GetSelectivity.stats() flat keys are deprecated; use "
+            "stats_snapshot() for the namespaced StatsSnapshot schema"
+        )
+        return self.stats_snapshot().flat(LEGACY_STATS_KEYS)
 
     def __call__(self, predicates: PredicateSet) -> EstimationResult:
         """Most accurate estimation of ``Sel_R(P)`` with ``R = tables(P)``."""
         predicates = frozenset(predicates)
         started = time.perf_counter()
         mask = self.universe.intern(predicates)
-        result = self._solve(mask)
+        trace = self.trace
+        if trace is not None:
+            with trace.span("dp_enumeration"):
+                result = self._solve(mask)
+        else:
+            result = self._solve(mask)
         self.analysis_seconds += time.perf_counter() - started
         return result
 
@@ -213,8 +341,13 @@ class GetSelectivity:
         if not mask:
             return _EMPTY_RESULT
         cached = self._memo.get(mask)  # lines 1-2
+        trace = self.trace
         if cached is not None:
+            if trace is not None:
+                trace.count("memo_hits")
             return cached
+        if trace is not None:
+            trace.count("memo_misses")
         components = self.universe.components(mask)
         if len(components) > 1:  # lines 3-7
             result = self._solve_separable(components)
@@ -248,6 +381,7 @@ class GetSelectivity:
         best_tail: EstimationResult | None = None
         best_p_mask = 0
         best_tie: tuple[int, int] | None = None
+        explored = 0
         # Line 10: every non-empty P' ⊆ P via submask enumeration
         # (sub = (sub - 1) & mask); P' = P (Q empty) is included — it is
         # the decomposition a traditional optimizer implicitly uses.
@@ -261,6 +395,7 @@ class GetSelectivity:
             ):
                 self.pruned_decompositions += 1
                 continue
+            explored += 1
             tail = solve(q_mask)  # line 11
             if tail.error > best_error:
                 continue  # monotonicity: this decomposition cannot win
@@ -294,6 +429,7 @@ class GetSelectivity:
             best_match = match
             best_tail = tail
             best_p_mask = p_mask
+        self.explored_decompositions += explored
         if best_match is None or best_tail is None:
             # No SITs at all for some attribute: surface it explicitly
             # rather than inventing a number.
@@ -303,8 +439,14 @@ class GetSelectivity:
         if factor_selectivity is None:
             started = time.perf_counter()
             factor_selectivity = estimate_factor(best_match)  # line 16
-            self.estimation_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.estimation_seconds += elapsed
+            trace = self.trace
+            if trace is not None:
+                trace.add_time("histogram_join", elapsed)
             self._estimate_cache[estimate_key] = factor_selectivity
+        elif self.trace is not None:
+            self.trace.count("estimate_cache_hits")
         selectivity = factor_selectivity * best_tail.selectivity  # line 17
         decomposition = best_tail.decomposition.extended(best_match.factor)
         matches = (best_match, *best_tail.matches)
@@ -338,9 +480,23 @@ class GetSelectivity:
         self, p_part: PredicateSet, q_part: PredicateSet
     ) -> tuple[FactorMatch | None, float]:
         factor = Factor(p_part, q_part)
+        trace = self.trace
+        if trace is not None:
+            with trace.span("factor_matching"):
+                candidates = self.matcher.candidates_for_factor(
+                    factor, count=False
+                )
+            if candidates is None:
+                return None, INFINITE_ERROR
+            with trace.span("error_scoring"):
+                return self._score_candidates(candidates)
         candidates = self.matcher.candidates_for_factor(factor, count=False)
         if candidates is None:
             return None, INFINITE_ERROR
+        return self._score_candidates(candidates)
+
+    def _score_candidates(self, candidates) -> tuple[FactorMatch | None, float]:
+        """Pick and price the best SIT combination for a factor's candidates."""
         if self.error_function.requires_combinations:
             best: FactorMatch | None = None
             best_error = INFINITE_ERROR
@@ -372,31 +528,39 @@ class LegacyGetSelectivity(GetSelectivity):
 
     Kept verbatim as the oracle for the bitmask parity suite and as the
     baseline the ``repro.bench.perf`` benchmarks measure speedups against.
-    Construct directly or via ``GetSelectivity(..., legacy=True)``.
+    Construct via :meth:`GetSelectivity.create` with ``engine="legacy"``
+    (or directly; the ``legacy=True`` keyword is deprecated).
     """
+
+    engine = "legacy"
 
     def __call__(self, predicates: PredicateSet) -> EstimationResult:
         predicates = frozenset(predicates)
         started = time.perf_counter()
-        result = self._solve(predicates)
+        trace = self.trace
+        if trace is not None:
+            with trace.span("dp_enumeration"):
+                result = self._solve(predicates)
+        else:
+            result = self._solve(predicates)
         self.analysis_seconds += time.perf_counter() - started
         return result
 
     def cached_results(self) -> dict[PredicateSet, EstimationResult]:
         return dict(self._memo)
 
-    def stats(self) -> dict[str, float]:
-        out = super().stats()
-        out["universe_size"] = 0  # the legacy path does not intern
-        return out
-
     # ------------------------------------------------------------------
     def _solve(self, predicates: PredicateSet) -> EstimationResult:
         if not predicates:
             return _EMPTY_RESULT
         cached = self._memo.get(predicates)  # lines 1-2
+        trace = self.trace
         if cached is not None:
+            if trace is not None:
+                trace.count("memo_hits")
             return cached
+        if trace is not None:
+            trace.count("memo_misses")
         components = connected_components(predicates)
         if len(components) > 1:  # lines 3-7
             result = self._solve_separable(components)
@@ -426,6 +590,7 @@ class LegacyGetSelectivity(GetSelectivity):
         best_key = (INFINITE_ERROR, 0.0)
         best_match: FactorMatch | None = None
         best_tail: EstimationResult | None = None
+        explored = 0
         for p_part in self._atomic_decompositions(predicates):
             q_part = predicates - p_part
             if self.sit_driven_pruning and not self._worth_exploring(
@@ -433,6 +598,7 @@ class LegacyGetSelectivity(GetSelectivity):
             ):
                 self.pruned_decompositions += 1
                 continue
+            explored += 1
             tail = self._solve(q_part)  # line 11
             if tail.error > best_key[0]:
                 continue  # monotonicity: this decomposition cannot win
@@ -446,11 +612,15 @@ class LegacyGetSelectivity(GetSelectivity):
                 best_key = key  # then by enumeration (size, str-lex) order
                 best_match = match
                 best_tail = tail
+        self.explored_decompositions += explored
         if best_match is None or best_tail is None:
             raise NoApplicableStatisticsError(predicates)
         started = time.perf_counter()
         factor_selectivity = estimate_factor(best_match)  # line 16
-        self.estimation_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.estimation_seconds += elapsed
+        if self.trace is not None:
+            self.trace.add_time("histogram_join", elapsed)
         selectivity = factor_selectivity * best_tail.selectivity  # line 17
         decomposition = best_tail.decomposition.extended(best_match.factor)
         matches = (best_match, *best_tail.matches)
@@ -498,8 +668,8 @@ class LegacyGetSelectivity(GetSelectivity):
         for predicate in p_part:
             attributes.update(predicate.attributes)
         for attribute in attributes:
-            for sit in self.pool.for_attribute(attribute):
-                if sit.expression and sit.expression <= q_part:
+            for expression in self.pool.find_expressions(attribute):
+                if expression <= q_part:
                     return True
         return False
 

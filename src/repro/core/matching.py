@@ -105,6 +105,10 @@ class ViewMatcher:
 
     pool: SITPool
     calls: int = 0
+    #: opt-in :class:`repro.obs.trace.Trace`; ``None`` == disabled, costing
+    #: one branch per instrumented site (set via
+    #: ``GetSelectivity.enable_tracing`` or directly).
+    trace: object = field(default=None, repr=False)
     _attribute_cache: dict[tuple[Attribute, PredicateSet], tuple[SIT, ...]] = field(
         init=False, default_factory=dict, repr=False
     )
@@ -179,12 +183,14 @@ class ViewMatcher:
         the maximal ones out.
         """
         self.calls += 1
-        applicable = [
-            sit
-            for sit in self.pool.for_attribute(attribute)
-            if sit.expression <= conditioning
-        ]
+        applicable = self.pool.find(
+            attribute, expression_superset=conditioning
+        )
         applicable.sort(key=lambda sit: (-len(sit.expression), str(sit)))
+        trace = self.trace
+        if trace is not None:
+            trace.count("sit_candidates_considered", len(applicable))
+            trace.count("sit_candidates_matched", len(applicable))
         return tuple(applicable)
 
     def maximal_candidates(
@@ -196,11 +202,9 @@ class ViewMatcher:
         cached = self._attribute_cache.get(key)
         if cached is not None:
             return cached
-        applicable = [
-            sit
-            for sit in self.pool.for_attribute(attribute)
-            if sit.expression <= conditioning
-        ]
+        applicable = self.pool.find(
+            attribute, expression_superset=conditioning
+        )
         maximal = tuple(
             sorted(
                 (
@@ -213,6 +217,13 @@ class ViewMatcher:
                 key=str,
             )
         )
+        trace = self.trace
+        if trace is not None:
+            # Section 3.3 funnel: how many applicable SITs were considered
+            # vs. how many survived the maximality filter (cold path only;
+            # warm lookups answer from the attribute cache above).
+            trace.count("sit_candidates_considered", len(applicable))
+            trace.count("sit_candidates_matched", len(maximal))
         self._attribute_cache[key] = maximal
         return maximal
 

@@ -276,7 +276,7 @@ class PredicateUniverse:
             entry: set[int] = set()
             if pool is not None:
                 for attribute in predicate.attributes:
-                    for expression in pool.expressions_for_attribute(attribute):
+                    for expression in pool.find_expressions(attribute):
                         mask = self._expression_mask(expression)
                         if mask:
                             entry.add(mask)

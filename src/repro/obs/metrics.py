@@ -1,0 +1,216 @@
+"""Labeled counter/gauge/histogram primitives and the registry behind
+every ``stats()`` surface.
+
+The registry is intentionally tiny and dependency-free — Prometheus-style
+semantics without Prometheus:
+
+* a :class:`Counter` only goes up (:meth:`Counter.inc`);
+* a :class:`Gauge` is set to the latest value (:meth:`Gauge.set`);
+* a :class:`HistogramMetric` summarises observations
+  (count/sum/min/max, :meth:`HistogramMetric.observe`).
+
+Instrument names are dotted — the segment before the first ``.`` is the
+*namespace* (``timings`` / ``counters`` / ``caches`` are the conventional
+ones, see :class:`repro.obs.snapshot.StatsSnapshot`).  Labels are
+free-form keyword pairs; the same name with different labels addresses
+different time series, exactly like the usual metrics systems::
+
+    registry = MetricsRegistry()
+    registry.counter("counters.matcher_calls", engine="bitmask").inc()
+    registry.gauge("timings.analysis_seconds").set(0.0123)
+    registry.snapshot()
+    # {"counters": {"matcher_calls{engine=bitmask}": 1.0},
+    #  "timings": {"analysis_seconds": 0.0123}}
+
+``snapshot()`` nests by namespace and is JSON-ready; ``to_json()`` dumps
+it.  Registries are also mergeable (:meth:`MetricsRegistry.merge`), which
+is how per-query registries roll up into workload-level BENCH output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    __slots__ = ("name", "labels")
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+
+    @property
+    def full_name(self) -> str:
+        return self.name + _render_labels(self.labels)
+
+    def value_view(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += n
+
+    def value_view(self) -> float:
+        return self.value
+
+
+class Gauge(_Instrument):
+    """Last-written value."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def value_view(self) -> float:
+        return self.value
+
+
+class HistogramMetric(_Instrument):
+    """Streaming summary (count / sum / min / max) of observations."""
+
+    __slots__ = ("count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def value_view(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of named, labeled instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelKey], _Instrument] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, object]) -> _Instrument:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"{name!r} is already registered as a {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: object) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one (counters and
+        histograms accumulate, gauges take the other's value)."""
+        for (name, labels), instrument in other._instruments.items():
+            kw = dict(labels)
+            if isinstance(instrument, Counter):
+                self.counter(name, **kw).inc(instrument.value)
+            elif isinstance(instrument, HistogramMetric):
+                mine = self.histogram(name, **kw)
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+                mine.min = min(mine.min, instrument.min)
+                mine.max = max(mine.max, instrument.max)
+            else:
+                self.gauge(name, **kw).set(instrument.value)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Nested ``{namespace: {name{labels}: value}}`` view.
+
+        The namespace is the dotted prefix of the instrument name (bare
+        names land in ``"metrics"``).  Values are floats for counters and
+        gauges, ``{count, sum, min, max, mean}`` dicts for histograms.
+        """
+        out: dict[str, dict[str, object]] = {}
+        for instrument in sorted(
+            self._instruments.values(), key=lambda i: i.full_name
+        ):
+            name = instrument.name
+            namespace, _, rest = name.partition(".")
+            if not rest:
+                namespace, rest = "metrics", name
+            entry = rest + _render_labels(instrument.labels)
+            out.setdefault(namespace, {})[entry] = instrument.value_view()
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

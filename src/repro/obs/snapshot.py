@@ -1,0 +1,133 @@
+"""The unified ``StatsSnapshot`` schema for every ``stats()`` surface.
+
+Before this module, ``GetSelectivity.stats()``, ``CardinalityEstimator
+.stats()`` and ``MemoCoupledEstimator`` each exposed (or lacked) ad-hoc
+flat dicts with divergent keys.  A :class:`StatsSnapshot` is the one
+documented shape, with three namespaces:
+
+``timings``
+    wall-clock accumulators, in seconds (``analysis_seconds``,
+    ``estimation_seconds``, plus per-stage trace timings when tracing is
+    enabled — see :mod:`repro.obs.trace`);
+``counters``
+    monotone event counts for the current accounting window
+    (``matcher_calls``, ``pruned_decompositions``,
+    ``explored_decompositions``, ``universe_size``, ...);
+``caches``
+    cache sizes and hit/miss counts (``memo_entries``,
+    ``match_cache_entries``, ``estimate_cache_entries``,
+    ``match_cache_hits``, ``match_cache_misses``).
+
+``meta`` carries identification (engine, estimator name, error function)
+and is excluded from numeric views.  Snapshots are plain data: build one
+from a :class:`repro.obs.metrics.MetricsRegistry` with
+:meth:`from_registry`, serialise with :meth:`to_dict` / :meth:`to_json`.
+
+The legacy flat-dict view (the pre-unification keys) stays available for
+one release through :meth:`flat`; the public ``stats()`` methods that
+return it emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+#: the namespaces a snapshot exposes, in rendering order
+NAMESPACES = ("timings", "counters", "caches")
+
+
+def deprecated(message: str) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the caller's caller."""
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _freeze(mapping: Mapping[str, object] | None) -> Mapping[str, object]:
+    return MappingProxyType(dict(mapping or {}))
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable, documented observability snapshot."""
+
+    timings: Mapping[str, float] = field(default_factory=dict)
+    counters: Mapping[str, float] = field(default_factory=dict)
+    caches: Mapping[str, float] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in (*NAMESPACES, "meta"):
+            object.__setattr__(self, name, _freeze(getattr(self, name)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, meta: Mapping[str, object] | None = None
+    ) -> "StatsSnapshot":
+        """Group a registry's instruments into the three namespaces.
+
+        Instruments outside the conventional namespaces are folded into
+        ``counters`` under their full dotted name, so nothing is lost.
+        """
+        nested = registry.snapshot()
+        extra: dict[str, object] = {}
+        for namespace, entries in nested.items():
+            if namespace not in NAMESPACES:
+                for name, value in entries.items():
+                    extra[f"{namespace}.{name}"] = value
+        counters = dict(nested.get("counters", {}))
+        counters.update(extra)
+        return cls(
+            timings=nested.get("timings", {}),
+            counters=counters,
+            caches=nested.get("caches", {}),
+            meta=meta or {},
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Nested plain-dict form (JSON-ready)."""
+        return {
+            "timings": dict(self.timings),
+            "counters": dict(self.counters),
+            "caches": dict(self.caches),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def namespace(self, name: str) -> Mapping[str, object]:
+        if name not in NAMESPACES:
+            raise KeyError(f"unknown namespace {name!r}; expected {NAMESPACES}")
+        return getattr(self, name)
+
+    # ------------------------------------------------------------------
+    def flat(self, keys: Mapping[str, str] | None = None) -> dict[str, float]:
+        """The deprecated flat view.
+
+        With ``keys`` (a ``{flat_key: "namespace.entry"}`` mapping) the
+        result contains exactly those keys — this is how the pre-existing
+        ``stats()`` dicts are reproduced bit-for-bit.  Without ``keys``
+        every numeric entry is flattened as ``namespace`` is dropped
+        (colliding names keep the namespaced form).
+        """
+        if keys is not None:
+            out: dict[str, float] = {}
+            for flat_key, path in keys.items():
+                namespace, _, entry = path.partition(".")
+                out[flat_key] = getattr(self, namespace)[entry]
+            return out
+        out = {}
+        for namespace in NAMESPACES:
+            for entry, value in getattr(self, namespace).items():
+                if entry in out:
+                    entry = f"{namespace}.{entry}"
+                if isinstance(value, (int, float)):
+                    out[entry] = float(value)
+        return out

@@ -15,6 +15,7 @@ decomposition but imposes almost no overhead on the optimizer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
@@ -28,9 +29,22 @@ from repro.core.predicates import PredicateSet
 from repro.core.selectivity import Factor
 from repro.engine.database import Database
 from repro.engine.expressions import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.trace import Trace
 from repro.optimizer.explorer import ExplorationResult, explore
 from repro.optimizer.memo import Entry, GroupKey, Operator
 from repro.stats.pool import SITPool
+
+#: flat keys of the deprecated ``MemoCoupledEstimator.stats()`` view
+MEMO_LEGACY_STATS_KEYS = {
+    "matcher_calls": "counters.matcher_calls",
+    "entries_scored": "counters.entries_scored",
+    "match_cache_entries": "caches.match_cache_entries",
+    "match_cache_hits": "caches.match_cache_hits",
+    "match_cache_misses": "caches.match_cache_misses",
+    "estimation_seconds": "timings.estimation_seconds",
+}
 
 
 @dataclass
@@ -56,10 +70,65 @@ class MemoCoupledEstimator:
     #: queries over the same pool) repeat factors, so matching each logical
     #: factor once mirrors getSelectivity's factor-match cache.
     _match_cache: dict = field(default_factory=dict, repr=False)
+    #: opt-in tracing; ``None`` == disabled (one branch per call site)
+    trace: Trace | None = field(default=None, repr=False)
+    #: per-instance observability counters (see :meth:`stats_snapshot`)
+    match_cache_hits: int = field(default=0, repr=False)
+    match_cache_misses: int = field(default=0, repr=False)
+    entries_scored: int = field(default=0, repr=False)
+    estimation_seconds: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.matcher is None:
             self.matcher = ViewMatcher(self.pool)
+
+    # ------------------------------------------------------------------
+    def enable_tracing(self, trace: Trace | None = None) -> Trace:
+        """Attach a :class:`Trace` (shared with the matcher) and return it."""
+        self.trace = trace if trace is not None else Trace()
+        self.matcher.trace = self.trace
+        return self.trace
+
+    def disable_tracing(self) -> None:
+        self.trace = None
+        self.matcher.trace = None
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """This estimator's state as a :class:`MetricsRegistry`."""
+        registry = MetricsRegistry()
+        registry.counter("counters.matcher_calls").inc(self.matcher.calls)
+        registry.counter("counters.entries_scored").inc(self.entries_scored)
+        registry.gauge("timings.estimation_seconds").set(self.estimation_seconds)
+        registry.gauge("caches.match_cache_entries").set(len(self._match_cache))
+        registry.counter("caches.match_cache_hits").inc(self.match_cache_hits)
+        registry.counter("caches.match_cache_misses").inc(self.match_cache_misses)
+        trace = self.trace
+        if trace is not None:
+            for stage, seconds, calls in trace.stages():
+                registry.gauge(f"timings.{stage}_seconds").set(seconds)
+                registry.counter(f"counters.{stage}_calls").inc(calls)
+            for name, value in sorted(trace.counters.items()):
+                registry.counter(f"counters.{name}").inc(value)
+        return registry
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The unified observability snapshot (``StatsSnapshot`` schema)."""
+        return StatsSnapshot.from_registry(
+            self.metrics_registry(),
+            meta={
+                "estimator": "MemoCoupled",
+                "error_function": self.error_function.name,
+                "tracing": self.trace is not None,
+            },
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Deprecated flat view; use :meth:`stats_snapshot`."""
+        deprecated(
+            "MemoCoupledEstimator.stats() flat keys are deprecated; use "
+            "stats_snapshot() for the namespaced StatsSnapshot schema"
+        )
+        return self.stats_snapshot().flat(MEMO_LEGACY_STATS_KEYS)
 
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> dict[GroupKey, GroupEstimate]:
@@ -119,6 +188,7 @@ class MemoCoupledEstimator:
     ) -> tuple[float, float] | None:
         if entry.operator is Operator.GET:
             return 1.0, 0.0
+        self.entries_scored += 1
         q_predicates: PredicateSet = frozenset()
         input_selectivity = 1.0
         input_error = 0.0
@@ -133,7 +203,18 @@ class MemoCoupledEstimator:
         match, factor_error = self._match(factor)
         if match is None:
             return None
-        selectivity = estimate_factor(match) * input_selectivity
+        trace = self.trace
+        if trace is not None:
+            started = time.perf_counter()
+            factor_selectivity = estimate_factor(match)
+            elapsed = time.perf_counter() - started
+            self.estimation_seconds += elapsed
+            trace.add_time("histogram_join", elapsed)
+        else:
+            started = time.perf_counter()
+            factor_selectivity = estimate_factor(match)
+            self.estimation_seconds += time.perf_counter() - started
+        selectivity = factor_selectivity * input_selectivity
         return selectivity, merge(factor_error, input_error)
 
     def _match(self, factor: Factor) -> tuple[FactorMatch | None, float]:
@@ -143,10 +224,23 @@ class MemoCoupledEstimator:
         self.matcher.count_invocation()
         cached = self._match_cache.get(key)
         if cached is not None:
+            self.match_cache_hits += 1
             return cached
-        candidates = self.matcher.candidates_for_factor(factor, count=False)
+        self.match_cache_misses += 1
+        trace = self.trace
+        if trace is not None:
+            with trace.span("factor_matching"):
+                candidates = self.matcher.candidates_for_factor(
+                    factor, count=False
+                )
+        else:
+            candidates = self.matcher.candidates_for_factor(factor, count=False)
         if candidates is None:
             result: tuple[FactorMatch | None, float] = (None, INFINITE_ERROR)
+        elif trace is not None:
+            with trace.span("error_scoring"):
+                match = select_match(candidates, self.error_function)
+                result = (match, self.error_function.factor_error(match))
         else:
             match = select_match(candidates, self.error_function)
             result = (match, self.error_function.factor_error(match))

@@ -26,6 +26,7 @@ from repro.core.predicates import (
     tables_of,
 )
 from repro.engine.expressions import Query
+from repro.obs.snapshot import deprecated
 from repro.stats.builder import SITBuilder
 from repro.stats.sit import SIT
 
@@ -67,7 +68,56 @@ class SITPool:
                 expressions.append(sit.expression)
         self.version += 1
 
-    def expressions_for_attribute(self, attribute: Attribute) -> list[PredicateSet]:
+    # -- the unified query API -----------------------------------------
+    def find(
+        self,
+        attribute: Attribute | None = None,
+        *,
+        expression_superset: PredicateSet | None = None,
+        expression_member=None,
+        base_only: bool = False,
+    ) -> list[SIT]:
+        """The single SIT-query entry point.
+
+        All criteria are optional and conjunctive:
+
+        * ``attribute`` — SITs built over this attribute;
+        * ``expression_superset`` — SITs applicable under a conditioning
+          ``Q``: generating expression ``⊆ expression_superset``
+          (Section 3.3's candidate condition);
+        * ``expression_member`` — SITs whose generating expression
+          contains this predicate (Section 3.5's dependence probes);
+        * ``base_only`` — restrict to base-table histograms.
+
+        Results preserve pool insertion order.  This subsumes the old
+        ``for_attribute`` / ``base`` / ``with_expression_member`` /
+        ``expressions_for_attribute`` quartet, which survive as deprecated
+        delegates for one release.
+        """
+        if attribute is not None:
+            candidates = self._by_attribute.get(attribute, [])
+        elif expression_member is not None:
+            candidates = self._by_member.get(expression_member, [])
+        else:
+            candidates = self.sits
+        out = []
+        for sit in candidates:
+            if base_only and not sit.is_base:
+                continue
+            if (
+                expression_member is not None
+                and expression_member not in sit.expression
+            ):
+                continue
+            if (
+                expression_superset is not None
+                and not sit.expression <= expression_superset
+            ):
+                continue
+            out.append(sit)
+        return out
+
+    def find_expressions(self, attribute: Attribute) -> list[PredicateSet]:
         """Distinct non-empty generating expressions of SITs on ``attribute``.
 
         This is the (attribute -> expressions) index Section 3.4's pruning
@@ -76,20 +126,43 @@ class SITPool:
         """
         return self._expressions_by_attribute.get(attribute, [])
 
+    def find_base(self, attribute: Attribute) -> SIT | None:
+        """The base-table histogram on ``attribute``, if present."""
+        for sit in self.find(attribute, base_only=True):
+            return sit
+        return None
+
+    # -- deprecated pre-``find`` query surface -------------------------
+    def expressions_for_attribute(self, attribute: Attribute) -> list[PredicateSet]:
+        """Deprecated alias of :meth:`find_expressions`."""
+        deprecated(
+            "SITPool.expressions_for_attribute() is deprecated; use "
+            "SITPool.find_expressions(attribute)"
+        )
+        return self.find_expressions(attribute)
+
     def with_expression_member(self, predicate) -> list[SIT]:
-        """All SITs whose generating expression contains ``predicate``."""
-        return self._by_member.get(predicate, [])
+        """Deprecated: use ``find(expression_member=predicate)``."""
+        deprecated(
+            "SITPool.with_expression_member() is deprecated; use "
+            "SITPool.find(expression_member=predicate)"
+        )
+        return self.find(expression_member=predicate)
 
     def for_attribute(self, attribute: Attribute) -> list[SIT]:
-        """All SITs (including the base histogram) on ``attribute``."""
-        return self._by_attribute.get(attribute, [])
+        """Deprecated: use ``find(attribute)``."""
+        deprecated(
+            "SITPool.for_attribute() is deprecated; use SITPool.find(attribute)"
+        )
+        return self.find(attribute)
 
     def base(self, attribute: Attribute) -> SIT | None:
-        """The base-table histogram on ``attribute``, if present."""
-        for sit in self.for_attribute(attribute):
-            if sit.is_base:
-                return sit
-        return None
+        """Deprecated alias of :meth:`find_base`."""
+        deprecated(
+            "SITPool.base() is deprecated; use SITPool.find_base(attribute) "
+            "or SITPool.find(attribute, base_only=True)"
+        )
+        return self.find_base(attribute)
 
     def base_only(self) -> "SITPool":
         """The ``J_0`` restriction of this pool (base histograms only)."""

@@ -1,0 +1,160 @@
+"""Every pre-unification API keeps working for one release — behind a
+``DeprecationWarning`` — and agrees with its replacement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NIndError
+from repro.core.estimator import CardinalityEstimator
+from repro.core.get_selectivity import (
+    LEGACY_STATS_KEYS,
+    GetSelectivity,
+    LegacyGetSelectivity,
+)
+from repro.optimizer.integration import (
+    MEMO_LEGACY_STATS_KEYS,
+    MemoCoupledEstimator,
+)
+
+
+@pytest.fixture
+def predicates(two_table_join, two_table_attrs):
+    from repro.core.predicates import FilterPredicate
+
+    return frozenset(
+        {two_table_join, FilterPredicate(two_table_attrs["Ra"], 10.0, 60.0)}
+    )
+
+
+class TestEngineFactory:
+    def test_create_bitmask_default(self, two_table_pool):
+        algorithm = GetSelectivity.create(two_table_pool, NIndError())
+        assert type(algorithm) is GetSelectivity
+        assert algorithm.engine == "bitmask"
+
+    def test_create_legacy(self, two_table_pool):
+        algorithm = GetSelectivity.create(
+            two_table_pool, NIndError(), engine="legacy"
+        )
+        assert type(algorithm) is LegacyGetSelectivity
+        assert algorithm.engine == "legacy"
+
+    def test_create_rejects_unknown_engine(self, two_table_pool):
+        with pytest.raises(ValueError, match="engine"):
+            GetSelectivity.create(two_table_pool, NIndError(), engine="quantum")
+
+    def test_legacy_kwarg_warns_and_dispatches(self, two_table_pool):
+        with pytest.deprecated_call(match="legacy"):
+            algorithm = GetSelectivity(two_table_pool, NIndError(), legacy=True)
+        assert type(algorithm) is LegacyGetSelectivity
+        with pytest.deprecated_call(match="legacy"):
+            algorithm = GetSelectivity(two_table_pool, NIndError(), legacy=False)
+        assert type(algorithm) is GetSelectivity
+
+    def test_plain_construction_does_not_warn(
+        self, two_table_pool, recwarn
+    ):
+        GetSelectivity(two_table_pool, NIndError())
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_estimator_legacy_kwarg(self, two_table_db, two_table_pool):
+        with pytest.deprecated_call(match="legacy"):
+            estimator = CardinalityEstimator(
+                two_table_db, two_table_pool, NIndError(), legacy=True
+            )
+        assert estimator.engine == "legacy"
+
+    def test_estimator_engine_kwarg_is_silent(
+        self, two_table_db, two_table_pool, recwarn
+    ):
+        estimator = CardinalityEstimator(
+            two_table_db, two_table_pool, NIndError(), engine="legacy"
+        )
+        assert estimator.engine == "legacy"
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestFlatStats:
+    def test_get_selectivity_stats_warns_and_matches_snapshot(
+        self, two_table_pool, predicates
+    ):
+        algorithm = GetSelectivity.create(two_table_pool, NIndError())
+        algorithm(predicates)
+        with pytest.deprecated_call(match="stats_snapshot"):
+            flat = algorithm.stats()
+        assert flat == algorithm.stats_snapshot().flat(LEGACY_STATS_KEYS)
+        assert set(flat) == set(LEGACY_STATS_KEYS)
+
+    def test_estimator_stats_warns(self, two_table_db, two_table_pool, predicates):
+        estimator = CardinalityEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        estimator.algorithm(predicates)
+        with pytest.deprecated_call(match="stats_snapshot"):
+            flat = estimator.stats()
+        assert set(flat) == set(LEGACY_STATS_KEYS)
+
+    def test_memo_coupled_stats_warns(self, two_table_db, two_table_pool):
+        estimator = MemoCoupledEstimator(
+            two_table_db, two_table_pool, NIndError()
+        )
+        with pytest.deprecated_call(match="stats_snapshot"):
+            flat = estimator.stats()
+        assert set(flat) == set(MEMO_LEGACY_STATS_KEYS)
+
+
+class TestPoolQueryShims:
+    def test_for_attribute(self, two_table_pool, two_table_attrs):
+        attribute = two_table_attrs["Ra"]
+        with pytest.deprecated_call(match="find"):
+            old = two_table_pool.for_attribute(attribute)
+        assert old == two_table_pool.find(attribute)
+
+    def test_base(self, two_table_pool, two_table_attrs):
+        attribute = two_table_attrs["Ra"]
+        with pytest.deprecated_call(match="find_base"):
+            old = two_table_pool.base(attribute)
+        assert old is two_table_pool.find_base(attribute)
+        assert old is not None and old.is_base
+
+    def test_with_expression_member(self, two_table_pool, two_table_join):
+        with pytest.deprecated_call(match="expression_member"):
+            old = two_table_pool.with_expression_member(two_table_join)
+        assert old == two_table_pool.find(expression_member=two_table_join)
+        assert old, "the fixture pool has SITs conditioned on the join"
+
+    def test_expressions_for_attribute(self, two_table_pool, two_table_attrs):
+        attribute = two_table_attrs["Ra"]
+        with pytest.deprecated_call(match="find_expressions"):
+            old = two_table_pool.expressions_for_attribute(attribute)
+        assert old == two_table_pool.find_expressions(attribute)
+
+    def test_find_conjunctive_criteria(
+        self, two_table_pool, two_table_attrs, two_table_join
+    ):
+        attribute = two_table_attrs["Ra"]
+        conditioned = two_table_pool.find(
+            attribute, expression_superset=frozenset({two_table_join})
+        )
+        assert {sit.attribute for sit in conditioned} == {attribute}
+        base_only = two_table_pool.find(attribute, base_only=True)
+        assert all(sit.is_base for sit in base_only)
+        assert two_table_pool.find(
+            attribute, expression_superset=frozenset()
+        ) == base_only
+
+    def test_new_surface_is_silent(
+        self, two_table_pool, two_table_attrs, recwarn
+    ):
+        attribute = two_table_attrs["Ra"]
+        two_table_pool.find(attribute)
+        two_table_pool.find_base(attribute)
+        two_table_pool.find_expressions(attribute)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]

@@ -1,0 +1,110 @@
+"""Unit tests for the labeled counter/gauge/histogram registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("counters.matcher_calls")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("counters.x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("timings.analysis_seconds")
+        gauge.set(1.5)
+        gauge.add(0.5)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram_view(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        assert histogram.value_view() == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("counters.a") is registry.counter("counters.a")
+        assert len(registry) == 1
+
+    def test_labels_address_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("counters.calls", engine="bitmask").inc()
+        registry.counter("counters.calls", engine="legacy").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            "calls{engine=bitmask}": 1.0,
+            "calls{engine=legacy}": 2.0,
+        }
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("counters.a")
+        with pytest.raises(TypeError):
+            registry.gauge("counters.a")
+
+    def test_snapshot_nests_by_dotted_namespace(self):
+        registry = MetricsRegistry()
+        registry.gauge("timings.analysis_seconds").set(0.5)
+        registry.counter("counters.matcher_calls").inc(3)
+        registry.counter("bare_name").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["timings"] == {"analysis_seconds": 0.5}
+        assert snapshot["counters"] == {"matcher_calls": 3.0}
+        assert snapshot["metrics"] == {"bare_name": 1.0}
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("counters.calls").inc(1)
+        a.gauge("caches.memo_entries").set(10)
+        a.histogram("metrics.latency").observe(1.0)
+        b.counter("counters.calls").inc(2)
+        b.gauge("caches.memo_entries").set(20)
+        b.histogram("metrics.latency").observe(3.0)
+        a.merge(b)
+        assert a.counter("counters.calls").value == 3.0
+        assert a.gauge("caches.memo_entries").value == 20.0
+        merged = a.histogram("metrics.latency")
+        assert merged.count == 2 and merged.min == 1.0 and merged.max == 3.0
+
+    def test_iter_and_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("counters.a")
+        registry.gauge("timings.b")
+        registry.histogram("metrics.c")
+        kinds = {type(instrument) for instrument in registry}
+        assert kinds == {Counter, Gauge, HistogramMetric}
+
+    def test_to_json_is_valid(self):
+        registry = MetricsRegistry()
+        registry.counter("counters.a", table="R").inc()
+        payload = json.loads(registry.to_json())
+        assert payload == {"counters": {"a{table=R}": 1.0}}

@@ -1,0 +1,107 @@
+"""Workload-level roll-up of per-query ``StatsSnapshot``s."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Harness, QueryMetrics, TechniqueReport
+from repro.core.estimator import make_gs_nind
+from repro.engine.expressions import Query
+from repro.obs.snapshot import StatsSnapshot
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+
+
+def _metrics(snapshot: StatsSnapshot | None) -> QueryMetrics:
+    return QueryMetrics(
+        query=Query(frozenset()),
+        mean_absolute_error=0.0,
+        full_query_error=0.0,
+        vm_calls=0,
+        analysis_seconds=0.0,
+        estimation_seconds=0.0,
+        snapshot=snapshot,
+    )
+
+
+class TestAggregateMetrics:
+    def test_counters_sum_and_sizes_keep_last(self):
+        report = TechniqueReport("GS-nInd")
+        report.per_query.append(
+            _metrics(
+                StatsSnapshot(
+                    timings={"analysis_seconds": 0.5},
+                    counters={"matcher_calls": 3, "universe_size": 5},
+                    caches={"memo_entries": 10, "match_cache_hits": 2},
+                )
+            )
+        )
+        report.per_query.append(
+            _metrics(
+                StatsSnapshot(
+                    timings={"analysis_seconds": 0.25},
+                    counters={"matcher_calls": 4, "universe_size": 7},
+                    caches={"memo_entries": 20, "match_cache_hits": 1},
+                )
+            )
+        )
+        registry = report.aggregate_metrics()
+        assert registry.gauge("timings.analysis_seconds").value == 0.75
+        assert registry.counter("counters.matcher_calls").value == 7.0
+        # a size, not an event count: keeps the last query's value
+        assert registry.gauge("counters.universe_size").value == 7.0
+        assert registry.gauge("caches.memo_entries").value == 20.0
+        # hit/miss counts accumulate
+        assert registry.counter("caches.match_cache_hits").value == 3.0
+
+    def test_snapshotless_queries_are_skipped(self):
+        report = TechniqueReport("GVM")
+        report.per_query.append(_metrics(None))
+        assert len(report.aggregate_metrics()) == 0
+
+    def test_aggregate_snapshot_meta(self):
+        report = TechniqueReport("GS-Diff")
+        report.per_query.append(
+            _metrics(StatsSnapshot(counters={"matcher_calls": 1}))
+        )
+        snapshot = report.aggregate_snapshot()
+        assert snapshot.meta == {"technique": "GS-Diff", "queries": 1}
+        assert snapshot.counters["matcher_calls"] == 1.0
+
+
+class TestHarnessSnapshots:
+    @pytest.fixture(scope="class")
+    def tiny_evaluation(self, tiny_snowflake):
+        generator = WorkloadGenerator(
+            tiny_snowflake, WorkloadConfig(join_count=2, filter_count=1, seed=3)
+        )
+        queries = generator.generate(2)
+        pool = build_workload_pool(SITBuilder(tiny_snowflake), queries, max_joins=1)
+        harness = Harness(tiny_snowflake)
+        return harness.evaluate(
+            queries,
+            pool,
+            {"GS-nInd": make_gs_nind},
+            max_subqueries=8,
+            tracing=True,
+        )
+
+    def test_per_query_snapshots_attached(self, tiny_evaluation):
+        report = tiny_evaluation.report("GS-nInd")
+        for metrics in report.per_query:
+            assert metrics.snapshot is not None
+            assert metrics.snapshot.meta["tracing"] is True
+            # the legacy flat view is derived from the same snapshot
+            assert metrics.stats["memo_entries"] == (
+                metrics.snapshot.caches["memo_entries"]
+            )
+
+    def test_tracing_stages_visible_in_rollup(self, tiny_evaluation):
+        snapshot = tiny_evaluation.report("GS-nInd").aggregate_snapshot()
+        assert snapshot.timings["dp_enumeration_seconds"] > 0.0
+        assert snapshot.counters["matcher_calls"] > 0
+
+    def test_gvm_has_no_snapshot(self, tiny_evaluation):
+        for metrics in tiny_evaluation.report("GVM").per_query:
+            assert metrics.snapshot is None

@@ -1,0 +1,95 @@
+"""Unit tests for the per-stage tracing primitives."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs.trace import STAGES, Span, Trace
+
+
+class TestSpan:
+    def test_span_records_into_trace(self):
+        trace = Trace()
+        with trace.span("dp_enumeration"):
+            time.sleep(0.001)
+        assert trace.timings["dp_enumeration"] > 0.0
+        assert trace.calls["dp_enumeration"] == 1
+
+    def test_span_is_reusable_context_object(self):
+        trace = Trace()
+        span = trace.span("factor_matching")
+        assert isinstance(span, Span)
+        with span:
+            pass
+        assert span.seconds >= 0.0
+        assert trace.calls["factor_matching"] == 1
+
+    def test_nested_spans_accumulate_additively(self):
+        trace = Trace()
+        with trace.span("dp_enumeration"):
+            with trace.span("dp_enumeration"):
+                pass
+        assert trace.calls["dp_enumeration"] == 2
+
+
+class TestTrace:
+    def test_add_time_accumulates(self):
+        trace = Trace()
+        trace.add_time("histogram_join", 0.25)
+        trace.add_time("histogram_join", 0.75, calls=3)
+        assert trace.timings["histogram_join"] == 1.0
+        assert trace.calls["histogram_join"] == 4
+
+    def test_count(self):
+        trace = Trace()
+        trace.count("masks_explored")
+        trace.count("masks_explored", 4)
+        assert trace.counters["masks_explored"] == 5
+
+    def test_merge(self):
+        a, b = Trace(), Trace()
+        a.add_time("dp_enumeration", 1.0)
+        a.count("memo_hits", 2)
+        b.add_time("dp_enumeration", 0.5, calls=2)
+        b.add_time("error_scoring", 0.25)
+        b.count("memo_hits", 3)
+        a.merge(b)
+        assert a.timings["dp_enumeration"] == 1.5
+        assert a.calls["dp_enumeration"] == 3
+        assert a.timings["error_scoring"] == 0.25
+        assert a.counters["memo_hits"] == 5
+
+    def test_clear(self):
+        trace = Trace()
+        trace.add_time("dp_enumeration", 1.0)
+        trace.count("memo_hits")
+        trace.clear()
+        assert not trace.timings and not trace.calls and not trace.counters
+
+    def test_stages_canonical_order_first(self):
+        trace = Trace()
+        trace.add_time("custom_stage", 0.1)
+        trace.add_time("error_scoring", 0.2)
+        trace.add_time("parse_bind", 0.3)
+        names = [stage for stage, _, _ in trace.stages()]
+        assert names == ["parse_bind", "error_scoring", "custom_stage"]
+
+    def test_canonical_stage_list(self):
+        assert STAGES == (
+            "parse_bind",
+            "dp_enumeration",
+            "factor_matching",
+            "histogram_join",
+            "error_scoring",
+        )
+
+    def test_snapshot_and_json_roundtrip(self):
+        trace = Trace()
+        trace.add_time("dp_enumeration", 0.5, calls=2)
+        trace.count("masks_pruned", 7)
+        snapshot = trace.snapshot()
+        assert snapshot["timings"] == {"dp_enumeration": 0.5}
+        assert snapshot["calls"] == {"dp_enumeration": 2}
+        assert snapshot["counters"] == {"masks_pruned": 7}
+        assert json.loads(trace.to_json()) == snapshot

@@ -28,6 +28,56 @@ class TestCLI:
         assert "GS-Diff" in out
         assert "true" in out
 
+    def test_explain_text(self, capsys):
+        sql = (
+            "SELECT * FROM sales, customer "
+            "WHERE sales.customer_id = customer.customer_id "
+            "AND customer.age BETWEEN 20 AND 40"
+        )
+        assert main(["explain", sql, "--scale", "0.05", "--error", "diff"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ESTIMATE" in out
+        assert "decomposition" in out
+        assert "SIT(" in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        sql = (
+            "SELECT * FROM sales, customer "
+            "WHERE sales.customer_id = customer.customer_id"
+        )
+        assert main(["explain", sql, "--scale", "0.05", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["estimator"] == "GS-Diff"
+        assert payload["factors"]
+        for factor in payload["factors"]:
+            assert {"factor", "selectivity", "error_contribution"} <= set(factor)
+
+    def test_explain_legacy_engine_and_nind(self, capsys):
+        sql = (
+            "SELECT * FROM sales, customer "
+            "WHERE sales.customer_id = customer.customer_id"
+        )
+        command = ["explain", sql, "--scale", "0.05"]
+        command += ["--engine", "legacy", "--error", "nind"]
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert "engine=legacy" in out
+        assert "error=nInd" in out
+
+    def test_explain_sql_flag_spelling(self, capsys):
+        sql = (
+            "SELECT * FROM sales, customer "
+            "WHERE sales.customer_id = customer.customer_id"
+        )
+        assert main(["explain", "--sql", sql, "--scale", "0.05"]) == 0
+        assert "EXPLAIN ESTIMATE" in capsys.readouterr().out
+
+    def test_explain_requires_sql(self):
+        with pytest.raises(SystemExit):
+            main(["explain"])
+
     def test_figures_quick(self, capsys):
         assert (
             main(["figures", "--scale", "0.05", "--queries", "2"]) == 0
