@@ -10,6 +10,10 @@ The public API is re-exported here; the subpackages are:
 * :mod:`repro.histograms` — MaxDiff/equi-depth/equi-width histograms and
   the histogram join;
 * :mod:`repro.stats` — SITs: construction, ``diff_H`` and workload pools;
+* :mod:`repro.catalog` — the SIT lifecycle behind one versioned,
+  snapshot-isolated :class:`~repro.catalog.StatisticsCatalog`
+  (build → serve → feedback → invalidate → refresh) plus
+  :class:`~repro.catalog.EstimationSession` for cross-query cache reuse;
 * :mod:`repro.optimizer` — a Cascades-style memo and the Section 4
   integration;
 * :mod:`repro.workload` — the paper's synthetic snowflake database and
@@ -33,6 +37,12 @@ from repro.core import (
     make_gs_opt,
     make_nosit,
 )
+from repro.catalog import (
+    CatalogSnapshot,
+    EstimationSession,
+    RefreshPolicy,
+    StatisticsCatalog,
+)
 from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
 from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
 from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
@@ -42,8 +52,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Attribute",
     "CardinalityEstimator",
+    "CatalogSnapshot",
     "Database",
     "DiffError",
+    "EstimationSession",
     "Executor",
     "ExplainResult",
     "FilterPredicate",
@@ -53,10 +65,12 @@ __all__ = [
     "NIndError",
     "OptError",
     "Query",
+    "RefreshPolicy",
     "SIT",
     "SITBuilder",
     "SITPool",
     "Schema",
+    "StatisticsCatalog",
     "StatsSnapshot",
     "Table",
     "TableSchema",

@@ -16,6 +16,12 @@ Commands
 ``figures``
     A quick textual regeneration of the Figure 7 sweep at a small scale
     (the full suite lives in ``pytest benchmarks/ --benchmark-only``).
+``catalog <build|save|load|advise|refresh|status>``
+    Drive the statistics lifecycle end to end on the synthetic snowflake
+    database: build a workload catalog, persist/restore it (v2 format,
+    v1 migrates), print advisor scores, simulate table updates
+    (``--update-table``) and run an incremental refresh (``--method
+    full|sampled``, ``--budget N``), or print the lifecycle status block.
 ``info``
     Version and package inventory.
 """
@@ -156,6 +162,88 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.catalog import RefreshPolicy, StatisticsCatalog
+    from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+    from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    database = generate_snowflake(
+        SnowflakeConfig(scale=args.scale, seed=args.seed)
+    )
+    generator = WorkloadGenerator(
+        database, WorkloadConfig(join_count=2, filter_count=2, seed=args.seed)
+    )
+    queries = generator.generate(args.queries)
+
+    def built() -> StatisticsCatalog:
+        print(
+            f"building J{args.max_joins} catalog over {args.queries} queries "
+            f"(scale={args.scale}) ...",
+            file=sys.stderr,
+        )
+        return StatisticsCatalog.build(
+            database, queries, max_joins=args.max_joins
+        )
+
+    def loaded() -> StatisticsCatalog:
+        if args.path is None:
+            raise SystemExit("catalog load/status from file requires --path")
+        return StatisticsCatalog.load(args.path, database=database)
+
+    action = args.action
+    if action == "build":
+        catalog = built()
+        print(json.dumps(catalog.status(), indent=2, sort_keys=True))
+        return 0
+    if action == "save":
+        if args.path is None:
+            raise SystemExit("catalog save requires --path")
+        catalog = built()
+        catalog.save(args.path)
+        print(f"saved {len(catalog)} SITs (v2) to {args.path}")
+        return 0
+    if action == "load":
+        catalog = loaded()
+        print(json.dumps(catalog.status(), indent=2, sort_keys=True))
+        return 0
+    if action == "status":
+        catalog = loaded() if args.path is not None else built()
+        print(json.dumps(catalog.status(), indent=2, sort_keys=True))
+        return 0
+    if action == "advise":
+        from repro.catalog.refresh import _advisor_scores
+        from repro.catalog.catalog import sit_key
+
+        catalog = loaded() if args.path is not None else built()
+        scores = _advisor_scores(list(catalog), queries)
+        ranked = sorted(
+            (sit for sit in catalog if not sit.is_base),
+            key=lambda sit: -scores.get(sit_key(sit), 0.0),
+        )
+        print(f"{'score':>10}  {'diff':>7}  SIT")
+        for sit in ranked[: args.budget if args.budget else len(ranked)]:
+            print(
+                f"{scores.get(sit_key(sit), 0.0):>10.4f}  "
+                f"{sit.diff:>7.4f}  {sit}"
+            )
+        return 0
+    if action == "refresh":
+        catalog = loaded() if args.path is not None else built()
+        for table in args.update_table or []:
+            version = catalog.notify_table_update(table)
+            print(f"table {table} -> version {version}", file=sys.stderr)
+        policy = RefreshPolicy(method=args.method, max_sits=args.budget)
+        report = catalog.refresh(policy, queries)
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        if args.path is not None:
+            catalog.save(args.path)
+            print(f"saved refreshed catalog to {args.path}", file=sys.stderr)
+        return 0
+    raise SystemExit(f"unknown catalog action {action!r}")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -209,6 +297,38 @@ def main(argv: list[str] | None = None) -> int:
     figures.add_argument("--seed", type=int, default=42)
     figures.add_argument("--queries", type=int, default=5)
 
+    catalog = sub.add_parser(
+        "catalog", help="statistics lifecycle: build/save/load/advise/refresh/status"
+    )
+    catalog.add_argument(
+        "action",
+        choices=("build", "save", "load", "advise", "refresh", "status"),
+    )
+    catalog.add_argument("--path", default=None, help="catalog file (v2 JSON)")
+    catalog.add_argument("--scale", type=float, default=0.15)
+    catalog.add_argument("--seed", type=int, default=42)
+    catalog.add_argument("--queries", type=int, default=3)
+    catalog.add_argument("--max-joins", type=int, default=1, dest="max_joins")
+    catalog.add_argument(
+        "--method",
+        choices=("full", "sampled"),
+        default="full",
+        help="refresh rebuild method (default: full)",
+    )
+    catalog.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="space budget: max conditioned SITs kept after refresh/advise",
+    )
+    catalog.add_argument(
+        "--update-table",
+        action="append",
+        dest="update_table",
+        metavar="TABLE",
+        help="simulate a table update before refreshing (repeatable)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info(args)
@@ -224,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_explain(args)
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "catalog":
+        return _cmd_catalog(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -12,6 +12,15 @@ the ``GetSelectivity`` timing hooks.
 ``getSelectivity``-based techniques answer every sub-query of a query from
 one memoized run (Section 4's reuse); GVM re-runs per sub-plan, exactly as
 the paper observes.
+
+Workloads run through :class:`repro.catalog.EstimationSession`: each
+technique's estimator is wrapped in a session pinned to the statistics
+source (a bare :class:`~repro.stats.pool.SITPool`, a
+:class:`~repro.catalog.StatisticsCatalog` or a
+:class:`~repro.catalog.CatalogSnapshot`), so per-query accounting windows
+open via ``begin_query()`` while the pool-pure factor-match and estimate
+caches are shared across the whole workload — the cross-query hit rates
+land in :attr:`WorkloadEvaluation.session_snapshots`.
 """
 
 from __future__ import annotations
@@ -20,8 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.core.estimator import CardinalityEstimator
-from repro.core.get_selectivity import LEGACY_STATS_KEYS
+from repro.catalog.session import EstimationSession
+from repro.core.estimator import CardinalityEstimator, resolve_statistics
 from repro.core.gvm import GreedyViewMatching
 from repro.core.predicates import PredicateSet, tables_of
 from repro.engine.database import Database
@@ -32,7 +41,7 @@ from repro.obs.snapshot import StatsSnapshot
 from repro.stats.pool import SITPool
 from repro.workload.queries import connected_subqueries
 
-#: builds an estimator for (database, pool)
+#: builds an estimator for (database, statistics)
 EstimatorFactory = Callable[[Database, SITPool], CardinalityEstimator]
 
 
@@ -47,12 +56,6 @@ class QueryMetrics:
     analysis_seconds: float
     estimation_seconds: float
     estimates: dict[PredicateSet, float] = field(default_factory=dict)
-    #: legacy flat stats view taken after the query's last sub-query (memo
-    #: size, match-cache hits/misses, pruned count, ...); empty for
-    #: techniques without the observability hook (GVM).  Kept for one
-    #: release alongside :attr:`snapshot`, which carries the same data in
-    #: the unified ``StatsSnapshot`` schema.
-    stats: dict[str, float] = field(default_factory=dict)
     #: unified observability snapshot (``None`` for GVM)
     snapshot: StatsSnapshot | None = None
 
@@ -141,6 +144,10 @@ class WorkloadEvaluation:
 
     reports: dict[str, TechniqueReport]
     true_cardinalities: dict[PredicateSet, int]
+    #: per-technique session-lifetime snapshots (cross-query cache hit
+    #: rates, pinned snapshot/catalog versions); absent for GVM, which
+    #: runs sessionless.
+    session_snapshots: dict[str, StatsSnapshot] = field(default_factory=dict)
 
     def report(self, name: str) -> TechniqueReport:
         """The report of one technique by name."""
@@ -174,13 +181,18 @@ class Harness:
     def evaluate(
         self,
         queries: Sequence[Query],
-        pool: SITPool,
+        statistics,
         estimator_factories: dict[str, EstimatorFactory],
         include_gvm: bool = True,
         max_subqueries: int | None = None,
         tracing: bool = False,
     ) -> WorkloadEvaluation:
         """Run every technique over every query of the workload.
+
+        ``statistics`` is a :class:`~repro.stats.pool.SITPool`, a
+        :class:`~repro.catalog.StatisticsCatalog` (pinned once for the
+        whole evaluation, so a concurrent refresh cannot skew a figure
+        run mid-workload) or a :class:`~repro.catalog.CatalogSnapshot`.
 
         With ``tracing=True`` every ``getSelectivity`` estimator runs with
         the per-stage :class:`repro.obs.trace.Trace` enabled, so the
@@ -189,15 +201,22 @@ class Harness:
         timings and the candidate-funnel counters (at a small measured
         overhead; leave it off for timing-sensitive figure runs).
         """
+        pool, snapshot = resolve_statistics(statistics)
+        pinned = snapshot if snapshot is not None else pool
         reports: dict[str, TechniqueReport] = {}
-        estimators = {
-            name: factory(self.database, pool)
+        sessions = {
+            name: EstimationSession(
+                pinned,
+                database=self.database,
+                estimator=factory(self.database, pinned),
+                name=name,
+            )
             for name, factory in estimator_factories.items()
         }
         if tracing:
-            for estimator in estimators.values():
-                estimator.enable_tracing()
-        for name in estimators:
+            for session in sessions.values():
+                session.estimator.enable_tracing()
+        for name in sessions:
             reports[name] = TechniqueReport(name)
         if include_gvm:
             reports["GVM"] = TechniqueReport("GVM")
@@ -205,15 +224,21 @@ class Harness:
         for index, query in enumerate(queries):
             subqueries = self.subqueries(query, max_subqueries, seed=index)
             truth = {s: self.true_cardinality(s) for s in subqueries}
-            for name, estimator in estimators.items():
+            for name, session in sessions.items():
                 reports[name].per_query.append(
-                    self._run_gs(estimator, query, subqueries, truth)
+                    self._run_gs(session, query, subqueries, truth)
                 )
             if include_gvm:
                 reports["GVM"].per_query.append(
                     self._run_gvm(pool, query, subqueries, truth)
                 )
-        return WorkloadEvaluation(reports, dict(self._truth))
+        session_snapshots = {
+            name: session.stats_snapshot()
+            for name, session in sessions.items()
+        }
+        return WorkloadEvaluation(
+            reports, dict(self._truth), session_snapshots
+        )
 
     # ------------------------------------------------------------------
     def _cardinality_of(self, predicates: PredicateSet, selectivity: float) -> float:
@@ -221,15 +246,19 @@ class Harness:
 
     def _run_gs(
         self,
-        estimator: CardinalityEstimator,
+        session: EstimationSession,
         query: Query,
         subqueries: list[PredicateSet],
         truth: dict[PredicateSet, int],
     ) -> QueryMetrics:
-        estimator.reset()  # per-query accounting, as in the paper
+        # Per-query accounting window, as in the paper; the session's
+        # pool-pure factor-match/estimate caches survive across queries.
+        session.begin_query()
+        session.queries += 1
+        estimator = session.estimator
         estimates: dict[PredicateSet, float] = {}
         for predicates in subqueries:
-            result = estimator.algorithm(predicates)
+            result = session.estimate_predicates(predicates)
             estimates[predicates] = self._cardinality_of(
                 predicates, result.selectivity
             )
@@ -247,9 +276,6 @@ class Harness:
             analysis_seconds=estimator.analysis_seconds,
             estimation_seconds=estimator.estimation_seconds,
             estimates=estimates,
-            # legacy flat keys, derived from the same snapshot (no
-            # deprecated stats() call, so figure runs stay warning-free)
-            stats=snapshot.flat(LEGACY_STATS_KEYS),
             snapshot=snapshot,
         )
 

@@ -1,0 +1,235 @@
+"""Snapshot-pinned estimation sessions with cross-query cache sharing.
+
+An :class:`EstimationSession` is the unit of *serving*: it pins one
+:class:`~repro.catalog.catalog.CatalogSnapshot` and answers any number of
+estimation requests off it.  Because the underlying
+:class:`~repro.core.get_selectivity.GetSelectivity` keeps its
+factor-match and factor-estimate caches *pool-pure* (they survive
+``reset()``), queries within a session share the
+:class:`~repro.core.matching.ViewMatcher` work: the second query that
+needs ``Sel(P'|Q)`` for a factor the first query already matched pays a
+dictionary lookup instead of a matching pass.  The session accumulates
+the cross-query hit/miss accounting and surfaces it — together with the
+snapshot/catalog versions it is keyed on — in the ``catalog`` block of
+its :class:`~repro.obs.snapshot.StatsSnapshot`.
+
+Snapshot isolation: a catalog refresh or table update never touches a
+running session's statistics (the catalog publishes new pool objects
+instead of mutating published ones).  :attr:`is_current` reports whether
+the pinned snapshot still matches the catalog, so a serving layer can
+rotate sessions at its own pace.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import ErrorFunction
+from repro.core.estimator import CardinalityEstimator
+from repro.core.get_selectivity import EstimationResult
+from repro.core.predicates import PredicateSet, tables_of
+from repro.engine.database import Database
+from repro.engine.expressions import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import StatsSnapshot
+from repro.stats.pool import SITPool
+
+from repro.catalog.catalog import CatalogSnapshot, StatisticsCatalog
+
+
+def _pin_snapshot(statistics) -> tuple[SITPool, CatalogSnapshot | None]:
+    """Resolve a catalog / snapshot / bare pool into (pool, snapshot)."""
+    if isinstance(statistics, StatisticsCatalog):
+        snapshot = statistics.snapshot()
+        return snapshot.pool, snapshot
+    if isinstance(statistics, CatalogSnapshot):
+        return statistics.pool, statistics
+    if isinstance(statistics, SITPool):
+        return statistics, None
+    raise TypeError(
+        "statistics must be a StatisticsCatalog, CatalogSnapshot or "
+        f"SITPool, got {type(statistics).__name__}"
+    )
+
+
+class EstimationSession:
+    """Many queries, one snapshot, shared matcher/estimate caches."""
+
+    def __init__(
+        self,
+        statistics: "StatisticsCatalog | CatalogSnapshot | SITPool",
+        error_function: ErrorFunction | None = None,
+        *,
+        database: Database | None = None,
+        engine: str = "bitmask",
+        sit_driven_pruning: bool = False,
+        estimator: CardinalityEstimator | None = None,
+        name: str | None = None,
+    ):
+        pool, snapshot = _pin_snapshot(statistics)
+        self.snapshot = snapshot
+        if database is None and snapshot is not None:
+            database = snapshot.database
+        if estimator is not None:
+            self.estimator = estimator
+            database = estimator.database
+        else:
+            if database is None:
+                raise ValueError(
+                    "a database is required (pass one explicitly, or use a "
+                    "catalog built with a database)"
+                )
+            self.estimator = CardinalityEstimator(
+                database,
+                snapshot if snapshot is not None else pool,
+                error_function,
+                sit_driven_pruning=sit_driven_pruning,
+                engine=engine,
+            )
+        self.database = database
+        self.name = name if name is not None else self.estimator.name
+        #: queries answered so far
+        self.queries = 0
+        # -- cross-query accumulators (per-query counters roll in here on
+        #    every begin_query) ------------------------------------------
+        self._match_cache_hits = 0
+        self._match_cache_misses = 0
+        self._matcher_calls = 0
+        self._analysis_seconds = 0.0
+        self._estimation_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> SITPool:
+        return self.estimator.pool
+
+    @property
+    def snapshot_version(self) -> int:
+        """The catalog version this session is keyed on (0 for bare pools)."""
+        return self.snapshot.version if self.snapshot is not None else 0
+
+    @property
+    def is_current(self) -> bool:
+        """True while the pinned snapshot matches the owning catalog (a
+        bare-pool session is trivially current)."""
+        return self.snapshot is None or self.snapshot.is_current
+
+    # ------------------------------------------------------------------
+    def _absorb(self) -> None:
+        """Fold the estimator's per-query counters into session totals."""
+        algorithm = self.estimator.algorithm
+        self._match_cache_hits += algorithm.match_cache_hits
+        self._match_cache_misses += algorithm.match_cache_misses
+        self._matcher_calls += algorithm.matcher.calls
+        self._analysis_seconds += algorithm.analysis_seconds
+        self._estimation_seconds += algorithm.estimation_seconds
+
+    def begin_query(self) -> None:
+        """Start a new per-query accounting window.
+
+        Clears the DP memo and counters; the pool-pure factor-match and
+        estimate caches survive — that survival is the session's whole
+        point.
+        """
+        self._absorb()
+        self.estimator.reset()
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query | PredicateSet) -> EstimationResult:
+        """Answer one workload query (opens a fresh accounting window)."""
+        self.begin_query()
+        self.queries += 1
+        predicates = (
+            query.predicates if isinstance(query, Query) else frozenset(query)
+        )
+        return self.estimator.algorithm(predicates)
+
+    def estimate_predicates(self, predicates: PredicateSet) -> EstimationResult:
+        """A sub-query of the current query (same accounting window)."""
+        return self.estimator.algorithm(frozenset(predicates))
+
+    def selectivity(self, query: Query | PredicateSet) -> float:
+        return self.estimate(query).selectivity
+
+    def cardinality(self, query: Query | PredicateSet) -> float:
+        result = self.estimate(query)
+        tables = (
+            query.tables
+            if isinstance(query, Query)
+            else tables_of(frozenset(query))
+        )
+        return result.selectivity * self.database.cross_product_size(tables)
+
+    def explain(self, query: Query | str):
+        """``EXPLAIN ESTIMATE`` through the session's estimator."""
+        return self.estimator.explain(query)
+
+    # ------------------------------------------------------------------
+    @property
+    def match_cache_hits(self) -> int:
+        """Cross-query factor-match cache hits (in-flight window included)."""
+        return self._match_cache_hits + self.estimator.algorithm.match_cache_hits
+
+    @property
+    def match_cache_misses(self) -> int:
+        return (
+            self._match_cache_misses
+            + self.estimator.algorithm.match_cache_misses
+        )
+
+    @property
+    def match_cache_hit_rate(self) -> float:
+        """Session-lifetime hit rate of the shared factor-match cache."""
+        hits = self.match_cache_hits
+        total = hits + self.match_cache_misses
+        return hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """Session-lifetime metrics: shared-cache accounting under the
+        usual namespaces plus the ``catalog`` identity block."""
+        algorithm = self.estimator.algorithm
+        registry = MetricsRegistry()
+        gauge = registry.gauge
+        counter = registry.counter
+        gauge("timings.analysis_seconds").set(
+            self._analysis_seconds + algorithm.analysis_seconds
+        )
+        gauge("timings.estimation_seconds").set(
+            self._estimation_seconds + algorithm.estimation_seconds
+        )
+        counter("counters.matcher_calls").inc(
+            self._matcher_calls + algorithm.matcher.calls
+        )
+        counter("counters.queries").inc(self.queries)
+        counter("caches.match_cache_hits").inc(self.match_cache_hits)
+        counter("caches.match_cache_misses").inc(self.match_cache_misses)
+        gauge("caches.match_cache_entries").set(len(algorithm._match_cache))
+        gauge("caches.estimate_cache_entries").set(
+            len(algorithm._estimate_cache)
+        )
+        gauge("catalog.snapshot_version").set(float(self.snapshot_version))
+        if self.snapshot is not None and self.snapshot.catalog is not None:
+            gauge("catalog.catalog_version").set(
+                float(self.snapshot.catalog.version)
+            )
+        gauge("catalog.current").set(1.0 if self.is_current else 0.0)
+        gauge("catalog.sit_count").set(float(len(self.pool)))
+        gauge("catalog.match_cache_hit_rate").set(self.match_cache_hit_rate)
+        return registry
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The session's ``StatsSnapshot``: cross-query cache efficiency in
+        ``caches``, snapshot/catalog versions and the session-lifetime
+        match-cache hit rate in the ``catalog`` namespace."""
+        meta: Mapping[str, object] = {
+            "session": self.name,
+            "engine": self.estimator.engine,
+            "queries": self.queries,
+            "snapshot_version": self.snapshot_version,
+            "current": self.is_current,
+        }
+        return StatsSnapshot.from_registry(self.metrics_registry(), meta=meta)
+
+
+__all__ = ["EstimationSession"]

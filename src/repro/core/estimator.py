@@ -1,9 +1,15 @@
 """High-level cardinality estimation facade.
 
-:class:`CardinalityEstimator` wires a database catalog, a SIT pool and an
-error function into the ``getSelectivity`` DP, exposing the operations an
-optimizer (or an experiment harness) needs: selectivity and cardinality of
-a query and of all its sub-queries.
+:class:`CardinalityEstimator` wires a database catalog, a statistics
+source and an error function into the ``getSelectivity`` DP, exposing the
+operations an optimizer (or an experiment harness) needs: selectivity and
+cardinality of a query and of all its sub-queries.
+
+The statistics source may be a bare :class:`~repro.stats.pool.SITPool`, a
+:class:`~repro.catalog.StatisticsCatalog` (the estimator pins the
+catalog's current snapshot at construction — refreshes never mutate a
+running estimator's statistics) or a
+:class:`~repro.catalog.CatalogSnapshot` directly.
 
 Factory helpers build the estimator variants the paper evaluates:
 ``noSit`` (base statistics only, the traditional optimizer), ``GS-nInd``,
@@ -15,21 +21,46 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
-from repro.core.get_selectivity import (
-    LEGACY_STATS_KEYS,
-    EstimationResult,
-    GetSelectivity,
-)
+from repro.core.get_selectivity import EstimationResult, GetSelectivity
 from repro.core.predicates import PredicateSet
 from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query
-from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.snapshot import StatsSnapshot
 from repro.obs.trace import Trace
 from repro.stats.pool import SITPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.catalog import CatalogSnapshot
     from repro.obs.explain import ExplainResult
+
+#: the statistics argument estimators accept (duck-typed to avoid a
+#: core -> catalog import cycle)
+Statistics = "SITPool | StatisticsCatalog | CatalogSnapshot"
+
+
+def resolve_statistics(statistics) -> "tuple[SITPool, CatalogSnapshot | None]":
+    """Resolve any statistics source into ``(pool, snapshot)``.
+
+    A :class:`~repro.catalog.StatisticsCatalog` is pinned to its current
+    snapshot; a :class:`~repro.catalog.CatalogSnapshot` is used as-is; a
+    bare :class:`~repro.stats.pool.SITPool` carries no snapshot.  Duck
+    typing (``refresh`` marks a catalog, ``pool`` marks a snapshot)
+    keeps :mod:`repro.core` importable without :mod:`repro.catalog`.
+    """
+    if isinstance(statistics, SITPool):
+        return statistics, None
+    if hasattr(statistics, "refresh") and hasattr(statistics, "snapshot"):
+        snapshot = statistics.snapshot()
+        return snapshot.pool, snapshot
+    if hasattr(statistics, "pool") and isinstance(
+        getattr(statistics, "pool"), SITPool
+    ):
+        return statistics.pool, statistics
+    raise TypeError(
+        "statistics must be a SITPool, StatisticsCatalog or "
+        f"CatalogSnapshot, got {type(statistics).__name__}"
+    )
 
 
 class CardinalityEstimator:
@@ -38,21 +69,18 @@ class CardinalityEstimator:
     def __init__(
         self,
         database: Database,
-        pool: SITPool,
+        statistics,
         error_function: ErrorFunction | None = None,
         sit_driven_pruning: bool = False,
         name: str | None = None,
-        legacy: bool | None = None,
         engine: str = "bitmask",
     ):
-        if legacy is not None:
-            deprecated(
-                "CardinalityEstimator(..., legacy=...) is deprecated; pass "
-                "engine='legacy' or engine='bitmask' instead"
-            )
-            engine = "legacy" if legacy else "bitmask"
+        pool, snapshot = resolve_statistics(statistics)
         self.database = database
         self.pool = pool
+        #: the pinned :class:`~repro.catalog.CatalogSnapshot`, or ``None``
+        #: when built from a bare pool
+        self.snapshot = snapshot
         self.error_function = (
             error_function if error_function is not None else DiffError(pool)
         )
@@ -127,6 +155,11 @@ class CardinalityEstimator:
         return self.algorithm.engine
 
     @property
+    def snapshot_version(self) -> int:
+        """The catalog version of the pinned snapshot (0 for bare pools)."""
+        return self.snapshot.version if self.snapshot is not None else 0
+
+    @property
     def view_matching_calls(self) -> int:
         return self.algorithm.matcher.calls
 
@@ -153,26 +186,24 @@ class CardinalityEstimator:
 
     def stats_snapshot(self) -> StatsSnapshot:
         """The unified observability snapshot (``StatsSnapshot`` schema),
-        tagged with this estimator's identity."""
+        tagged with this estimator's identity (and pinned snapshot
+        version, when serving from a catalog)."""
         snapshot = self.algorithm.stats_snapshot()
         meta = dict(snapshot.meta)
         meta.update(
             {"estimator": self.name, "error_function": self.error_function.name}
         )
+        catalog = dict(snapshot.catalog)
+        if self.snapshot is not None:
+            meta["snapshot_version"] = self.snapshot_version
+            catalog["snapshot_version"] = float(self.snapshot_version)
         return StatsSnapshot(
             timings=snapshot.timings,
             counters=snapshot.counters,
             caches=snapshot.caches,
+            catalog=catalog,
             meta=meta,
         )
-
-    def stats(self) -> dict[str, float]:
-        """Deprecated flat view; use :meth:`stats_snapshot`."""
-        deprecated(
-            "CardinalityEstimator.stats() flat keys are deprecated; use "
-            "stats_snapshot() for the namespaced StatsSnapshot schema"
-        )
-        return self.stats_snapshot().flat(LEGACY_STATS_KEYS)
 
     def reset(self) -> None:
         """Clear memoization and counters (e.g. between workload queries
@@ -183,30 +214,34 @@ class CardinalityEstimator:
 # ----------------------------------------------------------------------
 # The paper's estimator variants
 # ----------------------------------------------------------------------
-def make_gs_nind(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
+def make_gs_nind(database: Database, statistics, **kwargs) -> CardinalityEstimator:
     """GS-nInd: getSelectivity counting independence assumptions."""
-    return CardinalityEstimator(database, pool, NIndError(), name="GS-nInd", **kwargs)
-
-
-def make_gs_diff(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
-    """GS-Diff: getSelectivity with the distribution-aware error function."""
     return CardinalityEstimator(
-        database, pool, DiffError(pool), name="GS-Diff", **kwargs
+        database, statistics, NIndError(), name="GS-nInd", **kwargs
+    )
+
+
+def make_gs_diff(database: Database, statistics, **kwargs) -> CardinalityEstimator:
+    """GS-Diff: getSelectivity with the distribution-aware error function."""
+    pool, _ = resolve_statistics(statistics)
+    return CardinalityEstimator(
+        database, statistics, DiffError(pool), name="GS-Diff", **kwargs
     )
 
 
 def make_gs_opt(
-    database: Database, pool: SITPool, executor: Executor | None = None, **kwargs
+    database: Database, statistics, executor: Executor | None = None, **kwargs
 ) -> CardinalityEstimator:
     """GS-Opt: the theoretical optimum (true per-factor errors)."""
     executor = executor if executor is not None else Executor(database)
     return CardinalityEstimator(
-        database, pool, OptError(executor), name="GS-Opt", **kwargs
+        database, statistics, OptError(executor), name="GS-Opt", **kwargs
     )
 
 
-def make_nosit(database: Database, pool: SITPool, **kwargs) -> CardinalityEstimator:
+def make_nosit(database: Database, statistics, **kwargs) -> CardinalityEstimator:
     """noSit: the traditional optimizer — base-table histograms only."""
+    pool, _ = resolve_statistics(statistics)
     return CardinalityEstimator(
         database, pool.base_only(), NIndError(), name="noSit", **kwargs
     )

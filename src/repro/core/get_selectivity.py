@@ -34,8 +34,8 @@ SIT expression.  ``frozenset`` objects are materialized only at the public
 API boundary and on factor-match cache misses, so ``EstimationResult``,
 ``Decomposition`` and every caller are unchanged.
 
-:class:`LegacyGetSelectivity` (also reachable as
-``GetSelectivity(..., legacy=True)``) preserves the original
+:class:`LegacyGetSelectivity` (reachable as
+``GetSelectivity.create(..., engine="legacy")``) preserves the original
 frozenset-based implementation verbatim; it is the oracle for the
 randomized parity suite (``tests/core/test_bitmask_parity.py``), which
 asserts the two paths return bit-identical selectivities, errors and
@@ -54,7 +54,7 @@ from typing import Iterator
 
 from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.snapshot import StatsSnapshot
 from repro.obs.trace import Trace
 from repro.core.matching import (
     FactorMatch,
@@ -100,21 +100,6 @@ def _match_coverage(match: FactorMatch) -> float:
 
 _EMPTY_RESULT = EstimationResult(1.0, 0.0, Decomposition(()), ())
 
-#: flat ``stats()`` keys of the pre-unification API (deprecated view),
-#: mapped onto their ``StatsSnapshot`` namespace paths.
-LEGACY_STATS_KEYS = {
-    "memo_entries": "caches.memo_entries",
-    "match_cache_entries": "caches.match_cache_entries",
-    "estimate_cache_entries": "caches.estimate_cache_entries",
-    "match_cache_hits": "caches.match_cache_hits",
-    "match_cache_misses": "caches.match_cache_misses",
-    "matcher_calls": "counters.matcher_calls",
-    "pruned_decompositions": "counters.pruned_decompositions",
-    "universe_size": "counters.universe_size",
-    "analysis_seconds": "timings.analysis_seconds",
-    "estimation_seconds": "timings.estimation_seconds",
-}
-
 
 class GetSelectivity:
     """A reusable ``getSelectivity`` instance (bitmask fast path).
@@ -128,10 +113,6 @@ class GetSelectivity:
 
         GetSelectivity.create(pool, error_fn, engine="bitmask")   # default
         GetSelectivity.create(pool, error_fn, engine="legacy")    # oracle
-
-    The historical ``GetSelectivity(pool, error_fn, legacy=True)`` spelling
-    (a ``__new__``-level class swap) still works but emits a
-    :class:`DeprecationWarning`; it will be removed in the next release.
     """
 
     #: engine identifier surfaced through ``stats_snapshot()`` and EXPLAIN
@@ -147,14 +128,14 @@ class GetSelectivity:
         sit_driven_pruning: bool = False,
         matcher: ViewMatcher | None = None,
     ) -> "GetSelectivity":
-        """Explicit engine-selecting factory (replaces ``legacy=True``).
+        """Explicit engine-selecting factory.
 
         ``engine`` is ``"bitmask"`` (the fast interned-mask DP) or
         ``"legacy"`` (the preserved frozenset reference implementation).
-        Unlike the deprecated keyword this never swaps classes under a
-        subclass's feet: ``SubClass.create(...)`` builds ``SubClass`` for
-        the bitmask engine and the plain ``LegacyGetSelectivity`` oracle
-        for the legacy one.
+        The factory never swaps classes under a subclass's feet:
+        ``SubClass.create(...)`` builds ``SubClass`` for the bitmask
+        engine and the plain ``LegacyGetSelectivity`` oracle for the
+        legacy one.
         """
         if engine == "legacy":
             return LegacyGetSelectivity(
@@ -174,36 +155,13 @@ class GetSelectivity:
             matcher=matcher,
         )
 
-    def __new__(
-        cls,
-        pool: SITPool,
-        error_function: ErrorFunction,
-        sit_driven_pruning: bool = False,
-        matcher: ViewMatcher | None = None,
-        legacy: bool | None = None,
-    ):
-        if legacy is not None and cls is GetSelectivity:
-            deprecated(
-                "GetSelectivity(..., legacy=...) is deprecated; use "
-                "GetSelectivity.create(pool, error_fn, engine='legacy') "
-                "or engine='bitmask' instead"
-            )
-            if legacy:
-                return super().__new__(LegacyGetSelectivity)
-        return super().__new__(cls)
-
     def __init__(
         self,
         pool: SITPool,
         error_function: ErrorFunction,
         sit_driven_pruning: bool = False,
         matcher: ViewMatcher | None = None,
-        legacy: bool | None = None,
     ):
-        # ``legacy`` is consumed (and deprecation-warned) by ``__new__``;
-        # it is accepted — and ignored — here so the historical call shape
-        # keeps working without ``__init__`` mutating its own signature,
-        # which is what used to break third-party subclasses.
         self.pool = pool
         self.error_function = error_function
         self.sit_driven_pruning = sit_driven_pruning
@@ -308,14 +266,6 @@ class GetSelectivity:
             self.metrics_registry(),
             meta={"engine": self.engine, "tracing": self.trace is not None},
         )
-
-    def stats(self) -> dict[str, float]:
-        """Deprecated flat view of :meth:`stats_snapshot` (old key set)."""
-        deprecated(
-            "GetSelectivity.stats() flat keys are deprecated; use "
-            "stats_snapshot() for the namespaced StatsSnapshot schema"
-        )
-        return self.stats_snapshot().flat(LEGACY_STATS_KEYS)
 
     def __call__(self, predicates: PredicateSet) -> EstimationResult:
         """Most accurate estimation of ``Sel_R(P)`` with ``R = tables(P)``."""
@@ -529,7 +479,7 @@ class LegacyGetSelectivity(GetSelectivity):
     Kept verbatim as the oracle for the bitmask parity suite and as the
     baseline the ``repro.bench.perf`` benchmarks measure speedups against.
     Construct via :meth:`GetSelectivity.create` with ``engine="legacy"``
-    (or directly; the ``legacy=True`` keyword is deprecated).
+    (or directly).
     """
 
     engine = "legacy"

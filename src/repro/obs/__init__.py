@@ -13,12 +13,14 @@ its numeric behaviour:
   steady-state workload).
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with labeled
   counter/gauge/histogram primitives, snapshot-able to dict/JSON; the
-  single substrate behind every ``stats()`` surface.
+  single substrate behind every observability surface.
 * :mod:`repro.obs.snapshot` — the documented :class:`StatsSnapshot`
-  schema (nested ``timings`` / ``counters`` / ``caches`` namespaces) that
-  unifies ``GetSelectivity.stats()``, ``CardinalityEstimator.stats()`` and
-  ``MemoCoupledEstimator.stats()``; the old flat keys remain available as
-  a deprecated view.
+  schema (nested ``timings`` / ``counters`` / ``caches`` / ``catalog``
+  namespaces) shared by ``GetSelectivity``, ``CardinalityEstimator``,
+  ``MemoCoupledEstimator``, the :class:`repro.catalog.StatisticsCatalog`
+  and :class:`repro.catalog.EstimationSession`; the ``catalog`` namespace
+  carries statistics-lifecycle state (snapshot/catalog versions, stale
+  counts, refresh and invalidation metrics).
 * :mod:`repro.obs.explain` — ``EXPLAIN ESTIMATE``: a structured
   :class:`ExplainResult` capturing the winning decomposition, the SIT
   matched per conditional factor ``Sel(P|Q)`` (or the independence

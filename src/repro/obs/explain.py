@@ -178,7 +178,7 @@ class ExplainResult:
                     )
         if include_stats:
             lines.append("stats:")
-            for namespace in ("timings", "counters", "caches"):
+            for namespace in ("timings", "counters", "caches", "catalog"):
                 entries = self.stats.namespace(namespace)
                 for name in sorted(entries):
                     lines.append(f"  {namespace}.{name} = {entries[name]}")

@@ -1,9 +1,7 @@
-"""The unified ``StatsSnapshot`` schema for every ``stats()`` surface.
+"""The unified ``StatsSnapshot`` schema for every observability surface.
 
-Before this module, ``GetSelectivity.stats()``, ``CardinalityEstimator
-.stats()`` and ``MemoCoupledEstimator`` each exposed (or lacked) ad-hoc
-flat dicts with divergent keys.  A :class:`StatsSnapshot` is the one
-documented shape, with three namespaces:
+A :class:`StatsSnapshot` is the one documented shape, with four
+namespaces:
 
 ``timings``
     wall-clock accumulators, in seconds (``analysis_seconds``,
@@ -16,16 +14,19 @@ documented shape, with three namespaces:
 ``caches``
     cache sizes and hit/miss counts (``memo_entries``,
     ``match_cache_entries``, ``estimate_cache_entries``,
-    ``match_cache_hits``, ``match_cache_misses``).
+    ``match_cache_hits``, ``match_cache_misses``);
+``catalog``
+    statistics-lifecycle state (``snapshot_version``,
+    ``catalog_version``, ``current``, ``sit_count``, ``stale_sits``,
+    ``invalidations``, ``sits_rebuilt``, ``match_cache_hit_rate``, ...)
+    — populated when the producer serves from a
+    :class:`repro.catalog.StatisticsCatalog` / snapshot / session,
+    empty otherwise.
 
-``meta`` carries identification (engine, estimator name, error function)
-and is excluded from numeric views.  Snapshots are plain data: build one
-from a :class:`repro.obs.metrics.MetricsRegistry` with
+``meta`` carries identification (engine, estimator name, error function,
+session name) and is excluded from numeric views.  Snapshots are plain
+data: build one from a :class:`repro.obs.metrics.MetricsRegistry` with
 :meth:`from_registry`, serialise with :meth:`to_dict` / :meth:`to_json`.
-
-The legacy flat-dict view (the pre-unification keys) stays available for
-one release through :meth:`flat`; the public ``stats()`` methods that
-return it emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -39,7 +40,7 @@ from typing import Mapping
 from repro.obs.metrics import MetricsRegistry
 
 #: the namespaces a snapshot exposes, in rendering order
-NAMESPACES = ("timings", "counters", "caches")
+NAMESPACES = ("timings", "counters", "caches", "catalog")
 
 
 def deprecated(message: str) -> None:
@@ -58,6 +59,7 @@ class StatsSnapshot:
     timings: Mapping[str, float] = field(default_factory=dict)
     counters: Mapping[str, float] = field(default_factory=dict)
     caches: Mapping[str, float] = field(default_factory=dict)
+    catalog: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -69,7 +71,7 @@ class StatsSnapshot:
     def from_registry(
         cls, registry: MetricsRegistry, meta: Mapping[str, object] | None = None
     ) -> "StatsSnapshot":
-        """Group a registry's instruments into the three namespaces.
+        """Group a registry's instruments into the four namespaces.
 
         Instruments outside the conventional namespaces are folded into
         ``counters`` under their full dotted name, so nothing is lost.
@@ -86,6 +88,7 @@ class StatsSnapshot:
             timings=nested.get("timings", {}),
             counters=counters,
             caches=nested.get("caches", {}),
+            catalog=nested.get("catalog", {}),
             meta=meta or {},
         )
 
@@ -96,6 +99,7 @@ class StatsSnapshot:
             "timings": dict(self.timings),
             "counters": dict(self.counters),
             "caches": dict(self.caches),
+            "catalog": dict(self.catalog),
             "meta": dict(self.meta),
         }
 
@@ -109,13 +113,12 @@ class StatsSnapshot:
 
     # ------------------------------------------------------------------
     def flat(self, keys: Mapping[str, str] | None = None) -> dict[str, float]:
-        """The deprecated flat view.
+        """A flattened numeric view (a generic utility, not a schema).
 
         With ``keys`` (a ``{flat_key: "namespace.entry"}`` mapping) the
-        result contains exactly those keys — this is how the pre-existing
-        ``stats()`` dicts are reproduced bit-for-bit.  Without ``keys``
-        every numeric entry is flattened as ``namespace`` is dropped
-        (colliding names keep the namespaced form).
+        result contains exactly those keys.  Without ``keys`` every
+        numeric entry is flattened as ``namespace`` is dropped (colliding
+        names keep the namespaced form).
         """
         if keys is not None:
             out: dict[str, float] = {}

@@ -30,21 +30,11 @@ from repro.core.selectivity import Factor
 from repro.engine.database import Database
 from repro.engine.expressions import Query
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.snapshot import StatsSnapshot
 from repro.obs.trace import Trace
 from repro.optimizer.explorer import ExplorationResult, explore
 from repro.optimizer.memo import Entry, GroupKey, Operator
 from repro.stats.pool import SITPool
-
-#: flat keys of the deprecated ``MemoCoupledEstimator.stats()`` view
-MEMO_LEGACY_STATS_KEYS = {
-    "matcher_calls": "counters.matcher_calls",
-    "entries_scored": "counters.entries_scored",
-    "match_cache_entries": "caches.match_cache_entries",
-    "match_cache_hits": "caches.match_cache_hits",
-    "match_cache_misses": "caches.match_cache_misses",
-    "estimation_seconds": "timings.estimation_seconds",
-}
 
 
 @dataclass
@@ -60,12 +50,22 @@ class GroupEstimate:
 @dataclass
 class MemoCoupledEstimator:
     """The Section 4.2 estimator: getSelectivity restricted to the
-    decompositions the optimizer's own search induces."""
+    decompositions the optimizer's own search induces.
+
+    ``pool`` accepts any statistics source — a bare
+    :class:`~repro.stats.pool.SITPool`, a
+    :class:`~repro.catalog.StatisticsCatalog` (pinned to its current
+    snapshot in ``__post_init__``) or a
+    :class:`~repro.catalog.CatalogSnapshot`; the pinned snapshot, if any,
+    is kept on :attr:`snapshot`.
+    """
 
     database: Database
     pool: SITPool
     error_function: ErrorFunction
     matcher: ViewMatcher = field(default=None)  # type: ignore[assignment]
+    #: the pinned catalog snapshot (``None`` when built from a bare pool)
+    snapshot: object = field(default=None, repr=False)
     #: (P, Q) -> (match, factor_error); memo entries across groups (and
     #: queries over the same pool) repeat factors, so matching each logical
     #: factor once mirrors getSelectivity's factor-match cache.
@@ -79,6 +79,10 @@ class MemoCoupledEstimator:
     estimation_seconds: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.pool, SITPool):
+            from repro.core.estimator import resolve_statistics
+
+            self.pool, self.snapshot = resolve_statistics(self.pool)
         if self.matcher is None:
             self.matcher = ViewMatcher(self.pool)
 
@@ -113,22 +117,14 @@ class MemoCoupledEstimator:
 
     def stats_snapshot(self) -> StatsSnapshot:
         """The unified observability snapshot (``StatsSnapshot`` schema)."""
-        return StatsSnapshot.from_registry(
-            self.metrics_registry(),
-            meta={
-                "estimator": "MemoCoupled",
-                "error_function": self.error_function.name,
-                "tracing": self.trace is not None,
-            },
-        )
-
-    def stats(self) -> dict[str, float]:
-        """Deprecated flat view; use :meth:`stats_snapshot`."""
-        deprecated(
-            "MemoCoupledEstimator.stats() flat keys are deprecated; use "
-            "stats_snapshot() for the namespaced StatsSnapshot schema"
-        )
-        return self.stats_snapshot().flat(MEMO_LEGACY_STATS_KEYS)
+        meta = {
+            "estimator": "MemoCoupled",
+            "error_function": self.error_function.name,
+            "tracing": self.trace is not None,
+        }
+        if self.snapshot is not None:
+            meta["snapshot_version"] = self.snapshot.version
+        return StatsSnapshot.from_registry(self.metrics_registry(), meta=meta)
 
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> dict[GroupKey, GroupEstimate]:

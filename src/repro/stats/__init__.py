@@ -5,7 +5,15 @@ from repro.stats.advisor import AdvisorConfig, SITAdvisor, SITRecommendation
 from repro.stats.builder import SITBuilder
 from repro.stats.diff import approximate_diff, exact_diff
 from repro.stats.feedback import FeedbackEstimator, FeedbackRepository
-from repro.stats.io import PoolFormatError, load_pool, save_pool
+from repro.stats.io import (
+    CatalogDocument,
+    PoolFormatError,
+    load_document,
+    load_pool,
+    migrate_v1_to_v2,
+    save_document,
+    save_pool,
+)
 from repro.stats.sampling import SamplingSITBuilder
 from repro.stats.pool import (
     SITPool,
@@ -17,6 +25,7 @@ from repro.stats.sit import SIT
 
 __all__ = [
     "AdvisorConfig",
+    "CatalogDocument",
     "FeedbackEstimator",
     "FeedbackRepository",
     "SIT",
@@ -30,7 +39,10 @@ __all__ = [
     "build_workload_pool",
     "connected_join_subsets",
     "exact_diff",
+    "load_document",
     "load_pool",
+    "migrate_v1_to_v2",
+    "save_document",
     "save_pool",
     "workload_sit_requests",
 ]

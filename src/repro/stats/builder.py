@@ -65,6 +65,21 @@ class SITBuilder:
         self._base_cache[attribute] = sit
         return sit
 
+    def invalidate_table(self, table: str) -> int:
+        """Evict cached state built from ``table`` (its data changed).
+
+        Drops the memoized base SITs on the table's attributes and the
+        executor's component-count memos touching it, so the next build
+        reads current data.  Returns the number of evicted base SITs.
+        """
+        stale = [a for a in self._base_cache if a.table == table]
+        for attribute in stale:
+            del self._base_cache[attribute]
+        counts = self._executor._count_cache
+        for component in [c for c in counts if table in tables_of(c)]:
+            del counts[component]
+        return len(stale)
+
     def build(self, attribute: Attribute, expression: PredicateSet) -> SIT:
         """Build ``SIT(attribute | expression)``."""
         return self.build_many(expression, [attribute])[0]

@@ -1,18 +1,30 @@
-"""Serialization of SITs and pools.
+"""Serialization of SITs, pools and catalog documents.
 
 Statistics are built once and used across many optimization sessions, so
 they must survive a process restart.  The format is plain JSON — buckets
 are small (≤ 200 per SIT) and portability beats compactness here.
 
-Layout::
+Version 2 layout (the current writer)::
 
-    {"version": 1,
+    {"version": 2,
+     "catalog": {"catalog_version": 3,
+                 "table_versions": {"orders": 1, ...}},
      "sits": [{"attribute": {"table": ..., "column": ...},
                "diff": 0.42,
                "expression": [<predicate>, ...],
                "histogram": {"null_count": 0.0,
-                              "buckets": [[low, high, frequency, distinct], ...]}},
+                              "buckets": [[low, high, frequency, distinct], ...]},
+               "meta": {"built_at": 1733.2,
+                        "build_seconds": 0.004,
+                        "build_method": "full" | "sampled",
+                        "source_versions": {"orders": 1, ...}}},
               ...]}
+
+Version 1 (the pre-catalog format) carried no ``catalog`` block and no
+per-SIT ``meta``; it still loads through the explicit
+:func:`migrate_v1_to_v2` step, which synthesizes conservative metadata
+(``build_method="full"``, ``built_at=0.0``, empty source versions — i.e.
+"provenance unknown, treat as potentially stale").
 
 Predicates serialize as ``{"kind": "filter"|"join", ...}``.  Infinities
 round-trip through the strings ``"-inf"``/``"inf"`` (JSON has no inf).
@@ -23,6 +35,7 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.predicates import (
@@ -35,7 +48,9 @@ from repro.histograms.base import Bucket, Histogram
 from repro.stats.pool import SITPool
 from repro.stats.sit import SIT
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: every version :func:`loads_pool` / :func:`loads_document` accepts
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class PoolFormatError(ValueError):
@@ -98,7 +113,13 @@ def _encode_histogram(histogram: Histogram) -> dict:
     return {
         "null_count": histogram.null_count,
         "buckets": [
-            [b.low, b.high, b.frequency, b.distinct] for b in histogram.buckets
+            [
+                _encode_float(b.low),
+                _encode_float(b.high),
+                b.frequency,
+                b.distinct,
+            ]
+            for b in histogram.buckets
         ],
     }
 
@@ -106,7 +127,12 @@ def _encode_histogram(histogram: Histogram) -> dict:
 def _decode_histogram(data: dict) -> Histogram:
     try:
         buckets = [
-            Bucket(float(low), float(high), float(frequency), float(distinct))
+            Bucket(
+                _decode_float(low),
+                _decode_float(high),
+                float(frequency),
+                float(distinct),
+            )
             for low, high, frequency, distinct in data["buckets"]
         ]
         return Histogram(buckets, null_count=float(data.get("null_count", 0.0)))
@@ -114,9 +140,21 @@ def _decode_histogram(data: dict) -> Histogram:
         raise PoolFormatError(f"bad histogram payload: {error}") from error
 
 
-def encode_sit(sit: SIT) -> dict:
-    """Encode one SIT as a JSON-serializable dict."""
-    return {
+# ----------------------------------------------------------------------
+# Per-SIT build metadata (the catalog's provenance record)
+# ----------------------------------------------------------------------
+#: synthesized for v1 payloads and for SITs added without provenance
+DEFAULT_SIT_META = {
+    "built_at": 0.0,
+    "build_seconds": 0.0,
+    "build_method": "full",
+    "source_versions": {},
+}
+
+
+def encode_sit(sit: SIT, meta: dict | None = None) -> dict:
+    """Encode one SIT (plus optional catalog metadata) as a JSON dict."""
+    payload = {
         "attribute": {"table": sit.attribute.table, "column": sit.attribute.column},
         "diff": sit.diff,
         "expression": [
@@ -124,6 +162,19 @@ def encode_sit(sit: SIT) -> dict:
         ],
         "histogram": _encode_histogram(sit.histogram),
     }
+    if meta is not None:
+        payload["meta"] = {
+            "built_at": float(meta.get("built_at", 0.0)),
+            "build_seconds": float(meta.get("build_seconds", 0.0)),
+            "build_method": str(meta.get("build_method", "full")),
+            "source_versions": {
+                str(table): int(version)
+                for table, version in sorted(
+                    dict(meta.get("source_versions", {})).items()
+                )
+            },
+        }
+    return payload
 
 
 def decode_sit(data: dict) -> SIT:
@@ -145,17 +196,57 @@ def decode_sit(data: dict) -> SIT:
         raise PoolFormatError(f"bad SIT payload: {error}") from error
 
 
-def dumps_pool(pool: SITPool) -> str:
-    """Serialize a pool to a JSON string."""
-    payload = {
-        "version": FORMAT_VERSION,
-        "sits": [encode_sit(sit) for sit in pool],
+def decode_sit_meta(data: dict) -> dict:
+    """The per-SIT ``meta`` block, defaults filled in."""
+    meta = dict(DEFAULT_SIT_META)
+    raw = data.get("meta")
+    if isinstance(raw, dict):
+        try:
+            meta["built_at"] = float(raw.get("built_at", 0.0))
+            meta["build_seconds"] = float(raw.get("build_seconds", 0.0))
+            meta["build_method"] = str(raw.get("build_method", "full"))
+            meta["source_versions"] = {
+                str(table): int(version)
+                for table, version in dict(
+                    raw.get("source_versions", {})
+                ).items()
+            }
+        except (TypeError, ValueError) as error:
+            raise PoolFormatError(f"bad SIT meta payload: {error}") from error
+    return meta
+
+
+# ----------------------------------------------------------------------
+# Versioning and migration
+# ----------------------------------------------------------------------
+def migrate_v1_to_v2(payload: dict) -> dict:
+    """The explicit v1 → v2 migration.
+
+    A v1 file predates the statistics catalog, so the migration
+    synthesizes what v2 requires: an empty ``catalog`` block
+    (``catalog_version`` 0, no table versions) and per-SIT default
+    metadata marking the provenance as unknown (``built_at`` 0, full-scan
+    build, no recorded source-table versions — a subsequent
+    ``StatisticsCatalog.refresh`` will treat such SITs as up for rebuild
+    only once a table update is actually observed).
+    """
+    if payload.get("version") != 1:
+        raise PoolFormatError(
+            f"migrate_v1_to_v2 expects a version-1 payload, got "
+            f"{payload.get('version')!r}"
+        )
+    migrated = {
+        "version": 2,
+        "catalog": {"catalog_version": 0, "table_versions": {}},
+        "sits": [
+            {**entry, "meta": dict(DEFAULT_SIT_META)}
+            for entry in payload.get("sits", [])
+        ],
     }
-    return json.dumps(payload)
+    return migrated
 
 
-def loads_pool(text: str) -> SITPool:
-    """Deserialize a pool from a JSON string."""
+def _checked_payload(text: str) -> dict:
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as error:
@@ -163,9 +254,110 @@ def loads_pool(text: str) -> SITPool:
     if not isinstance(payload, dict):
         raise PoolFormatError("top-level payload must be an object")
     version = payload.get("version")
-    if version != FORMAT_VERSION:
-        raise PoolFormatError(f"unsupported format version {version!r}")
-    return SITPool([decode_sit(entry) for entry in payload.get("sits", [])])
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+        raise PoolFormatError(
+            f"unsupported format version {version!r}; "
+            f"supported versions: {supported}"
+        )
+    if version == 1:
+        payload = migrate_v1_to_v2(payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Catalog documents: the full v2 unit of persistence
+# ----------------------------------------------------------------------
+@dataclass
+class CatalogDocument:
+    """The decoded contents of a v2 file (or a migrated v1 file).
+
+    Plain data only — :class:`repro.catalog.StatisticsCatalog` turns a
+    document into a live catalog and back, keeping this module free of a
+    stats ↔ catalog import cycle.
+    """
+
+    sits: list[SIT] = field(default_factory=list)
+    #: parallel to :attr:`sits`: the per-SIT ``meta`` dicts
+    sit_meta: list[dict] = field(default_factory=list)
+    table_versions: dict[str, int] = field(default_factory=dict)
+    catalog_version: int = 0
+
+    def pool(self) -> SITPool:
+        return SITPool(list(self.sits))
+
+
+def dumps_document(document: CatalogDocument) -> str:
+    """Serialize a catalog document to a v2 JSON string."""
+    if len(document.sit_meta) not in (0, len(document.sits)):
+        raise PoolFormatError(
+            "sit_meta must be empty or parallel to sits "
+            f"({len(document.sit_meta)} metas for {len(document.sits)} sits)"
+        )
+    metas = document.sit_meta or [dict(DEFAULT_SIT_META)] * len(document.sits)
+    payload = {
+        "version": FORMAT_VERSION,
+        "catalog": {
+            "catalog_version": int(document.catalog_version),
+            "table_versions": {
+                str(table): int(version)
+                for table, version in sorted(document.table_versions.items())
+            },
+        },
+        "sits": [
+            encode_sit(sit, meta) for sit, meta in zip(document.sits, metas)
+        ],
+    }
+    return json.dumps(payload)
+
+
+def loads_document(text: str) -> CatalogDocument:
+    """Deserialize a catalog document (v1 files migrate transparently)."""
+    payload = _checked_payload(text)
+    catalog = payload.get("catalog", {})
+    if not isinstance(catalog, dict):
+        raise PoolFormatError("catalog block must be an object")
+    try:
+        table_versions = {
+            str(table): int(version)
+            for table, version in dict(
+                catalog.get("table_versions", {})
+            ).items()
+        }
+        catalog_version = int(catalog.get("catalog_version", 0))
+    except (TypeError, ValueError) as error:
+        raise PoolFormatError(f"bad catalog block: {error}") from error
+    entries = payload.get("sits", [])
+    return CatalogDocument(
+        sits=[decode_sit(entry) for entry in entries],
+        sit_meta=[decode_sit_meta(entry) for entry in entries],
+        table_versions=table_versions,
+        catalog_version=catalog_version,
+    )
+
+
+def save_document(document: CatalogDocument, path: str | pathlib.Path) -> None:
+    """Write a catalog document to ``path`` as v2 JSON."""
+    pathlib.Path(path).write_text(dumps_document(document))
+
+
+def load_document(path: str | pathlib.Path) -> CatalogDocument:
+    """Read a catalog document written by :func:`save_document` (or a
+    v1 pool file, which migrates)."""
+    return loads_document(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Pool-level convenience wrappers (the historical public surface)
+# ----------------------------------------------------------------------
+def dumps_pool(pool: SITPool) -> str:
+    """Serialize a bare pool to a v2 JSON string (default metadata)."""
+    return dumps_document(CatalogDocument(sits=list(pool)))
+
+
+def loads_pool(text: str) -> SITPool:
+    """Deserialize a pool from a JSON string (v1 or v2)."""
+    return loads_document(text).pool()
 
 
 def save_pool(pool: SITPool, path: str | pathlib.Path) -> None:

@@ -26,7 +26,6 @@ from repro.core.predicates import (
     tables_of,
 )
 from repro.engine.expressions import Query
-from repro.obs.snapshot import deprecated
 from repro.stats.builder import SITBuilder
 from repro.stats.sit import SIT
 
@@ -89,10 +88,7 @@ class SITPool:
           contains this predicate (Section 3.5's dependence probes);
         * ``base_only`` — restrict to base-table histograms.
 
-        Results preserve pool insertion order.  This subsumes the old
-        ``for_attribute`` / ``base`` / ``with_expression_member`` /
-        ``expressions_for_attribute`` quartet, which survive as deprecated
-        delegates for one release.
+        Results preserve pool insertion order.
         """
         if attribute is not None:
             candidates = self._by_attribute.get(attribute, [])
@@ -132,37 +128,17 @@ class SITPool:
             return sit
         return None
 
-    # -- deprecated pre-``find`` query surface -------------------------
-    def expressions_for_attribute(self, attribute: Attribute) -> list[PredicateSet]:
-        """Deprecated alias of :meth:`find_expressions`."""
-        deprecated(
-            "SITPool.expressions_for_attribute() is deprecated; use "
-            "SITPool.find_expressions(attribute)"
-        )
-        return self.find_expressions(attribute)
+    # -- derived-state invalidation ------------------------------------
+    def invalidate_derived(self) -> None:
+        """Bump :attr:`version` without changing membership.
 
-    def with_expression_member(self, predicate) -> list[SIT]:
-        """Deprecated: use ``find(expression_member=predicate)``."""
-        deprecated(
-            "SITPool.with_expression_member() is deprecated; use "
-            "SITPool.find(expression_member=predicate)"
-        )
-        return self.find(expression_member=predicate)
-
-    def for_attribute(self, attribute: Attribute) -> list[SIT]:
-        """Deprecated: use ``find(attribute)``."""
-        deprecated(
-            "SITPool.for_attribute() is deprecated; use SITPool.find(attribute)"
-        )
-        return self.find(attribute)
-
-    def base(self, attribute: Attribute) -> SIT | None:
-        """Deprecated alias of :meth:`find_base`."""
-        deprecated(
-            "SITPool.base() is deprecated; use SITPool.find_base(attribute) "
-            "or SITPool.find(attribute, base_only=True)"
-        )
-        return self.find_base(attribute)
+        The catalog's table-update event path calls this so every structure
+        *derived* from the pool (the bitmask universe's Section 3.4 prune
+        masks, most importantly) is rebuilt before its next use, even though
+        the set of SITs is unchanged.  Rebuilding from identical contents is
+        deterministic, so in-flight estimations stay consistent.
+        """
+        self.version += 1
 
     def base_only(self) -> "SITPool":
         """The ``J_0`` restriction of this pool (base histograms only)."""

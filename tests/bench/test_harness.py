@@ -79,13 +79,25 @@ class TestHarness:
         for name, report in evaluation.reports.items():
             for query_metrics in report.per_query:
                 if name == "GVM":
-                    assert query_metrics.stats == {}
+                    assert query_metrics.snapshot is None
                 else:
-                    assert query_metrics.stats["memo_entries"] > 0
-                    assert query_metrics.stats["matcher_calls"] == (
-                        query_metrics.stats["match_cache_hits"]
-                        + query_metrics.stats["match_cache_misses"]
+                    snapshot = query_metrics.snapshot
+                    assert snapshot.caches["memo_entries"] > 0
+                    assert snapshot.counters["matcher_calls"] == (
+                        snapshot.caches["match_cache_hits"]
+                        + snapshot.caches["match_cache_misses"]
                     )
+
+    def test_session_snapshots_surfaced(self, evaluation):
+        snapshots = evaluation.session_snapshots
+        assert set(snapshots) == {
+            name for name in evaluation.reports if name != "GVM"
+        }
+        for snapshot in snapshots.values():
+            assert snapshot.catalog["match_cache_hit_rate"] >= 0.0
+            assert snapshot.meta["queries"] == len(
+                next(iter(evaluation.reports.values())).per_query
+            )
 
 
 class TestReporting:

@@ -1,0 +1,189 @@
+"""StatisticsCatalog: registry, metadata, snapshots and the one
+invalidation event path."""
+
+import pytest
+
+from repro.catalog import (
+    BUILD_FULL,
+    BUILD_SAMPLED,
+    SITMetadata,
+    StatisticsCatalog,
+    sit_key,
+)
+from repro.core.errors import NIndError
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.core.universe import PredicateUniverse
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.feedback import FeedbackRepository
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+RA = Attribute("R", "a")
+RX = Attribute("R", "x")
+SY = Attribute("S", "y")
+SB = Attribute("S", "b")
+JOIN_RS = JoinPredicate(RX, SY)
+
+
+def uniform():
+    return Histogram([Bucket(0, 10, 100, 10)])
+
+
+def make_sit(attribute, expression=frozenset(), diff=0.0):
+    return SIT(attribute, frozenset(expression), uniform(), diff=diff)
+
+
+@pytest.fixture()
+def catalog():
+    pool = SITPool(
+        [
+            make_sit(RA),
+            make_sit(RX),
+            make_sit(SY),
+            make_sit(SB),
+            make_sit(RA, {JOIN_RS}, diff=0.4),
+            make_sit(SB, {JOIN_RS}, diff=0.2),
+        ]
+    )
+    return StatisticsCatalog.from_pool(pool)
+
+
+class TestMetadata:
+    def test_rejects_unknown_build_method(self):
+        with pytest.raises(ValueError, match="build_method"):
+            SITMetadata(build_method="guesswork")
+
+    def test_staleness_against_table_versions(self):
+        metadata = SITMetadata(source_versions={"R": 1, "S": 2})
+        assert not metadata.is_stale({"R": 1, "S": 2}, ["R", "S"])
+        assert metadata.is_stale({"R": 2, "S": 2}, ["R", "S"])
+        # only tables the SIT touches matter
+        assert not metadata.is_stale({"T": 9}, ["R", "S"])
+
+    def test_dict_roundtrip(self):
+        metadata = SITMetadata(
+            built_at=10.0,
+            build_seconds=0.5,
+            build_method=BUILD_SAMPLED,
+            source_versions={"R": 3},
+            diff=0.7,
+        )
+        restored = SITMetadata.from_dict(metadata.to_dict(), diff=0.7)
+        assert restored == metadata
+
+
+class TestRegistry:
+    def test_from_pool_registers_every_sit(self, catalog):
+        assert len(catalog) == 6
+        for sit in catalog:
+            metadata = catalog.metadata_for(sit)
+            assert metadata.build_method == BUILD_FULL
+            assert not metadata.is_stale(catalog.table_versions, sit.tables)
+
+    def test_add_replaces_by_key(self, catalog):
+        version = catalog.version
+        replacement = make_sit(RA, {JOIN_RS}, diff=0.9)
+        catalog.add(replacement)
+        assert len(catalog) == 6  # replaced, not appended
+        assert catalog.metadata_for(replacement).diff == 0.9
+        assert catalog.version == version + 1
+
+    def test_remove(self, catalog):
+        target = next(s for s in catalog if not s.is_base)
+        assert catalog.remove(target)
+        assert len(catalog) == 5
+        assert not catalog.remove(target)
+        with pytest.raises(KeyError):
+            catalog.metadata_for(target)
+
+    def test_status_summary(self, catalog):
+        status = catalog.status()
+        assert status["sits"] == 6
+        assert status["base_histograms"] == 4
+        assert status["conditioned_sits"] == 2
+        assert status["stale_sits"] == 0
+        assert status["build_methods"] == {BUILD_FULL: 6}
+
+
+class TestSnapshotIsolation:
+    def test_mutation_publishes_new_pool(self, catalog):
+        snapshot = catalog.snapshot()
+        frozen_pool = snapshot.pool
+        frozen_names = {str(s) for s in frozen_pool}
+        catalog.add(make_sit(SY))
+        assert catalog.pool is not frozen_pool
+        assert {str(s) for s in frozen_pool} == frozen_names
+        assert not snapshot.is_current
+        assert catalog.snapshot().is_current
+
+    def test_snapshot_carries_version_and_metadata(self, catalog):
+        snapshot = catalog.snapshot()
+        assert snapshot.version == catalog.version
+        for sit in snapshot:
+            assert snapshot.metadata_for(sit) == catalog.metadata_for(sit)
+
+
+class TestInvalidationEventPath:
+    def test_table_update_marks_dependents_stale(self, catalog):
+        assert catalog.stale_sits() == []
+        catalog.notify_table_update("S")
+        stale = {str(s) for s in catalog.stale_sits()}
+        # everything touching S: its base histograms and both conditioned
+        # SITs (their generating expression joins S)
+        assert stale == {
+            "SIT(S.y)",
+            "SIT(S.b)",
+            "SIT(R.a | R.x=S.y)",
+            "SIT(S.b | R.x=S.y)",
+        }
+
+    def test_feedback_dropped_on_table_update(self, catalog):
+        repository = catalog.attach_feedback(FeedbackRepository())
+        repository.record(frozenset({FilterPredicate(SB, 0, 5)}), 12)
+        repository.record(frozenset({FilterPredicate(RA, 0, 5)}), 7)
+        catalog.notify_table_update("S")
+        assert len(repository) == 1  # only the R record survives
+        assert repository.lookup(frozenset({FilterPredicate(SB, 0, 5)})) is None
+
+    def test_table_update_bumps_catalog_and_pool_versions(self, catalog):
+        catalog_version = catalog.version
+        pool_version = catalog.pool.version
+        new = catalog.notify_table_update("R")
+        assert new == 1
+        assert catalog.table_version("R") == 1
+        assert catalog.version == catalog_version + 1
+        assert catalog.pool.version == pool_version + 1
+
+    def test_stale_universe_masks_cannot_be_reused(self, catalog):
+        """Regression: Section 3.4 prune masks are keyed on the pool's
+        derived-state version, so one ``notify_table_update`` forces the
+        bitmask universe to rebuild them instead of serving stale masks."""
+        universe = PredicateUniverse(catalog.pool)
+        universe.intern(frozenset({JOIN_RS, FilterPredicate(RA, 0, 5)}))
+        universe.prune_masks(0)
+        served_version = universe._prune_pool_version
+        assert served_version == catalog.pool.version
+        catalog.notify_table_update("S")
+        assert catalog.pool.version > served_version
+        universe.prune_masks(0)
+        assert universe._prune_pool_version == catalog.pool.version
+
+    def test_lifecycle_metrics_flow(self, catalog):
+        catalog.attach_feedback(FeedbackRepository())
+        catalog.notify_table_update("S")
+        snapshot = catalog.stats_snapshot()
+        assert snapshot.catalog["invalidations"] == 1.0
+        assert snapshot.catalog["stale_sits"] == 4.0
+        assert snapshot.meta["subsystem"] == "catalog"
+
+
+class TestErrorFunctionIndependence:
+    def test_snapshot_pool_is_usable_by_algorithms(self, catalog):
+        from repro.core.get_selectivity import GetSelectivity
+
+        snapshot = catalog.snapshot()
+        algorithm = GetSelectivity.create(snapshot.pool, NIndError())
+        result = algorithm(
+            frozenset({JOIN_RS, FilterPredicate(RA, 0, 5)})
+        )
+        assert 0.0 <= result.selectivity <= 1.0

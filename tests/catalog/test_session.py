@@ -1,0 +1,129 @@
+"""EstimationSession: snapshot pinning and cross-query cache sharing."""
+
+import pytest
+
+from repro.catalog import EstimationSession, StatisticsCatalog
+from repro.core.errors import DiffError
+from repro.core.estimator import CardinalityEstimator
+from repro.core.predicates import FilterPredicate
+from repro.engine.expressions import Query
+
+
+@pytest.fixture()
+def catalog(two_table_db, two_table_pool):
+    return StatisticsCatalog.from_pool(two_table_pool, database=two_table_db)
+
+
+@pytest.fixture()
+def query(two_table_join, two_table_attrs):
+    return Query.of(
+        two_table_join, FilterPredicate(two_table_attrs["Ra"], 0, 20)
+    )
+
+
+class TestConstruction:
+    def test_from_catalog(self, catalog):
+        session = EstimationSession(catalog)
+        assert session.snapshot is not None
+        assert session.snapshot_version == catalog.version
+        assert session.is_current
+
+    def test_from_snapshot(self, catalog):
+        snapshot = catalog.snapshot()
+        session = EstimationSession(snapshot)
+        assert session.snapshot is snapshot
+        assert session.database is catalog.database
+
+    def test_from_bare_pool_requires_database(self, two_table_pool):
+        with pytest.raises(ValueError, match="database"):
+            EstimationSession(two_table_pool)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            EstimationSession(object())
+
+
+class TestEstimates:
+    def test_matches_bare_estimator(self, catalog, two_table_db, query):
+        session = EstimationSession(catalog)
+        bare = CardinalityEstimator(two_table_db, catalog.pool)
+        assert session.cardinality(query) == pytest.approx(
+            bare.cardinality(query)
+        )
+
+    def test_error_function_forwarded(self, catalog, query):
+        error = DiffError(catalog.pool)
+        session = EstimationSession(catalog, error)
+        assert session.estimator.error_function is error
+        assert 0.0 <= session.selectivity(query) <= 1.0
+
+    def test_query_counter(self, catalog, query):
+        session = EstimationSession(catalog)
+        session.selectivity(query)
+        session.selectivity(query)
+        assert session.queries == 2
+
+
+class TestCrossQueryCaching:
+    def test_second_query_hits_shared_match_cache(self, catalog, query):
+        session = EstimationSession(catalog)
+        session.selectivity(query)
+        first_hits = session.match_cache_hits
+        session.selectivity(query)
+        assert session.match_cache_hits > first_hits
+        assert session.match_cache_hit_rate > 0.0
+
+    def test_distinct_queries_share_factor_work(
+        self, catalog, two_table_join, two_table_attrs
+    ):
+        session = EstimationSession(catalog)
+        session.selectivity(
+            Query.of(
+                two_table_join,
+                FilterPredicate(two_table_attrs["Ra"], 0, 20),
+            )
+        )
+        session.selectivity(
+            Query.of(
+                two_table_join,
+                FilterPredicate(two_table_attrs["Ra"], 0, 20),
+                FilterPredicate(two_table_attrs["Sb"], 0, 50),
+            )
+        )
+        assert session.match_cache_hit_rate > 0.0
+
+
+class TestSnapshotPinning:
+    def test_session_survives_catalog_invalidation(self, catalog, query):
+        session = EstimationSession(catalog)
+        before = session.selectivity(query)
+        catalog.notify_table_update("S")
+        assert not session.is_current
+        assert session.selectivity(query) == pytest.approx(before)
+
+    def test_new_session_pins_new_version(self, catalog):
+        old = EstimationSession(catalog)
+        catalog.notify_table_update("S")
+        new = EstimationSession(catalog)
+        assert new.snapshot_version > old.snapshot_version
+        assert new.is_current and not old.is_current
+
+
+class TestObservability:
+    def test_stats_snapshot_shape(self, catalog, query):
+        session = EstimationSession(catalog, name="serving")
+        session.selectivity(query)
+        session.selectivity(query)
+        snapshot = session.stats_snapshot()
+        assert snapshot.meta["session"] == "serving"
+        assert snapshot.meta["queries"] == 2
+        assert snapshot.meta["snapshot_version"] == catalog.version
+        assert snapshot.counters["queries"] == 2.0
+        assert snapshot.catalog["match_cache_hit_rate"] > 0.0
+        assert snapshot.catalog["current"] == 1.0
+
+    def test_current_gauge_drops_after_invalidation(self, catalog, query):
+        session = EstimationSession(catalog)
+        session.selectivity(query)
+        catalog.notify_table_update("R")
+        assert session.stats_snapshot().catalog["current"] == 0.0

@@ -4,7 +4,7 @@ The bitmask rewrite (interned universe, submask enumeration, bitwise
 connected components, mask-keyed caches) must be *behaviour preserving*:
 on every workload it has to return bit-identical selectivity, error,
 coverage, decomposition and SIT matches to the original frozenset
-implementation (``GetSelectivity(..., legacy=True)``), including exact
+implementation (``GetSelectivity.create(..., engine="legacy")``), including exact
 tie-breaks between equal-error decompositions.
 
 The corpus below generates 200+ predicate sets (3-9 predicates, mixed
@@ -122,8 +122,8 @@ def make_pair(pool, error_name, pruning):
         return NIndError() if error_name == "nInd" else DiffError(pool)
 
     fast = GetSelectivity(pool, error_function(), sit_driven_pruning=pruning)
-    oracle = GetSelectivity(
-        pool, error_function(), sit_driven_pruning=pruning, legacy=True
+    oracle = GetSelectivity.create(
+        pool, error_function(), sit_driven_pruning=pruning, engine="legacy"
     )
     assert isinstance(oracle, LegacyGetSelectivity)
     assert not isinstance(type(fast), type(LegacyGetSelectivity)) or not isinstance(
@@ -198,7 +198,36 @@ def test_incremental_interning_keeps_parity():
             assert_equal_results(fast(subset), oracle(subset))
 
 
-def test_legacy_flag_constructs_legacy():
+def test_engine_factory_constructs_legacy():
     pool = SITPool([SIT(Attribute("T0", "a"), frozenset(), random_histogram(random.Random(1)))])
-    assert isinstance(GetSelectivity(pool, NIndError(), legacy=True), LegacyGetSelectivity)
+    oracle = GetSelectivity.create(pool, NIndError(), engine="legacy")
+    assert isinstance(oracle, LegacyGetSelectivity)
     assert not isinstance(GetSelectivity(pool, NIndError()), LegacyGetSelectivity)
+
+
+@pytest.mark.parametrize(
+    "index,predicates,pool,error_name,pruning",
+    CORPUS[::17],
+    ids=[
+        f"snap{c[0]:03d}-n{len(c[1])}-{c[3]}{'-prune' if c[4] else ''}"
+        for c in CORPUS[::17]
+    ],
+)
+def test_catalog_snapshot_parity(index, predicates, pool, error_name, pruning):
+    """Serving from a ``StatisticsCatalog`` snapshot is bit-identical to
+    serving from the bare pool (the catalog publishes, never transforms)."""
+    from repro.catalog import StatisticsCatalog
+    from repro.core.estimator import resolve_statistics
+
+    catalog = StatisticsCatalog.from_pool(pool)
+    snapshot_pool, snapshot = resolve_statistics(catalog)
+    assert snapshot is not None and snapshot.pool is snapshot_pool
+    error = NIndError() if error_name == "nInd" else DiffError(pool)
+    snap_error = (
+        NIndError() if error_name == "nInd" else DiffError(snapshot_pool)
+    )
+    bare = GetSelectivity(pool, error, sit_driven_pruning=pruning)
+    via_snapshot = GetSelectivity(
+        snapshot_pool, snap_error, sit_driven_pruning=pruning
+    )
+    assert_equal_results(bare(predicates), via_snapshot(predicates))

@@ -1,4 +1,4 @@
-"""View-matching accounting and the ``stats()`` observability hook.
+"""View-matching accounting and the ``stats_snapshot()`` observability hook.
 
 Figure 6's metric is the number of *logical* view-matching invocations per
 query.  Historically the counter was split between ``_best_factor_match``
@@ -6,7 +6,7 @@ query.  Historically the counter was split between ``_best_factor_match``
 on cold lookups), which double-counted whenever both paths fired.  The
 counter is now single-sourced through ``ViewMatcher.count_invocation``;
 these tests pin the exactly-once contract on both DP implementations and
-on the memo-coupled estimator, and cover the ``stats()`` snapshot.
+on the memo-coupled estimator, and cover the ``stats_snapshot()`` view.
 """
 
 from __future__ import annotations
@@ -86,7 +86,7 @@ class TestMatcherCounting:
     def test_legacy_and_bitmask_count_identically(self, workload):
         predicates, pool = workload
         fast = GetSelectivity(pool, NIndError())
-        oracle = GetSelectivity(pool, NIndError(), legacy=True)
+        oracle = GetSelectivity.create(pool, NIndError(), engine="legacy")
         fast(predicates)
         oracle(predicates)
         assert fast.matcher.calls == oracle.matcher.calls
@@ -112,25 +112,28 @@ class TestMatcherCounting:
 
 
 class TestStats:
-    EXPECTED_KEYS = {
-        "memo_entries",
-        "match_cache_entries",
-        "estimate_cache_entries",
-        "match_cache_hits",
-        "match_cache_misses",
-        "matcher_calls",
-        "pruned_decompositions",
-        "universe_size",
-        "analysis_seconds",
-        "estimation_seconds",
+    KEY_PATHS = {
+        "memo_entries": "caches.memo_entries",
+        "match_cache_entries": "caches.match_cache_entries",
+        "estimate_cache_entries": "caches.estimate_cache_entries",
+        "match_cache_hits": "caches.match_cache_hits",
+        "match_cache_misses": "caches.match_cache_misses",
+        "matcher_calls": "counters.matcher_calls",
+        "pruned_decompositions": "counters.pruned_decompositions",
+        "universe_size": "counters.universe_size",
+        "analysis_seconds": "timings.analysis_seconds",
+        "estimation_seconds": "timings.estimation_seconds",
     }
+
+    def _flat(self, algorithm):
+        return algorithm.stats_snapshot().flat(self.KEY_PATHS)
 
     def test_snapshot_after_a_query(self, workload):
         predicates, pool = workload
         algorithm = GetSelectivity(pool, NIndError(), sit_driven_pruning=True)
         algorithm(predicates)
-        stats = algorithm.stats()
-        assert set(stats) == self.EXPECTED_KEYS
+        stats = self._flat(algorithm)
+        assert set(stats) == set(self.KEY_PATHS)
         assert stats["memo_entries"] >= 1
         assert stats["match_cache_entries"] >= 1
         assert stats["matcher_calls"] == (
@@ -144,9 +147,9 @@ class TestStats:
         predicates, pool = workload
         algorithm = GetSelectivity(pool, NIndError())
         algorithm(predicates)
-        warm_cache = algorithm.stats()["match_cache_entries"]
+        warm_cache = self._flat(algorithm)["match_cache_entries"]
         algorithm.reset()
-        stats = algorithm.stats()
+        stats = self._flat(algorithm)
         assert stats["memo_entries"] == 0
         assert stats["matcher_calls"] == 0
         assert stats["match_cache_hits"] == 0
@@ -160,10 +163,10 @@ class TestStats:
 
     def test_legacy_reports_zero_universe(self, workload):
         predicates, pool = workload
-        oracle = GetSelectivity(pool, NIndError(), legacy=True)
+        oracle = GetSelectivity.create(pool, NIndError(), engine="legacy")
         oracle(predicates)
-        stats = oracle.stats()
-        assert set(stats) == self.EXPECTED_KEYS
+        stats = self._flat(oracle)
+        assert set(stats) == set(self.KEY_PATHS)
         assert stats["universe_size"] == 0
         assert stats["memo_entries"] >= 1
 
@@ -173,5 +176,5 @@ class TestStats:
         pruned(predicates)
         unpruned = GetSelectivity(pool, NIndError())
         unpruned(predicates)
-        assert pruned.stats()["pruned_decompositions"] > 0
-        assert unpruned.stats()["pruned_decompositions"] == 0
+        assert self._flat(pruned)["pruned_decompositions"] > 0
+        assert self._flat(unpruned)["pruned_decompositions"] == 0

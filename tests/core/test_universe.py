@@ -245,8 +245,8 @@ def test_mask_pruning_matches_legacy_oracle():
         predicates = random_predicates(rng, rng.randint(3, 7))
         pool = _pool_with_sits(rng, predicates)
         fast = GetSelectivity(pool, NIndError(), sit_driven_pruning=True)
-        oracle = GetSelectivity(
-            pool, NIndError(), sit_driven_pruning=True, legacy=True
+        oracle = GetSelectivity.create(
+            pool, NIndError(), sit_driven_pruning=True, engine="legacy"
         )
         universe = fast.universe
         mask = universe.intern(predicates)

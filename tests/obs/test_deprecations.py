@@ -1,5 +1,11 @@
-"""Every pre-unification API keeps working for one release — behind a
-``DeprecationWarning`` — and agrees with its replacement."""
+"""The PR2 deprecation surfaces are gone and their replacements work.
+
+The previous release kept the pre-unification APIs alive behind
+``DeprecationWarning``; this release removes them.  These tests pin the
+*removal* (the old spellings raise ``TypeError``/``AttributeError``) and
+exercise the replacement surfaces side by side, so a regression that
+silently resurrects an old shim fails loudly.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +13,8 @@ import pytest
 
 from repro.core.errors import NIndError
 from repro.core.estimator import CardinalityEstimator
-from repro.core.get_selectivity import (
-    LEGACY_STATS_KEYS,
-    GetSelectivity,
-    LegacyGetSelectivity,
-)
-from repro.optimizer.integration import (
-    MEMO_LEGACY_STATS_KEYS,
-    MemoCoupledEstimator,
-)
+from repro.core.get_selectivity import GetSelectivity, LegacyGetSelectivity
+from repro.optimizer.integration import MemoCoupledEstimator
 
 
 @pytest.fixture
@@ -44,28 +43,23 @@ class TestEngineFactory:
         with pytest.raises(ValueError, match="engine"):
             GetSelectivity.create(two_table_pool, NIndError(), engine="quantum")
 
-    def test_legacy_kwarg_warns_and_dispatches(self, two_table_pool):
-        with pytest.deprecated_call(match="legacy"):
-            algorithm = GetSelectivity(two_table_pool, NIndError(), legacy=True)
-        assert type(algorithm) is LegacyGetSelectivity
-        with pytest.deprecated_call(match="legacy"):
-            algorithm = GetSelectivity(two_table_pool, NIndError(), legacy=False)
-        assert type(algorithm) is GetSelectivity
+    def test_legacy_kwarg_is_removed(self, two_table_pool):
+        with pytest.raises(TypeError, match="legacy"):
+            GetSelectivity(two_table_pool, NIndError(), legacy=True)
 
-    def test_plain_construction_does_not_warn(
-        self, two_table_pool, recwarn
+    def test_estimator_legacy_kwarg_is_removed(
+        self, two_table_db, two_table_pool
     ):
+        with pytest.raises(TypeError, match="legacy"):
+            CardinalityEstimator(
+                two_table_db, two_table_pool, NIndError(), legacy=True
+            )
+
+    def test_plain_construction_does_not_warn(self, two_table_pool, recwarn):
         GetSelectivity(two_table_pool, NIndError())
         assert not [
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
-
-    def test_estimator_legacy_kwarg(self, two_table_db, two_table_pool):
-        with pytest.deprecated_call(match="legacy"):
-            estimator = CardinalityEstimator(
-                two_table_db, two_table_pool, NIndError(), legacy=True
-            )
-        assert estimator.engine == "legacy"
 
     def test_estimator_engine_kwarg_is_silent(
         self, two_table_db, two_table_pool, recwarn
@@ -79,60 +73,48 @@ class TestEngineFactory:
         ]
 
 
-class TestFlatStats:
-    def test_get_selectivity_stats_warns_and_matches_snapshot(
-        self, two_table_pool, predicates
-    ):
+class TestFlatStatsRemoved:
+    def test_get_selectivity_has_no_stats(self, two_table_pool, predicates):
         algorithm = GetSelectivity.create(two_table_pool, NIndError())
         algorithm(predicates)
-        with pytest.deprecated_call(match="stats_snapshot"):
-            flat = algorithm.stats()
-        assert flat == algorithm.stats_snapshot().flat(LEGACY_STATS_KEYS)
-        assert set(flat) == set(LEGACY_STATS_KEYS)
+        assert not hasattr(algorithm, "stats")
+        snapshot = algorithm.stats_snapshot()
+        assert "match_cache_entries" in snapshot.caches
+        assert "matcher_calls" in snapshot.counters
 
-    def test_estimator_stats_warns(self, two_table_db, two_table_pool, predicates):
-        estimator = CardinalityEstimator(
-            two_table_db, two_table_pool, NIndError()
-        )
+    def test_estimator_has_no_stats(
+        self, two_table_db, two_table_pool, predicates
+    ):
+        estimator = CardinalityEstimator(two_table_db, two_table_pool, NIndError())
         estimator.algorithm(predicates)
-        with pytest.deprecated_call(match="stats_snapshot"):
-            flat = estimator.stats()
-        assert set(flat) == set(LEGACY_STATS_KEYS)
+        assert not hasattr(estimator, "stats")
+        snapshot = estimator.stats_snapshot()
+        assert snapshot.meta["estimator"] == estimator.name
 
-    def test_memo_coupled_stats_warns(self, two_table_db, two_table_pool):
+    def test_memo_coupled_has_no_stats(self, two_table_db, two_table_pool):
         estimator = MemoCoupledEstimator(
             two_table_db, two_table_pool, NIndError()
         )
-        with pytest.deprecated_call(match="stats_snapshot"):
-            flat = estimator.stats()
-        assert set(flat) == set(MEMO_LEGACY_STATS_KEYS)
+        assert not hasattr(estimator, "stats")
+        snapshot = estimator.stats_snapshot()
+        assert snapshot.meta["estimator"] == "MemoCoupled"
+
+    def test_flat_remains_as_generic_utility(self, two_table_pool, predicates):
+        algorithm = GetSelectivity.create(two_table_pool, NIndError())
+        algorithm(predicates)
+        flat = algorithm.stats_snapshot().flat()
+        assert flat["matcher_calls"] >= 1.0
 
 
-class TestPoolQueryShims:
-    def test_for_attribute(self, two_table_pool, two_table_attrs):
-        attribute = two_table_attrs["Ra"]
-        with pytest.deprecated_call(match="find"):
-            old = two_table_pool.for_attribute(attribute)
-        assert old == two_table_pool.find(attribute)
-
-    def test_base(self, two_table_pool, two_table_attrs):
-        attribute = two_table_attrs["Ra"]
-        with pytest.deprecated_call(match="find_base"):
-            old = two_table_pool.base(attribute)
-        assert old is two_table_pool.find_base(attribute)
-        assert old is not None and old.is_base
-
-    def test_with_expression_member(self, two_table_pool, two_table_join):
-        with pytest.deprecated_call(match="expression_member"):
-            old = two_table_pool.with_expression_member(two_table_join)
-        assert old == two_table_pool.find(expression_member=two_table_join)
-        assert old, "the fixture pool has SITs conditioned on the join"
-
-    def test_expressions_for_attribute(self, two_table_pool, two_table_attrs):
-        attribute = two_table_attrs["Ra"]
-        with pytest.deprecated_call(match="find_expressions"):
-            old = two_table_pool.expressions_for_attribute(attribute)
-        assert old == two_table_pool.find_expressions(attribute)
+class TestPoolQueryShimsRemoved:
+    def test_quartet_is_gone(self, two_table_pool):
+        for name in (
+            "for_attribute",
+            "base",
+            "with_expression_member",
+            "expressions_for_attribute",
+        ):
+            assert not hasattr(two_table_pool, name)
 
     def test_find_conjunctive_criteria(
         self, two_table_pool, two_table_attrs, two_table_join
@@ -147,6 +129,11 @@ class TestPoolQueryShims:
         assert two_table_pool.find(
             attribute, expression_superset=frozenset()
         ) == base_only
+
+    def test_find_member(self, two_table_pool, two_table_join):
+        members = two_table_pool.find(expression_member=two_table_join)
+        assert members, "the fixture pool has SITs conditioned on the join"
+        assert all(two_table_join in sit.expression for sit in members)
 
     def test_new_surface_is_silent(
         self, two_table_pool, two_table_attrs, recwarn

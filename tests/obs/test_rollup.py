@@ -92,10 +92,7 @@ class TestHarnessSnapshots:
         for metrics in report.per_query:
             assert metrics.snapshot is not None
             assert metrics.snapshot.meta["tracing"] is True
-            # the legacy flat view is derived from the same snapshot
-            assert metrics.stats["memo_entries"] == (
-                metrics.snapshot.caches["memo_entries"]
-            )
+            assert metrics.snapshot.caches["memo_entries"] > 0
 
     def test_tracing_stages_visible_in_rollup(self, tiny_evaluation):
         snapshot = tiny_evaluation.report("GS-nInd").aggregate_snapshot()

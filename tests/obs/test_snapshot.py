@@ -21,7 +21,7 @@ def _sample_registry() -> MetricsRegistry:
 
 class TestStatsSnapshot:
     def test_namespaces(self):
-        assert NAMESPACES == ("timings", "counters", "caches")
+        assert NAMESPACES == ("timings", "counters", "caches", "catalog")
 
     def test_from_registry_groups_namespaces(self):
         snapshot = StatsSnapshot.from_registry(
@@ -89,7 +89,13 @@ class TestStatsSnapshot:
         payload = json.loads(snapshot.to_json())
         assert payload["timings"] == {"analysis_seconds": 0.5}
         assert payload["meta"] == {"engine": "legacy"}
-        assert set(snapshot.to_dict()) == {"timings", "counters", "caches", "meta"}
+        assert set(snapshot.to_dict()) == {
+            "timings",
+            "counters",
+            "caches",
+            "catalog",
+            "meta",
+        }
 
 
 class TestDeprecatedHelper:

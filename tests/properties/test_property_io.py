@@ -1,0 +1,208 @@
+"""Property-based round-trip tests for the v2 catalog-document format.
+
+``save → load → save`` must be the identity on the serialized form (the
+writer is canonical: expressions, table versions and source versions are
+sorted), and the loaded objects must preserve everything the paper's
+estimator reads: histograms bucket-for-bucket, ``diff_H``, generating
+expressions with ±inf filter bounds, and the catalog's provenance
+metadata — including Chao1-scaled SITs built from samples.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
+from repro.histograms.base import Bucket, Histogram
+from repro.stats.io import (
+    CatalogDocument,
+    dumps_document,
+    loads_document,
+)
+from repro.stats.sampling import SamplingSITBuilder
+from repro.stats.sit import SIT
+
+TABLES = ("R", "S", "T")
+COLUMNS = ("a", "b", "c")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def attributes(draw, exclude_table=None):
+    table = draw(
+        st.sampled_from([t for t in TABLES if t != exclude_table])
+    )
+    return Attribute(table, draw(st.sampled_from(COLUMNS)))
+
+
+BOUNDS = st.one_of(
+    st.integers(-1000, 1000).map(float),
+    st.sampled_from([math.inf, -math.inf]),
+)
+
+
+@st.composite
+def filter_predicates(draw):
+    first, second = draw(BOUNDS), draw(BOUNDS)
+    low, high = min(first, second), max(first, second)
+    return FilterPredicate(draw(attributes()), low, high)
+
+
+@st.composite
+def join_predicates(draw):
+    left = draw(attributes())
+    right = draw(attributes(exclude_table=left.table))
+    return JoinPredicate(left, right)
+
+
+@st.composite
+def expressions(draw):
+    joins = draw(st.lists(join_predicates(), max_size=2))
+    filters = draw(st.lists(filter_predicates(), max_size=2))
+    return frozenset(joins + filters)
+
+
+@st.composite
+def histograms(draw):
+    count = draw(st.integers(0, 6))
+    edges = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 10_000),
+                min_size=2 * count,
+                max_size=2 * count,
+                unique=True,
+            )
+        )
+    )
+    buckets = []
+    for i in range(count):
+        frequency = float(draw(st.integers(0, 10_000)))
+        distinct = float(draw(st.integers(0, int(frequency) or 1)))
+        buckets.append(
+            Bucket(
+                float(edges[2 * i]), float(edges[2 * i + 1]), frequency, distinct
+            )
+        )
+    null_count = float(draw(st.integers(0, 100)))
+    return Histogram(buckets, null_count=null_count)
+
+
+@st.composite
+def sits(draw):
+    return SIT(
+        draw(attributes()),
+        draw(expressions()),
+        draw(histograms()),
+        diff=draw(
+            st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+@st.composite
+def sit_metas(draw):
+    return {
+        "built_at": draw(
+            st.floats(0.0, 2e9, allow_nan=False, allow_infinity=False)
+        ),
+        "build_seconds": draw(
+            st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+        ),
+        "build_method": draw(st.sampled_from(["full", "sampled"])),
+        "source_versions": draw(
+            st.dictionaries(
+                st.sampled_from(TABLES), st.integers(0, 50), max_size=3
+            )
+        ),
+    }
+
+
+@st.composite
+def documents(draw):
+    sit_list = draw(st.lists(sits(), max_size=4))
+    metas = [draw(sit_metas()) for _ in sit_list]
+    return CatalogDocument(
+        sits=sit_list,
+        sit_meta=metas,
+        table_versions=draw(
+            st.dictionaries(
+                st.sampled_from(TABLES), st.integers(0, 50), max_size=3
+            )
+        ),
+        catalog_version=draw(st.integers(0, 1000)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestDocumentRoundTrip:
+    @settings(max_examples=75, deadline=None)
+    @given(documents())
+    def test_serialized_form_is_a_fixed_point(self, document):
+        """save → load → save returns byte-identical JSON."""
+        first = dumps_document(document)
+        second = dumps_document(loads_document(first))
+        assert first == second
+
+    @settings(max_examples=75, deadline=None)
+    @given(documents())
+    def test_everything_the_estimator_reads_survives(self, document):
+        restored = loads_document(dumps_document(document))
+        assert restored.catalog_version == document.catalog_version
+        assert restored.table_versions == document.table_versions
+        assert len(restored.sits) == len(document.sits)
+        for original, loaded in zip(document.sits, restored.sits):
+            assert loaded.attribute == original.attribute
+            assert loaded.expression == original.expression
+            assert loaded.diff == original.diff
+            assert loaded.histogram.buckets == original.histogram.buckets
+            assert (
+                loaded.histogram.null_count == original.histogram.null_count
+            )
+        for original, loaded in zip(document.sit_meta, restored.sit_meta):
+            assert loaded == original
+
+    @settings(max_examples=50, deadline=None)
+    @given(sits(), sit_metas())
+    def test_metadata_order_is_canonical(self, sit, meta):
+        """Source-version key order never changes the serialized form."""
+        reordered = {
+            **meta,
+            "source_versions": dict(
+                reversed(list(meta["source_versions"].items()))
+            ),
+        }
+        assert dumps_document(
+            CatalogDocument(sits=[sit], sit_meta=[meta])
+        ) == dumps_document(
+            CatalogDocument(sits=[sit], sit_meta=[reordered])
+        )
+
+
+class TestSampledSITRoundTrip:
+    def test_chao1_scaled_sit_survives(
+        self, two_table_db, two_table_attrs, two_table_join
+    ):
+        """A SIT built from a sample (Chao1-scaled totals) round-trips
+        exactly, build method included."""
+        builder = SamplingSITBuilder(
+            two_table_db, sample_fraction=0.3, min_sample_rows=50
+        )
+        sit = builder.build(
+            two_table_attrs["Sb"], frozenset({two_table_join})
+        )
+        meta = {"build_method": "sampled", "source_versions": {"R": 1, "S": 2}}
+        restored = loads_document(
+            dumps_document(CatalogDocument(sits=[sit], sit_meta=[meta]))
+        )
+        loaded = restored.sits[0]
+        assert loaded.histogram.total == sit.histogram.total
+        assert loaded.histogram.buckets == sit.histogram.buckets
+        assert loaded.diff == sit.diff
+        assert restored.sit_meta[0]["build_method"] == "sampled"
+        assert restored.sit_meta[0]["source_versions"] == {"R": 1, "S": 2}

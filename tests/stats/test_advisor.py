@@ -64,7 +64,7 @@ class TestAdvisorPool:
         pool = advisor.build_pool(workload)
         for query in workload:
             for predicate in query.filters:
-                assert pool.base(predicate.attribute) is not None
+                assert pool.find_base(predicate.attribute) is not None
 
     def test_small_budget_matches_full_pool_on_key_query(
         self, two_table_db, workload

@@ -24,6 +24,18 @@ class TestBuildBase(object):
         second = builder.build_base(two_table_attrs["Ra"])
         assert first is second
 
+    def test_invalidate_table_evicts_cached_bases(
+        self, two_table_db, two_table_attrs
+    ):
+        builder = SITBuilder(two_table_db)
+        ra = builder.build_base(two_table_attrs["Ra"])
+        sb = builder.build_base(two_table_attrs["Sb"])
+        assert builder.invalidate_table("R") == 1
+        assert builder.invalidate_table("R") == 0  # already evicted
+        assert builder.build_base(two_table_attrs["Ra"]) is not ra
+        # other tables' caches survive
+        assert builder.build_base(two_table_attrs["Sb"]) is sb
+
 
 class TestBuildOnExpression:
     def test_histogram_covers_join_result(

@@ -1,5 +1,6 @@
-"""Tests for SIT pool serialization."""
+"""Tests for SIT pool / catalog-document serialization (v2 + v1 migration)."""
 
+import json
 import math
 
 import pytest
@@ -9,12 +10,19 @@ from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
 from repro.engine.expressions import Query
 from repro.histograms.base import Bucket, Histogram
 from repro.stats.io import (
+    DEFAULT_SIT_META,
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    CatalogDocument,
     PoolFormatError,
     decode_sit,
+    dumps_document,
     dumps_pool,
     encode_sit,
     load_pool,
+    loads_document,
     loads_pool,
+    migrate_v1_to_v2,
     save_pool,
 )
 from repro.stats.pool import SITPool
@@ -96,6 +104,73 @@ class TestPoolRoundTrip:
         assert len(loads_pool(dumps_pool(SITPool()))) == 0
 
 
+class TestV2Format:
+    def test_writer_emits_v2(self):
+        payload = json.loads(dumps_pool(SITPool([sample_sit()])))
+        assert payload["version"] == FORMAT_VERSION == 2
+        assert payload["catalog"] == {
+            "catalog_version": 0,
+            "table_versions": {},
+        }
+        assert payload["sits"][0]["meta"] == DEFAULT_SIT_META
+
+    def test_document_roundtrip_preserves_metadata(self):
+        document = CatalogDocument(
+            sits=[sample_sit()],
+            sit_meta=[
+                {
+                    "built_at": 12.5,
+                    "build_seconds": 0.25,
+                    "build_method": "sampled",
+                    "source_versions": {"R": 3, "S": 1},
+                }
+            ],
+            table_versions={"R": 3, "S": 1},
+            catalog_version=7,
+        )
+        restored = loads_document(dumps_document(document))
+        assert restored.catalog_version == 7
+        assert restored.table_versions == {"R": 3, "S": 1}
+        assert restored.sit_meta[0]["build_method"] == "sampled"
+        assert restored.sit_meta[0]["source_versions"] == {"R": 3, "S": 1}
+        assert restored.sit_meta[0]["built_at"] == 12.5
+
+    def test_mismatched_meta_length_rejected(self):
+        document = CatalogDocument(
+            sits=[sample_sit()], sit_meta=[{}, {}]
+        )
+        with pytest.raises(PoolFormatError, match="parallel"):
+            dumps_document(document)
+
+
+class TestV1Migration:
+    def v1_payload(self):
+        return {
+            "version": 1,
+            "sits": [encode_sit(sample_sit())],
+        }
+
+    def test_v1_loads_through_migration(self):
+        restored = loads_pool(json.dumps(self.v1_payload()))
+        assert len(restored) == 1
+        assert restored.sits[0].diff == 0.37
+
+    def test_migration_synthesizes_conservative_metadata(self):
+        migrated = migrate_v1_to_v2(self.v1_payload())
+        assert migrated["version"] == 2
+        assert migrated["catalog"] == {
+            "catalog_version": 0,
+            "table_versions": {},
+        }
+        assert migrated["sits"][0]["meta"] == DEFAULT_SIT_META
+        document = loads_document(json.dumps(migrated))
+        assert document.sit_meta[0] == DEFAULT_SIT_META
+
+    def test_migration_rejects_non_v1(self):
+        with pytest.raises(PoolFormatError, match="version-1"):
+            migrate_v1_to_v2({"version": 2, "sits": []})
+
+
 class TestFormatErrors:
     def test_not_json(self):
         with pytest.raises(PoolFormatError):
@@ -105,9 +180,27 @@ class TestFormatErrors:
         with pytest.raises(PoolFormatError):
             loads_pool("[1, 2]")
 
-    def test_unknown_version(self):
-        with pytest.raises(PoolFormatError):
+    def test_unknown_version_names_supported_versions(self):
+        with pytest.raises(PoolFormatError) as excinfo:
             loads_pool('{"version": 99, "sits": []}')
+        message = str(excinfo.value)
+        assert "99" in message
+        for version in SUPPORTED_VERSIONS:
+            assert str(version) in message
+
+    def test_bad_meta_payload(self):
+        payload = {
+            "version": 2,
+            "catalog": {"catalog_version": 0, "table_versions": {}},
+            "sits": [
+                {
+                    **encode_sit(sample_sit()),
+                    "meta": {"source_versions": {"R": "not-a-number"}},
+                }
+            ],
+        }
+        with pytest.raises(PoolFormatError, match="meta"):
+            loads_document(json.dumps(payload))
 
     def test_bad_predicate_kind(self):
         with pytest.raises(PoolFormatError):

@@ -37,18 +37,18 @@ def make_sit(attribute, expression=frozenset(), diff=0.0):
 
 
 class TestSITPool:
-    def test_for_attribute(self):
+    def test_find_by_attribute(self):
         base = make_sit(RA)
         conditioned = make_sit(RA, {JOIN_RS})
         pool = SITPool([base, conditioned, make_sit(SB)])
-        assert set(pool.for_attribute(RA)) == {base, conditioned}
-        assert pool.for_attribute(Attribute("Z", "q")) == []
+        assert set(pool.find(RA)) == {base, conditioned}
+        assert pool.find(Attribute("Z", "q")) == []
 
-    def test_base_lookup(self):
+    def test_find_base(self):
         base = make_sit(RA)
         pool = SITPool([make_sit(RA, {JOIN_RS}), base])
-        assert pool.base(RA) == base
-        assert pool.base(SB) is None
+        assert pool.find_base(RA) == base
+        assert pool.find_base(SB) is None
 
     def test_base_only_restriction(self):
         pool = SITPool([make_sit(RA), make_sit(RA, {JOIN_RS})])
@@ -68,11 +68,19 @@ class TestSITPool:
         assert len(pool.restrict_joins(1)) == 2
         assert len(pool.restrict_joins(2)) == 3
 
-    def test_with_expression_member(self):
+    def test_find_by_expression_member(self):
         conditioned = make_sit(RA, {JOIN_RS})
         pool = SITPool([make_sit(RA), conditioned])
-        assert pool.with_expression_member(JOIN_RS) == [conditioned]
-        assert pool.with_expression_member(JOIN_ST) == []
+        assert pool.find(expression_member=JOIN_RS) == [conditioned]
+        assert pool.find(expression_member=JOIN_ST) == []
+
+    def test_invalidate_derived_bumps_version_only(self):
+        sit = make_sit(RA)
+        pool = SITPool([sit])
+        before = pool.version
+        pool.invalidate_derived()
+        assert pool.version == before + 1
+        assert list(pool) == [sit]
 
     def test_contains_and_iter(self):
         sit = make_sit(RA)
