@@ -20,6 +20,10 @@ The public API is re-exported here; the subpackages are:
   random SPJ query generator;
 * :mod:`repro.obs` — observability: per-stage tracing, the metrics
   registry, the unified ``StatsSnapshot`` and ``EXPLAIN ESTIMATE``;
+* :mod:`repro.service` — the concurrent estimation-serving subsystem:
+  worker pool + micro-batching + admission control behind
+  :class:`~repro.service.EstimationService`, the asyncio JSON-lines
+  server (``python -m repro serve``) and :class:`~repro.service.Client`;
 * :mod:`repro.bench` — the experiment harness regenerating every figure.
 """
 
@@ -45,6 +49,14 @@ from repro.catalog import (
 )
 from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
 from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
+from repro.service import (
+    Client,
+    EstimationService,
+    Overloaded,
+    ServedEstimate,
+    ServiceConfig,
+    TCPClient,
+)
 from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
 
 __version__ = "1.0.0"
@@ -53,8 +65,10 @@ __all__ = [
     "Attribute",
     "CardinalityEstimator",
     "CatalogSnapshot",
+    "Client",
     "Database",
     "DiffError",
+    "EstimationService",
     "EstimationSession",
     "Executor",
     "ExplainResult",
@@ -64,14 +78,18 @@ __all__ = [
     "MetricsRegistry",
     "NIndError",
     "OptError",
+    "Overloaded",
     "Query",
     "RefreshPolicy",
     "SIT",
     "SITBuilder",
     "SITPool",
     "Schema",
+    "ServedEstimate",
+    "ServiceConfig",
     "StatisticsCatalog",
     "StatsSnapshot",
+    "TCPClient",
     "Table",
     "TableSchema",
     "Trace",

@@ -22,6 +22,12 @@ Commands
     v1 migrates), print advisor scores, simulate table updates
     (``--update-table``) and run an incremental refresh (``--method
     full|sampled``, ``--budget N``), or print the lifecycle status block.
+``serve``
+    Start the concurrent estimation server (``repro.service``): a
+    worker pool with micro-batching, admission control and hot snapshot
+    swap behind an asyncio JSON-lines TCP front-end.  Talk to it with
+    ``repro.service.TCPClient`` or one JSON object per line on a raw
+    socket.
 ``info``
     Version and package inventory.
 """
@@ -32,6 +38,18 @@ import argparse
 import sys
 
 import repro
+
+#: every subcommand with its one-line description — the single source of
+#: the ``--help`` listing (pinned by tests/test_cli.py)
+SUBCOMMANDS: dict[str, str] = {
+    "info": "version and package inventory",
+    "demo": "the paper's motivating example",
+    "estimate": "estimate a SQL query's cardinality",
+    "explain": "EXPLAIN ESTIMATE: the winning decomposition of a query",
+    "figures": "quick Figure 7 sweep",
+    "catalog": "statistics lifecycle: build/save/load/advise/refresh/status",
+    "serve": "run the concurrent estimation server (JSON lines over TCP)",
+}
 
 
 def _cmd_info(_: argparse.Namespace) -> int:
@@ -244,6 +262,63 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown catalog action {action!r}")  # pragma: no cover
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.catalog import StatisticsCatalog
+    from repro.service import EstimationService, ServiceConfig, run_server
+    from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+    from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    database = generate_snowflake(
+        SnowflakeConfig(scale=args.scale, seed=args.seed)
+    )
+    if args.path is not None:
+        catalog = StatisticsCatalog.load(args.path, database=database)
+    else:
+        generator = WorkloadGenerator(
+            database,
+            WorkloadConfig(join_count=2, filter_count=2, seed=args.seed),
+        )
+        queries = generator.generate(args.queries)
+        print(
+            f"building J{args.max_joins} catalog over {args.queries} queries "
+            f"(scale={args.scale}) ...",
+            file=sys.stderr,
+        )
+        catalog = StatisticsCatalog.build(
+            database, queries, max_joins=args.max_joins
+        )
+    # ad-hoc SQL needs base histograms for *every* attribute, not just
+    # the build workload's
+    assert catalog.builder is not None
+    present = {sit.attribute for sit in catalog if sit.is_base}
+    for table in database.schema.tables.values():
+        for attribute in table.attributes:
+            if attribute not in present:
+                catalog.add(catalog.builder.build_base(attribute))
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        host=args.host,
+        port=args.port,
+    )
+    service = EstimationService(catalog, config=config)
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
+        print(
+            f"serving {len(catalog)} SITs on {host}:{port} "
+            f"({config.workers} workers, queue {config.queue_depth}, "
+            f"batch window {args.batch_window_ms}ms) — Ctrl-C to drain",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    run_server(service, ready=ready)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -252,18 +327,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="version and package inventory")
-    sub.add_parser("demo", help="the paper's motivating example")
+    sub.add_parser("info", help=SUBCOMMANDS["info"])
+    sub.add_parser("demo", help=SUBCOMMANDS["demo"])
 
-    estimate = sub.add_parser("estimate", help="estimate a SQL query's cardinality")
+    estimate = sub.add_parser("estimate", help=SUBCOMMANDS["estimate"])
     estimate.add_argument("--sql", required=True, help="conjunctive SPJ SELECT")
     estimate.add_argument("--scale", type=float, default=0.25)
     estimate.add_argument("--seed", type=int, default=42)
     estimate.add_argument("--max-joins", type=int, default=2, dest="max_joins")
 
-    explain = sub.add_parser(
-        "explain", help="EXPLAIN ESTIMATE: the winning decomposition of a query"
-    )
+    explain = sub.add_parser("explain", help=SUBCOMMANDS["explain"])
     explain.add_argument(
         "sql", nargs="?", default=None, help="conjunctive SPJ SELECT"
     )
@@ -292,14 +365,12 @@ def main(argv: list[str] | None = None) -> int:
     explain.add_argument("--seed", type=int, default=42)
     explain.add_argument("--max-joins", type=int, default=2, dest="max_joins")
 
-    figures = sub.add_parser("figures", help="quick Figure 7 sweep")
+    figures = sub.add_parser("figures", help=SUBCOMMANDS["figures"])
     figures.add_argument("--scale", type=float, default=0.15)
     figures.add_argument("--seed", type=int, default=42)
     figures.add_argument("--queries", type=int, default=5)
 
-    catalog = sub.add_parser(
-        "catalog", help="statistics lifecycle: build/save/load/advise/refresh/status"
-    )
+    catalog = sub.add_parser("catalog", help=SUBCOMMANDS["catalog"])
     catalog.add_argument(
         "action",
         choices=("build", "save", "load", "advise", "refresh", "status"),
@@ -329,6 +400,39 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate a table update before refreshing (repeatable)",
     )
 
+    serve = sub.add_parser("serve", help=SUBCOMMANDS["serve"])
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="estimation worker threads"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        dest="queue_depth",
+        help="admission-queue bound; beyond it requests are shed",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        dest="batch_window_ms",
+        help="micro-batch coalescing window",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, dest="max_batch"
+    )
+    serve.add_argument(
+        "--path", default=None, help="serve a saved catalog file (v2 JSON)"
+    )
+    serve.add_argument("--scale", type=float, default=0.15)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--queries", type=int, default=3)
+    serve.add_argument("--max-joins", type=int, default=1, dest="max_joins")
+
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info(args)
@@ -346,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "catalog":
         return _cmd_catalog(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -18,10 +18,29 @@ running session's statistics (the catalog publishes new pool objects
 instead of mutating published ones).  :attr:`is_current` reports whether
 the pinned snapshot still matches the catalog, so a serving layer can
 rotate sessions at its own pace.
+
+Threading contract (the serving layer relies on this):
+
+* **Pinned-snapshot invariant** — the session's :attr:`pool` is the
+  *object* published in the pinned snapshot and is never re-resolved:
+  ``session.pool is session.snapshot.pool`` for the session's whole
+  life.  Because the catalog is copy-on-write, a concurrent
+  ``catalog.refresh()`` / ``notify_table_update`` can only publish *new*
+  pool objects; it can never mutate the membership of the one a session
+  estimates against.  (:meth:`assert_pinned` checks the invariant and is
+  exercised by the concurrency regression tests.)
+* **Hand-off, not sharing** — a session may be *handed between threads*
+  for read-only estimation (worker A finishes a batch, worker B picks
+  the session up), but must never be driven by two threads at once: the
+  DP memo, accounting windows and shared caches are mutated per query.
+  This is *enforced*: estimation entry points take a non-blocking owner
+  lock and raise :class:`RuntimeError` on concurrent use instead of
+  corrupting state silently.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping
 
 from repro.core.errors import ErrorFunction
@@ -90,6 +109,12 @@ class EstimationSession:
         self.name = name if name is not None else self.estimator.name
         #: queries answered so far
         self.queries = 0
+        #: the pool object pinned at construction (identity is the
+        #: snapshot-isolation invariant; see :meth:`assert_pinned`)
+        self._pinned_pool = self.estimator.pool
+        # single-owner guard: estimation is hand-off safe across threads
+        # but never concurrency-safe (see the module docstring)
+        self._owner_lock = threading.Lock()
         # -- cross-query accumulators (per-query counters roll in here on
         #    every begin_query) ------------------------------------------
         self._match_cache_hits = 0
@@ -135,18 +160,56 @@ class EstimationSession:
         self.estimator.reset()
 
     # ------------------------------------------------------------------
+    def assert_pinned(self) -> None:
+        """Check the pinned-snapshot invariant (cheap; raises on breach).
+
+        The pool a session estimates against must be the *same object*
+        for the session's whole life — a concurrent catalog refresh may
+        publish new pools but must never swap or mutate this one.
+        """
+        if self.estimator.pool is not self._pinned_pool:
+            raise RuntimeError(
+                "pinned-snapshot invariant violated: the session's pool "
+                "object changed underneath it"
+            )
+        if self.snapshot is not None and self.snapshot.pool is not self._pinned_pool:
+            raise RuntimeError(
+                "pinned-snapshot invariant violated: the snapshot's pool "
+                "was replaced after pinning"
+            )
+
+    def _acquire_owner(self):
+        if not self._owner_lock.acquire(blocking=False):
+            raise RuntimeError(
+                "EstimationSession is single-owner: it may be handed "
+                "between threads but not driven concurrently; give each "
+                "worker its own session (see repro.service)"
+            )
+        return self._owner_lock
+
+    # ------------------------------------------------------------------
     def estimate(self, query: Query | PredicateSet) -> EstimationResult:
         """Answer one workload query (opens a fresh accounting window)."""
-        self.begin_query()
-        self.queries += 1
-        predicates = (
-            query.predicates if isinstance(query, Query) else frozenset(query)
-        )
-        return self.estimator.algorithm(predicates)
+        lock = self._acquire_owner()
+        try:
+            self.begin_query()
+            self.queries += 1
+            predicates = (
+                query.predicates
+                if isinstance(query, Query)
+                else frozenset(query)
+            )
+            return self.estimator.algorithm(predicates)
+        finally:
+            lock.release()
 
     def estimate_predicates(self, predicates: PredicateSet) -> EstimationResult:
         """A sub-query of the current query (same accounting window)."""
-        return self.estimator.algorithm(frozenset(predicates))
+        lock = self._acquire_owner()
+        try:
+            return self.estimator.algorithm(frozenset(predicates))
+        finally:
+            lock.release()
 
     def selectivity(self, query: Query | PredicateSet) -> float:
         return self.estimate(query).selectivity

@@ -202,6 +202,7 @@ class CardinalityEstimator:
             counters=snapshot.counters,
             caches=snapshot.caches,
             catalog=catalog,
+            service=snapshot.service,
             meta=meta,
         )
 

@@ -177,8 +177,10 @@ class ExplainResult:
                         f"{', '.join(attribute.assumed)}"
                     )
         if include_stats:
+            from repro.obs.snapshot import NAMESPACES
+
             lines.append("stats:")
-            for namespace in ("timings", "counters", "caches", "catalog"):
+            for namespace in NAMESPACES:
                 entries = self.stats.namespace(namespace)
                 for name in sorted(entries):
                     lines.append(f"  {namespace}.{name} = {entries[name]}")

@@ -7,7 +7,9 @@ semantics without Prometheus:
 * a :class:`Counter` only goes up (:meth:`Counter.inc`);
 * a :class:`Gauge` is set to the latest value (:meth:`Gauge.set`);
 * a :class:`HistogramMetric` summarises observations
-  (count/sum/min/max, :meth:`HistogramMetric.observe`).
+  (count/sum/min/max plus p50/p95/p99 quantiles from a bounded
+  reservoir, :meth:`HistogramMetric.observe` /
+  :meth:`HistogramMetric.quantile`).
 
 Instrument names are dotted — the segment before the first ``.`` is the
 *namespace* (``timings`` / ``counters`` / ``caches`` are the conventional
@@ -31,9 +33,20 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Iterator
+import random
+import zlib
+from typing import Iterator, Sequence
 
 LabelKey = tuple[tuple[str, str], ...]
+
+#: how many raw observations a :class:`HistogramMetric` retains for
+#: quantile estimation.  Below this count quantiles are *exact*; beyond
+#: it the histogram keeps a uniform reservoir sample (Vitter's algorithm
+#: R) so memory stays bounded under serving traffic.
+RESERVOIR_SIZE = 512
+
+#: the quantiles rendered in :meth:`HistogramMetric.value_view`
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
 
 
 def _label_key(labels: dict[str, object]) -> LabelKey:
@@ -103,9 +116,18 @@ class Gauge(_Instrument):
 
 
 class HistogramMetric(_Instrument):
-    """Streaming summary (count / sum / min / max) of observations."""
+    """Streaming summary (count / sum / min / max / quantiles).
 
-    __slots__ = ("count", "sum", "min", "max")
+    Besides the exact streaming aggregates, the histogram keeps a
+    bounded uniform reservoir of raw observations
+    (:data:`RESERVOIR_SIZE`); :meth:`quantile` reads p50/p95/p99-style
+    order statistics off it.  Until the reservoir fills the quantiles
+    are exact; after that they are an unbiased sample estimate.  The
+    reservoir's RNG is seeded per instrument so snapshots are
+    deterministic for a fixed observation sequence.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_reservoir", "_rng")
     kind = "histogram"
 
     def __init__(self, name: str, labels: LabelKey):
@@ -114,6 +136,11 @@ class HistogramMetric(_Instrument):
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._reservoir: list[float] = []
+        # stable across processes (unlike hash()) so overflowing
+        # reservoirs sample identically run to run
+        seed = zlib.crc32((name + _render_labels(labels)).encode("utf-8"))
+        self._rng = random.Random(seed)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -122,21 +149,75 @@ class HistogramMetric(_Instrument):
             self.min = value
         if value > self.max:
             self.max = value
+        # Vitter's algorithm R: keep each of the first `count`
+        # observations with probability RESERVOIR_SIZE / count.
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the retained reservoir,
+        linearly interpolated between order statistics; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        samples = self._reservoir
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given qs."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+    def _absorb(self, other: "HistogramMetric") -> None:
+        """Fold another histogram in (used by registry merging)."""
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for value in other._reservoir:
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(len(self._reservoir) * 2)
+                if slot < RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
+
     def value_view(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
+        view = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        view.update(self.quantiles())
+        return view
 
 
 class MetricsRegistry:
@@ -184,11 +265,7 @@ class MetricsRegistry:
             if isinstance(instrument, Counter):
                 self.counter(name, **kw).inc(instrument.value)
             elif isinstance(instrument, HistogramMetric):
-                mine = self.histogram(name, **kw)
-                mine.count += instrument.count
-                mine.sum += instrument.sum
-                mine.min = min(mine.min, instrument.min)
-                mine.max = max(mine.max, instrument.max)
+                self.histogram(name, **kw)._absorb(instrument)
             else:
                 self.gauge(name, **kw).set(instrument.value)  # type: ignore[union-attr]
 

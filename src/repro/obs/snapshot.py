@@ -21,7 +21,14 @@ namespaces:
     ``invalidations``, ``sits_rebuilt``, ``match_cache_hit_rate``, ...)
     — populated when the producer serves from a
     :class:`repro.catalog.StatisticsCatalog` / snapshot / session,
-    empty otherwise.
+    empty otherwise;
+``service``
+    request-path state of the estimation-serving subsystem
+    (:mod:`repro.service`): ``queue_depth``, ``workers``, ``served``,
+    ``shed_overload`` / ``shed_deadline``, ``batches``,
+    ``batched_requests``, ``snapshot_swaps`` and the ``latency_ms``
+    histogram with p50/p95/p99 — empty for producers below the serving
+    layer.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -40,7 +47,7 @@ from typing import Mapping
 from repro.obs.metrics import MetricsRegistry
 
 #: the namespaces a snapshot exposes, in rendering order
-NAMESPACES = ("timings", "counters", "caches", "catalog")
+NAMESPACES = ("timings", "counters", "caches", "catalog", "service")
 
 
 def deprecated(message: str) -> None:
@@ -60,6 +67,7 @@ class StatsSnapshot:
     counters: Mapping[str, float] = field(default_factory=dict)
     caches: Mapping[str, float] = field(default_factory=dict)
     catalog: Mapping[str, float] = field(default_factory=dict)
+    service: Mapping[str, object] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -89,6 +97,7 @@ class StatsSnapshot:
             counters=counters,
             caches=nested.get("caches", {}),
             catalog=nested.get("catalog", {}),
+            service=nested.get("service", {}),
             meta=meta or {},
         )
 
@@ -100,6 +109,7 @@ class StatsSnapshot:
             "counters": dict(self.counters),
             "caches": dict(self.caches),
             "catalog": dict(self.catalog),
+            "service": dict(self.service),
             "meta": dict(self.meta),
         }
 

@@ -1,0 +1,63 @@
+"""``repro.service`` — the concurrent estimation-serving subsystem.
+
+Layering (queue → batch → worker → snapshot swap; DESIGN.md §9):
+
+* :mod:`repro.service.config` — :class:`ServiceConfig` tunables;
+* :mod:`repro.service.protocol` — typed requests/responses
+  (:class:`ServedEstimate`, :class:`Overloaded`, ...) and the JSON-lines
+  wire codec shared by both transports;
+* :mod:`repro.service.queue` — the bounded
+  :class:`~repro.service.queue.AdmissionQueue` (shed-on-full admission,
+  coalescing batch pops);
+* :mod:`repro.service.service` — :class:`EstimationService`: the worker
+  pool with micro-batching, deadlines, graceful drain and hot snapshot
+  swap over :class:`~repro.catalog.StatisticsCatalog`;
+* :mod:`repro.service.server` — the asyncio JSON-lines TCP front-end
+  (``python -m repro serve``);
+* :mod:`repro.service.client` — :class:`Client` (in-process) and
+  :class:`TCPClient` (wire), one call surface for both.
+
+Quickstart::
+
+    from repro.service import Client
+
+    with Client.in_process(catalog) as client:
+        answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
+"""
+
+from repro.service.client import Client, TCPClient
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    DeadlineExceeded,
+    InvalidRequest,
+    Overloaded,
+    ServedEstimate,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.service.queue import AdmissionQueue
+from repro.service.server import (
+    EstimationServer,
+    ServerHandle,
+    run_server,
+    start_in_thread,
+)
+from repro.service.service import EstimationService
+
+__all__ = [
+    "AdmissionQueue",
+    "Client",
+    "DeadlineExceeded",
+    "EstimationServer",
+    "EstimationService",
+    "InvalidRequest",
+    "Overloaded",
+    "ServedEstimate",
+    "ServerHandle",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "TCPClient",
+    "run_server",
+    "start_in_thread",
+]

@@ -1,0 +1,160 @@
+"""Clients of the estimation service.
+
+:class:`Client` is the in-process client: it talks straight to an
+:class:`~repro.service.service.EstimationService` (no sockets, no JSON)
+and is what an embedded optimizer uses.  :class:`TCPClient` speaks the
+JSON-lines wire protocol against a running server.  Both raise the same
+typed failures (:class:`~repro.service.protocol.Overloaded`,
+:class:`~repro.service.protocol.DeadlineExceeded`, ...) and return the
+same :class:`~repro.service.protocol.ServedEstimate`, so callers can be
+written transport-agnostically::
+
+    with Client.in_process(catalog) as client:
+        answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
+        answer.selectivity, answer.cardinality, answer.snapshot_version
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+from repro.engine.database import Database
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    ServedEstimate,
+    ServiceError,
+    decode_line,
+    encode_line,
+    result_from_wire,
+)
+from repro.service.service import EstimationService
+
+
+class Client:
+    """In-process client: submit/estimate against a live service.
+
+    ``owns_service=True`` (what :meth:`in_process` sets) makes
+    :meth:`close` shut the service down too.
+    """
+
+    def __init__(self, service: EstimationService, owns_service: bool = False):
+        self.service = service
+        self._owns_service = owns_service
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def in_process(
+        cls,
+        statistics,
+        *,
+        database: Database | None = None,
+        config: ServiceConfig | None = None,
+        **service_kwargs,
+    ) -> "Client":
+        """Spin up a private service around ``statistics`` and own it."""
+        service = EstimationService(
+            statistics, database=database, config=config, **service_kwargs
+        )
+        return cls(service, owns_service=True)
+
+    # ------------------------------------------------------------------
+    def submit(self, query, timeout: float | None = None):
+        """Non-blocking: returns the request's future."""
+        return self.service.submit(query, timeout=timeout)
+
+    def estimate(self, query, timeout: float | None = None) -> ServedEstimate:
+        return self.service.estimate(query, timeout=timeout)
+
+    def selectivity(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).selectivity
+
+    def cardinality(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).cardinality
+
+    def stats(self) -> dict:
+        return self.service.stats_snapshot().to_dict()
+
+    def close(self) -> None:
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TCPClient:
+    """A blocking JSON-lines client for the TCP front-end.
+
+    Thread-safe for sequential request/response use (an internal lock
+    serialises the socket); open one client per concurrent caller for
+    parallel load.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: dict) -> dict:
+        request_id = str(next(self._ids))
+        payload = dict(payload, id=request_id)
+        with self._lock:
+            self._sock.sendall(encode_line(payload))
+            line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = decode_line(line)
+        if response.get("id") != request_id:  # pragma: no cover - paranoia
+            raise ServiceError(
+                f"response id {response.get('id')!r} != request {request_id!r}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        response = self._roundtrip({"op": "stats"})
+        return response.get("stats", {})
+
+    def estimate(
+        self, sql: str, timeout: float | None = None
+    ) -> ServedEstimate:
+        """Estimate one SQL query; raises the typed failure on non-ok."""
+        payload: dict = {"op": "estimate", "sql": sql}
+        if timeout is not None:
+            payload["timeout_ms"] = timeout * 1000.0
+        return result_from_wire(self._roundtrip(payload))
+
+    def selectivity(self, sql: str, timeout: float | None = None) -> float:
+        return self.estimate(sql, timeout=timeout).selectivity
+
+    def cardinality(self, sql: str, timeout: float | None = None) -> float:
+        return self.estimate(sql, timeout=timeout).cardinality
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["Client", "TCPClient"]

@@ -1,0 +1,49 @@
+"""Tunables of the estimation-serving subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one :class:`repro.service.EstimationService`.
+
+    The defaults target an interactive optimizer inner loop: small
+    batching window (latency bound), a queue deep enough to ride out
+    bursts, and explicit load shedding rather than unbounded buffering.
+    """
+
+    #: worker threads; each owns a snapshot-pinned
+    #: :class:`~repro.catalog.EstimationSession`
+    workers: int = 2
+    #: admission-queue depth; a submit beyond this is shed with
+    #: :class:`~repro.service.protocol.Overloaded`
+    queue_depth: int = 256
+    #: how long a worker lingers after the first dequeued request to
+    #: coalesce more of the queue into one micro-batch (seconds)
+    batch_window_s: float = 0.002
+    #: the most requests one micro-batch may carry
+    max_batch: int = 32
+    #: default per-request deadline (seconds; ``None`` = no deadline)
+    default_timeout_s: float | None = None
+    #: seconds :meth:`EstimationService.close` waits for a graceful
+    #: drain before abandoning the remaining queue
+    drain_timeout_s: float = 30.0
+    #: server bind address for the JSON-lines front-end
+    host: str = "127.0.0.1"
+    #: server port (0 = ephemeral, the bound port is reported)
+    port: int = 8642
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+
+
+__all__ = ["ServiceConfig"]

@@ -1,0 +1,220 @@
+"""Typed request/response shapes and the JSON-lines wire codec.
+
+One request or response per line, UTF-8 JSON.  The same shapes back the
+in-process path (dataclasses + typed exceptions) and the TCP path (their
+``to_wire`` / ``from_wire`` encodings), so a client cannot observe which
+transport it is on.
+
+Requests::
+
+    {"id": "7", "sql": "SELECT ...", "timeout_ms": 250}
+    {"id": "8", "op": "stats"}
+    {"id": "9", "op": "ping"}
+
+Responses::
+
+    {"id": "7", "ok": true, "status": "ok", "selectivity": ..,
+     "cardinality": .., "error": .., "snapshot_version": 3,
+     "latency_ms": 1.8}
+    {"id": "7", "ok": false, "status": "overloaded", "detail": "..."}
+    {"id": "7", "ok": false, "status": "deadline_exceeded", "detail": "..."}
+    {"id": "7", "ok": false, "status": "invalid", "detail": "..."}
+    {"id": "7", "ok": false, "status": "closed", "detail": "..."}
+
+``status`` is the machine-readable discriminator; ``ok`` is redundant
+convenience for one-line clients.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+# ----------------------------------------------------------------------
+# Status vocabulary
+# ----------------------------------------------------------------------
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_DEADLINE = "deadline_exceeded"
+STATUS_INVALID = "invalid"
+STATUS_CLOSED = "closed"
+
+#: statuses a served request can terminate with
+STATUSES = (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_DEADLINE,
+    STATUS_INVALID,
+    STATUS_CLOSED,
+)
+
+
+# ----------------------------------------------------------------------
+# Typed failures (the in-process spelling of non-ok responses)
+# ----------------------------------------------------------------------
+class ServiceError(Exception):
+    """Base of every typed serving failure."""
+
+    status = "error"
+
+    @property
+    def detail(self) -> str:
+        return str(self)
+
+
+class Overloaded(ServiceError):
+    """Admission control shed the request: the bounded queue was full.
+
+    This is the *typed* load-shedding response — the service answers
+    immediately instead of buffering without bound or hanging.
+    """
+
+    status = STATUS_OVERLOADED
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a worker reached it."""
+
+    status = STATUS_DEADLINE
+
+
+class InvalidRequest(ServiceError):
+    """The request could not be parsed/bound against the schema."""
+
+    status = STATUS_INVALID
+
+
+class ServiceClosed(ServiceError):
+    """The service is shutting down (or gone) and not admitting work."""
+
+    status = STATUS_CLOSED
+
+
+#: wire status -> exception type, for client-side re-raising
+ERRORS_BY_STATUS: Mapping[str, type[ServiceError]] = {
+    STATUS_OVERLOADED: Overloaded,
+    STATUS_DEADLINE: DeadlineExceeded,
+    STATUS_INVALID: InvalidRequest,
+    STATUS_CLOSED: ServiceClosed,
+}
+
+
+def error_from_status(status: str, detail: str) -> ServiceError:
+    """Rehydrate a typed failure from its wire status."""
+    return ERRORS_BY_STATUS.get(status, ServiceError)(detail)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServedEstimate:
+    """A successful estimation answer.
+
+    ``selectivity`` / ``cardinality`` / ``error`` are bit-identical to a
+    direct :class:`~repro.core.estimator.CardinalityEstimator` call on
+    the snapshot identified by ``snapshot_version`` (the parity tests
+    pin this).
+    """
+
+    selectivity: float
+    cardinality: float
+    error: float
+    snapshot_version: int
+    latency_ms: float
+    #: requests the answering micro-batch carried (1 = no coalescing)
+    batch_size: int = 1
+    #: True when this answer was deduplicated off another request's DP
+    #: run within the same micro-batch
+    deduplicated: bool = False
+
+    def to_wire(self, request_id: object = None) -> dict:
+        payload: dict = {
+            "ok": True,
+            "status": STATUS_OK,
+            "selectivity": self.selectivity,
+            "cardinality": self.cardinality,
+            "error": self.error,
+            "snapshot_version": self.snapshot_version,
+            "latency_ms": self.latency_ms,
+            "batch_size": self.batch_size,
+            "deduplicated": self.deduplicated,
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "ServedEstimate":
+        return cls(
+            selectivity=float(payload["selectivity"]),
+            cardinality=float(payload["cardinality"]),
+            error=float(payload["error"]),
+            snapshot_version=int(payload["snapshot_version"]),
+            latency_ms=float(payload["latency_ms"]),
+            batch_size=int(payload.get("batch_size", 1)),
+            deduplicated=bool(payload.get("deduplicated", False)),
+        )
+
+
+def failure_to_wire(exc: ServiceError, request_id: object = None) -> dict:
+    payload: dict = {"ok": False, "status": exc.status, "detail": exc.detail}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+def encode_line(payload: Mapping) -> bytes:
+    """One JSON object, newline-terminated, UTF-8."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one wire line; raises :class:`InvalidRequest` on garbage."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise InvalidRequest("empty request line")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise InvalidRequest(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise InvalidRequest("request must be a JSON object")
+    return payload
+
+
+def result_from_wire(payload: Mapping) -> ServedEstimate:
+    """Client side: a wire response -> result, re-raising typed failures."""
+    if payload.get("ok"):
+        return ServedEstimate.from_wire(payload)
+    raise error_from_status(
+        str(payload.get("status", "error")), str(payload.get("detail", ""))
+    )
+
+
+__all__ = [
+    "DeadlineExceeded",
+    "ERRORS_BY_STATUS",
+    "InvalidRequest",
+    "Overloaded",
+    "STATUSES",
+    "STATUS_CLOSED",
+    "STATUS_DEADLINE",
+    "STATUS_INVALID",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "ServedEstimate",
+    "ServiceClosed",
+    "ServiceError",
+    "decode_line",
+    "encode_line",
+    "error_from_status",
+    "failure_to_wire",
+    "result_from_wire",
+]

@@ -1,0 +1,442 @@
+"""The concurrent estimation-serving engine.
+
+:class:`EstimationService` turns the single-threaded
+:class:`~repro.catalog.EstimationSession` into a request path:
+
+* a **bounded admission queue** (:class:`~repro.service.queue.AdmissionQueue`)
+  in front of a **worker-thread pool**; every worker owns one
+  snapshot-pinned session, so the session single-owner contract holds by
+  construction;
+* **micro-batching** — a worker coalesces up to ``max_batch`` queued
+  requests per tick.  Within a batch, requests with the *same* predicate
+  set are answered by one DP run (dedup), and requests that merely
+  *share decomposition factors* reuse the session's pool-pure
+  match/estimate caches, so a batch of similar queries costs far less
+  than N isolated calls;
+* **admission control** — a full queue sheds immediately with the typed
+  :class:`~repro.service.protocol.Overloaded`; per-request deadlines are
+  enforced at dequeue (:class:`~repro.service.protocol.DeadlineExceeded`)
+  so a backlogged worker never burns DP time on answers nobody is
+  waiting for; :meth:`close` drains gracefully and flushes whatever
+  cannot be served with :class:`~repro.service.protocol.ServiceClosed`;
+* **hot snapshot swap** — between batches every worker compares its
+  session's pinned version with ``catalog.version`` and rolls to a
+  fresh session on mismatch.  In-flight batches keep their pinned
+  snapshot (the catalog is copy-on-write), which extends the catalog's
+  old-snapshot-consistency guarantee to the concurrent path: every
+  response carries the ``snapshot_version`` it was computed on and is
+  bit-identical to a direct estimator call on that snapshot.
+
+Observability: queue-depth gauge, served/shed counters, batch and
+snapshot-swap counters, and a p50/p95/p99-capable latency histogram —
+all under the ``service`` namespace of :meth:`stats_snapshot`, with the
+workers' session telemetry merged in under the usual namespaces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import CatalogSnapshot, StatisticsCatalog
+from repro.catalog.session import EstimationSession
+from repro.core.errors import ErrorFunction
+from repro.core.predicates import PredicateSet, tables_of
+from repro.engine.database import Database
+from repro.engine.expressions import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import StatsSnapshot
+from repro.stats.pool import SITPool
+
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    DeadlineExceeded,
+    InvalidRequest,
+    Overloaded,
+    ServedEstimate,
+    ServiceClosed,
+    ServiceError,
+)
+
+
+@dataclass(eq=False)
+class _Pending:
+    """One admitted request travelling queue -> worker -> future."""
+
+    predicates: frozenset
+    tables: frozenset[str]
+    future: Future
+    submitted_at: float
+    deadline: float | None = None
+    #: filled by the worker for telemetry assertions in tests
+    batch_size: int = field(default=1, compare=False)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+class EstimationService:
+    """A thread-pooled, micro-batching front end over ``getSelectivity``.
+
+    ``statistics`` may be a :class:`~repro.catalog.StatisticsCatalog`
+    (hot snapshot swap active), a fixed
+    :class:`~repro.catalog.CatalogSnapshot`, or a bare
+    :class:`~repro.stats.pool.SITPool` (``database`` then required).
+    """
+
+    def __init__(
+        self,
+        statistics: "StatisticsCatalog | CatalogSnapshot | SITPool",
+        *,
+        database: Database | None = None,
+        config: ServiceConfig | None = None,
+        error_function: ErrorFunction | None = None,
+        engine: str = "bitmask",
+        name: str = "repro.service",
+    ):
+        from repro.service.queue import AdmissionQueue
+
+        self.config = config if config is not None else ServiceConfig()
+        self._statistics = statistics
+        self._catalog = (
+            statistics if isinstance(statistics, StatisticsCatalog) else None
+        )
+        self._error_function = error_function
+        self._engine = engine
+        self.name = name
+        self.database = self._resolve_database(statistics, database)
+        self._queue: AdmissionQueue[_Pending] = AdmissionQueue(
+            self.config.queue_depth
+        )
+        self._closed = threading.Event()
+        self._draining = threading.Event()
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._sessions: list[EstimationSession] = []
+        self._retired_sessions: list[EstimationSession] = []
+        self._sessions_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{name}-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_database(statistics, database: Database | None) -> Database:
+        if database is not None:
+            return database
+        resolved = getattr(statistics, "database", None)
+        if resolved is None:
+            raise ValueError(
+                "a database is required (pass one explicitly, or serve "
+                "from a catalog built with a database)"
+            )
+        return resolved
+
+    def _make_session(self) -> EstimationSession:
+        """A fresh session pinned to the catalog's *current* snapshot."""
+        session = EstimationSession(
+            self._statistics,
+            self._error_function,
+            database=self.database,
+            engine=self._engine,
+        )
+        with self._sessions_lock:
+            self._sessions.append(session)
+        return session
+
+    def _retire_session(self, session: EstimationSession) -> None:
+        with self._sessions_lock:
+            self._sessions.remove(session)
+            self._retired_sessions.append(session)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _coerce_predicates(
+        self, query: "Query | PredicateSet | str"
+    ) -> tuple[frozenset, frozenset[str]]:
+        if isinstance(query, str):
+            from repro.sql import parse_query
+
+            try:
+                query = parse_query(query, self.database.schema)
+            except Exception as exc:
+                raise InvalidRequest(str(exc)) from exc
+        if isinstance(query, Query):
+            predicates = query.predicates
+            tables = query.tables
+        else:
+            try:
+                predicates = frozenset(query)
+                tables = tables_of(predicates)
+            except TypeError as exc:
+                raise InvalidRequest(
+                    f"unsupported query type {type(query).__name__}"
+                ) from exc
+        if not predicates:
+            raise InvalidRequest("query has no predicates")
+        return predicates, frozenset(tables)
+
+    def submit(
+        self,
+        query: "Query | PredicateSet | str",
+        timeout: float | None = None,
+    ) -> "Future[ServedEstimate]":
+        """Admit one request; returns its future.
+
+        Raises :class:`ServiceClosed` after :meth:`close`,
+        :class:`InvalidRequest` on unparsable input and — the explicit
+        load-shedding path — :class:`Overloaded` the moment the bounded
+        queue is at depth.  Never blocks the caller on a full queue.
+        """
+        if self._closed.is_set() or self._draining.is_set():
+            raise ServiceClosed(f"{self.name} is shutting down")
+        predicates, tables = self._coerce_predicates(query)
+        now = time.monotonic()
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        pending = _Pending(
+            predicates=predicates,
+            tables=tables,
+            future=Future(),
+            submitted_at=now,
+            deadline=None if timeout is None else now + timeout,
+        )
+        try:
+            admitted = self._queue.offer(pending)
+        except RuntimeError as exc:
+            raise ServiceClosed(f"{self.name} is shutting down") from exc
+        if not admitted:
+            with self._metrics_lock:
+                self.metrics.counter("service.shed_overload").inc()
+            raise Overloaded(
+                f"queue at depth {self.config.queue_depth}; request shed"
+            )
+        with self._metrics_lock:
+            self.metrics.counter("service.submitted").inc()
+        return pending.future
+
+    def estimate(
+        self,
+        query: "Query | PredicateSet | str",
+        timeout: float | None = None,
+    ) -> ServedEstimate:
+        """Blocking convenience: submit and wait for the answer."""
+        future = self.submit(query, timeout=timeout)
+        wait = None
+        if timeout is not None:
+            # request deadline plus service slack; the worker-side
+            # deadline is what actually governs shedding
+            wait = timeout + self.config.drain_timeout_s
+        return future.result(timeout=wait)
+
+    def selectivity(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).selectivity
+
+    def cardinality(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).cardinality
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        session = self._make_session()
+        config = self.config
+        while True:
+            batch = self._queue.take_batch(
+                config.max_batch, config.batch_window_s
+            )
+            if not batch:
+                if self._queue.closed:
+                    return
+                continue
+            session = self._roll_snapshot(session)
+            try:
+                self._serve_batch(session, batch)
+            except BaseException as exc:  # pragma: no cover - safety net
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            ServiceError(f"worker failure: {exc}")
+                        )
+
+    def _roll_snapshot(self, session: EstimationSession) -> EstimationSession:
+        """Between batches: adopt the catalog's latest snapshot.
+
+        In-flight work is untouched — the old session (and its pinned
+        pool) stays fully usable; it is simply retired from rotation.
+        """
+        if self._catalog is None or session.is_current:
+            return session
+        fresh = self._make_session()
+        self._retire_session(session)
+        with self._metrics_lock:
+            self.metrics.counter("service.snapshot_swaps").inc()
+        return fresh
+
+    def _serve_batch(
+        self, session: EstimationSession, batch: list[_Pending]
+    ) -> None:
+        session.assert_pinned()
+        now = time.monotonic()
+        batch_size = len(batch)
+
+        # group identical predicate sets: one DP run answers them all
+        groups: dict[frozenset, list[_Pending]] = {}
+        for pending in batch:
+            pending.batch_size = batch_size
+            groups.setdefault(pending.predicates, []).append(pending)
+
+        served = 0
+        shed_deadline = 0
+        deduplicated = 0
+        latencies: list[float] = []
+        snapshot_version = session.snapshot_version
+        for predicates, members in groups.items():
+            live: list[_Pending] = []
+            for pending in members:
+                if pending.expired(now):
+                    shed_deadline += 1
+                    pending.future.set_exception(
+                        DeadlineExceeded(
+                            "deadline passed while queued; shedding"
+                        )
+                    )
+                else:
+                    live.append(pending)
+            if not live:
+                continue
+            try:
+                result = session.estimate(predicates)
+            except Exception as exc:
+                for pending in live:
+                    pending.future.set_exception(
+                        ServiceError(f"estimation failed: {exc}")
+                    )
+                continue
+            cross = self.database.cross_product_size(live[0].tables)
+            done = time.monotonic()
+            for index, pending in enumerate(live):
+                latency_ms = (done - pending.submitted_at) * 1000.0
+                answer = ServedEstimate(
+                    selectivity=result.selectivity,
+                    cardinality=result.selectivity * cross,
+                    error=result.error,
+                    snapshot_version=snapshot_version,
+                    latency_ms=latency_ms,
+                    batch_size=batch_size,
+                    deduplicated=index > 0,
+                )
+                if index > 0:
+                    deduplicated += 1
+                served += 1
+                latencies.append(latency_ms)
+                pending.future.set_result(answer)
+
+        with self._metrics_lock:
+            metrics = self.metrics
+            latency_histogram = metrics.histogram("service.latency_ms")
+            for latency_ms in latencies:
+                latency_histogram.observe(latency_ms)
+            metrics.counter("service.batches").inc()
+            metrics.counter("service.batched_requests").inc(batch_size)
+            metrics.counter("service.served").inc(served)
+            metrics.counter("service.deduplicated").inc(deduplicated)
+            if shed_deadline:
+                metrics.counter("service.shed_deadline").inc(shed_deadline)
+            metrics.histogram("service.batch_size").observe(batch_size)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop admission and shut the pool down.
+
+        With ``drain=True`` (default) every already-admitted request is
+        still served (or deadline-shed) before the workers exit; with
+        ``drain=False`` the backlog is flushed immediately with
+        :class:`ServiceClosed`.  Returns ``True`` on a clean shutdown
+        within the timeout.  Idempotent.
+        """
+        if self._closed.is_set():
+            return True
+        timeout = timeout if timeout is not None else self.config.drain_timeout_s
+        self._draining.set()
+        clean = True
+        if drain:
+            clean = self._queue.wait_empty(timeout=timeout)
+        self._queue.close()
+        if not drain or not clean:
+            for pending in self._queue.drain():
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServiceClosed("service closed before serving")
+                    )
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+            clean = clean and not worker.is_alive()
+        self._closed.set()
+        return clean
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """Service counters plus the merged telemetry of every session
+        the pool has used (active and retired)."""
+        registry = MetricsRegistry()
+        with self._metrics_lock:
+            registry.merge(self.metrics)
+        registry.gauge("service.queue_depth").set(float(len(self._queue)))
+        registry.gauge("service.workers").set(float(len(self._workers)))
+        registry.gauge("service.closed").set(1.0 if self.closed else 0.0)
+        with self._sessions_lock:
+            sessions = list(self._sessions) + list(self._retired_sessions)
+            registry.gauge("service.active_sessions").set(
+                float(len(self._sessions))
+            )
+        for session in sessions:
+            registry.merge(session.metrics_registry())
+        return registry
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The unified snapshot: request-path state under ``service``,
+        worker-session cache/catalog telemetry under the usual
+        namespaces."""
+        return StatsSnapshot.from_registry(
+            self.metrics_registry(),
+            meta={
+                "subsystem": "service",
+                "name": self.name,
+                "workers": len(self._workers),
+                "queue_depth_limit": self.config.queue_depth,
+                "max_batch": self.config.max_batch,
+                "engine": self._engine,
+            },
+        )
+
+
+__all__ = ["EstimationService"]

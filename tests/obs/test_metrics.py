@@ -46,7 +46,74 @@ class TestInstruments:
             "min": 0.0,
             "max": 0.0,
             "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
         }
+
+
+class TestHistogramQuantiles:
+    def test_exact_below_reservoir_capacity(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.5)
+        assert histogram.quantile(0.95) == pytest.approx(95.05)
+        assert histogram.quantile(0.99) == pytest.approx(99.01)
+
+    def test_value_view_includes_quantile_keys(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        view = histogram.value_view()
+        assert {"p50", "p95", "p99"} <= set(view)
+        assert view["p50"] == pytest.approx(2.5)
+
+    def test_quantile_validates_range(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_reservoir_bounds_memory_and_stays_representative(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        histogram = MetricsRegistry().histogram("metrics.latency")
+        for value in range(10 * RESERVOIR_SIZE):
+            histogram.observe(float(value))
+        assert len(histogram._reservoir) == RESERVOIR_SIZE
+        assert histogram.count == 10 * RESERVOIR_SIZE
+        # a uniform sample of U[0, N) keeps the median near N/2
+        median = histogram.quantile(0.5)
+        assert 0.3 * 10 * RESERVOIR_SIZE < median < 0.7 * 10 * RESERVOIR_SIZE
+
+    def test_quantiles_deterministic_for_fixed_sequence(self):
+        views = []
+        for _ in range(2):
+            histogram = MetricsRegistry().histogram("metrics.latency")
+            for value in range(2000):
+                histogram.observe(float(value % 97))
+            views.append(histogram.value_view())
+        assert views[0] == views[1]
+
+    def test_merge_combines_reservoirs(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for value in (1.0, 2.0):
+            a.histogram("metrics.latency").observe(value)
+        for value in (9.0, 10.0):
+            b.histogram("metrics.latency").observe(value)
+        a.merge(b)
+        merged = a.histogram("metrics.latency")
+        assert merged.count == 4
+        assert merged.quantile(0.0) == 1.0
+        assert merged.quantile(1.0) == 10.0
+        assert merged.quantile(0.5) == pytest.approx(5.5)
 
 
 class TestRegistry:

@@ -21,7 +21,13 @@ def _sample_registry() -> MetricsRegistry:
 
 class TestStatsSnapshot:
     def test_namespaces(self):
-        assert NAMESPACES == ("timings", "counters", "caches", "catalog")
+        assert NAMESPACES == (
+            "timings",
+            "counters",
+            "caches",
+            "catalog",
+            "service",
+        )
 
     def test_from_registry_groups_namespaces(self):
         snapshot = StatsSnapshot.from_registry(
@@ -94,8 +100,18 @@ class TestStatsSnapshot:
             "counters",
             "caches",
             "catalog",
+            "service",
             "meta",
         }
+
+    def test_service_namespace_round_trips(self):
+        registry = _sample_registry()
+        registry.gauge("service.queue_depth").set(3)
+        registry.counter("service.served").inc(10)
+        snapshot = StatsSnapshot.from_registry(registry)
+        assert snapshot.service == {"queue_depth": 3.0, "served": 10.0}
+        assert snapshot.namespace("service")["served"] == 10.0
+        assert snapshot.to_dict()["service"]["queue_depth"] == 3.0
 
 
 class TestDeprecatedHelper:

@@ -1,0 +1,39 @@
+"""Fixtures for the serving-layer tests: a catalog over the two-table
+database plus a family of factor-sharing queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import StatisticsCatalog
+from repro.core.predicates import FilterPredicate
+from repro.engine.expressions import Query
+from repro.stats.builder import SITBuilder
+
+
+@pytest.fixture()
+def service_catalog(two_table_db, two_table_pool) -> StatisticsCatalog:
+    """A fresh refresh-capable catalog per test (tests mutate it)."""
+    return StatisticsCatalog.from_pool(
+        two_table_pool,
+        database=two_table_db,
+        builder=SITBuilder(two_table_db),
+    )
+
+
+@pytest.fixture()
+def join_query(two_table_attrs, two_table_join) -> Query:
+    return Query.of(
+        two_table_join, FilterPredicate(two_table_attrs["Ra"], 10.0, 40.0)
+    )
+
+
+@pytest.fixture()
+def factor_sharing_queries(two_table_attrs, two_table_join) -> list[Query]:
+    """K queries sharing the join factor, each with a different filter —
+    the shared-factor workload in miniature."""
+    attribute = two_table_attrs["Ra"]
+    return [
+        Query.of(two_table_join, FilterPredicate(attribute, low, low + 25.0))
+        for low in (0.0, 10.0, 20.0, 30.0, 40.0, 50.0)
+    ]

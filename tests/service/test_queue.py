@@ -1,0 +1,113 @@
+"""AdmissionQueue: shed-on-full, coalescing batch pops, close semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.queue import AdmissionQueue
+
+
+class TestAdmission:
+    def test_offer_admits_until_depth_then_sheds(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(3)
+        assert all(queue.offer(i) for i in range(3))
+        assert queue.offer(99) is False  # shed, not blocked
+        assert len(queue) == 3
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_offer_after_close_raises(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(2)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.offer(1)
+
+
+class TestTakeBatch:
+    def test_batch_respects_max_batch(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(16)
+        for i in range(10):
+            queue.offer(i)
+        batch = queue.take_batch(max_batch=4, window_s=0.0)
+        assert batch == [0, 1, 2, 3]
+        assert len(queue) == 6
+
+    def test_window_coalesces_stragglers(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(16)
+        queue.offer(0)
+
+        def straggler():
+            time.sleep(0.02)
+            queue.offer(1)
+
+        thread = threading.Thread(target=straggler)
+        thread.start()
+        batch = queue.take_batch(max_batch=8, window_s=0.5)
+        thread.join()
+        assert batch == [0, 1]
+
+    def test_take_batch_blocks_until_item(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        result: list[list[int]] = []
+
+        def consumer():
+            result.append(queue.take_batch(max_batch=4, window_s=0.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        assert thread.is_alive()  # still waiting
+        queue.offer(7)
+        thread.join(timeout=5.0)
+        assert result == [[7]]
+
+    def test_close_wakes_blocked_consumer_with_empty_batch(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        result: list[list[int]] = []
+
+        def consumer():
+            result.append(queue.take_batch(max_batch=4, window_s=0.5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.01)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert result == [[]]
+
+    def test_closed_queue_still_drains_backlog(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        queue.offer(1)
+        queue.offer(2)
+        queue.close()
+        assert queue.take_batch(max_batch=4, window_s=0.0) == [1, 2]
+        assert queue.take_batch(max_batch=4, window_s=0.0) == []
+
+
+class TestLifecycle:
+    def test_drain_empties_queue(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        queue.offer(1)
+        queue.offer(2)
+        assert queue.drain() == [1, 2]
+        assert len(queue) == 0
+
+    def test_wait_empty(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        assert queue.wait_empty(timeout=0.1) is True
+        queue.offer(1)
+        assert queue.wait_empty(timeout=0.05) is False
+
+        def consume():
+            time.sleep(0.02)
+            queue.take_batch(max_batch=4, window_s=0.0)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        assert queue.wait_empty(timeout=5.0) is True
+        thread.join()

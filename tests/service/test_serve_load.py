@@ -1,0 +1,53 @@
+"""End-to-end load-generator smoke (slow: builds a snowflake catalog and
+drives all three regimes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import serve_load
+
+pytestmark = pytest.mark.slow
+
+
+def test_load_generator_end_to_end(tmp_path):
+    output = tmp_path / "BENCH_service.json"
+    assert (
+        serve_load.main(
+            [
+                str(output),
+                "--scale",
+                "0.05",
+                "--seed",
+                "7",
+                "--distinct",
+                "3",
+                "--requests",
+                "60",
+                "--clients",
+                "4",
+                "--workers",
+                "1",
+            ]
+        )
+        == 0
+    )
+    report = json.loads(output.read_text())
+
+    baseline = report["baseline"]
+    assert baseline["requests"] == 60
+    assert baseline["qps"] > 0
+
+    closed = report["closed_loop"]
+    assert closed["requests"] == 60
+    assert closed["speedup_vs_baseline"] > 0
+    assert closed["deduplicated"] > 0  # the shared-factor point
+
+    open_loop = report["open_loop"]
+    assert open_loop["conservation_ok"] is True
+    assert open_loop["served"] + open_loop["shed"] == open_loop["offered"]
+    assert open_loop["clean_shutdown"] is True
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        assert open_loop[key] >= 0.0

@@ -1,0 +1,257 @@
+"""EstimationService: parity with the direct estimator (including across
+a mid-load snapshot swap), admission control, deadlines and lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.catalog import EstimationSession
+from repro.core.estimator import CardinalityEstimator
+from repro.engine.expressions import Query
+from repro.service import (
+    EstimationService,
+    Overloaded,
+    ServiceConfig,
+)
+from repro.service.protocol import (
+    DeadlineExceeded,
+    InvalidRequest,
+    ServiceClosed,
+)
+
+FAST = ServiceConfig(workers=1, queue_depth=64, batch_window_s=0.001)
+
+
+def direct_answer(database, snapshot, query: Query):
+    """The single-threaded ground truth on one pinned snapshot."""
+    estimator = CardinalityEstimator(database, snapshot, engine="bitmask")
+    result = estimator.estimate(query)
+    cross = database.cross_product_size(query.tables)
+    return (
+        result.selectivity,
+        result.selectivity * cross,
+        result.error,
+    )
+
+
+class TestParity:
+    def test_served_estimate_is_bit_identical_to_direct(
+        self, two_table_db, service_catalog, factor_sharing_queries
+    ):
+        snapshot = service_catalog.snapshot()
+        with EstimationService(service_catalog, config=FAST) as service:
+            for query in factor_sharing_queries:
+                served = service.estimate(query)
+                selectivity, cardinality, error = direct_answer(
+                    two_table_db, snapshot, query
+                )
+                assert served.snapshot_version == snapshot.version
+                assert served.selectivity == selectivity
+                assert served.cardinality == cardinality
+                assert served.error == error
+
+    def test_parity_holds_across_mid_load_refresh(
+        self, two_table_db, service_catalog, join_query
+    ):
+        """The acceptance gate: answers stay bit-identical to a direct
+        estimator *on the snapshot they report*, even when the catalog
+        is invalidated and refreshed while requests are in flight."""
+        catalog = service_catalog
+        snapshots = {catalog.version: catalog.snapshot()}
+        answers = []
+        with EstimationService(catalog, config=FAST) as service:
+            answers.append(service.estimate(join_query))
+
+            # put requests in flight, then move the catalog under them
+            futures = [service.submit(join_query) for _ in range(8)]
+            catalog.notify_table_update("R")
+            snapshots[catalog.version] = catalog.snapshot()
+            report = catalog.refresh()
+            assert report.rebuilt  # the update really dirtied SITs
+            snapshots[catalog.version] = catalog.snapshot()
+            answers.extend(future.result(timeout=30.0) for future in futures)
+
+            # keep serving until a worker has rolled to the new snapshot
+            deadline = time.monotonic() + 30.0
+            while True:
+                served = service.estimate(join_query)
+                answers.append(served)
+                if served.snapshot_version == catalog.version:
+                    break
+                assert time.monotonic() < deadline, "never rolled snapshots"
+            stats = service.stats_snapshot().service
+            assert stats["snapshot_swaps"] >= 1.0
+
+        seen_versions = {served.snapshot_version for served in answers}
+        assert len(seen_versions) >= 2  # old and new snapshots both served
+        for served in answers:
+            assert served.snapshot_version in snapshots
+            selectivity, cardinality, error = direct_answer(
+                two_table_db, snapshots[served.snapshot_version], join_query
+            )
+            assert served.selectivity == selectivity
+            assert served.cardinality == cardinality
+            assert served.error == error
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_response(
+        self, service_catalog, join_query, monkeypatch
+    ):
+        """A full queue answers Overloaded immediately — no blocking, no
+        hang — and everything admitted is still served."""
+        gate = threading.Event()
+        real_estimate = EstimationSession.estimate
+
+        def gated(self, query):
+            gate.wait(timeout=30.0)
+            return real_estimate(self, query)
+
+        monkeypatch.setattr(EstimationSession, "estimate", gated)
+        config = ServiceConfig(
+            workers=1, queue_depth=1, batch_window_s=0.0, max_batch=1
+        )
+        service = EstimationService(service_catalog, config=config)
+        try:
+            stalled = service.submit(join_query)
+            deadline = time.monotonic() + 10.0
+            while service.queue_depth > 0:  # worker picked the request up
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            queued = service.submit(join_query)  # fills the depth-1 queue
+            with pytest.raises(Overloaded):
+                service.submit(join_query)
+            stats = service.stats_snapshot().service
+            assert stats["shed_overload"] == 1.0
+            gate.set()
+            assert stalled.result(timeout=30.0).selectivity > 0.0
+            assert queued.result(timeout=30.0).selectivity > 0.0
+        finally:
+            gate.set()
+            service.close()
+
+    def test_expired_deadline_is_shed_at_dequeue(
+        self, service_catalog, join_query
+    ):
+        with EstimationService(service_catalog, config=FAST) as service:
+            future = service.submit(join_query, timeout=0.0)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30.0)
+            stats = service.stats_snapshot().service
+            assert stats["shed_deadline"] == 1.0
+
+    def test_invalid_requests_are_typed(self, service_catalog):
+        with EstimationService(service_catalog, config=FAST) as service:
+            with pytest.raises(InvalidRequest):
+                service.submit("SELECT * FROM nowhere WHERE")
+            with pytest.raises(InvalidRequest):
+                service.submit(frozenset())
+            with pytest.raises(InvalidRequest):
+                service.submit(12345)
+
+
+class TestLifecycle:
+    def test_graceful_drain_serves_everything_admitted(
+        self, service_catalog, factor_sharing_queries
+    ):
+        service = EstimationService(service_catalog, config=FAST)
+        futures = [
+            service.submit(query)
+            for query in factor_sharing_queries * 3
+        ]
+        assert service.close(drain=True) is True
+        for future in futures:
+            assert future.result(timeout=1.0).selectivity >= 0.0
+        assert service.closed
+
+    def test_submit_after_close_raises_closed(
+        self, service_catalog, join_query
+    ):
+        service = EstimationService(service_catalog, config=FAST)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(join_query)
+        assert service.close() is True  # idempotent
+
+    def test_hard_close_flushes_backlog_typed(
+        self, service_catalog, join_query, monkeypatch
+    ):
+        gate = threading.Event()
+        real_estimate = EstimationSession.estimate
+
+        def gated(self, query):
+            gate.wait(timeout=30.0)
+            return real_estimate(self, query)
+
+        monkeypatch.setattr(EstimationSession, "estimate", gated)
+        config = ServiceConfig(
+            workers=1, queue_depth=8, batch_window_s=0.0, max_batch=1
+        )
+        service = EstimationService(service_catalog, config=config)
+        stalled = service.submit(join_query)
+        deadline = time.monotonic() + 10.0
+        while service.queue_depth > 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        backlogged = service.submit(join_query)
+        service.close(drain=False, timeout=0.2)
+        with pytest.raises(ServiceClosed):
+            backlogged.result(timeout=5.0)
+        gate.set()
+        stalled.result(timeout=30.0)  # in-flight work still completes
+
+
+class TestObservability:
+    def test_service_namespace_in_stats_snapshot(
+        self, service_catalog, factor_sharing_queries
+    ):
+        with EstimationService(service_catalog, config=FAST) as service:
+            for query in factor_sharing_queries:
+                service.estimate(query)
+            snapshot = service.stats_snapshot()
+        stats = snapshot.service
+        assert stats["submitted"] == float(len(factor_sharing_queries))
+        assert stats["served"] == float(len(factor_sharing_queries))
+        assert stats["batches"] >= 1.0
+        assert stats["queue_depth"] == 0.0
+        assert stats["workers"] == 1.0
+        latency = stats["latency_ms"]
+        assert latency["count"] == float(len(factor_sharing_queries))
+        assert set(latency) >= {"p50", "p95", "p99"}
+        # the worker sessions' telemetry rides along in the usual places
+        assert snapshot.counters["queries"] >= len(factor_sharing_queries)
+        assert snapshot.to_dict()["service"] == stats
+
+    def test_queue_depth_gauge_tracks_backlog(
+        self, service_catalog, join_query, monkeypatch
+    ):
+        gate = threading.Event()
+        real_estimate = EstimationSession.estimate
+
+        def gated(self, query):
+            gate.wait(timeout=30.0)
+            return real_estimate(self, query)
+
+        monkeypatch.setattr(EstimationSession, "estimate", gated)
+        config = ServiceConfig(
+            workers=1, queue_depth=8, batch_window_s=0.0, max_batch=1
+        )
+        service = EstimationService(service_catalog, config=config)
+        try:
+            first = service.submit(join_query)
+            deadline = time.monotonic() + 10.0
+            while service.queue_depth > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            backlog = [service.submit(join_query) for _ in range(3)]
+            stats = service.stats_snapshot().service
+            assert stats["queue_depth"] == 3.0
+            gate.set()
+            for future in [first, *backlog]:
+                future.result(timeout=30.0)
+        finally:
+            gate.set()
+            service.close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import SUBCOMMANDS, main
 
 
 class TestCLI:
@@ -93,3 +93,33 @@ class TestCLI:
     def test_estimate_requires_sql(self):
         with pytest.raises(SystemExit):
             main(["estimate"])
+
+
+class TestSubcommandRegistry:
+    def test_subcommand_set_is_pinned(self):
+        assert set(SUBCOMMANDS) == {
+            "info",
+            "demo",
+            "estimate",
+            "explain",
+            "figures",
+            "catalog",
+            "serve",
+        }
+        for description in SUBCOMMANDS.values():
+            assert description  # every entry carries a help line
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out
+
+    @pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+    def test_each_subcommand_has_help(self, name, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([name, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()
