@@ -86,6 +86,19 @@ def test_tracing_overhead_disabled_configuration(perf_result):
     assert tracing["trace_stage_ms"].get("dp_enumeration", 0.0) > 0.0
 
 
+def test_fault_guard_overhead_and_parity(perf_result):
+    """The resilience layer's production configuration (no plan armed)
+    must stay in the same ballpark as the bare steady run, and an armed
+    zero-fault plan must be bit-identical to it; the per-run <=5%
+    acceptance number is recorded in ``BENCH_core.json``'s resilience
+    block.  The bounds here are conservative for noisy CI machines."""
+    guards = perf_result["resilience"]["n7_fault_guards"]
+    assert guards["zero_fault_bit_identical"] is True
+    steady = perf_result["get_selectivity"]["n7"]["bitmask"]["steady_ms"]
+    assert guards["disarmed_ms"] <= steady * 1.5
+    assert guards["armed_zero_fault_ms"] <= guards["disarmed_ms"] * 1.5
+
+
 def test_write_bench_core_json(perf_result):
     """Regenerate the repo-root artifact so CI keeps it fresh."""
     payload = json.dumps(perf_result, indent=2) + "\n"

@@ -264,9 +264,19 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.catalog import StatisticsCatalog
+    from repro.resilience import FaultPlan, arm, disarm
     from repro.service import EstimationService, ServiceConfig, run_server
     from repro.workload.queries import WorkloadConfig, WorkloadGenerator
     from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        fault_plan = FaultPlan.parse(args.fault_plan)
+        print(
+            f"chaos harness armed: {len(fault_plan.rules)} fault rule(s), "
+            f"seed {fault_plan.seed}",
+            file=sys.stderr,
+        )
 
     database = generate_snowflake(
         SnowflakeConfig(scale=args.scale, seed=args.seed)
@@ -303,19 +313,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
     )
-    service = EstimationService(catalog, config=config)
+    # arm the chaos plan before the workers spin up so every injection
+    # point on the serving path (snapshot pin, SIT match, histogram
+    # join, worker batch) is live for the server's whole life
+    if fault_plan is not None:
+        arm(fault_plan)
+    try:
+        service = EstimationService(catalog, config=config)
 
-    def ready(address: tuple[str, int]) -> None:
-        host, port = address
-        print(
-            f"serving {len(catalog)} SITs on {host}:{port} "
-            f"({config.workers} workers, queue {config.queue_depth}, "
-            f"batch window {args.batch_window_ms}ms) — Ctrl-C to drain",
-            file=sys.stderr,
-            flush=True,
-        )
+        def ready(address: tuple[str, int]) -> None:
+            host, port = address
+            print(
+                f"serving {len(catalog)} SITs on {host}:{port} "
+                f"({config.workers} workers, queue {config.queue_depth}, "
+                f"batch window {args.batch_window_ms}ms) — Ctrl-C to drain",
+                file=sys.stderr,
+                flush=True,
+            )
 
-    run_server(service, ready=ready)
+        run_server(service, ready=ready)
+    finally:
+        if fault_plan is not None:
+            disarm()
+            print(
+                f"chaos harness fired: {fault_plan.stats() or 'no faults'}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -427,6 +450,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--path", default=None, help="serve a saved catalog file (v2 JSON)"
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        dest="fault_plan",
+        help=(
+            "chaos harness: inline JSON or a path to a fault-plan file "
+            "(see repro.resilience.FaultPlan); armed for the server's "
+            "whole life"
+        ),
     )
     serve.add_argument("--scale", type=float, default=0.15)
     serve.add_argument("--seed", type=int, default=42)

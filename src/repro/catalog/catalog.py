@@ -196,6 +196,9 @@ class StatisticsCatalog:
         #: lifecycle metrics (refresh/invalidation counters; see
         #: :meth:`metrics_registry`)
         self.metrics = MetricsRegistry()
+        #: records skipped by a quarantining :meth:`load` (see
+        #: :mod:`repro.stats.io`); empty for healthy files
+        self.quarantined: list[dict] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -272,9 +275,21 @@ class StatisticsCatalog:
         path,
         database: Database | None = None,
         builder: SITBuilder | None = None,
+        *,
+        quarantine: bool = True,
     ) -> "StatisticsCatalog":
-        """Load a catalog from a v2 file (v1 pool files migrate)."""
-        document = load_document(path)
+        """Load a catalog from a v2 file (v1 pool files migrate).
+
+        ``quarantine=True`` (the default) makes the load *crash-safe*:
+        torn or corrupt SIT records — a truncated save, a flipped bit
+        caught by the per-record checksum — are skipped instead of
+        failing the whole catalog.  Every skipped record is kept in
+        :attr:`quarantined` and counted under
+        ``catalog.quarantined_sits`` so the loss is observable; the
+        estimator degrades gracefully over the surviving statistics.
+        Pass ``quarantine=False`` to demand a pristine file.
+        """
+        document = load_document(path, quarantine=quarantine)
         catalog = cls(database, builder)
         catalog._table_versions = dict(document.table_versions)
         metas = document.sit_meta or [{} for _ in document.sits]
@@ -283,6 +298,11 @@ class StatisticsCatalog:
         catalog._publish(list(document.sits))
         # the stored version is a floor: loading itself published once
         catalog.version = max(catalog.version, int(document.catalog_version))
+        catalog.quarantined = list(document.quarantined)
+        if catalog.quarantined:
+            catalog.metrics.counter("catalog.quarantined_sits").inc(
+                len(catalog.quarantined)
+            )
         return catalog
 
     def save(self, path) -> None:

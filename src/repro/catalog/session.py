@@ -51,6 +51,10 @@ from repro.engine.database import Database
 from repro.engine.expressions import Query
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.snapshot import StatsSnapshot
+from repro.resilience.faults import (
+    POINT_SNAPSHOT_PIN,
+    active as _fault_plan,
+)
 from repro.stats.pool import SITPool
 
 from repro.catalog.catalog import CatalogSnapshot, StatisticsCatalog
@@ -60,15 +64,24 @@ def _pin_snapshot(statistics) -> tuple[SITPool, CatalogSnapshot | None]:
     """Resolve a catalog / snapshot / bare pool into (pool, snapshot)."""
     if isinstance(statistics, StatisticsCatalog):
         snapshot = statistics.snapshot()
-        return snapshot.pool, snapshot
-    if isinstance(statistics, CatalogSnapshot):
-        return statistics.pool, statistics
-    if isinstance(statistics, SITPool):
+    elif isinstance(statistics, CatalogSnapshot):
+        snapshot = statistics
+    elif isinstance(statistics, SITPool):
+        plan = _fault_plan()
+        if plan is not None:
+            plan.check(POINT_SNAPSHOT_PIN, detail="version=0")
         return statistics, None
-    raise TypeError(
-        "statistics must be a StatisticsCatalog, CatalogSnapshot or "
-        f"SITPool, got {type(statistics).__name__}"
-    )
+    else:
+        raise TypeError(
+            "statistics must be a StatisticsCatalog, CatalogSnapshot or "
+            f"SITPool, got {type(statistics).__name__}"
+        )
+    plan = _fault_plan()
+    if plan is not None:
+        # snapshot-pin injection point: the snapshot's backing state is
+        # unavailable right as a session/worker tries to pin it
+        plan.check(POINT_SNAPSHOT_PIN, detail=f"version={snapshot.version}")
+    return snapshot.pool, snapshot
 
 
 class EstimationSession:
@@ -84,6 +97,7 @@ class EstimationSession:
         sit_driven_pruning: bool = False,
         estimator: CardinalityEstimator | None = None,
         name: str | None = None,
+        strict: bool = False,
     ):
         pool, snapshot = _pin_snapshot(statistics)
         self.snapshot = snapshot
@@ -104,6 +118,7 @@ class EstimationSession:
                 error_function,
                 sit_driven_pruning=sit_driven_pruning,
                 engine=engine,
+                strict=strict,
             )
         self.database = database
         self.name = name if name is not None else self.estimator.name
@@ -199,7 +214,7 @@ class EstimationSession:
                 if isinstance(query, Query)
                 else frozenset(query)
             )
-            return self.estimator.algorithm(predicates)
+            return self.estimator.estimate_predicates(predicates)
         finally:
             lock.release()
 
@@ -207,7 +222,7 @@ class EstimationSession:
         """A sub-query of the current query (same accounting window)."""
         lock = self._acquire_owner()
         try:
-            return self.estimator.algorithm(frozenset(predicates))
+            return self.estimator.estimate_predicates(frozenset(predicates))
         finally:
             lock.release()
 
@@ -279,6 +294,10 @@ class EstimationSession:
         gauge("catalog.current").set(1.0 if self.is_current else 0.0)
         gauge("catalog.sit_count").set(float(len(self.pool)))
         gauge("catalog.match_cache_hit_rate").set(self.match_cache_hit_rate)
+        resilience = self.estimator.resilience
+        if resilience:
+            for key, value in resilience.as_dict().items():
+                counter(f"resilience.{key}").inc(value)
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

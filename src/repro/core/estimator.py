@@ -18,16 +18,28 @@ Factory helpers build the estimator variants the paper evaluates:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
-from repro.core.get_selectivity import EstimationResult, GetSelectivity
+from repro.core.get_selectivity import (
+    EstimationResult,
+    GetSelectivity,
+    NoApplicableStatisticsError,
+)
 from repro.core.predicates import PredicateSet
 from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query
 from repro.obs.snapshot import StatsSnapshot
 from repro.obs.trace import Trace
+from repro.resilience.faults import EstimationFault
+from repro.resilience.ladder import (
+    LEVEL_BASE_INDEPENDENCE,
+    LEVEL_REPLAN,
+    ResilienceTelemetry,
+    magic_result,
+)
 from repro.stats.pool import SITPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -74,6 +86,7 @@ class CardinalityEstimator:
         sit_driven_pruning: bool = False,
         name: str | None = None,
         engine: str = "bitmask",
+        strict: bool = False,
     ):
         pool, snapshot = resolve_statistics(statistics)
         self.database = database
@@ -91,11 +104,128 @@ class CardinalityEstimator:
             sit_driven_pruning=sit_driven_pruning,
         )
         self.name = name if name is not None else f"GS-{self.error_function.name}"
+        #: fail-fast semantics: ``strict=True`` propagates
+        #: :class:`~repro.resilience.faults.EstimationFault` to the caller
+        #: instead of walking the degradation ladder
+        self.strict = strict
+        #: degradation/fault counters (the ``resilience`` snapshot namespace)
+        self.resilience = ResilienceTelemetry()
+        self._engine_kind = engine
+        self._sit_driven_pruning = sit_driven_pruning
+        #: level-1 re-plan DPs, keyed by the frozenset of excluded SIT
+        #: names (rebuilt pools are deterministic, so caching is safe and
+        #: keeps repeated faults on the same SIT cheap)
+        self._fallback_cache: dict[frozenset, GetSelectivity] = {}
+        self._base_algorithm: GetSelectivity | None = None
 
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> EstimationResult:
         """Full ``getSelectivity`` result (selectivity, error, decomposition)."""
-        return self.algorithm(query.predicates)
+        return self._run(query.predicates)
+
+    def estimate_predicates(self, predicates: PredicateSet) -> EstimationResult:
+        """``getSelectivity`` over a bare predicate set, ladder-protected
+        like :meth:`estimate` (the sessions' entry point)."""
+        return self._run(frozenset(predicates))
+
+    # -- the graceful-degradation ladder (repro.resilience) -------------
+    def _run(self, predicates: PredicateSet) -> EstimationResult:
+        """Level 0, or walk the ladder when a statistic faults.
+
+        The happy path returns the DP's result object untouched (the
+        ``try`` frame is the entire overhead), which is what makes the
+        zero-fault path bit-identical to the pre-resilience estimator.
+        """
+        try:
+            return self.algorithm(predicates)
+        except EstimationFault as fault:
+            if self.strict:
+                raise
+            return self._degrade(frozenset(predicates), fault)
+
+    def _degrade(
+        self, predicates: frozenset, first_fault: EstimationFault
+    ) -> EstimationResult:
+        """Levels 1-3: re-plan without the failed SITs, then base
+        statistics under independence, then magic constants."""
+        telemetry = self.resilience
+        telemetry.record_fault(first_fault)
+        excluded: set[str] = set()
+        fault: EstimationFault = first_fault
+        # -- level 1: re-plan excluding the failed SITs ------------------
+        while True:
+            name = fault.sit_name
+            if name is None or name in excluded:
+                # a fault without a SIT identity (or one exclusion did not
+                # cure) cannot be re-planned around — fall through
+                break
+            excluded.add(name)
+            try:
+                algorithm = self._fallback_algorithm(frozenset(excluded))
+                telemetry.record_replan()
+                result = algorithm(predicates)
+            except EstimationFault as exc:
+                telemetry.record_fault(exc)
+                fault = exc
+                continue
+            except NoApplicableStatisticsError:
+                break  # an attribute is uncovered: drop to level 2
+            telemetry.record_level(LEVEL_REPLAN)
+            return replace(
+                result,
+                degradation_level=LEVEL_REPLAN,
+                excluded_sits=tuple(sorted(excluded)),
+            )
+        # -- level 2: base statistics + independence (noSit) -------------
+        names = tuple(sorted(excluded))
+        try:
+            result = self._base_only_algorithm()(predicates)
+        except EstimationFault as exc:
+            telemetry.record_fault(exc)
+        except NoApplicableStatisticsError:
+            pass
+        else:
+            telemetry.record_level(LEVEL_BASE_INDEPENDENCE)
+            return replace(
+                result,
+                degradation_level=LEVEL_BASE_INDEPENDENCE,
+                excluded_sits=names,
+            )
+        # -- level 3: magic constants (cannot fault) ----------------------
+        result = magic_result(predicates, names)
+        telemetry.record_level(result.degradation_level)
+        return result
+
+    def _fallback_algorithm(self, excluded: frozenset) -> GetSelectivity:
+        """The level-1 DP over the pool minus ``excluded`` SIT names."""
+        algorithm = self._fallback_cache.get(excluded)
+        if algorithm is None:
+            pool = self.pool.excluding(excluded)
+            error_function = self.error_function
+            if isinstance(error_function, DiffError):
+                # DiffError ranks candidates against the pool it was built
+                # over; rebuild it so the failed SITs don't influence ranks
+                error_function = DiffError(pool)
+            algorithm = GetSelectivity.create(
+                pool,
+                error_function,
+                engine=self._engine_kind,
+                sit_driven_pruning=self._sit_driven_pruning,
+            )
+            self._fallback_cache[excluded] = algorithm
+        return algorithm
+
+    def _base_only_algorithm(self) -> GetSelectivity:
+        """The level-2 DP: base histograms + independence (``noSit``)."""
+        algorithm = self._base_algorithm
+        if algorithm is None:
+            algorithm = GetSelectivity.create(
+                self.pool.base_only(),
+                NIndError(),
+                engine=self._engine_kind,
+            )
+            self._base_algorithm = algorithm
+        return algorithm
 
     def selectivity(self, query: Query) -> float:
         """Most accurate ``Sel_R(P)`` for the query's predicate set."""
@@ -139,7 +269,7 @@ class CardinalityEstimator:
     def subquery_selectivity(self, query: Query, predicates: PredicateSet) -> float:
         """Selectivity of one sub-query; free after :meth:`estimate` thanks
         to the DP's memo table."""
-        return self.algorithm(frozenset(predicates)).selectivity
+        return self._run(frozenset(predicates)).selectivity
 
     def subquery_cardinality(self, query: Query, predicates: PredicateSet) -> float:
         predicates = frozenset(predicates)
@@ -197,12 +327,15 @@ class CardinalityEstimator:
         if self.snapshot is not None:
             meta["snapshot_version"] = self.snapshot_version
             catalog["snapshot_version"] = float(self.snapshot_version)
+        resilience = dict(snapshot.resilience)
+        resilience.update(self.resilience.as_dict())
         return StatsSnapshot(
             timings=snapshot.timings,
             counters=snapshot.counters,
             caches=snapshot.caches,
             catalog=catalog,
             service=snapshot.service,
+            resilience=resilience,
             meta=meta,
         )
 

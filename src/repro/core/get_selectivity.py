@@ -85,10 +85,20 @@ class EstimationResult:
     decomposition: Decomposition
     matches: tuple[FactorMatch, ...]
     coverage: float = 0.0
+    #: graceful-degradation ladder level that produced this estimate
+    #: (0 = normal path; see :mod:`repro.resilience.ladder`).  Defaulted
+    #: so the happy path returns the DP's result object untouched.
+    degradation_level: int = 0
+    #: SIT names excluded by level-1 re-planning (empty on level 0)
+    excluded_sits: tuple[str, ...] = ()
 
     @property
     def factor_count(self) -> int:
         return len(self.decomposition)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_level > 0
 
 
 def _match_coverage(match: FactorMatch) -> float:

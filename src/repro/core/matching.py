@@ -37,6 +37,11 @@ from repro.core.predicates import (
 from repro.core.selectivity import Factor
 from repro.histograms.maxdiff import DEFAULT_MAX_BUCKETS
 from repro.histograms.operations import join_histograms
+from repro.resilience.faults import (
+    POINT_HISTOGRAM_JOIN,
+    POINT_SIT_MATCH,
+    active as _fault_plan,
+)
 from repro.stats.pool import SITPool
 from repro.stats.sit import SIT
 
@@ -199,32 +204,38 @@ class ViewMatcher:
         """All ``SIT(attribute|Q')`` with ``Q' ⊆ conditioning``, ``Q'``
         maximal (Section 3.3's candidate definition)."""
         key = (attribute, conditioning)
-        cached = self._attribute_cache.get(key)
-        if cached is not None:
-            return cached
-        applicable = self.pool.find(
-            attribute, expression_superset=conditioning
-        )
-        maximal = tuple(
-            sorted(
-                (
-                    sit
-                    for sit in applicable
-                    if not any(
-                        sit.expression < other.expression for other in applicable
-                    )
-                ),
-                key=str,
+        maximal = self._attribute_cache.get(key)
+        if maximal is None:
+            applicable = self.pool.find(
+                attribute, expression_superset=conditioning
             )
-        )
-        trace = self.trace
-        if trace is not None:
-            # Section 3.3 funnel: how many applicable SITs were considered
-            # vs. how many survived the maximality filter (cold path only;
-            # warm lookups answer from the attribute cache above).
-            trace.count("sit_candidates_considered", len(applicable))
-            trace.count("sit_candidates_matched", len(maximal))
-        self._attribute_cache[key] = maximal
+            maximal = tuple(
+                sorted(
+                    (
+                        sit
+                        for sit in applicable
+                        if not any(
+                            sit.expression < other.expression
+                            for other in applicable
+                        )
+                    ),
+                    key=str,
+                )
+            )
+            trace = self.trace
+            if trace is not None:
+                # Section 3.3 funnel: how many applicable SITs were
+                # considered vs. how many survived the maximality filter
+                # (cold path only; warm lookups answer from the attribute
+                # cache above).
+                trace.count("sit_candidates_considered", len(applicable))
+                trace.count("sit_candidates_matched", len(maximal))
+            self._attribute_cache[key] = maximal
+        plan = _fault_plan()
+        if plan is not None and maximal:
+            # SIT-match injection point: a matched statistic "goes
+            # missing".  Disarmed cost is the global load + None check.
+            plan.check(POINT_SIT_MATCH, detail=str(attribute), sits=maximal)
         return maximal
 
 
@@ -486,6 +497,14 @@ def estimate_factor(
     all of these — any residual independence is exactly what the error
     functions charge for.
     """
+    plan = _fault_plan()
+    if plan is not None:
+        # histogram load/join injection point: a SIT's histogram payload
+        # turns out to be unusable right as the factor is estimated.
+        plan.check(
+            POINT_HISTOGRAM_JOIN,
+            sits=[am.sit for am in match.attribute_matches],
+        )
     histograms = {
         attribute_match.attribute: attribute_match.sit.histogram
         for attribute_match in match.attribute_matches

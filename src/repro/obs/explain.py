@@ -114,6 +114,11 @@ class ExplainResult:
     error: float
     cardinality: float
     factors: tuple[FactorExplanation, ...]
+    #: graceful-degradation ladder level that produced the estimate
+    #: (0 = normal; see :mod:`repro.resilience.ladder`)
+    degradation_level: int = 0
+    #: SIT names excluded by level-1 re-planning
+    excluded_sits: tuple[str, ...] = ()
     stats: StatsSnapshot = field(default_factory=StatsSnapshot)
 
     # ------------------------------------------------------------------
@@ -127,6 +132,8 @@ class ExplainResult:
             "selectivity": self.selectivity,
             "error": self.error,
             "cardinality": self.cardinality,
+            "degradation_level": self.degradation_level,
+            "excluded_sits": list(self.excluded_sits),
             "factors": [f.to_dict() for f in self.factors],
         }
         if include_stats:
@@ -149,9 +156,19 @@ class ExplainResult:
             f"selectivity: {_fmt(self.selectivity)}",
             f"cardinality: {_fmt(self.cardinality)}",
             f"error({self.error_function}): {_fmt(self.error)}",
-            f"decomposition ({len(self.factors)} "
-            f"factor{'s' if len(self.factors) != 1 else ''}):",
         ]
+        if self.degradation_level:
+            from repro.resilience.ladder import LEVEL_NAMES
+
+            name = LEVEL_NAMES.get(self.degradation_level, "?")
+            line = f"degraded:    level {self.degradation_level} ({name})"
+            if self.excluded_sits:
+                line += f", excluded: {', '.join(self.excluded_sits)}"
+            lines.append(line)
+        lines.append(
+            f"decomposition ({len(self.factors)} "
+            f"factor{'s' if len(self.factors) != 1 else ''}):"
+        )
         for index, factor in enumerate(self.factors):
             last = index == len(self.factors) - 1
             head = "└─" if last else "├─"
@@ -245,5 +262,7 @@ def build_explain(
         cardinality=result.selectivity
         * estimator.database.cross_product_size(query.tables),
         factors=factors,
+        degradation_level=result.degradation_level,
+        excluded_sits=result.excluded_sits,
         stats=estimator.stats_snapshot(),
     )

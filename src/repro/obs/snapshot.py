@@ -28,7 +28,15 @@ namespaces:
     ``shed_overload`` / ``shed_deadline``, ``batches``,
     ``batched_requests``, ``snapshot_swaps`` and the ``latency_ms``
     histogram with p50/p95/p99 — empty for producers below the serving
-    layer.
+    layer;
+``resilience``
+    degradation and fault-handling state (:mod:`repro.resilience`):
+    ``degraded_level1..3`` outcome counters, ``faults_<kind>`` per typed
+    fault kind, ``replans``, plus service-side self-healing counters
+    (``worker_restarts``, ``breaker_trips``, ``requeues``,
+    ``snapshot_rollbacks``) and injected-fault counters
+    (``injected_<point>.<kind>``) when a fault plan is armed — empty
+    when nothing ever degraded.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -47,7 +55,14 @@ from typing import Mapping
 from repro.obs.metrics import MetricsRegistry
 
 #: the namespaces a snapshot exposes, in rendering order
-NAMESPACES = ("timings", "counters", "caches", "catalog", "service")
+NAMESPACES = (
+    "timings",
+    "counters",
+    "caches",
+    "catalog",
+    "service",
+    "resilience",
+)
 
 
 def deprecated(message: str) -> None:
@@ -68,6 +83,7 @@ class StatsSnapshot:
     caches: Mapping[str, float] = field(default_factory=dict)
     catalog: Mapping[str, float] = field(default_factory=dict)
     service: Mapping[str, object] = field(default_factory=dict)
+    resilience: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -98,6 +114,7 @@ class StatsSnapshot:
             caches=nested.get("caches", {}),
             catalog=nested.get("catalog", {}),
             service=nested.get("service", {}),
+            resilience=nested.get("resilience", {}),
             meta=meta or {},
         )
 
@@ -110,6 +127,7 @@ class StatsSnapshot:
             "caches": dict(self.caches),
             "catalog": dict(self.catalog),
             "service": dict(self.service),
+            "resilience": dict(self.resilience),
             "meta": dict(self.meta),
         }
 

@@ -1,0 +1,98 @@
+"""A per-snapshot circuit breaker for :class:`EstimationService`.
+
+The failure domain the service actually has is *the statistics
+snapshot*: a refresh that publishes a corrupt pool makes every worker
+that pins it fault, while the previous snapshot was fine.  So the
+breaker counts worker faults **per snapshot version** inside a sliding
+window; when one version accumulates ``threshold`` faults the breaker
+*trips on that version* and the service rolls sessions back to the
+last-known-good snapshot.  A new catalog version (the operator fixed
+the pool and refreshed) resets the trip — classic half-open semantics,
+keyed by version instead of wall-clock probes because versions are the
+unit that changes when the operator intervenes.
+
+Thread-safe; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class CircuitBreaker:
+    """Trip per snapshot version after repeated faults in a window."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.window_s = window_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: version -> fault timestamps inside the window
+        self._faults: dict[int, list[float]] = {}
+        #: versions currently tripped
+        self._tripped: set[int] = set()
+        self._trips = 0
+
+    # ------------------------------------------------------------------
+    def record_fault(self, version: int) -> bool:
+        """Record one worker fault against ``version``.
+
+        Returns ``True`` iff this fault *trips* the breaker (the caller
+        should roll back to the last-known-good snapshot).
+        """
+        now = self._clock()
+        with self._lock:
+            if version in self._tripped:
+                return False
+            window = self._faults.setdefault(version, [])
+            window.append(now)
+            cutoff = now - self.window_s
+            while window and window[0] < cutoff:
+                window.pop(0)
+            if len(window) >= self.threshold:
+                self._tripped.add(version)
+                self._trips += 1
+                del self._faults[version]
+                return True
+            return False
+
+    def is_tripped(self, version: int) -> bool:
+        with self._lock:
+            return version in self._tripped
+
+    def reset(self, version: int | None = None) -> None:
+        """Clear trip state (``None`` → everything)."""
+        with self._lock:
+            if version is None:
+                self._tripped.clear()
+                self._faults.clear()
+            else:
+                self._tripped.discard(version)
+                self._faults.pop(version, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def trip_count(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            out: dict[str, float] = {}
+            if self._trips:
+                out["breaker_trips"] = float(self._trips)
+            if self._tripped:
+                out["breaker_open"] = float(len(self._tripped))
+            return out
+
+
+__all__ = ["CircuitBreaker"]

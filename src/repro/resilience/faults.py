@@ -1,0 +1,434 @@
+"""Deterministic fault injection for the estimation stack.
+
+A production estimator does not get to choose when a SIT goes missing
+mid-refresh, a pool file tears on disk or a worker dies under load — but
+a *test* of the estimator must be able to choose exactly that, and
+reproducibly.  This module provides the seeded chaos layer:
+
+* **typed faults** (:class:`SITUnavailable`, :class:`HistogramCorrupt`,
+  :class:`WorkerCrash`, :class:`StorageTorn`) — the vocabulary every
+  degradation/self-healing path in the stack speaks;
+* **named injection points** threaded through the hot path (SIT match,
+  histogram load/join, snapshot pin, worker batch execution, catalog
+  save/load).  Each point costs one module-global load plus a ``None``
+  check when no plan is armed, so the zero-fault path stays within the
+  serving latency budget;
+* a seeded :class:`FaultPlan` of :class:`FaultRule` entries.  Rules fire
+  by probability (drawn from the plan's private ``random.Random(seed)``)
+  with optional warm-up (``after``), trigger budget (``max_fires``) and a
+  substring ``match`` filter on the injection context, so a plan can
+  target *one* SIT, *one* snapshot version, or everything at once.  Two
+  runs with the same seed and the same call sequence inject the same
+  faults — the chaos suite's determinism property.
+
+Arming is process-global (:func:`arm` / :func:`disarm` / the
+:func:`armed` context manager): injection points live in modules that
+must not know about service objects, and chaos tests want one switch for
+the whole stack.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable, Iterator, Mapping, Sequence
+
+# ----------------------------------------------------------------------
+# Injection points (the names a FaultRule's ``point`` may use)
+# ----------------------------------------------------------------------
+#: candidate-SIT matching (``ViewMatcher``): a matched SIT "goes missing"
+POINT_SIT_MATCH = "sit_match"
+#: histogram load/join inside ``estimate_factor``: a histogram is corrupt
+POINT_HISTOGRAM_JOIN = "histogram_join"
+#: pinning a catalog snapshot when a session/worker starts
+POINT_SNAPSHOT_PIN = "snapshot_pin"
+#: worker batch execution in :class:`repro.service.EstimationService`
+POINT_WORKER_BATCH = "worker_batch"
+#: catalog persistence (:func:`repro.stats.io.save_document`)
+POINT_CATALOG_SAVE = "catalog_save"
+#: catalog restore (:func:`repro.stats.io.load_document`)
+POINT_CATALOG_LOAD = "catalog_load"
+
+#: every injection point threaded through the stack
+INJECTION_POINTS = (
+    POINT_SIT_MATCH,
+    POINT_HISTOGRAM_JOIN,
+    POINT_SNAPSHOT_PIN,
+    POINT_WORKER_BATCH,
+    POINT_CATALOG_SAVE,
+    POINT_CATALOG_LOAD,
+)
+
+
+# ----------------------------------------------------------------------
+# Typed faults
+# ----------------------------------------------------------------------
+class EstimationFault(Exception):
+    """Base of every typed fault the resilience layer handles.
+
+    ``sit_name`` identifies the statistic the fault took down (``None``
+    for faults without a SIT identity, e.g. a worker crash); ``injected``
+    is ``True`` when a :class:`FaultPlan` raised it, ``False`` for real
+    faults wrapped into the same vocabulary.
+    """
+
+    kind = "fault"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        sit_name: str | None = None,
+        point: str | None = None,
+        injected: bool = False,
+    ):
+        super().__init__(message or self.kind)
+        self.sit_name = sit_name
+        self.point = point
+        self.injected = injected
+
+
+class SITUnavailable(EstimationFault):
+    """A matched SIT is unavailable (dropped mid-refresh, evicted, ...)."""
+
+    kind = "sit_unavailable"
+
+
+class HistogramCorrupt(EstimationFault):
+    """A SIT's histogram payload cannot be used (torn read, bad bytes)."""
+
+    kind = "histogram_corrupt"
+
+
+class WorkerCrash(EstimationFault):
+    """An estimation worker died mid-batch."""
+
+    kind = "worker_crash"
+
+
+class StorageTorn(EstimationFault):
+    """Catalog storage failed mid-operation (torn write, short read)."""
+
+    kind = "storage_torn"
+
+
+#: fault kind -> class, for plan documents (``{"fault": "sit_unavailable"}``)
+FAULTS_BY_KIND: Mapping[str, type[EstimationFault]] = {
+    cls.kind: cls
+    for cls in (SITUnavailable, HistogramCorrupt, WorkerCrash, StorageTorn)
+}
+
+
+# ----------------------------------------------------------------------
+# Fault rules and plans
+# ----------------------------------------------------------------------
+@dataclass
+class FaultRule:
+    """One armed fault: *where* it can fire, *what* it raises, *how often*.
+
+    ``probability`` is the per-evaluation firing chance; ``after`` skips
+    the first N eligible evaluations (warm-up); ``max_fires`` caps the
+    total number of firings (``None`` = unbounded); ``match`` restricts
+    the rule to injection contexts whose detail string contains it (e.g.
+    a SIT's name or a snapshot version).
+    """
+
+    point: str
+    fault: str = SITUnavailable.kind
+    probability: float = 1.0
+    max_fires: int | None = 1
+    after: int = 0
+    match: str | None = None
+    #: mutable firing state (not part of the rule's identity)
+    evaluations: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; "
+                f"expected one of {INJECTION_POINTS}"
+            )
+        if self.fault not in FAULTS_BY_KIND:
+            raise ValueError(
+                f"unknown fault kind {self.fault!r}; "
+                f"expected one of {tuple(FAULTS_BY_KIND)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be >= 0 (or None)")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.max_fires is not None and self.fires >= self.max_fires
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "point": self.point,
+            "fault": self.fault,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+        }
+        if self.after:
+            out["after"] = self.after
+        if self.match is not None:
+            out["match"] = self.match
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultRule":
+        return cls(
+            point=str(data["point"]),
+            fault=str(data.get("fault", SITUnavailable.kind)),
+            probability=float(data.get("probability", 1.0)),
+            max_fires=(
+                None
+                if data.get("max_fires", 1) is None
+                else int(data.get("max_fires", 1))
+            ),
+            after=int(data.get("after", 0)),
+            match=(
+                None if data.get("match") is None else str(data["match"])
+            ),
+        )
+
+
+class FaultPlan:
+    """A seeded, thread-safe set of armed :class:`FaultRule` entries.
+
+    Given the same seed and the same sequence of :meth:`check` calls, a
+    plan injects the identical faults — every probabilistic decision is
+    drawn from the plan's private ``random.Random(seed)`` in call order.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+        self.rules: list[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._rng = Random(self.seed)
+        self._lock = threading.Lock()
+        #: (point, kind) -> times fired
+        self.fired: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        point: str,
+        detail: str = "",
+        sits: "Sequence[object] | None" = None,
+    ) -> None:
+        """Evaluate every armed rule for ``point``; raise on a firing.
+
+        ``detail`` is matched against rules' ``match`` substrings;
+        ``sits`` (when given) are the statistics in play at the point —
+        the fired fault deterministically picks one (by the plan's RNG
+        over the str-sorted names) and carries it as ``sit_name`` so the
+        degradation ladder knows what to exclude.
+        """
+        fault = self.evaluate(point, detail=detail, sits=sits)
+        if fault is not None:
+            raise fault
+
+    def evaluate(
+        self,
+        point: str,
+        detail: str = "",
+        sits: "Sequence[object] | None" = None,
+    ) -> EstimationFault | None:
+        """Like :meth:`check` but returns the fault instead of raising."""
+        with self._lock:
+            names: list[str] | None = None
+            for rule in self.rules:
+                if rule.point != point or rule.exhausted:
+                    continue
+                if rule.match is not None:
+                    if names is None:
+                        names = sorted(str(s) for s in (sits or ()))
+                    haystack = detail + "\x00" + "\x00".join(names)
+                    if rule.match not in haystack:
+                        continue
+                rule.evaluations += 1
+                if rule.evaluations <= rule.after:
+                    continue
+                # always draw, so the decision sequence (and therefore
+                # every later decision) is a pure function of the seed
+                # and the call order
+                draw = self._rng.random()
+                if draw >= rule.probability:
+                    continue
+                rule.fires += 1
+                key = (point, rule.fault)
+                self.fired[key] = self.fired.get(key, 0) + 1
+                return self._build_fault(rule, point, detail, sits, names)
+        return None
+
+    def _build_fault(
+        self,
+        rule: FaultRule,
+        point: str,
+        detail: str,
+        sits: "Sequence[object] | None",
+        names: list[str] | None,
+    ) -> EstimationFault:
+        fault_cls = FAULTS_BY_KIND[rule.fault]
+        sit_name: str | None = None
+        if sits:
+            if names is None:
+                names = sorted(str(s) for s in sits)
+            if rule.match is not None:
+                matching = [n for n in names if rule.match in n]
+                candidates = matching or names
+            else:
+                candidates = names
+            sit_name = candidates[self._rng.randrange(len(candidates))]
+        message = f"injected {rule.fault} at {point}"
+        if sit_name is not None:
+            message += f" ({sit_name})"
+        elif detail:
+            message += f" ({detail})"
+        return fault_cls(
+            message, sit_name=sit_name, point=point, injected=True
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_fires(self) -> int:
+        with self._lock:
+            return sum(self.fired.values())
+
+    def stats(self) -> dict[str, int]:
+        """``{"point.kind": fires}`` counters for observability."""
+        with self._lock:
+            return {
+                f"{point}.{kind}": count
+                for (point, kind), count in sorted(self.fired.items())
+            }
+
+    def reset(self) -> None:
+        """Rewind the plan to its just-built state (same seed)."""
+        with self._lock:
+            self._rng = Random(self.seed)
+            self.fired.clear()
+            for rule in self.rules:
+                rule.evaluations = 0
+                rule.fires = 0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in data.get("rules", ())],
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan document must be a JSON object")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: "str | pathlib.Path") -> "FaultPlan":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Inline JSON (starts with ``{``) or a path to a JSON file —
+        the CLI's ``--fault-plan`` argument."""
+        spec = spec.strip()
+        if spec.startswith("{"):
+            return cls.from_json(spec)
+        return cls.from_file(spec)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+# ----------------------------------------------------------------------
+# Process-global arming
+# ----------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The armed plan, or ``None``.  Injection points call this first;
+    the disarmed cost is one global load and a ``None`` check."""
+    return _ACTIVE
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; returns it for chaining."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def disarm() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with armed(plan): ...`` — scoped arming for tests."""
+    previous = _ACTIVE
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            disarm()
+        else:
+            arm(previous)
+
+
+def inject(
+    point: str,
+    detail: str = "",
+    sits: "Sequence[object] | None" = None,
+) -> None:
+    """Evaluate the armed plan (if any) at ``point``; raises on firing."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan.check(point, detail=detail, sits=sits)
+
+
+__all__ = [
+    "EstimationFault",
+    "FAULTS_BY_KIND",
+    "FaultPlan",
+    "FaultRule",
+    "HistogramCorrupt",
+    "INJECTION_POINTS",
+    "POINT_CATALOG_LOAD",
+    "POINT_CATALOG_SAVE",
+    "POINT_HISTOGRAM_JOIN",
+    "POINT_SIT_MATCH",
+    "POINT_SNAPSHOT_PIN",
+    "POINT_WORKER_BATCH",
+    "SITUnavailable",
+    "StorageTorn",
+    "WorkerCrash",
+    "active",
+    "arm",
+    "armed",
+    "disarm",
+    "inject",
+]

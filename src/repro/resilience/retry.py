@@ -1,0 +1,122 @@
+"""Client-side retry: exponential backoff with full jitter.
+
+The policy follows the AWS architecture-blog recipe: the *cap* of the
+sleep window doubles per attempt (``base * 2**attempt``, clamped to
+``max_backoff``) and the actual sleep is drawn uniformly from
+``[0, cap]`` — *full* jitter, which empirically de-correlates retry
+storms far better than equal-jitter or raw exponential.
+
+Determinism for tests: the policy takes an optional ``rng`` (a
+``random.Random``) and a ``sleep`` callable, so a test can pin the seed
+and capture the sleeps without waiting on a wall clock.
+
+The *retry budget* is per call: :func:`call_with_retries` gives up after
+``policy.max_attempts`` total attempts (initial try included) and
+re-raises the last failure, so a persistently failing server costs a
+bounded amount of client time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budget + backoff shape for one logical client call.
+
+    ``max_attempts`` counts the initial try: ``max_attempts=1`` means
+    *no* retries; ``max_attempts=4`` means up to three retries.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be >= 0")
+
+    # ------------------------------------------------------------------
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter sleep before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_backoff_s, self.base_backoff_s * (2.0 ** attempt))
+        return rng.uniform(0.0, cap)
+
+
+#: a policy that never retries (the client default stays opt-in safe
+#: for non-idempotent callers).
+NO_RETRIES = RetryPolicy(max_attempts=1)
+
+
+@dataclass
+class RetryTelemetry:
+    """Counts folded into the client's ``service`` namespace."""
+
+    attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    sleeps: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "retry_attempts": float(self.attempts),
+            "retries": float(self.retries),
+        }
+        if self.gave_up:
+            out["retry_exhausted"] = float(self.gave_up)
+        return out
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    retryable: Callable[[BaseException], bool],
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    telemetry: RetryTelemetry | None = None,
+) -> T:
+    """Run ``fn`` under ``policy``; retry while ``retryable(exc)``.
+
+    Non-retryable failures propagate immediately.  When the budget is
+    exhausted the *last* failure is re-raised unchanged, so callers see
+    the same typed error they would without retries.
+    """
+    rng = rng if rng is not None else random.Random()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        if telemetry is not None:
+            telemetry.attempts += 1
+        try:
+            return fn()
+        except BaseException as exc:
+            if not retryable(exc):
+                raise
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                if telemetry is not None:
+                    telemetry.gave_up += 1
+                raise
+            pause = policy.backoff(attempt, rng)
+            if telemetry is not None:
+                telemetry.retries += 1
+                telemetry.sleeps.append(pause)
+            if pause > 0.0:
+                sleep(pause)
+    raise last if last is not None else RuntimeError("unreachable")
+
+
+__all__ = [
+    "NO_RETRIES",
+    "RetryPolicy",
+    "RetryTelemetry",
+    "call_with_retries",
+]

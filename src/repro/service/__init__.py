@@ -25,7 +25,7 @@ Quickstart::
         answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
 """
 
-from repro.service.client import Client, TCPClient
+from repro.service.client import Client, TCPClient, TransportError
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
     DeadlineExceeded,
@@ -58,6 +58,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "TCPClient",
+    "TransportError",
     "run_server",
     "start_in_thread",
 ]

@@ -12,17 +12,41 @@ written transport-agnostically::
     with Client.in_process(catalog) as client:
         answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
         answer.selectivity, answer.cardinality, answer.snapshot_version
+
+Self-healing (:mod:`repro.resilience`):
+
+* both clients take a ``retry`` :class:`~repro.resilience.RetryPolicy`;
+  shed requests (:class:`~repro.service.protocol.Overloaded`) and
+  transport failures are retried with exponential backoff and *full
+  jitter*, bounded by the policy's per-call budget.  The default is
+  :data:`~repro.resilience.NO_RETRIES` — retrying is opt-in because an
+  estimate is idempotent but a caller's surrounding loop may not be;
+* :class:`TCPClient` reconnects transparently: a dead socket (server
+  restart, connection reset, half-close mid-stream) is torn down and
+  re-dialled up to ``reconnect_attempts`` times per request before the
+  typed :class:`TransportError` surfaces.  The wire failure vocabulary
+  is unchanged — ``TransportError`` is a *client-side* condition and
+  never appears as a wire status.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
+import time
 
 from repro.engine.database import Database
+from repro.resilience.retry import (
+    NO_RETRIES,
+    RetryPolicy,
+    RetryTelemetry,
+    call_with_retries,
+)
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
+    Overloaded,
     ServedEstimate,
     ServiceError,
     decode_line,
@@ -32,16 +56,53 @@ from repro.service.protocol import (
 from repro.service.service import EstimationService
 
 
+class TransportError(ServiceError):
+    """The connection to the server was lost and could not be restored.
+
+    Client-side only: this status never travels on the wire (the wire
+    vocabulary in :mod:`repro.service.protocol` is pinned), it is what a
+    :class:`TCPClient` raises once its bounded reconnect budget is
+    spent.  Subclasses :class:`ServiceError` so transport-agnostic
+    callers keep a single except clause.
+    """
+
+    status = "transport"
+
+
+def _default_retryable(exc: BaseException) -> bool:
+    """What the clients retry by default: shed and transport failures.
+
+    Deadline, invalid and closed responses are terminal — retrying them
+    either cannot succeed or would violate the caller's deadline.
+    """
+    return isinstance(exc, (Overloaded, TransportError))
+
+
 class Client:
     """In-process client: submit/estimate against a live service.
 
     ``owns_service=True`` (what :meth:`in_process` sets) makes
-    :meth:`close` shut the service down too.
+    :meth:`close` shut the service down too.  ``retry`` bounds how many
+    times a shed (:class:`Overloaded`) estimate is re-submitted with
+    full-jitter backoff before the failure surfaces.
     """
 
-    def __init__(self, service: EstimationService, owns_service: bool = False):
+    def __init__(
+        self,
+        service: EstimationService,
+        owns_service: bool = False,
+        *,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
         self.service = service
         self._owns_service = owns_service
+        self._retry = retry if retry is not None else NO_RETRIES
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: per-client retry accounting (attempts / retries / exhaustions)
+        self.retry_telemetry = RetryTelemetry()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -51,21 +112,30 @@ class Client:
         *,
         database: Database | None = None,
         config: ServiceConfig | None = None,
+        retry: RetryPolicy | None = None,
         **service_kwargs,
     ) -> "Client":
         """Spin up a private service around ``statistics`` and own it."""
         service = EstimationService(
             statistics, database=database, config=config, **service_kwargs
         )
-        return cls(service, owns_service=True)
+        return cls(service, owns_service=True, retry=retry)
 
     # ------------------------------------------------------------------
     def submit(self, query, timeout: float | None = None):
-        """Non-blocking: returns the request's future."""
+        """Non-blocking: returns the request's future (no retry — the
+        caller owns the future's failure handling)."""
         return self.service.submit(query, timeout=timeout)
 
     def estimate(self, query, timeout: float | None = None) -> ServedEstimate:
-        return self.service.estimate(query, timeout=timeout)
+        return call_with_retries(
+            lambda: self.service.estimate(query, timeout=timeout),
+            self._retry,
+            retryable=_default_retryable,
+            rng=self._rng,
+            sleep=self._sleep,
+            telemetry=self.retry_telemetry,
+        )
 
     def selectivity(self, query, timeout: float | None = None) -> float:
         return self.estimate(query, timeout=timeout).selectivity
@@ -93,25 +163,135 @@ class TCPClient:
     Thread-safe for sequential request/response use (an internal lock
     serialises the socket); open one client per concurrent caller for
     parallel load.
+
+    Transparent reconnect: when a round trip dies mid-stream (reset,
+    half-close, server restart) the client tears the socket down and
+    re-dials — with full-jitter backoff — up to ``reconnect_attempts``
+    times before raising :class:`TransportError`.  Requests are re-sent
+    on the fresh connection; estimation is idempotent so a re-send after
+    a torn response is safe.  ``retry`` additionally re-submits shed
+    (:class:`Overloaded`) answers, mirroring :class:`Client`.
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        *,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: RetryPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
+        if reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._file = self._sock.makefile("rb")
+        self.timeout_s = timeout_s
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff = (
+            reconnect_backoff
+            if reconnect_backoff is not None
+            else RetryPolicy(
+                max_attempts=max(1, reconnect_attempts),
+                base_backoff_s=0.02,
+                max_backoff_s=0.5,
+            )
+        )
+        self._retry = retry if retry is not None else NO_RETRIES
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._closed = False
+        self._sock: socket.socket | None = None
+        self._file = None
+        #: completed transparent reconnects (tests assert on this)
+        self.reconnects = 0
+        self.retry_telemetry = RetryTelemetry()
+        with self._lock:
+            self._connect_locked()
+
+    # ------------------------------------------------------------------
+    # Connection management (all under self._lock)
+    # ------------------------------------------------------------------
+    def _connect_locked(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._file = self._sock.makefile("rb")
+        except OSError as exc:
+            self._sock = None
+            self._file = None
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def _teardown_locked(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def _reconnect_locked(self, attempt: int, cause: Exception) -> None:
+        """One bounded reconnect step (backoff happens *before* dialling
+        so a flapping server is not hammered)."""
+        self._teardown_locked()
+        pause = self._reconnect_backoff.backoff(attempt, self._rng)
+        if pause > 0.0:
+            self._sleep(pause)
+        self._connect_locked()
+        self.reconnects += 1
 
     # ------------------------------------------------------------------
     def _roundtrip(self, payload: dict) -> dict:
         request_id = str(next(self._ids))
         payload = dict(payload, id=request_id)
+        line = b""
         with self._lock:
-            self._sock.sendall(encode_line(payload))
-            line = self._file.readline()
-        if not line:
-            raise ServiceError("server closed the connection")
+            if self._closed:
+                raise TransportError("client is closed")
+            last: Exception | None = None
+            for attempt in range(self._reconnect_attempts + 1):
+                if self._sock is None:
+                    try:
+                        self._reconnect_locked(
+                            max(0, attempt - 1), last or OSError("not connected")
+                        )
+                    except TransportError as exc:
+                        last = exc
+                        continue
+                try:
+                    self._sock.sendall(encode_line(payload))
+                    line = self._file.readline()
+                    if not line:
+                        raise ConnectionResetError(
+                            "server closed the connection mid-stream"
+                        )
+                    break
+                except OSError as exc:
+                    # torn stream: drop the socket; the next attempt (if
+                    # the budget allows) re-dials and re-sends
+                    last = exc
+                    self._teardown_locked()
+            else:
+                raise TransportError(
+                    f"connection to {self.host}:{self.port} lost and not "
+                    f"restored after {self._reconnect_attempts} "
+                    f"reconnect attempt(s): {last}"
+                ) from last
         response = decode_line(line)
         if response.get("id") != request_id:  # pragma: no cover - paranoia
             raise ServiceError(
@@ -134,7 +314,14 @@ class TCPClient:
         payload: dict = {"op": "estimate", "sql": sql}
         if timeout is not None:
             payload["timeout_ms"] = timeout * 1000.0
-        return result_from_wire(self._roundtrip(payload))
+        return call_with_retries(
+            lambda: result_from_wire(self._roundtrip(payload)),
+            self._retry,
+            retryable=_default_retryable,
+            rng=self._rng,
+            sleep=self._sleep,
+            telemetry=self.retry_telemetry,
+        )
 
     def selectivity(self, sql: str, timeout: float | None = None) -> float:
         return self.estimate(sql, timeout=timeout).selectivity
@@ -145,10 +332,8 @@ class TCPClient:
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self._lock:
-            try:
-                self._file.close()
-            finally:
-                self._sock.close()
+            self._closed = True
+            self._teardown_locked()
 
     def __enter__(self) -> "TCPClient":
         return self
@@ -157,4 +342,4 @@ class TCPClient:
         self.close()
 
 
-__all__ = ["Client", "TCPClient"]
+__all__ = ["Client", "TCPClient", "TransportError"]

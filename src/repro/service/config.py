@@ -34,6 +34,19 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     #: server port (0 = ephemeral, the bound port is reported)
     port: int = 8642
+    # -- self-healing (repro.resilience) --------------------------------
+    #: worker faults on one snapshot version inside ``breaker_window_s``
+    #: before the circuit breaker trips and the service rolls back to
+    #: the last-known-good snapshot
+    breaker_threshold: int = 3
+    #: sliding fault window of the circuit breaker (seconds)
+    breaker_window_s: float = 30.0
+    #: how many times a request orphaned by a worker crash is re-queued
+    #: before it is failed with a typed error
+    requeue_limit: int = 2
+    #: crashed-worker resurrections before the service stops respawning
+    #: (bounds a crash loop; remaining work is flushed on close)
+    max_worker_restarts: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -44,6 +57,12 @@ class ServiceConfig:
             raise ValueError("max_batch must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.requeue_limit < 0:
+            raise ValueError("requeue_limit must be >= 0")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
 
 
 __all__ = ["ServiceConfig"]

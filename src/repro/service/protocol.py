@@ -15,7 +15,7 @@ Responses::
 
     {"id": "7", "ok": true, "status": "ok", "selectivity": ..,
      "cardinality": .., "error": .., "snapshot_version": 3,
-     "latency_ms": 1.8}
+     "latency_ms": 1.8, "degradation_level": 0}
     {"id": "7", "ok": false, "status": "overloaded", "detail": "..."}
     {"id": "7", "ok": false, "status": "deadline_exceeded", "detail": "..."}
     {"id": "7", "ok": false, "status": "invalid", "detail": "..."}
@@ -23,6 +23,16 @@ Responses::
 
 ``status`` is the machine-readable discriminator; ``ok`` is redundant
 convenience for one-line clients.
+
+``degradation_level`` reports how the estimate was produced when
+statistics fault mid-request (see :mod:`repro.resilience.ladder` and
+DESIGN.md §10): ``0`` = the normal path, ``1`` = re-planned without the
+failed SITs (their names ride along in ``excluded_sits``), ``2`` = base
+histograms under independence, ``3`` = magic constants.  A degraded
+answer is still ``status: ok`` — the ladder's contract is that a
+labelled estimate beats a failure.  Transport loss is *client-side*
+(:class:`repro.service.client.TransportError`) and never appears as a
+wire status; the vocabulary above is closed.
 """
 
 from __future__ import annotations
@@ -128,6 +138,17 @@ class ServedEstimate:
     #: True when this answer was deduplicated off another request's DP
     #: run within the same micro-batch
     deduplicated: bool = False
+    #: graceful-degradation ladder level that produced this estimate
+    #: (0 = normal path, 1 = re-plan without the failed SITs, 2 = base
+    #: statistics + independence, 3 = magic constants; see
+    #: :mod:`repro.resilience.ladder`)
+    degradation_level: int = 0
+    #: SIT names excluded by level-1 re-planning (empty on level 0)
+    excluded_sits: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_level > 0
 
     def to_wire(self, request_id: object = None) -> dict:
         payload: dict = {
@@ -140,7 +161,10 @@ class ServedEstimate:
             "latency_ms": self.latency_ms,
             "batch_size": self.batch_size,
             "deduplicated": self.deduplicated,
+            "degradation_level": self.degradation_level,
         }
+        if self.excluded_sits:
+            payload["excluded_sits"] = list(self.excluded_sits)
         if request_id is not None:
             payload["id"] = request_id
         return payload
@@ -155,6 +179,8 @@ class ServedEstimate:
             latency_ms=float(payload["latency_ms"]),
             batch_size=int(payload.get("batch_size", 1)),
             deduplicated=bool(payload.get("deduplicated", False)),
+            degradation_level=int(payload.get("degradation_level", 0)),
+            excluded_sits=tuple(payload.get("excluded_sits", ())),
         )
 
 

@@ -48,6 +48,12 @@ from repro.engine.database import Database
 from repro.engine.expressions import Query
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.snapshot import StatsSnapshot
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import (
+    EstimationFault,
+    POINT_WORKER_BATCH,
+    active as _fault_plan,
+)
 from repro.stats.pool import SITPool
 
 from repro.service.config import ServiceConfig
@@ -72,6 +78,9 @@ class _Pending:
     deadline: float | None = None
     #: filled by the worker for telemetry assertions in tests
     batch_size: int = field(default=1, compare=False)
+    #: times this request was re-queued after a worker crash (bounded by
+    #: ``ServiceConfig.requeue_limit``)
+    requeues: int = field(default=0, compare=False)
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -115,8 +124,23 @@ class EstimationService:
         self.metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         self._sessions: list[EstimationSession] = []
-        self._retired_sessions: list[EstimationSession] = []
+        #: telemetry of retired sessions, folded in at retirement so the
+        #: session objects (and their pinned pools) can be released — see
+        #: :meth:`_retire_session`
+        self._retired_registry = MetricsRegistry()
         self._sessions_lock = threading.Lock()
+        # -- self-healing state (repro.resilience) ----------------------
+        self._breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            window_s=self.config.breaker_window_s,
+        )
+        #: snapshot versions the breaker has tripped on
+        self._bad_versions: set[int] = set()
+        #: the last snapshot that served a batch without a worker fault;
+        #: sessions roll back to it while the current version is bad
+        self._last_good: CatalogSnapshot | None = None
+        self._restarts = 0
+        self._workers_lock = threading.Lock()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -141,10 +165,22 @@ class EstimationService:
             )
         return resolved
 
+    def _target_statistics(self):
+        """What a fresh session should pin: the catalog's current
+        snapshot, or the last-known-good one while the breaker holds the
+        current version bad (the rollback half of the circuit breaker)."""
+        if self._catalog is not None:
+            with self._sessions_lock:
+                bad = self._catalog.version in self._bad_versions
+                last_good = self._last_good
+            if bad and last_good is not None:
+                return last_good
+        return self._statistics
+
     def _make_session(self) -> EstimationSession:
-        """A fresh session pinned to the catalog's *current* snapshot."""
+        """A fresh session pinned to the target snapshot."""
         session = EstimationSession(
-            self._statistics,
+            self._target_statistics(),
             self._error_function,
             database=self.database,
             engine=self._engine,
@@ -153,10 +189,39 @@ class EstimationService:
             self._sessions.append(session)
         return session
 
+    def _acquire_session(self) -> EstimationSession | None:
+        """:meth:`_make_session` with snapshot-pin fault fallback.
+
+        A pin fault (injected or real) is retried against the
+        last-known-good snapshot; after three faulted attempts the
+        worker gives up (``None``) and lets the restart budget decide.
+        """
+        for attempt in range(3):
+            try:
+                return self._make_session()
+            except EstimationFault as fault:
+                self._record_fault(fault)
+        return None
+
+    def _record_fault(self, fault: EstimationFault) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(f"resilience.faults_{fault.kind}").inc()
+
     def _retire_session(self, session: EstimationSession) -> None:
+        """Drop a session from rotation *and from memory*.
+
+        Its lifetime telemetry is folded into ``_retired_registry`` so
+        ``stats_snapshot`` keeps the totals, while the session object —
+        and through it the pinned snapshot's pool, caches and memo — is
+        released.  (Keeping retired session objects alive was the
+        hot-swap leak: a long-running service accumulated every pool it
+        had ever served.)
+        """
+        registry = session.metrics_registry()
         with self._sessions_lock:
-            self._sessions.remove(session)
-            self._retired_sessions.append(session)
+            if session in self._sessions:
+                self._sessions.remove(session)
+            self._retired_registry.merge(registry)
 
     # ------------------------------------------------------------------
     # Admission
@@ -249,7 +314,11 @@ class EstimationService:
     # Worker pool
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
-        session = self._make_session()
+        session = self._acquire_session()
+        if session is None:
+            # could not pin any snapshot; let the restart budget decide
+            self._respawn_worker()
+            return
         config = self.config
         while True:
             batch = self._queue.take_batch(
@@ -257,36 +326,180 @@ class EstimationService:
             )
             if not batch:
                 if self._queue.closed:
+                    self._retire_session(session)
                     return
                 continue
-            session = self._roll_snapshot(session)
+            rolled = self._roll_snapshot(session)
+            if rolled is None:
+                # snapshot-pin faults exhausted while rolling: treat the
+                # batch as orphaned and crash-restart this worker
+                self._handle_worker_crash(session, batch, None)
+                self._respawn_worker()
+                return
+            session = rolled
             try:
                 self._serve_batch(session, batch)
+            except EstimationFault as fault:
+                # a worker-level fault (injected or real): requeue the
+                # orphaned requests, record against the breaker, retire
+                # the session, and resurrect the worker
+                self._handle_worker_crash(session, batch, fault)
+                self._respawn_worker()
+                return
             except BaseException as exc:  # pragma: no cover - safety net
                 for pending in batch:
                     if not pending.future.done():
                         pending.future.set_exception(
                             ServiceError(f"worker failure: {exc}")
                         )
+            else:
+                self._note_good_snapshot(session)
 
-    def _roll_snapshot(self, session: EstimationSession) -> EstimationSession:
-        """Between batches: adopt the catalog's latest snapshot.
+    def _expected_version(self) -> int | None:
+        """The snapshot version a worker *should* be pinned to right now:
+        the catalog's current version, or — while the breaker holds that
+        version bad — the last-known-good version."""
+        if self._catalog is None:
+            return None
+        with self._sessions_lock:
+            version = self._catalog.version
+            if version in self._bad_versions and self._last_good is not None:
+                return self._last_good.version
+            return version
+
+    def _roll_snapshot(
+        self, session: EstimationSession
+    ) -> EstimationSession | None:
+        """Between batches: adopt the target snapshot (catalog's latest,
+        or the rollback target while the breaker is open).
 
         In-flight work is untouched — the old session (and its pinned
         pool) stays fully usable; it is simply retired from rotation.
+        Comparing against the *expected target* version (not bare
+        ``is_current``) keeps a rolled-back worker from thrashing: while
+        the current catalog version is bad, a session pinned to the
+        last-known-good snapshot is already where it should be.
+
+        Returns ``None`` when pinning the fresh snapshot keeps faulting
+        (the caller treats that as a worker crash).
         """
-        if self._catalog is None or session.is_current:
+        expected = self._expected_version()
+        if expected is None or session.snapshot_version == expected:
             return session
-        fresh = self._make_session()
+        fresh = self._acquire_session()
+        if fresh is None:
+            return None
         self._retire_session(session)
         with self._metrics_lock:
             self.metrics.counter("service.snapshot_swaps").inc()
         return fresh
 
+    def _note_good_snapshot(self, session: EstimationSession) -> None:
+        """A batch served without a worker fault: remember the snapshot
+        as the breaker's rollback target."""
+        snapshot = session.snapshot
+        if snapshot is None:
+            return
+        with self._sessions_lock:
+            if snapshot.version not in self._bad_versions:
+                self._last_good = snapshot
+
+    def _handle_worker_crash(
+        self,
+        session: EstimationSession,
+        batch: list[_Pending],
+        fault: EstimationFault | None,
+    ) -> None:
+        """A worker died mid-batch: salvage its work and its telemetry.
+
+        Unanswered requests are re-queued (bounded by
+        ``ServiceConfig.requeue_limit``) so another worker can serve
+        them; past the bound — or once the queue is closed — they are
+        failed with a typed :class:`ServiceError`.  The fault counts
+        against the per-snapshot circuit breaker; on trip the snapshot
+        version is marked bad and fresh sessions roll back to the
+        last-known-good snapshot.
+        """
+        version = session.snapshot_version
+        if fault is not None:
+            self._record_fault(fault)
+        with self._metrics_lock:
+            self.metrics.counter("resilience.worker_crashes").inc()
+        self._retire_session(session)
+        requeued = 0
+        for pending in batch:
+            if pending.future.done():
+                continue
+            pending.requeues += 1
+            if pending.requeues <= self.config.requeue_limit:
+                try:
+                    if self._queue.offer(pending):
+                        requeued += 1
+                        continue
+                except RuntimeError:
+                    pass  # queue closed underneath us; fall through
+            pending.future.set_exception(
+                ServiceError(
+                    "worker crashed while serving this request"
+                    + (f": {fault}" if fault is not None else "")
+                )
+            )
+        if requeued:
+            with self._metrics_lock:
+                self.metrics.counter("resilience.requeues").inc(requeued)
+        if self._breaker.record_fault(version):
+            self._trip_snapshot(version)
+
+    def _trip_snapshot(self, version: int) -> None:
+        """The breaker tripped on ``version``: mark it bad so fresh
+        sessions pin the last-known-good snapshot instead."""
+        with self._sessions_lock:
+            self._bad_versions.add(version)
+            rollback = (
+                self._last_good is not None
+                and self._last_good.version != version
+            )
+        if rollback:
+            with self._metrics_lock:
+                self.metrics.counter("resilience.snapshot_rollbacks").inc()
+
+    def _respawn_worker(self) -> None:
+        """Resurrect a crashed worker, bounded by ``max_worker_restarts``.
+
+        No respawn happens once the service is closing — the remaining
+        queue is flushed by :meth:`close` — or once the restart budget is
+        spent (which bounds a crash loop against a poisoned snapshot).
+        """
+        if self._closed.is_set() or self._queue.closed:
+            return
+        with self._workers_lock:
+            if self._restarts >= self.config.max_worker_restarts:
+                return
+            self._restarts += 1
+            index = len(self._workers)
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-r{index}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+        with self._metrics_lock:
+            self.metrics.counter("resilience.worker_restarts").inc()
+        worker.start()
+
     def _serve_batch(
         self, session: EstimationSession, batch: list[_Pending]
     ) -> None:
         session.assert_pinned()
+        plan = _fault_plan()
+        if plan is not None:
+            # worker-batch injection point: the worker thread dies right
+            # as it starts executing a micro-batch (chaos tests exercise
+            # the requeue + resurrection path through this)
+            plan.check(
+                POINT_WORKER_BATCH,
+                detail=f"version={session.snapshot_version}",
+            )
         now = time.monotonic()
         batch_size = len(batch)
 
@@ -299,7 +512,9 @@ class EstimationService:
         served = 0
         shed_deadline = 0
         deduplicated = 0
+        degraded = 0
         latencies: list[float] = []
+        answers: list[tuple[_Pending, ServedEstimate]] = []
         snapshot_version = session.snapshot_version
         for predicates, members in groups.items():
             live: list[_Pending] = []
@@ -317,12 +532,18 @@ class EstimationService:
                 continue
             try:
                 result = session.estimate(predicates)
+            except EstimationFault:
+                # only possible on a strict session; surfaces as a
+                # worker crash so the requeue/breaker path engages
+                raise
             except Exception as exc:
                 for pending in live:
                     pending.future.set_exception(
                         ServiceError(f"estimation failed: {exc}")
                     )
                 continue
+            if result.degradation_level:
+                degraded += len(live)
             cross = self.database.cross_product_size(live[0].tables)
             done = time.monotonic()
             for index, pending in enumerate(live):
@@ -335,13 +556,17 @@ class EstimationService:
                     latency_ms=latency_ms,
                     batch_size=batch_size,
                     deduplicated=index > 0,
+                    degradation_level=result.degradation_level,
+                    excluded_sits=result.excluded_sits,
                 )
                 if index > 0:
                     deduplicated += 1
                 served += 1
                 latencies.append(latency_ms)
-                pending.future.set_result(answer)
+                answers.append((pending, answer))
 
+        # counters first, then futures: a client that reads stats right
+        # after its answer arrives must see that answer counted
         with self._metrics_lock:
             metrics = self.metrics
             latency_histogram = metrics.histogram("service.latency_ms")
@@ -351,9 +576,13 @@ class EstimationService:
             metrics.counter("service.batched_requests").inc(batch_size)
             metrics.counter("service.served").inc(served)
             metrics.counter("service.deduplicated").inc(deduplicated)
+            if degraded:
+                metrics.counter("service.degraded").inc(degraded)
             if shed_deadline:
                 metrics.counter("service.shed_deadline").inc(shed_deadline)
             metrics.histogram("service.batch_size").observe(batch_size)
+        for pending, answer in answers:
+            pending.future.set_result(answer)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -389,7 +618,9 @@ class EstimationService:
                     pending.future.set_exception(
                         ServiceClosed("service closed before serving")
                     )
-        for worker in self._workers:
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
             worker.join(timeout=timeout)
             clean = clean and not worker.is_alive()
         self._closed.set()
@@ -411,15 +642,29 @@ class EstimationService:
         with self._metrics_lock:
             registry.merge(self.metrics)
         registry.gauge("service.queue_depth").set(float(len(self._queue)))
-        registry.gauge("service.workers").set(float(len(self._workers)))
+        with self._workers_lock:
+            alive = sum(1 for worker in self._workers if worker.is_alive())
+        registry.gauge("service.workers").set(float(alive))
         registry.gauge("service.closed").set(1.0 if self.closed else 0.0)
         with self._sessions_lock:
-            sessions = list(self._sessions) + list(self._retired_sessions)
+            sessions = list(self._sessions)
+            registry.merge(self._retired_registry)
             registry.gauge("service.active_sessions").set(
-                float(len(self._sessions))
+                float(len(sessions))
             )
         for session in sessions:
             registry.merge(session.metrics_registry())
+        breaker = self._breaker.as_dict()
+        registry.counter("resilience.breaker_trips").inc(
+            breaker.get("breaker_trips", 0.0)
+        )
+        registry.gauge("resilience.breaker_open").set(
+            breaker.get("breaker_open", 0.0)
+        )
+        plan = _fault_plan()
+        if plan is not None:
+            for key, count in plan.stats().items():
+                registry.counter(f"resilience.injected_{key}").inc(count)
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

@@ -8,6 +8,7 @@ from repro.stats.feedback import FeedbackEstimator, FeedbackRepository
 from repro.stats.io import (
     CatalogDocument,
     PoolFormatError,
+    atomic_write_text,
     load_document,
     load_pool,
     migrate_v1_to_v2,
@@ -35,6 +36,7 @@ __all__ = [
     "SITPool",
     "SamplingSITBuilder",
     "approximate_diff",
+    "atomic_write_text",
     "PoolFormatError",
     "build_workload_pool",
     "connected_join_subsets",

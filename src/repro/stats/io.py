@@ -28,15 +28,42 @@ per-SIT ``meta``; it still loads through the explicit
 
 Predicates serialize as ``{"kind": "filter"|"join", ...}``.  Infinities
 round-trip through the strings ``"-inf"``/``"inf"`` (JSON has no inf).
+
+Crash safety (:mod:`repro.resilience`):
+
+* **atomic saves** — :func:`save_document` / :func:`save_pool` write
+  through :func:`atomic_write_text`: tempfile in the target directory,
+  ``fsync``, then ``os.replace``.  A crash mid-save leaves either the
+  old file or the new file, never a torn hybrid;
+* **per-SIT checksums** — the v2 writer stamps every SIT record with a
+  CRC-32 over its canonical JSON; :func:`decode_sit` verifies it, so a
+  flipped bit inside a histogram surfaces as a typed
+  :class:`PoolFormatError` instead of a silently wrong estimate.
+  Records without a checksum (older v2 files, v1 migrations) still load;
+* **load-time quarantine** — ``loads_document(text, quarantine=True)``
+  salvages what it can from a torn or corrupt file: complete SIT
+  records load, truncated/corrupt ones are skipped and reported in
+  :attr:`CatalogDocument.quarantined` instead of failing the whole
+  load.  The default stays strict (raise on first defect).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import pathlib
+import re
+import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.resilience.faults import (
+    POINT_CATALOG_LOAD,
+    POINT_CATALOG_SAVE,
+    active as _fault_plan,
+)
 
 from repro.core.predicates import (
     Attribute,
@@ -152,8 +179,34 @@ DEFAULT_SIT_META = {
 }
 
 
+def _sit_checksum(payload: dict) -> int:
+    """CRC-32 of a SIT record's canonical JSON.
+
+    Covers the estimate-affecting core (attribute, diff, expression,
+    histogram); the advisory ``meta`` block and the ``checksum`` field
+    itself are excluded, so v1→v2 migration (which synthesizes ``meta``)
+    does not invalidate existing stamps and meta defects surface as
+    *meta* errors rather than masquerading as corruption.
+    """
+    body = json.dumps(
+        {
+            key: value
+            for key, value in payload.items()
+            if key not in ("checksum", "meta")
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(body.encode("utf-8"))
+
+
 def encode_sit(sit: SIT, meta: dict | None = None) -> dict:
-    """Encode one SIT (plus optional catalog metadata) as a JSON dict."""
+    """Encode one SIT (plus optional catalog metadata) as a JSON dict.
+
+    The record carries a ``checksum`` (CRC-32 over its canonical JSON)
+    so load-time corruption is detected per SIT instead of poisoning
+    whole-file loads.
+    """
     payload = {
         "attribute": {"table": sit.attribute.table, "column": sit.attribute.column},
         "diff": sit.diff,
@@ -174,11 +227,32 @@ def encode_sit(sit: SIT, meta: dict | None = None) -> dict:
                 )
             },
         }
+    payload["checksum"] = _sit_checksum(payload)
     return payload
 
 
 def decode_sit(data: dict) -> SIT:
-    """Decode one SIT; raises :class:`PoolFormatError` on bad payloads."""
+    """Decode one SIT; raises :class:`PoolFormatError` on bad payloads.
+
+    Records carrying a ``checksum`` are verified against it first —
+    a mismatch means on-disk corruption and fails the record before any
+    partially-decoded histogram can leak into a pool.  Records without
+    one (older v2 files, v1 migrations) skip the check.
+    """
+    recorded = data.get("checksum")
+    if recorded is not None:
+        try:
+            expected = int(recorded)
+        except (TypeError, ValueError) as error:
+            raise PoolFormatError(
+                f"bad SIT checksum field: {recorded!r}"
+            ) from error
+        actual = _sit_checksum(data)
+        if actual != expected:
+            raise PoolFormatError(
+                f"SIT checksum mismatch (stored {expected}, computed "
+                f"{actual}): record is corrupt"
+            )
     try:
         attribute = Attribute(
             data["attribute"]["table"], data["attribute"]["column"]
@@ -282,6 +356,9 @@ class CatalogDocument:
     sit_meta: list[dict] = field(default_factory=list)
     table_versions: dict[str, int] = field(default_factory=dict)
     catalog_version: int = 0
+    #: records skipped by a ``quarantine=True`` load: dicts with a
+    #: ``reason`` and (for per-SIT defects) the record ``index``
+    quarantined: list[dict] = field(default_factory=list)
 
     def pool(self) -> SITPool:
         return SITPool(list(self.sits))
@@ -311,12 +388,84 @@ def dumps_document(document: CatalogDocument) -> str:
     return json.dumps(payload)
 
 
-def loads_document(text: str) -> CatalogDocument:
-    """Deserialize a catalog document (v1 files migrate transparently)."""
-    payload = _checked_payload(text)
+def _salvage_payload(text: str) -> tuple[dict, list[dict]]:
+    """Best-effort recovery of a torn (truncated / trailing-garbage)
+    document.
+
+    A v2 file is one JSON object whose ``sits`` array dominates its
+    size, so a torn write almost always truncates *inside* a SIT
+    record.  The salvager re-parses the header blocks and then walks
+    the ``sits`` array record by record with ``raw_decode``; every
+    record that decodes completely is kept, the torn tail is reported.
+    """
+    decoder = json.JSONDecoder()
+    notes: list[dict] = []
+    version = FORMAT_VERSION
+    match = re.search(r'"version"\s*:\s*(\d+)', text)
+    if match:
+        version = int(match.group(1))
+    catalog_block: dict = {}
+    catalog_index = text.find('"catalog"')
+    if catalog_index != -1:
+        brace = text.find("{", catalog_index + len('"catalog"'))
+        if brace != -1:
+            try:
+                candidate, _ = decoder.raw_decode(text, brace)
+                if isinstance(candidate, dict):
+                    catalog_block = candidate
+            except ValueError:
+                notes.append({"index": None, "reason": "torn catalog block"})
+    entries: list[dict] = []
+    sits_index = text.find('"sits"')
+    bracket = text.find("[", sits_index) if sits_index != -1 else -1
+    if bracket != -1:
+        position = bracket + 1
+        while position < len(text):
+            while position < len(text) and text[position] in " \t\r\n,":
+                position += 1
+            if position >= len(text) or text[position] != "{":
+                break
+            try:
+                entry, position = decoder.raw_decode(text, position)
+            except ValueError:
+                notes.append(
+                    {
+                        "index": len(entries),
+                        "reason": "torn SIT record (truncated mid-write)",
+                    }
+                )
+                break
+            if isinstance(entry, dict):
+                entries.append(entry)
+    payload = {"version": version, "catalog": catalog_block, "sits": entries}
+    if version == 1:
+        payload = migrate_v1_to_v2(payload)
+    return payload, notes
+
+
+def loads_document(text: str, *, quarantine: bool = False) -> CatalogDocument:
+    """Deserialize a catalog document (v1 files migrate transparently).
+
+    Strict by default: the first defect raises :class:`PoolFormatError`.
+    With ``quarantine=True`` the loader degrades instead of failing —
+    a torn file is salvaged record by record, and corrupt SITs (bad
+    payloads, checksum mismatches) are skipped and reported in the
+    document's :attr:`~CatalogDocument.quarantined` list.
+    """
+    notes: list[dict] = []
+    try:
+        payload = _checked_payload(text)
+    except PoolFormatError as error:
+        if not quarantine:
+            raise
+        payload, notes = _salvage_payload(text)
+        notes.insert(0, {"index": None, "reason": f"document salvaged: {error}"})
     catalog = payload.get("catalog", {})
     if not isinstance(catalog, dict):
-        raise PoolFormatError("catalog block must be an object")
+        if not quarantine:
+            raise PoolFormatError("catalog block must be an object")
+        notes.append({"index": None, "reason": "catalog block not an object"})
+        catalog = {}
     try:
         table_versions = {
             str(table): int(version)
@@ -326,25 +475,95 @@ def loads_document(text: str) -> CatalogDocument:
         }
         catalog_version = int(catalog.get("catalog_version", 0))
     except (TypeError, ValueError) as error:
-        raise PoolFormatError(f"bad catalog block: {error}") from error
+        if not quarantine:
+            raise PoolFormatError(f"bad catalog block: {error}") from error
+        notes.append({"index": None, "reason": f"bad catalog block: {error}"})
+        table_versions = {}
+        catalog_version = 0
     entries = payload.get("sits", [])
+    sits: list[SIT] = []
+    sit_meta: list[dict] = []
+    for index, entry in enumerate(entries):
+        try:
+            sit = decode_sit(entry)
+            meta = decode_sit_meta(entry)
+        except PoolFormatError as error:
+            if not quarantine:
+                raise
+            notes.append({"index": index, "reason": str(error)})
+            continue
+        sits.append(sit)
+        sit_meta.append(meta)
     return CatalogDocument(
-        sits=[decode_sit(entry) for entry in entries],
-        sit_meta=[decode_sit_meta(entry) for entry in entries],
+        sits=sits,
+        sit_meta=sit_meta,
         table_versions=table_versions,
         catalog_version=catalog_version,
+        quarantined=notes,
     )
 
 
+# ----------------------------------------------------------------------
+# Crash-safe file writes
+# ----------------------------------------------------------------------
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    Tempfile in the *same directory* (so the final rename cannot cross
+    a filesystem boundary), ``fsync`` of the data, then ``os.replace``
+    and a best-effort directory ``fsync``.  A crash at any point leaves
+    either the previous file or the complete new one — never a torn
+    hybrid (the torn-write regression tests pin this by construction).
+    """
+    target = pathlib.Path(path)
+    directory = target.parent if str(target.parent) else pathlib.Path(".")
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+    directory_fd: int | None = None
+    try:  # make the rename itself durable (best effort; not all
+        # platforms allow opening directories)
+        directory_fd = os.open(str(directory), os.O_RDONLY)
+        os.fsync(directory_fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        if directory_fd is not None:
+            os.close(directory_fd)
+
+
 def save_document(document: CatalogDocument, path: str | pathlib.Path) -> None:
-    """Write a catalog document to ``path`` as v2 JSON."""
-    pathlib.Path(path).write_text(dumps_document(document))
+    """Write a catalog document to ``path`` as v2 JSON (atomically)."""
+    plan = _fault_plan()
+    if plan is not None:
+        # catalog-save injection point: the storage layer tears/fails
+        # right as the document is persisted
+        plan.check(POINT_CATALOG_SAVE, detail=str(path))
+    atomic_write_text(path, dumps_document(document))
 
 
-def load_document(path: str | pathlib.Path) -> CatalogDocument:
+def load_document(
+    path: str | pathlib.Path, *, quarantine: bool = False
+) -> CatalogDocument:
     """Read a catalog document written by :func:`save_document` (or a
-    v1 pool file, which migrates)."""
-    return loads_document(pathlib.Path(path).read_text())
+    v1 pool file, which migrates).  ``quarantine=True`` salvages torn
+    or corrupt files instead of raising (see :func:`loads_document`)."""
+    plan = _fault_plan()
+    if plan is not None:
+        plan.check(POINT_CATALOG_LOAD, detail=str(path))
+    return loads_document(pathlib.Path(path).read_text(), quarantine=quarantine)
 
 
 # ----------------------------------------------------------------------
@@ -361,10 +580,13 @@ def loads_pool(text: str) -> SITPool:
 
 
 def save_pool(pool: SITPool, path: str | pathlib.Path) -> None:
-    """Write a pool to ``path`` as JSON."""
-    pathlib.Path(path).write_text(dumps_pool(pool))
+    """Write a pool to ``path`` as JSON (atomically; see
+    :func:`atomic_write_text`)."""
+    save_document(CatalogDocument(sits=list(pool)), path)
 
 
-def load_pool(path: str | pathlib.Path) -> SITPool:
+def load_pool(
+    path: str | pathlib.Path, *, quarantine: bool = False
+) -> SITPool:
     """Read a pool previously written by :func:`save_pool`."""
-    return loads_pool(pathlib.Path(path).read_text())
+    return load_document(path, quarantine=quarantine).pool()

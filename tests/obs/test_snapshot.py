@@ -27,6 +27,7 @@ class TestStatsSnapshot:
             "caches",
             "catalog",
             "service",
+            "resilience",
         )
 
     def test_from_registry_groups_namespaces(self):
@@ -101,6 +102,7 @@ class TestStatsSnapshot:
             "caches",
             "catalog",
             "service",
+            "resilience",
             "meta",
         }
 

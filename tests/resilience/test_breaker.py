@@ -1,0 +1,92 @@
+"""The per-snapshot circuit breaker: thresholds, windows, isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestTripping:
+    def test_trips_at_threshold_within_window(self, clock):
+        breaker = CircuitBreaker(threshold=3, window_s=30.0, clock=clock)
+        assert breaker.record_fault(1) is False
+        assert breaker.record_fault(1) is False
+        assert breaker.record_fault(1) is True
+        assert breaker.is_tripped(1)
+        assert breaker.trip_count == 1
+
+    def test_faults_outside_window_age_out(self, clock):
+        breaker = CircuitBreaker(threshold=3, window_s=10.0, clock=clock)
+        breaker.record_fault(1)
+        breaker.record_fault(1)
+        clock.advance(11.0)  # both fall out of the window
+        assert breaker.record_fault(1) is False
+        assert not breaker.is_tripped(1)
+
+    def test_versions_are_isolated_failure_domains(self, clock):
+        breaker = CircuitBreaker(threshold=2, window_s=30.0, clock=clock)
+        breaker.record_fault(1)
+        breaker.record_fault(2)
+        assert not breaker.is_tripped(1)
+        assert not breaker.is_tripped(2)
+        assert breaker.record_fault(2) is True
+        assert breaker.is_tripped(2)
+        assert not breaker.is_tripped(1)
+
+    def test_tripped_version_stops_counting(self, clock):
+        breaker = CircuitBreaker(threshold=2, window_s=30.0, clock=clock)
+        breaker.record_fault(1)
+        assert breaker.record_fault(1) is True
+        # further faults on a tripped version never "re-trip"
+        assert breaker.record_fault(1) is False
+        assert breaker.trip_count == 1
+
+    def test_threshold_one_trips_immediately(self, clock):
+        breaker = CircuitBreaker(threshold=1, window_s=30.0, clock=clock)
+        assert breaker.record_fault(7) is True
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestResetAndObservability:
+    def test_reset_one_version(self, clock):
+        breaker = CircuitBreaker(threshold=1, window_s=30.0, clock=clock)
+        breaker.record_fault(1)
+        breaker.record_fault(2)
+        breaker.reset(1)
+        assert not breaker.is_tripped(1)
+        assert breaker.is_tripped(2)
+
+    def test_reset_everything(self, clock):
+        breaker = CircuitBreaker(threshold=1, window_s=30.0, clock=clock)
+        breaker.record_fault(1)
+        breaker.reset()
+        assert not breaker.is_tripped(1)
+
+    def test_as_dict(self, clock):
+        breaker = CircuitBreaker(threshold=1, window_s=30.0, clock=clock)
+        assert breaker.as_dict() == {}
+        breaker.record_fault(4)
+        assert breaker.as_dict() == {
+            "breaker_trips": 1.0,
+            "breaker_open": 1.0,
+        }

@@ -1,0 +1,134 @@
+"""Retry policy: full-jitter backoff shape, budgets, telemetry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience.retry import (
+    NO_RETRIES,
+    RetryPolicy,
+    RetryTelemetry,
+    call_with_retries,
+)
+
+
+class Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures: int, exc=ValueError):
+        self.failures = failures
+        self.calls = 0
+        self.exc = exc
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"failure {self.calls}")
+        return "ok"
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-1.0)
+
+    def test_full_jitter_bounds(self):
+        policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=1.0)
+        rng = random.Random(0)
+        for attempt in range(10):
+            cap = min(1.0, 0.1 * 2.0 ** attempt)
+            for _ in range(50):
+                pause = policy.backoff(attempt, rng)
+                assert 0.0 <= pause <= cap
+
+    def test_backoff_deterministic_given_seed(self):
+        policy = RetryPolicy()
+        first = [policy.backoff(a, random.Random(7)) for a in range(5)]
+        second = [policy.backoff(a, random.Random(7)) for a in range(5)]
+        assert first == second
+
+
+class TestCallWithRetries:
+    def retryable(self, exc):
+        return isinstance(exc, ValueError)
+
+    def test_succeeds_after_transient_failures(self):
+        sleeps: list[float] = []
+        flaky = Flaky(2)
+        result = call_with_retries(
+            flaky,
+            RetryPolicy(max_attempts=4),
+            retryable=self.retryable,
+            rng=random.Random(0),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_budget_exhaustion_reraises_last_failure(self):
+        flaky = Flaky(10)
+        with pytest.raises(ValueError, match="failure 3"):
+            call_with_retries(
+                flaky,
+                RetryPolicy(max_attempts=3),
+                retryable=self.retryable,
+                rng=random.Random(0),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        flaky = Flaky(1, exc=KeyError)
+        with pytest.raises(KeyError):
+            call_with_retries(
+                flaky,
+                RetryPolicy(max_attempts=5),
+                retryable=self.retryable,
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 1
+
+    def test_no_retries_policy_is_one_attempt(self):
+        flaky = Flaky(1)
+        with pytest.raises(ValueError):
+            call_with_retries(
+                flaky, NO_RETRIES, retryable=self.retryable
+            )
+        assert flaky.calls == 1
+
+    def test_telemetry_counts(self):
+        telemetry = RetryTelemetry()
+        call_with_retries(
+            Flaky(2),
+            RetryPolicy(max_attempts=4),
+            retryable=self.retryable,
+            rng=random.Random(0),
+            sleep=lambda _: None,
+            telemetry=telemetry,
+        )
+        assert telemetry.attempts == 3
+        assert telemetry.retries == 2
+        assert telemetry.gave_up == 0
+        assert len(telemetry.sleeps) == 2
+        assert telemetry.as_dict() == {
+            "retry_attempts": 3.0,
+            "retries": 2.0,
+        }
+
+    def test_telemetry_records_exhaustion(self):
+        telemetry = RetryTelemetry()
+        with pytest.raises(ValueError):
+            call_with_retries(
+                Flaky(9),
+                RetryPolicy(max_attempts=2),
+                retryable=self.retryable,
+                sleep=lambda _: None,
+                telemetry=telemetry,
+            )
+        assert telemetry.gave_up == 1
+        assert telemetry.as_dict()["retry_exhausted"] == 1.0
