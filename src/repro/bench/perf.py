@@ -196,6 +196,120 @@ def bench_get_selectivity(size: int, repeats: int) -> dict:
     return out
 
 
+def _constant_variants(
+    rng: random.Random, predicates: frozenset, count: int
+) -> list[frozenset]:
+    """Fresh filter constants for the scenario shape, rejection-sampled so
+    the str-sort order (and therefore the shape fingerprint) is preserved
+    — the templated-workload regime the plan cache is built for."""
+    from repro.core.plancache import shape_fingerprint
+
+    joins = {p for p in predicates if p.is_join}
+    filters = [p for p in predicates if not p.is_join]
+    base = shape_fingerprint(predicates)[0]
+    variants: list[frozenset] = []
+    while len(variants) < count:
+        for attempt in range(64):
+            scale = 0.6 * (0.7**attempt)
+            fresh: set = set(joins)
+            for old in filters:
+                span = max(1.0, old.high - old.low)
+                low = round(old.low + rng.uniform(-scale, scale) * span, 3)
+                if old.low == old.high:
+                    high = low  # point filters render attribute-first
+                else:
+                    high = round(low + span * rng.uniform(0.6, 1.4), 3)
+                fresh.add(FilterPredicate(old.attribute, low, high))
+            variant = frozenset(fresh)
+            if (
+                len(variant) == len(predicates)
+                and shape_fingerprint(variant)[0] == base
+            ):
+                variants.append(variant)
+                break
+        else:
+            raise RuntimeError("could not re-instantiate the scenario shape")
+    return variants
+
+
+def bench_plan_cache(size: int, repeats: int, variants: int = 64) -> dict:
+    """Compiled-plan cache: miss (compile) latency, template-hit steady
+    latency, batched replay, and the hit rate over a templated workload.
+
+    ``steady_hit_ms`` is the headline number — one template-hit
+    estimation through :meth:`PlanCache.estimate` (probe + vectorized
+    replay + result construction) — gated at <= 0.17 ms and >= 5x the
+    same machine's full-DP steady figure.  ``replay_bit_identical``
+    asserts the replayed result equals the cold DP on fresh constants
+    (the parity suite pins this across 400 pairs; the bench re-checks
+    the exact workload it timed).
+    """
+    from repro.core.plancache import PlanCache, shape_fingerprint
+
+    predicates, pool = build_scenario(size)
+    rng = random.Random(20260807 + size)
+    workload = _constant_variants(rng, predicates, variants)
+
+    algorithm = GetSelectivity.create(pool, NIndError(), engine="bitmask")
+    cold_result = algorithm(predicates)  # warm pool-pure caches + memo
+
+    def dp_steady_run() -> None:
+        algorithm.reset()
+        algorithm(predicates)
+
+    dp_steady = _best_of(dp_steady_run, repeats)
+    algorithm.reset()
+    cold_result = algorithm(predicates)  # leave the memo matching the query
+
+    # miss path: compiling the DP's winning decomposition into a plan
+    def compile_once() -> None:
+        scratch = PlanCache(pool)
+        if scratch.compile(predicates, algorithm, cold_result) is None:
+            raise RuntimeError("scenario shape refused compilation")
+
+    compile_s = _best_of(compile_once, max(3, repeats // 2))
+
+    # steady path: template hits with fresh constants
+    cache = PlanCache(pool)
+    cache.compile(predicates, algorithm, cold_result)
+    probe = workload[0]
+    hit_s = _best_of(lambda: cache.estimate(probe), repeats * 4)
+
+    # batched replay: the whole workload as stacked numpy ops
+    plan, _ = cache.plan_for(predicates)
+    assert plan is not None
+    ordered_batch = [shape_fingerprint(v)[1] for v in workload]
+    batch_s = _best_of(lambda: plan.replay_batch(ordered_batch), repeats)
+
+    # hit rate + bit-identity over the templated workload (estimator flow:
+    # shape miss -> full DP + compile, template hit -> replay)
+    served = PlanCache(pool)
+    identical = True
+    for variant in workload:
+        replayed = served.estimate(variant)
+        algorithm.reset()
+        reference = algorithm(variant)
+        if replayed is None:
+            served.compile(variant, algorithm, reference)
+        elif replayed != reference:
+            identical = False
+    status = served.status()
+    return {
+        "predicates": size,
+        "workload_variants": len(workload),
+        "compile_ms": compile_s * 1000.0,
+        "steady_hit_ms": hit_s * 1000.0,
+        "dp_steady_ms": dp_steady * 1000.0,
+        "speedup_vs_dp_steady": dp_steady / hit_s,
+        "batch_replay_per_query_ms": batch_s / len(workload) * 1000.0,
+        "replay_bit_identical": identical,
+        "workload_hit_rate": status["hit_rate"],
+        "plans": status["plans"],
+        "compiles": status["compiles"],
+        "plan_bytes": status["bytes"],
+    }
+
+
 def bench_tracing_overhead(size: int, repeats: int) -> dict:
     """Steady-state cost of the observability layer on the bitmask DP.
 
@@ -394,6 +508,7 @@ def run(repeats: int = 9) -> dict:
             f"n{size}": bench_get_selectivity(size, repeats)
             for size in PREDICATE_COUNTS
         },
+        "plan_cache": bench_plan_cache(7, repeats),
         "histograms": bench_histogram_ops(repeats),
         "observability": {
             "n7_tracing": bench_tracing_overhead(7, repeats),
@@ -410,6 +525,17 @@ def run(repeats: int = 9) -> dict:
         # share; cold speedups are reported above for transparency).
         "n7_steady_speedup": result["get_selectivity"]["n7"]["steady_speedup"],
         "n7_steady_target": 3.0,
+        # Plan-cache acceptance: a template hit must answer in
+        # microseconds — <= 0.17 ms and >= 5x the same-run full-DP steady
+        # figure — and the replay must be bit-identical to the cold DP on
+        # the exact workload the bench timed.
+        "n7_plan_cache_steady_ms": result["plan_cache"]["steady_hit_ms"],
+        "n7_plan_cache_steady_target_ms": 0.17,
+        "n7_plan_cache_speedup": result["plan_cache"]["speedup_vs_dp_steady"],
+        "n7_plan_cache_speedup_target": 5.0,
+        "n7_plan_cache_replay_bit_identical": result["plan_cache"][
+            "replay_bit_identical"
+        ],
         "histogram_join_speedup": result["histograms"]["histogram_join"][
             "speedup"
         ],
@@ -456,6 +582,18 @@ def render(result: dict) -> str:
             f"steady {row['legacy']['steady_ms']:8.2f} -> "
             f"{row['bitmask']['steady_ms']:8.2f} ms ({row['steady_speedup']:5.1f}x)"
         )
+    plan = result["plan_cache"]
+    lines.append(
+        f"plan cache (n{plan['predicates']}, "
+        f"{plan['workload_variants']} constant variants): "
+        f"compile {plan['compile_ms']:.3f} ms, "
+        f"hit {plan['steady_hit_ms']:.4f} ms "
+        f"({plan['speedup_vs_dp_steady']:.0f}x vs DP steady "
+        f"{plan['dp_steady_ms']:.3f} ms), "
+        f"batched {plan['batch_replay_per_query_ms']:.4f} ms/query, "
+        f"hit-rate {plan['workload_hit_rate']:.3f}, "
+        f"bit-identical={plan['replay_bit_identical']}"
+    )
     lines.append("histogram algebra, reference vs vectorized:")
     for name in ("histogram_join", "variation_distance"):
         row = result["histograms"][name]

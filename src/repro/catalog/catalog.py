@@ -28,6 +28,7 @@ companion lifecycle.  :class:`StatisticsCatalog` is that subsystem:
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
@@ -193,6 +194,9 @@ class StatisticsCatalog:
         self._metadata: dict[SITKey, SITMetadata] = {}
         self._pool = SITPool()
         self._feedback: list[FeedbackRepository] = []
+        #: live compiled-plan caches of sessions serving this catalog
+        #: (weakly held; see :meth:`attach_plan_cache`)
+        self._plan_caches: "weakref.WeakSet" = weakref.WeakSet()
         #: lifecycle metrics (refresh/invalidation counters; see
         #: :meth:`metrics_registry`)
         self.metrics = MetricsRegistry()
@@ -425,6 +429,18 @@ class StatisticsCatalog:
             self._feedback.append(repository)
         return repository
 
+    def attach_plan_cache(self, cache) -> None:
+        """Register a session's compiled-plan cache for status reporting.
+
+        Caches are weakly held: a retired session's cache disappears from
+        the aggregate on garbage collection.  Coherence does *not* depend
+        on this registration — each :class:`~repro.core.plancache
+        .PlanCache` revalidates its pinned pool's version on every
+        lookup, so :meth:`notify_table_update` invalidates plans through
+        the existing path whether or not the cache is attached.
+        """
+        self._plan_caches.add(cache)
+
     def notify_table_update(self, table: str) -> int:
         """Record that ``table``'s data changed; returns the new table
         version.
@@ -496,6 +512,18 @@ class StatisticsCatalog:
             by_method[metadata.build_method] = (
                 by_method.get(metadata.build_method, 0) + 1
             )
+        caches = list(self._plan_caches)
+        plan_cache = {
+            "caches": len(caches),
+            "plans": sum(len(c) for c in caches),
+            "hits": sum(c.hits for c in caches),
+            "misses": sum(c.misses for c in caches),
+            "compiles": sum(c.compiles for c in caches),
+            "evictions": sum(c.evictions for c in caches),
+            "bytes": sum(c.bytes for c in caches),
+        }
+        total = plan_cache["hits"] + plan_cache["misses"]
+        plan_cache["hit_rate"] = plan_cache["hits"] / total if total else 0.0
         return {
             "version": self.version,
             "sits": len(self._pool),
@@ -505,6 +533,7 @@ class StatisticsCatalog:
             "table_versions": dict(self._table_versions),
             "build_methods": by_method,
             "feedback_repositories": len(self._feedback),
+            "plan_cache": plan_cache,
         }
 
     def metrics_registry(self) -> MetricsRegistry:
@@ -514,6 +543,22 @@ class StatisticsCatalog:
         registry.gauge("catalog.version").set(float(self.version))
         registry.gauge("catalog.sit_count").set(float(len(self._pool)))
         registry.gauge("catalog.stale_sits").set(float(len(self.stale_sits())))
+        caches = list(self._plan_caches)
+        if caches:
+            gauge = registry.gauge
+            gauge("plan_cache.caches").set(float(len(caches)))
+            gauge("plan_cache.plans").set(float(sum(len(c) for c in caches)))
+            gauge("plan_cache.hits").set(float(sum(c.hits for c in caches)))
+            gauge("plan_cache.misses").set(
+                float(sum(c.misses for c in caches))
+            )
+            gauge("plan_cache.compiles").set(
+                float(sum(c.compiles for c in caches))
+            )
+            gauge("plan_cache.evictions").set(
+                float(sum(c.evictions for c in caches))
+            )
+            gauge("plan_cache.bytes").set(float(sum(c.bytes for c in caches)))
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

@@ -98,6 +98,7 @@ class EstimationSession:
         estimator: CardinalityEstimator | None = None,
         name: str | None = None,
         strict: bool = False,
+        plan_cache: bool = True,
     ):
         pool, snapshot = _pin_snapshot(statistics)
         self.snapshot = snapshot
@@ -119,6 +120,7 @@ class EstimationSession:
                 sit_driven_pruning=sit_driven_pruning,
                 engine=engine,
                 strict=strict,
+                plan_cache=plan_cache,
             )
         self.database = database
         self.name = name if name is not None else self.estimator.name
@@ -137,11 +139,26 @@ class EstimationSession:
         self._matcher_calls = 0
         self._analysis_seconds = 0.0
         self._estimation_seconds = 0.0
+        # register the compiled-plan cache with the owning catalog so
+        # `catalog.status()` can aggregate live caches (weakly held — a
+        # retired session's cache unregisters itself)
+        if (
+            self.plan_cache is not None
+            and self.snapshot is not None
+            and self.snapshot.catalog is not None
+        ):
+            self.snapshot.catalog.attach_plan_cache(self.plan_cache)
 
     # ------------------------------------------------------------------
     @property
     def pool(self) -> SITPool:
         return self.estimator.pool
+
+    @property
+    def plan_cache(self):
+        """The estimator's compiled-plan cache, or ``None`` (shared by
+        every query the session answers)."""
+        return self.estimator.plan_cache
 
     @property
     def snapshot_version(self) -> int:
@@ -226,6 +243,56 @@ class EstimationSession:
         finally:
             lock.release()
 
+    def estimate_batch(
+        self, predicate_sets
+    ) -> list[EstimationResult]:
+        """Answer a group of queries in one accounting window.
+
+        With the plan cache enabled, members are probed by *shape*:
+        template hits are grouped per compiled plan and replayed as one
+        stacked numpy op per plan
+        (:meth:`~repro.core.plancache.CompiledPlan.replay_batch`); misses
+        take the full path and compile, so later same-shape members of
+        the same batch already hit.  Results are positional and each is
+        identical to what :meth:`estimate` would have returned.
+        """
+        lock = self._acquire_owner()
+        try:
+            sets = [frozenset(ps) for ps in predicate_sets]
+            self.queries += len(sets)
+            results: list[EstimationResult | None] = [None] * len(sets)
+            cache = self.plan_cache
+            if cache is None:
+                # one accounting window per member, exactly like N
+                # :meth:`estimate` calls (the shared match/estimate
+                # caches still do the cross-member work)
+                for i, ps in enumerate(sets):
+                    self.begin_query()
+                    results[i] = self.estimator.estimate_predicates(ps)
+                return results
+            # plan id -> (plan, [(member index, str-ordered predicates)])
+            groups: dict = {}
+            for i, ps in enumerate(sets):
+                plan, ordered = cache.plan_for(ps)
+                if plan is None:
+                    self.begin_query()
+                    results[i] = self.estimator.estimate_predicates(
+                        ps, use_plan_cache=False
+                    )
+                else:
+                    groups.setdefault(id(plan), (plan, []))[1].append(
+                        (i, ordered)
+                    )
+            for plan, members in groups.values():
+                replayed = plan.replay_batch(
+                    [ordered for _, ordered in members]
+                )
+                for (i, _), result in zip(members, replayed):
+                    results[i] = result
+            return results
+        finally:
+            lock.release()
+
     def selectivity(self, query: Query | PredicateSet) -> float:
         return self.estimate(query).selectivity
 
@@ -298,6 +365,10 @@ class EstimationSession:
         if resilience:
             for key, value in resilience.as_dict().items():
                 counter(f"resilience.{key}").inc(value)
+        cache = self.plan_cache
+        if cache is not None:
+            for key, value in cache.stats_namespace().items():
+                gauge(f"plan_cache.{key}").set(float(value))
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

@@ -46,6 +46,13 @@ class ErrorFunction(Protocol):
     #: True when the best SIT combination can only be found by trying all
     #: combinations (GS-Opt); heuristics rank attributes independently.
     requires_combinations: bool
+    #: True when rankings and factor errors depend only on the query's
+    #: *shape* (tables, attributes, join structure) and the pool — never
+    #: on filter constants.  This licenses the compiled-plan cache
+    #: (:mod:`repro.core.plancache`) to reuse a DP decision across
+    #: instantiations of one template.  Unknown/custom error functions
+    #: default to unstable (the cache probes with ``getattr(..., False)``).
+    plan_stable: bool
 
     def rank_candidate(self, entry: AttributeCandidates) -> SIT:
         """Pick the best candidate SIT for one attribute."""
@@ -66,6 +73,8 @@ class NIndError:
 
     name = "nInd"
     requires_combinations = False
+    #: assumption counts are pure structure — constants never enter
+    plan_stable = True
 
     def rank_candidate(self, entry: AttributeCandidates) -> SIT:
         return min(
@@ -105,6 +114,10 @@ class DiffError:
 
     name = "Diff"
     requires_combinations = False
+    #: dependence probes key on attributes and (constant-free) join
+    #: predicates; with join-only SIT expressions (the pool gate the plan
+    #: cache enforces) a filter's constants never reach ``pool.find``
+    plan_stable = True
 
     def __init__(self, pool: SITPool, unknown_cost: float = 0.05):
         if not 0.0 <= unknown_cost <= 1.0:
@@ -112,6 +125,10 @@ class DiffError:
         self._pool = pool
         self._unknown_cost = unknown_cost
         self._dependence_cache: dict[tuple, float] = {}
+        #: pure function of (attribute, predicate) for a fixed pool —
+        #: cached like ``_pair_dependence`` (the cold-start profile shows
+        #: candidate ranking re-probing the same pairs hundreds of times)
+        self._attribute_cache: dict[tuple, float] = {}
 
     # -- candidate selection -------------------------------------------
     def rank_candidate(self, entry: AttributeCandidates) -> SIT:
@@ -157,10 +174,16 @@ class DiffError:
         return value
 
     def _attribute_dependence(self, attribute, other) -> float:
+        key = (attribute, other)
+        cached = self._attribute_cache.get(key)
+        if cached is not None:
+            return cached
         best: float | None = None
         for sit in self._pool.find(attribute, expression_member=other):
             best = sit.diff if best is None else max(best, sit.diff)
-        return self._unknown_cost if best is None else best
+        value = self._unknown_cost if best is None else best
+        self._attribute_cache[key] = value
+        return value
 
 
 class OptError:
@@ -173,6 +196,10 @@ class OptError:
 
     name = "Opt"
     requires_combinations = True
+    #: executes the query expressions with the *concrete* constants —
+    #: rankings legitimately change across template instantiations, so
+    #: compiled plans must never be reused under this function
+    plan_stable = False
 
     def __init__(self, executor: Executor, epsilon: float = 1e-12):
         self._executor = executor

@@ -27,6 +27,7 @@ from repro.core.get_selectivity import (
     GetSelectivity,
     NoApplicableStatisticsError,
 )
+from repro.core.plancache import PlanCache
 from repro.core.predicates import PredicateSet
 from repro.engine.database import Database
 from repro.engine.executor import Executor
@@ -87,6 +88,7 @@ class CardinalityEstimator:
         name: str | None = None,
         engine: str = "bitmask",
         strict: bool = False,
+        plan_cache: bool = False,
     ):
         pool, snapshot = resolve_statistics(statistics)
         self.database = database
@@ -117,31 +119,73 @@ class CardinalityEstimator:
         #: keeps repeated faults on the same SIT cheap)
         self._fallback_cache: dict[frozenset, GetSelectivity] = {}
         self._base_algorithm: GetSelectivity | None = None
+        #: compiled-plan cache (:mod:`repro.core.plancache`), or ``None``.
+        #: Opt-in, and only constructed when it is provably safe: the
+        #: error function declares ``plan_stable`` and the bitmask engine
+        #: is in use (the compiler walks its memo).  With the cache on,
+        #: the DP also keeps a cross-query memo bank so shape *misses*
+        #: start from the largest previously-solved submasks.
+        self.plan_cache: PlanCache | None = None
+        if (
+            plan_cache
+            and engine == "bitmask"
+            and getattr(self.error_function, "plan_stable", False)
+        ):
+            self.plan_cache = PlanCache(
+                pool, snapshot_version=self.snapshot_version
+            )
+            self.algorithm.enable_memo_bank()
 
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> EstimationResult:
         """Full ``getSelectivity`` result (selectivity, error, decomposition)."""
         return self._run(query.predicates)
 
-    def estimate_predicates(self, predicates: PredicateSet) -> EstimationResult:
+    def estimate_predicates(
+        self, predicates: PredicateSet, *, use_plan_cache: bool = True
+    ) -> EstimationResult:
         """``getSelectivity`` over a bare predicate set, ladder-protected
-        like :meth:`estimate` (the sessions' entry point)."""
-        return self._run(frozenset(predicates))
+        like :meth:`estimate` (the sessions' entry point).
+
+        ``use_plan_cache=False`` skips the compiled-plan probe (the
+        result is still compiled on success) — callers that already
+        probed, like the session's batched path, use it to avoid a
+        double lookup.
+        """
+        return self._run(frozenset(predicates), use_plan_cache=use_plan_cache)
 
     # -- the graceful-degradation ladder (repro.resilience) -------------
-    def _run(self, predicates: PredicateSet) -> EstimationResult:
+    def _run(
+        self, predicates: PredicateSet, use_plan_cache: bool = True
+    ) -> EstimationResult:
+        """Compiled-plan replay on a template hit, else the full path."""
+        cache = self.plan_cache
+        if cache is not None and use_plan_cache:
+            result = cache.estimate(predicates)
+            if result is not None:
+                return result
+        return self._run_uncached(predicates)
+
+    def _run_uncached(self, predicates: PredicateSet) -> EstimationResult:
         """Level 0, or walk the ladder when a statistic faults.
 
         The happy path returns the DP's result object untouched (the
         ``try`` frame is the entire overhead), which is what makes the
         zero-fault path bit-identical to the pre-resilience estimator.
+        Successful level-0 results are compiled into the plan cache;
+        degraded results never are (the ladder bypasses the cache).
         """
         try:
-            return self.algorithm(predicates)
+            result = self.algorithm(predicates)
         except EstimationFault as fault:
             if self.strict:
                 raise
             return self._degrade(frozenset(predicates), fault)
+        cache = self.plan_cache
+        if cache is not None:
+            cache.compile(predicates, self.algorithm, result)
+            self.algorithm.bank_memo()
+        return result
 
     def _degrade(
         self, predicates: frozenset, first_fault: EstimationFault
@@ -329,6 +373,9 @@ class CardinalityEstimator:
             catalog["snapshot_version"] = float(self.snapshot_version)
         resilience = dict(snapshot.resilience)
         resilience.update(self.resilience.as_dict())
+        plan_cache = dict(snapshot.plan_cache)
+        if self.plan_cache is not None:
+            plan_cache.update(self.plan_cache.stats_namespace())
         return StatsSnapshot(
             timings=snapshot.timings,
             counters=snapshot.counters,
@@ -336,6 +383,7 @@ class CardinalityEstimator:
             catalog=catalog,
             service=snapshot.service,
             resilience=resilience,
+            plan_cache=plan_cache,
             meta=meta,
         )
 

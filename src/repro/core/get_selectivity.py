@@ -48,8 +48,8 @@ order, the bitmask path from :meth:`PredicateUniverse.tie_break`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from itertools import combinations
+from dataclasses import dataclass, field
+from itertools import combinations, islice
 from typing import Iterator
 
 from repro.core.errors import INFINITE_ERROR, ErrorFunction, merge
@@ -91,6 +91,12 @@ class EstimationResult:
     degradation_level: int = 0
     #: SIT names excluded by level-1 re-planning (empty on level 0)
     excluded_sits: tuple[str, ...] = ()
+    #: True when this result was produced by replaying a compiled plan
+    #: (:mod:`repro.core.plancache`) instead of running the DP.  Excluded
+    #: from equality: a replay is *defined* to be bit-identical to the
+    #: cold run it mirrors, and the parity suites compare results with
+    #: ``==`` across the two paths.
+    plan_cache_hit: bool = field(default=False, compare=False)
 
     @property
     def factor_count(self) -> int:
@@ -202,6 +208,16 @@ class GetSelectivity:
         self.match_cache_misses = 0
         self.pruned_decompositions = 0
         self.explored_decompositions = 0
+        #: opt-in cross-query memo bank (see :meth:`enable_memo_bank`);
+        #: ``None`` == disabled, costing nothing on the memo-miss path.
+        self._memo_bank: dict | None = None
+        self._memo_bank_limit = 0
+        #: pool derived-state version the bank was filled under; a
+        #: mismatch (``notify_table_update``, membership change) clears
+        #: the bank at the next query — the same single invalidation
+        #: path the plan cache rides
+        self._memo_bank_version = -1
+        self.memo_bank_hits = 0
         #: opt-in tracing; ``None`` == disabled (one branch per call site)
         self.trace: Trace | None = None
 
@@ -218,6 +234,51 @@ class GetSelectivity:
         self.matcher.trace = None
 
     # ------------------------------------------------------------------
+    def enable_memo_bank(self, limit: int = 8192) -> None:
+        """Opt into cross-query DP-memo seeding (the plan cache's
+        shape-miss accelerator).
+
+        After each successful query the caller banks the memo
+        (:meth:`bank_memo`); on a later query, ``_solve`` consults the
+        bank on a memo miss, so the largest subproblems *shared* with
+        previously compiled shapes — concretely recurring submasks, which
+        for template workloads are the constant-free join cores — are
+        answered without re-enumeration.  Sound because a memo entry is a
+        deterministic, pool-pure function of its predicate set: re-solving
+        the same mask can only reproduce the banked result bit for bit.
+
+        Off by default so the production DP benchmarks keep measuring the
+        pure enumeration; :class:`~repro.core.estimator.
+        CardinalityEstimator` enables it alongside its plan cache.
+        """
+        if self._memo_bank is None:
+            self._memo_bank = {}
+            self._memo_bank_version = (
+                self.pool.version if self.pool is not None else 0
+            )
+        self._memo_bank_limit = limit
+
+    def disable_memo_bank(self) -> None:
+        self._memo_bank = None
+        self._memo_bank_limit = 0
+
+    def bank_memo(self) -> None:
+        """Fold the current memo into the bank (bounded, oldest-first
+        eviction); call after a successful level-0 query."""
+        bank = self._memo_bank
+        if bank is None:
+            return
+        bank.update(self._memo)
+        limit = self._memo_bank_limit
+        if limit and len(bank) > limit:
+            drop = len(bank) - (limit * 3) // 4
+            for key in list(islice(iter(bank), drop)):
+                del bank[key]
+
+    def memo_bank_size(self) -> int:
+        return len(self._memo_bank) if self._memo_bank is not None else 0
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Clear per-query state: memo, call counter, timing accumulators
         (the factor-match cache and universe are pool-pure and survive)."""
@@ -229,6 +290,7 @@ class GetSelectivity:
         self.match_cache_misses = 0
         self.pruned_decompositions = 0
         self.explored_decompositions = 0
+        self.memo_bank_hits = 0
         if self.trace is not None:
             self.trace.clear()
 
@@ -255,6 +317,9 @@ class GetSelectivity:
         gauge("caches.estimate_cache_entries").set(len(self._estimate_cache))
         counter("caches.match_cache_hits").inc(self.match_cache_hits)
         counter("caches.match_cache_misses").inc(self.match_cache_misses)
+        if self._memo_bank is not None:
+            gauge("caches.memo_bank_entries").set(float(len(self._memo_bank)))
+            counter("caches.memo_bank_hits").inc(self.memo_bank_hits)
         trace = self.trace
         if trace is not None:
             for stage, seconds, calls in trace.stages():
@@ -280,6 +345,12 @@ class GetSelectivity:
     def __call__(self, predicates: PredicateSet) -> EstimationResult:
         """Most accurate estimation of ``Sel_R(P)`` with ``R = tables(P)``."""
         predicates = frozenset(predicates)
+        bank = self._memo_bank
+        if bank is not None:
+            version = self.pool.version if self.pool is not None else 0
+            if version != self._memo_bank_version:
+                bank.clear()
+                self._memo_bank_version = version
         started = time.perf_counter()
         mask = self.universe.intern(predicates)
         trace = self.trace
@@ -308,6 +379,18 @@ class GetSelectivity:
             return cached
         if trace is not None:
             trace.count("memo_misses")
+        bank = self._memo_bank
+        if bank is not None:
+            banked = bank.get(mask)
+            if banked is not None:
+                # Cross-query seeding: this subproblem was solved for a
+                # previously compiled shape (memo entries are pool-pure
+                # and deterministic, so reuse is bit-identical).
+                self._memo[mask] = banked
+                self.memo_bank_hits += 1
+                if trace is not None:
+                    trace.count("memo_bank_hits")
+                return banked
         components = self.universe.components(mask)
         if len(components) > 1:  # lines 3-7
             result = self._solve_separable(components)

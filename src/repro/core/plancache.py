@@ -1,0 +1,700 @@
+"""Compiled-plan cache: plan/parameter separation for template workloads.
+
+Production estimation traffic is template-heavy: the same query *shape*
+(tables, columns and operator kinds) recurs over and over with different
+constants.  The ``getSelectivity`` DP (Figure 3) re-derives the same
+winning decomposition and re-runs SIT matching for every instance, yet
+for a fixed pool and a plan-stable error function every decision the DP
+makes — adjacency and separability, Section 3.3 candidate matching and
+maximality, NInd/Diff factor errors, coverage, and the canonical
+(size, str-lex) tie-break — depends only on the shape, never on the
+filter constants.  This module exploits that invariance:
+
+* :func:`shape_fingerprint` abstracts the constants out of a predicate
+  set: each join predicate is its own (constant-free) token, each filter
+  collapses to ``("F", attribute)``, and tokens are listed in the
+  ``str``-sorted order of the *concrete* predicates.  Pinning the
+  positional order makes the fingerprint strong enough that two sets
+  with equal fingerprints provably drive the DP through identical
+  decisions (the tie-break compares global str ranks, which the
+  positional fingerprint fixes).  Instantiations of one SQL template
+  whose constants permute the filter sort order land in different
+  fingerprints — a deliberate trade of hit rate for bit-identity; the
+  variants are bounded and the cache simply warms once per ordering.
+
+* :func:`compile_plan` walks the DP memo after a successful level-0
+  estimation and freezes the winning multiplication tree into an
+  immutable :class:`CompiledPlan`: per conditional factor, the
+  constant-free histogram-join product, the post-join histogram each
+  filter attribute reads, and position indices (into the str-sorted
+  predicate list) for rebuilding ``Factor`` / ``AttributeMatch``
+  objects with fresh constants.
+
+* :meth:`CompiledPlan.replay` re-estimates a new instantiation by
+  replaying only the filter-range lookups over the frozen plan —
+  microseconds instead of the full ``O(3^n)`` enumeration — and is
+  *bit-identical* to the cold DP because every floating-point operation
+  of ``estimate_factor`` and the DP's multiplication tree is replayed
+  in the exact same order.  :meth:`CompiledPlan.replay_batch` serves a
+  whole group of same-shape requests through the vectorized
+  :meth:`~repro.histograms.base.Histogram.estimate_range_selectivity_batch`
+  kernel (one stacked numpy op per filter slot), with the same
+  guarantee.
+
+* :class:`PlanCache` keys plans by (fingerprint, pinned pool version,
+  snapshot version) and rides the catalog's single invalidation path:
+  every lookup revalidates the pool's derived-state ``version`` counter
+  (bumped by ``notify_table_update`` / membership changes), evicting
+  all plans on mismatch.  A hot snapshot swap retires the owning
+  session — and its cache — wholesale.
+
+Compile safety gates (all checked before a plan is cached):
+
+1. the error function must declare ``plan_stable = True``
+   (:class:`~repro.core.errors.NIndError` and
+   :class:`~repro.core.errors.DiffError` do; ``OptError`` executes
+   queries with the concrete constants and must not be cached);
+2. no SIT expression in the pool may contain a filter predicate
+   (filters in expressions would make candidate matching and DiffError's
+   ``expression_member`` probes constant-dependent); checked once per
+   pool version;
+3. only level-0 (non-degraded) results are compiled, and the
+   degradation ladder's re-plans bypass the cache entirely;
+4. the compiled plan is self-verified once against the result it was
+   compiled from (selectivity, matches, decomposition) — a structural
+   mismatch silently refuses to cache rather than risking drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.matching import AttributeMatch, FactorMatch
+from repro.core.predicates import Attribute, Predicate, PredicateSet
+from repro.core.selectivity import Decomposition, Factor
+from repro.histograms.base import Histogram
+from repro.histograms.maxdiff import DEFAULT_MAX_BUCKETS
+from repro.histograms.operations import join_histograms
+from repro.stats.pool import SITPool
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.core.get_selectivity import EstimationResult, GetSelectivity
+
+
+# ----------------------------------------------------------------------
+# Shape fingerprinting
+# ----------------------------------------------------------------------
+def shape_fingerprint(
+    predicates: Iterable[Predicate],
+) -> tuple[tuple, tuple[Predicate, ...]]:
+    """The template identity of a predicate set, constants abstracted out.
+
+    Returns ``(fingerprint, ordered)`` where ``ordered`` is the
+    predicates in their concrete ``str``-sorted order (the order every
+    position index of a compiled plan refers to) and ``fingerprint`` is
+    the per-position token tuple: joins keep their full (constant-free)
+    identity, filters keep only their attribute.
+    """
+    ordered = tuple(sorted(predicates, key=str))
+    fingerprint = tuple(
+        ("J", p.left, p.right) if p.is_join else ("F", p.attribute)
+        for p in ordered
+    )
+    return fingerprint, ordered
+
+
+def fingerprint_digest(fingerprint: tuple) -> str:
+    """A short stable hex digest of a fingerprint (metrics label)."""
+    return hashlib.blake2b(
+        repr(fingerprint).encode("utf-8"), digest_size=4
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Compiled-plan data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _FilterSlot:
+    """One filter-range lookup of a factor replay.
+
+    ``histogram`` is the histogram ``estimate_factor`` reads for this
+    attribute *after* all of the factor's joins ran — either the matched
+    SIT's histogram or a join-derived one; both are constant-free.
+    ``positions`` index the filter predicates (in the str-ordered
+    predicate list) whose ranges are intersected for the lookup.
+    """
+
+    attribute: Attribute
+    histogram: Histogram
+    positions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _AttributeTemplate:
+    """Positions-based recipe for rebuilding one ``AttributeMatch``."""
+
+    attribute: Attribute
+    weight: float
+    sit: object
+    conditioning_positions: tuple[int, ...]
+    assumed_positions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _FactorTemplate:
+    """One conditional factor of the plan, constants separated out.
+
+    ``join_selectivity`` is the left-fold product of the factor's
+    histogram-join selectivities (the exact float the cold path
+    computes); ``zero`` records an early exit inside the join loop, in
+    which case the factor is identically ``0.0`` for every constant
+    assignment and ``filter_slots`` is empty.
+    """
+
+    p_positions: tuple[int, ...]
+    q_positions: tuple[int, ...]
+    join_selectivity: float
+    zero: bool
+    filter_slots: tuple[_FilterSlot, ...]
+    attribute_templates: tuple[_AttributeTemplate, ...]
+
+
+class PlanCompileError(Exception):
+    """Internal: the DP memo did not support a faithful compilation."""
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """An immutable compiled estimation plan for one shape.
+
+    ``templates`` lists the plan's conditional factors in the order the
+    DP's result reports them (head-first along conditional chains,
+    component order across separable splits); ``tree`` is the nested
+    multiplication tree over template indices —
+    ``("c", index, tail_or_None)`` for a conditional node,
+    ``("s", (child, ...))`` for a separable split — evaluated in the
+    exact association order of the cold DP.  ``error`` and ``coverage``
+    are constant-free and stored verbatim.
+    """
+
+    fingerprint: tuple
+    pool_version: int
+    snapshot_version: int
+    templates: tuple[_FactorTemplate, ...]
+    tree: tuple | None
+    error: float
+    coverage: float
+    weight_bytes: int
+
+    # ------------------------------------------------------------------
+    def replay(self, ordered: Sequence[Predicate]) -> "EstimationResult":
+        """Re-estimate with new constants; bit-identical to the cold DP."""
+        templates = self.templates
+        values = [
+            _replay_factor_scalar(template, ordered) for template in templates
+        ]
+        selectivity = _eval_tree(self.tree, values)
+        return self._build_result(selectivity, ordered)
+
+    def replay_batch(
+        self, ordered_batch: Sequence[Sequence[Predicate]]
+    ) -> list["EstimationResult"]:
+        """Replay a group of same-shape instantiations as stacked numpy ops.
+
+        Each filter slot of each factor becomes *one* vectorized
+        histogram lookup over the whole group
+        (:meth:`Histogram.estimate_range_selectivity_batch`); per-element
+        results are bit-identical to :meth:`replay`.
+        """
+        count = len(ordered_batch)
+        if count == 0:
+            return []
+        if count == 1:
+            return [self.replay(ordered_batch[0])]
+        values = [
+            _replay_factor_batch(template, ordered_batch)
+            for template in self.templates
+        ]
+        selectivities = _eval_tree_batch(self.tree, values, count)
+        return [
+            self._build_result(float(selectivities[i]), ordered_batch[i])
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    def _build_result(
+        self, selectivity: float, ordered: Sequence[Predicate]
+    ) -> "EstimationResult":
+        from repro.core.get_selectivity import EstimationResult
+
+        matches = tuple(
+            _rebuild_match(template, ordered) for template in self.templates
+        )
+        decomposition = Decomposition(tuple(m.factor for m in matches))
+        return EstimationResult(
+            selectivity,
+            self.error,
+            decomposition,
+            matches,
+            self.coverage,
+            plan_cache_hit=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Factor replay (scalar and batched)
+# ----------------------------------------------------------------------
+def _replay_factor_scalar(
+    template: _FactorTemplate, ordered: Sequence[Predicate]
+) -> float:
+    """``estimate_factor`` with the joins pre-multiplied: same float ops,
+    same order, new filter constants."""
+    if template.zero:
+        return 0.0
+    selectivity = template.join_selectivity
+    for slot in template.filter_slots:
+        low = -math.inf
+        high = math.inf
+        for position in slot.positions:
+            predicate = ordered[position]
+            if predicate.low > low:
+                low = predicate.low
+            if predicate.high < high:
+                high = predicate.high
+        if low > high:
+            return 0.0
+        selectivity *= slot.histogram.estimate_range_selectivity(low, high)
+        if selectivity == 0.0:
+            return 0.0
+    return selectivity
+
+
+def _replay_factor_batch(
+    template: _FactorTemplate, ordered_batch: Sequence[Sequence[Predicate]]
+) -> np.ndarray:
+    """Vectorized :func:`_replay_factor_scalar` over a same-shape group.
+
+    Early exits are replaced by multiplications with exact zeros
+    (``0.0 * x == 0.0`` for the finite non-negative selectivities the
+    histogram algebra produces), so each element equals the scalar path
+    bit-for-bit.
+    """
+    count = len(ordered_batch)
+    if template.zero:
+        return np.zeros(count)
+    selectivity = np.full(count, template.join_selectivity)
+    for slot in template.filter_slots:
+        lows = np.empty(count)
+        highs = np.empty(count)
+        for i, ordered in enumerate(ordered_batch):
+            low = -math.inf
+            high = math.inf
+            for position in slot.positions:
+                predicate = ordered[position]
+                if predicate.low > low:
+                    low = predicate.low
+                if predicate.high < high:
+                    high = predicate.high
+            lows[i] = low
+            highs[i] = high
+        # estimate_range_selectivity_batch returns exactly 0.0 for
+        # inverted (low > high) ranges, matching the scalar early exit.
+        selectivity = selectivity * slot.histogram.estimate_range_selectivity_batch(
+            lows, highs
+        )
+    return selectivity
+
+
+def _eval_tree(node: tuple | None, values: list[float]) -> float:
+    """The DP's multiplication tree, same association order as `_solve`."""
+    if node is None:
+        return 1.0
+    if node[0] == "c":
+        # _solve_non_separable line 17: factor * tail (tail of the empty
+        # set is the 1.0 of _EMPTY_RESULT).
+        return values[node[1]] * _eval_tree(node[2], values)
+    # _solve_separable: left-fold over components in component order.
+    selectivity = 1.0
+    for child in node[1]:
+        selectivity *= _eval_tree(child, values)
+    return selectivity
+
+
+def _eval_tree_batch(
+    node: tuple | None, values: list[np.ndarray], count: int
+) -> np.ndarray:
+    if node is None:
+        return np.ones(count)
+    if node[0] == "c":
+        return values[node[1]] * _eval_tree_batch(node[2], values, count)
+    selectivity = np.ones(count)
+    for child in node[1]:
+        selectivity = selectivity * _eval_tree_batch(child, values, count)
+    return selectivity
+
+
+def _rebuild_match(
+    template: _FactorTemplate, ordered: Sequence[Predicate]
+) -> FactorMatch:
+    p = frozenset(ordered[i] for i in template.p_positions)
+    q = frozenset(ordered[i] for i in template.q_positions)
+    attribute_matches = tuple(
+        AttributeMatch(
+            attribute=at.attribute,
+            weight=at.weight,
+            sit=at.sit,
+            conditioning=frozenset(
+                ordered[i] for i in at.conditioning_positions
+            ),
+            assumed=frozenset(ordered[i] for i in at.assumed_positions),
+        )
+        for at in template.attribute_templates
+    )
+    return FactorMatch(Factor(p, q), attribute_matches)
+
+
+# ----------------------------------------------------------------------
+# Compilation: memo walk -> CompiledPlan
+# ----------------------------------------------------------------------
+def _compile_factor(
+    match: FactorMatch, position_of: dict[Predicate, int]
+) -> _FactorTemplate:
+    factor = match.factor
+    attribute_templates = tuple(
+        _AttributeTemplate(
+            attribute=am.attribute,
+            weight=am.weight,
+            sit=am.sit,
+            conditioning_positions=tuple(
+                sorted(position_of[p] for p in am.conditioning)
+            ),
+            assumed_positions=tuple(
+                sorted(position_of[p] for p in am.assumed)
+            ),
+        )
+        for am in match.attribute_matches
+    )
+    # Replay estimate_factor's join loop once to freeze the constant-free
+    # join product and the post-join histogram each filter attribute
+    # reads (Example 3's derived-histogram chaining).
+    histograms = {
+        am.attribute: am.sit.histogram for am in match.attribute_matches
+    }
+    selectivity = 1.0
+    zero = False
+    joins = sorted((p for p in factor.p if p.is_join), key=str)
+    for join in joins:
+        joined = join_histograms(
+            histograms[join.left],
+            histograms[join.right],
+            max_buckets=DEFAULT_MAX_BUCKETS,
+        )
+        selectivity *= joined.selectivity
+        histograms[join.left] = joined.histogram
+        histograms[join.right] = joined.histogram
+        if selectivity == 0.0:
+            zero = True
+            break
+    filter_slots: tuple[_FilterSlot, ...] = ()
+    if not zero:
+        positions_by_attribute: dict[Attribute, list[int]] = {}
+        for predicate in factor.p:
+            if not predicate.is_join:
+                positions_by_attribute.setdefault(
+                    predicate.attribute, []
+                ).append(position_of[predicate])
+        filter_slots = tuple(
+            _FilterSlot(
+                attribute=attribute,
+                histogram=histograms[attribute],
+                positions=tuple(sorted(positions_by_attribute[attribute])),
+            )
+            for attribute in sorted(positions_by_attribute)
+        )
+    return _FactorTemplate(
+        p_positions=tuple(sorted(position_of[p] for p in factor.p)),
+        q_positions=tuple(sorted(position_of[p] for p in factor.q)),
+        join_selectivity=selectivity,
+        zero=zero,
+        filter_slots=filter_slots,
+        attribute_templates=attribute_templates,
+    )
+
+
+def _plan_weight(templates: tuple[_FactorTemplate, ...]) -> int:
+    """A documented *estimate* of a plan's resident bytes: fixed overhead
+    per template plus the bucket arrays of join-derived histograms the
+    plan keeps alive (SIT histograms are shared with the pool and not
+    charged)."""
+    weight = 512
+    for template in templates:
+        weight += 256
+        weight += 64 * len(template.attribute_templates)
+        shared = {
+            id(at.sit.histogram) for at in template.attribute_templates
+        }
+        for slot in template.filter_slots:
+            weight += 64
+            if id(slot.histogram) not in shared:
+                weight += 40 * slot.histogram.bucket_count
+    return weight
+
+
+def compile_plan(
+    algorithm: "GetSelectivity",
+    predicates: PredicateSet,
+    result: "EstimationResult",
+    *,
+    pool_version: int,
+    snapshot_version: int,
+) -> CompiledPlan | None:
+    """Freeze a level-0 DP result into a :class:`CompiledPlan`.
+
+    Walks the DP memo to recover the exact multiplication tree the
+    result's selectivity was computed through, compiles each conditional
+    factor, then self-verifies the plan by replaying it against the very
+    predicates it was compiled from — any mismatch returns ``None`` (no
+    caching) instead of an unsound plan.
+    """
+    if result.degradation_level != 0 or getattr(algorithm, "engine", "") != "bitmask":
+        return None
+    fingerprint, ordered = shape_fingerprint(predicates)
+    position_of = {p: i for i, p in enumerate(ordered)}
+    universe = algorithm.universe
+    memo = algorithm._memo
+    templates: list[_FactorTemplate] = []
+
+    def build(mask: int) -> tuple | None:
+        if not mask:
+            return None
+        node_result = memo.get(mask)
+        if node_result is None:
+            raise PlanCompileError("memo entry missing")
+        components = universe.components(mask)
+        if len(components) > 1:
+            return ("s", tuple(build(component) for component in components))
+        if not node_result.matches:
+            raise PlanCompileError("non-separable node without a match")
+        head = node_result.matches[0]
+        p_mask = universe.intern(head.factor.p)
+        if p_mask & mask != p_mask:
+            raise PlanCompileError("head factor escapes its mask")
+        index = len(templates)
+        templates.append(_compile_factor(head, position_of))
+        return ("c", index, build(mask ^ p_mask))
+
+    try:
+        mask = universe.intern(predicates)
+        tree = build(mask)
+    except (PlanCompileError, KeyError):
+        return None
+    plan = CompiledPlan(
+        fingerprint=fingerprint,
+        pool_version=pool_version,
+        snapshot_version=snapshot_version,
+        templates=tuple(templates),
+        tree=tree,
+        error=result.error,
+        coverage=result.coverage,
+        weight_bytes=_plan_weight(tuple(templates)),
+    )
+    # One-time self-verification against the compiling instance: the
+    # replay must reproduce the cold result exactly (selectivity to the
+    # bit, matches and decomposition structurally).
+    replayed = plan.replay(ordered)
+    if (
+        replayed.selectivity != result.selectivity
+        or replayed.error != result.error
+        or replayed.coverage != result.coverage
+        or replayed.matches != result.matches
+        or replayed.decomposition != result.decomposition
+    ):
+        return None
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class PlanCache:
+    """Shape-keyed compiled plans for one (pool, snapshot) pinning.
+
+    Coherence contract: every lookup and compile revalidates the pinned
+    pool's derived-state ``version`` counter — the same counter
+    ``StatisticsCatalog.notify_table_update`` bumps through
+    ``SITPool.invalidate_derived`` — and drops *all* plans on mismatch
+    (counted under ``evictions``).  A snapshot hot-swap retires the
+    owning session and therefore the whole cache object.
+    """
+
+    def __init__(
+        self,
+        pool: SITPool | None,
+        snapshot_version: int = 0,
+        max_plans: int = 512,
+    ):
+        self.pool = pool
+        self.snapshot_version = snapshot_version
+        self.max_plans = max_plans
+        self._pool_version = pool.version if pool is not None else 0
+        self._plans: dict[tuple, CompiledPlan] = {}
+        #: fingerprint -> [hits, misses]; bounded alongside the plans
+        self._shape_stats: dict[tuple, list[int]] = {}
+        self._pool_safe: bool | None = None
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def bytes(self) -> int:
+        return sum(plan.weight_bytes for plan in self._plans.values())
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        """Evict everything if the pinned pool's version moved (the
+        catalog's single invalidation path)."""
+        pool = self.pool
+        version = pool.version if pool is not None else 0
+        if version != self._pool_version:
+            dropped = len(self._plans)
+            self._plans.clear()
+            self._shape_stats.clear()
+            self.evictions += dropped
+            self._pool_version = version
+            self._pool_safe = None
+
+    def _safe_pool(self) -> bool:
+        """Compile gate 2: every SIT expression must be join-only, or SIT
+        matching itself would depend on the filter constants."""
+        if self._pool_safe is None:
+            pool = self.pool
+            self._pool_safe = pool is not None and all(
+                all(p.is_join for p in sit.expression) for sit in pool
+            )
+        return self._pool_safe
+
+    def _shape_stat(self, fingerprint: tuple) -> list[int]:
+        stat = self._shape_stats.get(fingerprint)
+        if stat is None:
+            stat = [0, 0]
+            if len(self._shape_stats) < 4 * self.max_plans:
+                self._shape_stats[fingerprint] = stat
+        return stat
+
+    # ------------------------------------------------------------------
+    def plan_for(
+        self, predicates: PredicateSet
+    ) -> tuple[CompiledPlan | None, tuple[Predicate, ...]]:
+        """Probe the cache; counts one hit or miss.  Returns the plan (or
+        ``None``) and the str-ordered predicates replay will consume."""
+        self._validate()
+        fingerprint, ordered = shape_fingerprint(predicates)
+        plan = self._plans.get(fingerprint)
+        stat = self._shape_stat(fingerprint)
+        if plan is not None:
+            self.hits += 1
+            stat[0] += 1
+            return plan, ordered
+        self.misses += 1
+        stat[1] += 1
+        return None, ordered
+
+    def estimate(self, predicates: PredicateSet) -> "EstimationResult | None":
+        """Template-hit fast path: replay, or ``None`` on a shape miss."""
+        plan, ordered = self.plan_for(predicates)
+        if plan is None:
+            return None
+        return plan.replay(ordered)
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        predicates: PredicateSet,
+        algorithm: "GetSelectivity",
+        result: "EstimationResult",
+    ) -> CompiledPlan | None:
+        """Compile and cache a fresh level-0 result (all gates applied)."""
+        self._validate()
+        if result.degradation_level != 0:
+            return None
+        if not getattr(algorithm.error_function, "plan_stable", False):
+            return None
+        if not self._safe_pool():
+            return None
+        plan = compile_plan(
+            algorithm,
+            predicates,
+            result,
+            pool_version=self._pool_version,
+            snapshot_version=self.snapshot_version,
+        )
+        if plan is None:
+            return None
+        if len(self._plans) >= self.max_plans:
+            drop = max(1, self.max_plans // 4)
+            for key in list(self._plans)[:drop]:
+                del self._plans[key]
+                self._shape_stats.pop(key, None)
+            self.evictions += drop
+        self._plans[plan.fingerprint] = plan
+        self.compiles += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-ready counters (the ``plan_cache`` observability block)."""
+        total = self.hits + self.misses
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "snapshot_version": self.snapshot_version,
+            "pool_version": self._pool_version,
+        }
+
+    def stats_namespace(self, shape_limit: int = 8) -> dict[str, float]:
+        """The ``plan_cache`` :class:`~repro.obs.snapshot.StatsSnapshot`
+        namespace: :meth:`status` (all-numeric) plus the busiest per-shape
+        hit rates."""
+        out = {key: float(value) for key, value in self.status().items()}
+        out.update(self.shape_stats(limit=shape_limit))
+        return out
+
+    def shape_stats(self, limit: int = 8) -> dict[str, float]:
+        """Per-shape hit rates for the busiest shapes, keyed by digest."""
+        ranked = sorted(
+            self._shape_stats.items(),
+            key=lambda item: -(item[1][0] + item[1][1]),
+        )[:limit]
+        out: dict[str, float] = {}
+        for fingerprint, (hits, misses) in ranked:
+            total = hits + misses
+            digest = fingerprint_digest(fingerprint)
+            out[f"shape.{digest}.hits"] = float(hits)
+            out[f"shape.{digest}.hit_rate"] = (
+                (hits / total) if total else 0.0
+            )
+        return out
+
+
+__all__ = [
+    "CompiledPlan",
+    "PlanCache",
+    "compile_plan",
+    "fingerprint_digest",
+    "shape_fingerprint",
+]

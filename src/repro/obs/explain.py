@@ -119,6 +119,10 @@ class ExplainResult:
     degradation_level: int = 0
     #: SIT names excluded by level-1 re-planning
     excluded_sits: tuple[str, ...] = ()
+    #: True when the underlying estimate was replayed from a compiled
+    #: template plan (:mod:`repro.core.plancache`); replay is
+    #: bit-identical, so the explanation itself is unaffected
+    plan_cache_hit: bool = False
     stats: StatsSnapshot = field(default_factory=StatsSnapshot)
 
     # ------------------------------------------------------------------
@@ -134,6 +138,7 @@ class ExplainResult:
             "cardinality": self.cardinality,
             "degradation_level": self.degradation_level,
             "excluded_sits": list(self.excluded_sits),
+            "plan_cache_hit": self.plan_cache_hit,
             "factors": [f.to_dict() for f in self.factors],
         }
         if include_stats:
@@ -165,6 +170,8 @@ class ExplainResult:
             if self.excluded_sits:
                 line += f", excluded: {', '.join(self.excluded_sits)}"
             lines.append(line)
+        if self.plan_cache_hit:
+            lines.append("plan cache:  hit (replayed compiled plan)")
         lines.append(
             f"decomposition ({len(self.factors)} "
             f"factor{'s' if len(self.factors) != 1 else ''}):"
@@ -264,5 +271,6 @@ def build_explain(
         factors=factors,
         degradation_level=result.degradation_level,
         excluded_sits=result.excluded_sits,
+        plan_cache_hit=result.plan_cache_hit,
         stats=estimator.stats_snapshot(),
     )

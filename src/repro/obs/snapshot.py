@@ -1,6 +1,6 @@
 """The unified ``StatsSnapshot`` schema for every observability surface.
 
-A :class:`StatsSnapshot` is the one documented shape, with four
+A :class:`StatsSnapshot` is the one documented shape, with these
 namespaces:
 
 ``timings``
@@ -36,7 +36,13 @@ namespaces:
     (``worker_restarts``, ``breaker_trips``, ``requeues``,
     ``snapshot_rollbacks``) and injected-fault counters
     (``injected_<point>.<kind>``) when a fault plan is armed — empty
-    when nothing ever degraded.
+    when nothing ever degraded;
+``plan_cache``
+    compiled-plan cache state (:mod:`repro.core.plancache`): ``plans``,
+    ``hits``, ``misses``, ``compiles``, ``evictions``, ``bytes``,
+    ``hit_rate``, plus per-shape hit rates as
+    ``shape.<digest>.hits`` / ``shape.<digest>.hit_rate`` — empty for
+    producers that run without the cache.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -62,6 +68,7 @@ NAMESPACES = (
     "catalog",
     "service",
     "resilience",
+    "plan_cache",
 )
 
 
@@ -84,6 +91,7 @@ class StatsSnapshot:
     catalog: Mapping[str, float] = field(default_factory=dict)
     service: Mapping[str, object] = field(default_factory=dict)
     resilience: Mapping[str, float] = field(default_factory=dict)
+    plan_cache: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -95,7 +103,7 @@ class StatsSnapshot:
     def from_registry(
         cls, registry: MetricsRegistry, meta: Mapping[str, object] | None = None
     ) -> "StatsSnapshot":
-        """Group a registry's instruments into the four namespaces.
+        """Group a registry's instruments into the documented namespaces.
 
         Instruments outside the conventional namespaces are folded into
         ``counters`` under their full dotted name, so nothing is lost.
@@ -115,6 +123,7 @@ class StatsSnapshot:
             catalog=nested.get("catalog", {}),
             service=nested.get("service", {}),
             resilience=nested.get("resilience", {}),
+            plan_cache=nested.get("plan_cache", {}),
             meta=meta or {},
         )
 
@@ -128,6 +137,7 @@ class StatsSnapshot:
             "catalog": dict(self.catalog),
             "service": dict(self.service),
             "resilience": dict(self.resilience),
+            "plan_cache": dict(self.plan_cache),
             "meta": dict(self.meta),
         }
 

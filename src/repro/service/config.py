@@ -47,6 +47,13 @@ class ServiceConfig:
     #: crashed-worker resurrections before the service stops respawning
     #: (bounds a crash loop; remaining work is flushed on close)
     max_worker_restarts: int = 8
+    #: compiled-plan cache (:mod:`repro.core.plancache`) in worker
+    #: sessions: template hits replay in microseconds and same-shape
+    #: batch members are served by one stacked numpy op.  Replay is
+    #: bit-identical, so disabling this only trades latency for nothing —
+    #: the knob exists for measurement and for custom error functions
+    #: that are not plan-stable (those bypass the cache anyway)
+    plan_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -30,7 +30,15 @@ DESIGN.md §10): ``0`` = the normal path, ``1`` = re-planned without the
 failed SITs (their names ride along in ``excluded_sits``), ``2`` = base
 histograms under independence, ``3`` = magic constants.  A degraded
 answer is still ``status: ok`` — the ladder's contract is that a
-labelled estimate beats a failure.  Transport loss is *client-side*
+labelled estimate beats a failure.
+
+``plan_cache_hit`` (boolean, always present in ok responses) reports
+whether the answer was replayed from a compiled template plan
+(:mod:`repro.core.plancache`) instead of a fresh DP run.  Replay is
+bit-identical to the full path, so the field is diagnostic only —
+clients use it to audit steady-state latency, never correctness.
+
+Transport loss is *client-side*
 (:class:`repro.service.client.TransportError`) and never appears as a
 wire status; the vocabulary above is closed.
 """
@@ -145,6 +153,10 @@ class ServedEstimate:
     degradation_level: int = 0
     #: SIT names excluded by level-1 re-planning (empty on level 0)
     excluded_sits: tuple[str, ...] = ()
+    #: True when this answer was replayed from a compiled plan
+    #: (:mod:`repro.core.plancache`) instead of a fresh DP run; the
+    #: replay is bit-identical, so this is purely diagnostic
+    plan_cache_hit: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -162,6 +174,7 @@ class ServedEstimate:
             "batch_size": self.batch_size,
             "deduplicated": self.deduplicated,
             "degradation_level": self.degradation_level,
+            "plan_cache_hit": self.plan_cache_hit,
         }
         if self.excluded_sits:
             payload["excluded_sits"] = list(self.excluded_sits)
@@ -181,6 +194,7 @@ class ServedEstimate:
             deduplicated=bool(payload.get("deduplicated", False)),
             degradation_level=int(payload.get("degradation_level", 0)),
             excluded_sits=tuple(payload.get("excluded_sits", ())),
+            plan_cache_hit=bool(payload.get("plan_cache_hit", False)),
         )
 
 

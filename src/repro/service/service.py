@@ -184,6 +184,7 @@ class EstimationService:
             self._error_function,
             database=self.database,
             engine=self._engine,
+            plan_cache=self.config.plan_cache,
         )
         with self._sessions_lock:
             self._sessions.append(session)
@@ -503,12 +504,10 @@ class EstimationService:
         now = time.monotonic()
         batch_size = len(batch)
 
-        # group identical predicate sets: one DP run answers them all
-        groups: dict[frozenset, list[_Pending]] = {}
-        for pending in batch:
-            pending.batch_size = batch_size
-            groups.setdefault(pending.predicates, []).append(pending)
-
+        # dedup identical predicate sets (one answer serves them all),
+        # then hand the distinct sets to the session's batched path: it
+        # groups them by *shape* and replays every compiled-plan template
+        # group as one stacked numpy op (repro.core.plancache)
         served = 0
         shed_deadline = 0
         deduplicated = 0
@@ -516,32 +515,38 @@ class EstimationService:
         latencies: list[float] = []
         answers: list[tuple[_Pending, ServedEstimate]] = []
         snapshot_version = session.snapshot_version
-        for predicates, members in groups.items():
-            live: list[_Pending] = []
-            for pending in members:
-                if pending.expired(now):
-                    shed_deadline += 1
-                    pending.future.set_exception(
-                        DeadlineExceeded(
-                            "deadline passed while queued; shedding"
-                        )
-                    )
-                else:
-                    live.append(pending)
-            if not live:
+        order: list[frozenset] = []
+        live_groups: dict[frozenset, list[_Pending]] = {}
+        for pending in batch:
+            pending.batch_size = batch_size
+            if pending.expired(now):
+                shed_deadline += 1
+                pending.future.set_exception(
+                    DeadlineExceeded("deadline passed while queued; shedding")
+                )
                 continue
+            members = live_groups.get(pending.predicates)
+            if members is None:
+                order.append(pending.predicates)
+                live_groups[pending.predicates] = [pending]
+            else:
+                members.append(pending)
+        results: "list | None" = None
+        if order:
             try:
-                result = session.estimate(predicates)
+                results = session.estimate_batch(order)
             except EstimationFault:
                 # only possible on a strict session; surfaces as a
                 # worker crash so the requeue/breaker path engages
                 raise
             except Exception as exc:
-                for pending in live:
-                    pending.future.set_exception(
-                        ServiceError(f"estimation failed: {exc}")
-                    )
-                continue
+                for members in live_groups.values():
+                    for pending in members:
+                        pending.future.set_exception(
+                            ServiceError(f"estimation failed: {exc}")
+                        )
+        for predicates, result in zip(order, results or ()):
+            live = live_groups[predicates]
             if result.degradation_level:
                 degraded += len(live)
             cross = self.database.cross_product_size(live[0].tables)
@@ -558,6 +563,7 @@ class EstimationService:
                     deduplicated=index > 0,
                     degradation_level=result.degradation_level,
                     excluded_sits=result.excluded_sits,
+                    plan_cache_hit=result.plan_cache_hit,
                 )
                 if index > 0:
                     deduplicated += 1

@@ -172,7 +172,9 @@ class TestServingIsolation:
         assert fresh.cardinality(query) != pytest.approx(before)
 
     def test_cross_query_cache_hit_rate_surfaces(self, catalog, workload):
-        session = EstimationSession(catalog)
+        # plan_cache=False: replayed template hits bypass the factor-match
+        # cache this test observes
+        session = EstimationSession(catalog, plan_cache=False)
         for query in workload * 2:
             session.selectivity(query)
         snapshot = session.stats_snapshot()

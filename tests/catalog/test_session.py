@@ -65,8 +65,10 @@ class TestEstimates:
 
 
 class TestCrossQueryCaching:
+    # plan_cache=False: these tests exercise the shared factor-match
+    # cache, which a compiled-plan replay intentionally never touches
     def test_second_query_hits_shared_match_cache(self, catalog, query):
-        session = EstimationSession(catalog)
+        session = EstimationSession(catalog, plan_cache=False)
         session.selectivity(query)
         first_hits = session.match_cache_hits
         session.selectivity(query)
@@ -76,7 +78,7 @@ class TestCrossQueryCaching:
     def test_distinct_queries_share_factor_work(
         self, catalog, two_table_join, two_table_attrs
     ):
-        session = EstimationSession(catalog)
+        session = EstimationSession(catalog, plan_cache=False)
         session.selectivity(
             Query.of(
                 two_table_join,
@@ -111,7 +113,9 @@ class TestSnapshotPinning:
 
 class TestObservability:
     def test_stats_snapshot_shape(self, catalog, query):
-        session = EstimationSession(catalog, name="serving")
+        session = EstimationSession(
+            catalog, name="serving", plan_cache=False
+        )
         session.selectivity(query)
         session.selectivity(query)
         snapshot = session.stats_snapshot()
@@ -121,6 +125,15 @@ class TestObservability:
         assert snapshot.counters["queries"] == 2.0
         assert snapshot.catalog["match_cache_hit_rate"] > 0.0
         assert snapshot.catalog["current"] == 1.0
+
+    def test_plan_cache_namespace(self, catalog, query):
+        session = EstimationSession(catalog, name="serving")
+        session.selectivity(query)
+        session.selectivity(query)
+        snapshot = session.stats_snapshot()
+        assert snapshot.plan_cache["hits"] >= 1.0
+        assert snapshot.plan_cache["compiles"] >= 1.0
+        assert snapshot.plan_cache["hit_rate"] > 0.0
 
     def test_current_gauge_drops_after_invalidation(self, catalog, query):
         session = EstimationSession(catalog)

@@ -1,0 +1,264 @@
+"""Plan-cache parity suite: cached replay vs the cold full DP.
+
+The compiled-plan cache (:mod:`repro.core.plancache`) promises that a
+template *hit* is bit-identical to running the full ``getSelectivity``
+DP from scratch.  This suite holds it to that across 400 (shape,
+constants) workload pairs — snowflake and TPC-H schemas, nInd and Diff
+error functions — by generating template queries with the workload
+generator, re-instantiating each template with fresh random constants,
+and asserting exact (``==``, no tolerance) equality of selectivity,
+error, coverage, decomposition and matches against an estimator that
+has the cache disabled.
+
+It also pins the resilience contract: degraded (ladder level > 0)
+results are never compiled or served from the cache, and ``strict=True``
+raises through the cache path without poisoning it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DiffError, NIndError
+from repro.core.estimator import CardinalityEstimator
+from repro.core.plancache import shape_fingerprint
+from repro.core.predicates import FilterPredicate
+from repro.resilience.faults import (
+    POINT_SIT_MATCH,
+    EstimationFault,
+    FaultPlan,
+    FaultRule,
+    armed,
+)
+from repro.stats.builder import SITBuilder
+from repro.stats.pool import build_workload_pool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+
+#: templates per (database, error function) and constant instantiations
+#: per template — 10 x 10 x 2 error functions x 2 databases = 400 pairs
+TEMPLATES = 10
+VARIANTS = 10
+
+ERROR_FACTORIES = {
+    "nInd": lambda pool: NIndError(),
+    "Diff": lambda pool: DiffError(pool),
+}
+
+
+def build_setup(database, seed: int):
+    generator = WorkloadGenerator(
+        database,
+        WorkloadConfig(join_count=2, filter_count=2, seed=seed),
+    )
+    templates = generator.generate(TEMPLATES)
+    pool = build_workload_pool(SITBuilder(database), templates, max_joins=2)
+    return templates, pool
+
+
+@pytest.fixture(scope="module")
+def snowflake_setup(tiny_snowflake):
+    templates, pool = build_setup(tiny_snowflake, seed=13)
+    return tiny_snowflake, templates, pool
+
+
+@pytest.fixture(scope="module")
+def tpch_setup(tpch_db):
+    templates, pool = build_setup(tpch_db, seed=17)
+    return tpch_db, templates, pool
+
+
+# ----------------------------------------------------------------------
+def constant_variants(
+    rng: random.Random, predicates: frozenset, count: int
+) -> list[frozenset]:
+    """``count`` re-instantiations of one template with fresh constants.
+
+    ``FilterPredicate.__str__`` leads with the constants, so a large
+    enough perturbation permutes the positional ``str`` order and — by
+    the fingerprint's deliberate design — lands in a *different*
+    template (see :func:`test_order_permuting_constants_change_shape`).
+    Here we want same-shape variants, so draws that flip the order are
+    rejected and retried at a shrinking perturbation scale (scale → 0
+    reproduces the template's own order, guaranteeing convergence).
+    """
+    joins = {p for p in predicates if p.is_join}
+    filters = [p for p in predicates if not p.is_join]
+    base_fingerprint = shape_fingerprint(predicates)[0]
+    variants = []
+    while len(variants) < count:
+        for attempt in range(64):
+            scale = 0.6 * (0.7**attempt)
+            fresh: set = set(joins)
+            for old in filters:
+                span = max(1.0, old.high - old.low)
+                low = round(old.low + rng.uniform(-scale, scale) * span, 3)
+                if old.low == old.high:
+                    # point filters render attribute-first (``a=c``);
+                    # keep them points so the rendering class matches
+                    high = low
+                else:
+                    high = round(low + span * rng.uniform(0.4, 1.8), 3)
+                fresh.add(FilterPredicate(old.attribute, low, high))
+            variant = frozenset(fresh)
+            if shape_fingerprint(variant)[0] == base_fingerprint:
+                variants.append(variant)
+                break
+        else:  # pragma: no cover - the scale decay makes this unreachable
+            raise AssertionError("could not re-instantiate the template")
+    return variants
+
+
+def assert_bit_identical(cached, cold):
+    assert cached.selectivity == cold.selectivity
+    assert cached.error == cold.error
+    assert cached.coverage == cold.coverage
+    assert cached.decomposition == cold.decomposition
+    assert cached.matches == cold.matches
+    assert cached.degradation_level == 0 == cold.degradation_level
+
+
+def run_parity(database, templates, pool, error_name: str) -> None:
+    factory = ERROR_FACTORIES[error_name]
+    warm = CardinalityEstimator(
+        database, pool, factory(pool), plan_cache=True
+    )
+    assert warm.plan_cache is not None, "plan-stable error fn must enable it"
+    rng = random.Random(20260807)
+    pairs = 0
+    hits = 0
+    for template in templates:
+        base = frozenset(template.predicates)
+        assert any(not p.is_join for p in base)  # constants exist to vary
+        # a fresh DP per template is the cold baseline; its memo is
+        # shared across the template's variants exactly like the
+        # uncached estimator path would share it
+        cold = CardinalityEstimator(
+            database, pool, factory(pool), plan_cache=False
+        )
+        assert cold.plan_cache is None
+        for variant in [base, *constant_variants(rng, base, VARIANTS - 1)]:
+            cached = warm.estimate_predicates(variant)
+            assert_bit_identical(cached, cold.estimate_predicates(variant))
+            pairs += 1
+            hits += cached.plan_cache_hit
+    assert pairs == TEMPLATES * VARIANTS
+    # every variant after a template's first must replay (templates may
+    # even share a shape, which only increases the hit count)
+    status = warm.plan_cache.status()
+    assert hits == status["hits"] >= pairs - TEMPLATES
+    assert 0 < status["plans"] <= TEMPLATES
+    assert status["compiles"] == status["plans"]
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("error_name", ["nInd", "Diff"])
+    def test_snowflake(self, snowflake_setup, error_name):
+        run_parity(*snowflake_setup, error_name)
+
+    @pytest.mark.parametrize("error_name", ["nInd", "Diff"])
+    def test_tpch(self, tpch_setup, error_name):
+        run_parity(*tpch_setup, error_name)
+
+    def test_suite_covers_200_pairs(self):
+        """The documented floor: >=200 (shape, constants) pairs overall."""
+        assert TEMPLATES * VARIANTS * len(ERROR_FACTORIES) * 2 >= 200
+
+
+def test_order_permuting_constants_change_shape(snowflake_setup):
+    """The deliberate hit-rate-for-bit-identity trade: constants that
+    permute the positional ``str`` order land in a *different*
+    fingerprint, and the second ordering compiles its own plan — both
+    still bit-identical to the cold DP."""
+    database, templates, pool = snowflake_setup
+    template = next(
+        t
+        for t in templates
+        if sum(1 for p in t.predicates if not p.is_join) >= 2
+    )
+    base = frozenset(template.predicates)
+    joins = {p for p in base if p.is_join}
+    filters = sorted((p for p in base if not p.is_join), key=str)
+    # swap the two filters' constant blocks: the str order permutes
+    first, second = filters[0], filters[1]
+    swapped = frozenset(
+        joins
+        | {
+            FilterPredicate(first.attribute, second.low, second.high),
+            FilterPredicate(second.attribute, first.low, first.high),
+        }
+    )
+    assert shape_fingerprint(base)[0] != shape_fingerprint(swapped)[0]
+
+    warm = CardinalityEstimator(database, pool, NIndError(), plan_cache=True)
+    warm.estimate_predicates(base)
+    result = warm.estimate_predicates(swapped)
+    assert not result.plan_cache_hit  # a different template: compile, no hit
+    assert warm.plan_cache.status()["plans"] == 2
+    cold = CardinalityEstimator(database, pool, NIndError())
+    assert_bit_identical(result, cold.estimate_predicates(swapped))
+    # and each ordering replays behind its own plan from here on
+    assert warm.estimate_predicates(base).plan_cache_hit
+    assert warm.estimate_predicates(swapped).plan_cache_hit
+
+
+# ----------------------------------------------------------------------
+def storm() -> FaultPlan:
+    """Every SIT match faults, forever — forces the degradation ladder."""
+    return FaultPlan(
+        [FaultRule(point=POINT_SIT_MATCH, probability=1.0, max_fires=None)],
+        seed=0,
+    )
+
+
+class TestLadderBypass:
+    def test_degraded_results_are_never_compiled(self, snowflake_setup):
+        database, templates, pool = snowflake_setup
+        warm = CardinalityEstimator(
+            database, pool, NIndError(), plan_cache=True
+        )
+        query = templates[0]
+        with armed(storm()):
+            degraded = warm.estimate(query)
+        assert degraded.degradation_level > 0
+        assert not degraded.plan_cache_hit
+        assert len(warm.plan_cache) == 0
+        assert warm.plan_cache.status()["compiles"] == 0
+
+        # the next clean run compiles (a miss, not a poisoned hit) and
+        # matches a cache-less estimator exactly
+        clean = warm.estimate(query)
+        assert clean.degradation_level == 0
+        assert not clean.plan_cache_hit
+        cold = CardinalityEstimator(database, pool, NIndError())
+        assert_bit_identical(clean, cold.estimate(query))
+
+    def test_compiled_hit_rides_out_a_fault_storm(self, snowflake_setup):
+        """A template hit replays frozen statistics and never reaches the
+        matcher, so an armed fault storm cannot degrade it — the replay
+        stays level 0 and bit-identical."""
+        database, templates, pool = snowflake_setup
+        warm = CardinalityEstimator(
+            database, pool, NIndError(), plan_cache=True
+        )
+        query = templates[0]
+        before = warm.estimate(query)
+        assert before.degradation_level == 0
+        with armed(storm()):
+            replayed = warm.estimate(query)
+        assert replayed.plan_cache_hit
+        assert replayed.degradation_level == 0
+        assert replayed.selectivity == before.selectivity
+        assert replayed.matches == before.matches
+
+    def test_strict_raises_through_the_cache_path(self, snowflake_setup):
+        database, templates, pool = snowflake_setup
+        strict = CardinalityEstimator(
+            database, pool, NIndError(), plan_cache=True, strict=True
+        )
+        with armed(storm()):
+            with pytest.raises(EstimationFault):
+                strict.estimate(templates[0])
+        assert strict.plan_cache.status()["compiles"] == 0
+        assert len(strict.plan_cache) == 0

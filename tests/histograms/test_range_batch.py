@@ -1,0 +1,109 @@
+"""``estimate_range_selectivity_batch`` vs the scalar method: the
+plan-cache batched replay is only bit-identical if the vectorized
+kernel reproduces :meth:`Bucket.overlap_fraction` branch for branch and
+sums contributions in the scalar loop's association order.  This file
+pins ``==`` (not approx) equality across random histograms and
+adversarial ranges: inverted, point, zero-width buckets, edge-exact,
+fully-outside, and empty/zero-total histograms.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.histograms.base import Bucket, Histogram
+
+
+def random_histogram(rng: random.Random) -> Histogram:
+    count = rng.randint(1, 6)
+    edges = sorted(rng.sample(range(0, 801), 2 * count))
+    buckets = []
+    for i in range(count):
+        low, high = float(edges[2 * i]), float(edges[2 * i + 1])
+        if rng.random() < 0.2:
+            high = low  # zero-width (point) bucket
+        frequency = float(rng.randint(1, 1000))
+        distinct = float(
+            rng.randint(1, max(1, int(min(frequency, high - low + 1))))
+        )
+        buckets.append(Bucket(low, high, frequency, distinct))
+    return Histogram(buckets, null_count=float(rng.choice([0, 0, 0, 7])))
+
+
+def random_ranges(rng: random.Random, histogram: Histogram, count: int):
+    """Ranges that stress every branch of the scalar path."""
+    lows, highs = [], []
+    edges = [b.low for b in histogram.buckets] + [
+        b.high for b in histogram.buckets
+    ]
+    for _ in range(count):
+        kind = rng.random()
+        if kind < 0.15 and edges:  # exactly on bucket edges
+            low = rng.choice(edges)
+            high = rng.choice(edges)
+            if high < low and rng.random() < 0.5:
+                low, high = high, low
+        elif kind < 0.3:  # point range
+            low = high = float(rng.randint(-50, 850))
+        elif kind < 0.4:  # inverted: must yield exactly 0.0
+            low = float(rng.randint(0, 850))
+            high = low - float(rng.randint(1, 100))
+        elif kind < 0.5:  # fully outside
+            low, high = 900.0 + rng.random(), 1000.0
+        else:  # generic overlap
+            low = float(rng.randint(-50, 820))
+            high = low + float(rng.randint(0, 400))
+        lows.append(low)
+        highs.append(high)
+    return np.array(lows), np.array(highs)
+
+
+class TestBatchScalarParity:
+    def test_random_histograms_and_ranges_bit_identical(self):
+        rng = random.Random(20260807)
+        for _ in range(60):
+            histogram = random_histogram(rng)
+            lows, highs = random_ranges(rng, histogram, 40)
+            batch = histogram.estimate_range_selectivity_batch(lows, highs)
+            scalar = [
+                histogram.estimate_range_selectivity(low, high)
+                for low, high in zip(lows, highs)
+            ]
+            assert batch.shape == lows.shape
+            assert batch.tolist() == scalar  # exact, not approx
+
+    def test_inverted_ranges_are_exactly_zero(self):
+        histogram = random_histogram(random.Random(3))
+        lows = np.array([10.0, 500.0])
+        highs = np.array([5.0, 499.0])
+        assert histogram.estimate_range_selectivity_batch(
+            lows, highs
+        ).tolist() == [0.0, 0.0]
+
+    def test_empty_histogram_yields_zeros(self):
+        histogram = Histogram([])
+        out = histogram.estimate_range_selectivity_batch(
+            np.array([0.0, 1.0]), np.array([10.0, 2.0])
+        )
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_zero_total_yields_zeros(self):
+        histogram = Histogram([Bucket(0.0, 10.0, 0.0, 0.0)])
+        out = histogram.estimate_range_selectivity_batch(
+            np.array([0.0]), np.array([10.0])
+        )
+        assert out.tolist() == [0.0]
+
+    def test_batch_of_one_matches_scalar(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            histogram = random_histogram(rng)
+            low = float(rng.randint(-10, 800))
+            high = low + float(rng.randint(0, 300))
+            batch = histogram.estimate_range_selectivity_batch(
+                np.array([low]), np.array([high])
+            )
+            assert batch[0] == histogram.estimate_range_selectivity(low, high)

@@ -28,6 +28,7 @@ class TestStatsSnapshot:
             "catalog",
             "service",
             "resilience",
+            "plan_cache",
         )
 
     def test_from_registry_groups_namespaces(self):
@@ -103,6 +104,7 @@ class TestStatsSnapshot:
             "catalog",
             "service",
             "resilience",
+            "plan_cache",
             "meta",
         }
 

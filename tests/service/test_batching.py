@@ -13,6 +13,16 @@ COALESCING = ServiceConfig(
     workers=1, queue_depth=64, batch_window_s=0.5, max_batch=64
 )
 
+#: same, with the compiled-plan cache off — for tests that assert the
+#: factor-match sharing a plan replay intentionally never exercises
+COALESCING_NO_PLAN_CACHE = ServiceConfig(
+    workers=1,
+    queue_depth=64,
+    batch_window_s=0.5,
+    max_batch=64,
+    plan_cache=False,
+)
+
 
 class TestFactorSharing:
     def test_batch_of_k_does_less_matcher_work_than_k_sessions(
@@ -32,14 +42,16 @@ class TestFactorSharing:
         isolated_match_passes = 0.0
         isolated_hits = 0.0
         for query in queries:
-            session = EstimationSession(snapshot)
+            session = EstimationSession(snapshot, plan_cache=False)
             session.estimate(query)
             caches = session.stats_snapshot().caches
             isolated_match_passes += caches["match_cache_misses"]
             isolated_hits += caches["match_cache_hits"]
         assert isolated_hits == 0.0  # nothing shared across sessions
 
-        with EstimationService(service_catalog, config=COALESCING) as service:
+        with EstimationService(
+            service_catalog, config=COALESCING_NO_PLAN_CACHE
+        ) as service:
             futures = [service.submit(query) for query in queries]
             answers = [future.result(timeout=30.0) for future in futures]
             stats = service.stats_snapshot()
@@ -55,7 +67,9 @@ class TestFactorSharing:
     def test_shared_cache_hits_accumulate_across_the_batch(
         self, service_catalog, factor_sharing_queries
     ):
-        with EstimationService(service_catalog, config=COALESCING) as service:
+        with EstimationService(
+            service_catalog, config=COALESCING_NO_PLAN_CACHE
+        ) as service:
             futures = [
                 service.submit(query) for query in factor_sharing_queries
             ]
@@ -104,6 +118,56 @@ class TestDeduplication:
         assert stats.service["batches"] == 1.0
         assert stats.service["deduplicated"] == 3.0
         assert stats.counters["queries"] == 3
+
+
+class TestShapeGroupBatching:
+    def test_same_shape_batch_replays_as_one_group(
+        self, service_catalog, factor_sharing_queries
+    ):
+        """Same-shape (not just identical) requests share one compiled
+        plan: the first instance compiles, the rest of the batch — and
+        all of the next batch — replay without touching the matcher."""
+        queries = factor_sharing_queries
+        with EstimationService(service_catalog, config=COALESCING) as service:
+            first = [
+                future.result(timeout=30.0)
+                for future in [service.submit(query) for query in queries]
+            ]
+            second = [
+                future.result(timeout=30.0)
+                for future in [service.submit(query) for query in queries]
+            ]
+            stats = service.stats_snapshot()
+        # first instance of the shape compiles; every later one replays
+        assert [answer.plan_cache_hit for answer in first].count(True) >= (
+            len(queries) - 1
+        )
+        assert all(answer.plan_cache_hit for answer in second)
+        assert stats.plan_cache["hits"] >= 2 * len(queries) - 1
+        assert stats.plan_cache["compiles"] >= 1.0
+        assert stats.plan_cache["hit_rate"] > 0.8
+
+    def test_replayed_answers_match_plan_cache_off(
+        self, service_catalog, factor_sharing_queries
+    ):
+        queries = factor_sharing_queries * 2
+        with EstimationService(service_catalog, config=COALESCING) as service:
+            cached = [
+                future.result(timeout=30.0)
+                for future in [service.submit(query) for query in queries]
+            ]
+        with EstimationService(
+            service_catalog, config=COALESCING_NO_PLAN_CACHE
+        ) as service:
+            cold = [
+                future.result(timeout=30.0)
+                for future in [service.submit(query) for query in queries]
+            ]
+        for hit, miss in zip(cached, cold):
+            assert hit.selectivity == miss.selectivity
+            assert hit.cardinality == miss.cardinality
+            assert hit.error == miss.error
+        assert not any(answer.plan_cache_hit for answer in cold)
 
 
 class TestBatchLimits:
