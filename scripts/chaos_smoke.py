@@ -27,11 +27,12 @@ import time
 from repro.catalog import StatisticsCatalog
 from repro.resilience.faults import FaultPlan, FaultRule, armed
 from repro.service import (
+    HealingConfig,
     EstimationService,
     Overloaded,
     ServiceConfig,
     ServiceError,
-    TCPClient,
+    connect,
 )
 from repro.service.protocol import ServedEstimate
 from repro.service.server import start_in_thread
@@ -101,9 +102,11 @@ def smoke_chaos(catalog: StatisticsCatalog) -> None:
         workers=2,
         queue_depth=32,
         batch_window_s=0.002,
-        requeue_limit=2,
-        breaker_threshold=1_000,  # crashes are version-independent here
-        max_worker_restarts=200,
+        healing=HealingConfig(
+            requeue_limit=2,
+            breaker_threshold=1_000,  # crashes are version-independent here
+            max_worker_restarts=200,
+        ),
     )
     plan = mixed_plan()
     started = time.monotonic()
@@ -112,7 +115,7 @@ def smoke_chaos(catalog: StatisticsCatalog) -> None:
         service = EstimationService(catalog, config=config)
         with start_in_thread(service, port=0) as handle:
             host, port = handle.address
-            with TCPClient(host, port, timeout_s=60.0) as client:
+            with connect((host, port), timeout_s=60.0) as client:
                 for sql in queries():
                     try:
                         answer = client.estimate(sql)

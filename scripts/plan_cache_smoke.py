@@ -27,7 +27,7 @@ import sys
 import time
 
 from repro.catalog import StatisticsCatalog
-from repro.service import EstimationService, ServiceConfig, TCPClient
+from repro.service import EstimationService, ServiceConfig, connect
 from repro.service.protocol import ServedEstimate
 from repro.service.server import start_in_thread
 from repro.workload.queries import WorkloadConfig, WorkloadGenerator
@@ -84,7 +84,7 @@ def main() -> int:
     service = EstimationService(catalog, config=config)
     with start_in_thread(service, port=0) as handle:
         host, port = handle.address
-        with TCPClient(host, port, timeout_s=60.0) as client:
+        with connect((host, port), timeout_s=60.0) as client:
             answers: dict[str, ServedEstimate] = {}
             for sql in workload():
                 answer = client.estimate(sql)

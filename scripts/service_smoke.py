@@ -1,7 +1,7 @@
 """CI smoke for the estimation-serving subsystem.
 
 Starts the JSON-lines server on an ephemeral port, drives 50 queries
-through :class:`repro.service.TCPClient`, forces load shedding against a
+through ``repro.service.connect``, forces load shedding against a
 depth-1 queue, and asserts a clean drain/shutdown.  Exits non-zero on
 any violation::
 
@@ -17,7 +17,7 @@ from repro.service import (
     EstimationService,
     Overloaded,
     ServiceConfig,
-    TCPClient,
+    connect,
 )
 from repro.service.server import start_in_thread
 from repro.workload.queries import WorkloadConfig, WorkloadGenerator
@@ -55,7 +55,7 @@ def smoke_tcp(catalog: StatisticsCatalog) -> None:
     )
     with start_in_thread(service, port=0) as handle:
         host, port = handle.address
-        with TCPClient(host, port) as client:
+        with connect((host, port)) as client:
             assert client.ping(), "server did not answer ping"
             versions = set()
             for index in range(QUERY_COUNT):

@@ -23,7 +23,11 @@ The public API is re-exported here; the subpackages are:
 * :mod:`repro.service` — the concurrent estimation-serving subsystem:
   worker pool + micro-batching + admission control behind
   :class:`~repro.service.EstimationService`, the asyncio JSON-lines
-  server (``python -m repro serve``) and :class:`~repro.service.Client`;
+  server (``python -m repro serve``) and the one client entrypoint
+  :func:`~repro.service.connect`;
+* :mod:`repro.cluster` — the multi-process estimation tier: shard
+  processes over one shared-memory snapshot behind a consistent-hash
+  router with hedged requests (``python -m repro serve --shards N``);
 * :mod:`repro.bench` — the experiment harness regenerating every figure.
 """
 
@@ -51,11 +55,14 @@ from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
 from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
 from repro.service import (
     Client,
+    ClusterConfig,
     EstimationService,
+    HealingConfig,
     Overloaded,
     ServedEstimate,
     ServiceConfig,
     TCPClient,
+    connect,
 )
 from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
 
@@ -66,6 +73,7 @@ __all__ = [
     "CardinalityEstimator",
     "CatalogSnapshot",
     "Client",
+    "ClusterConfig",
     "Database",
     "DiffError",
     "EstimationService",
@@ -74,6 +82,7 @@ __all__ = [
     "ExplainResult",
     "FilterPredicate",
     "GreedyViewMatching",
+    "HealingConfig",
     "JoinPredicate",
     "MetricsRegistry",
     "NIndError",
@@ -94,6 +103,7 @@ __all__ = [
     "TableSchema",
     "Trace",
     "build_workload_pool",
+    "connect",
     "make_gs_diff",
     "make_gs_nind",
     "make_gs_opt",

@@ -25,9 +25,12 @@ Commands
 ``serve``
     Start the concurrent estimation server (``repro.service``): a
     worker pool with micro-batching, admission control and hot snapshot
-    swap behind an asyncio JSON-lines TCP front-end.  Talk to it with
-    ``repro.service.TCPClient`` or one JSON object per line on a raw
-    socket.
+    swap behind an asyncio JSON-lines TCP front-end.  ``--shards N``
+    (or a ``--config`` file with a ``cluster`` block) serves through
+    the multi-process tier (``repro.cluster``) instead: N shard
+    processes over one shared-memory snapshot behind the consistent-
+    hash router.  Talk to it with ``repro.service.connect("host:port")``
+    or one JSON object per line on a raw socket.
 ``info``
     Version and package inventory.
 """
@@ -263,9 +266,17 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
     from repro.catalog import StatisticsCatalog
     from repro.resilience import FaultPlan, arm, disarm
-    from repro.service import EstimationService, ServiceConfig, run_server
+    from repro.service import (
+        ClusterConfig,
+        EstimationService,
+        ServiceConfig,
+        run_server,
+    )
     from repro.workload.queries import WorkloadConfig, WorkloadGenerator
     from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
 
@@ -305,28 +316,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for attribute in table.attributes:
             if attribute not in present:
                 catalog.add(catalog.builder.build_base(attribute))
-    config = ServiceConfig(
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        batch_window_s=args.batch_window_ms / 1000.0,
-        max_batch=args.max_batch,
-        host=args.host,
-        port=args.port,
-    )
+    if args.config is not None:
+        # one JSON file describes the whole deployment (nested healing
+        # and cluster blocks included); address flags still win so one
+        # file serves many ports
+        with open(args.config, encoding="utf-8") as handle:
+            config = ServiceConfig.from_dict(json.load(handle))
+        config = dataclasses.replace(config, host=args.host, port=args.port)
+    else:
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            max_batch=args.max_batch,
+            host=args.host,
+            port=args.port,
+        )
+    if args.shards:
+        config = dataclasses.replace(
+            config,
+            cluster=ClusterConfig(shards=args.shards, replicas=args.replicas),
+        )
     # arm the chaos plan before the workers spin up so every injection
     # point on the serving path (snapshot pin, SIT match, histogram
     # join, worker batch) is live for the server's whole life
     if fault_plan is not None:
         arm(fault_plan)
     try:
-        service = EstimationService(catalog, config=config)
+        if config.cluster is not None:
+            from repro.cluster import EstimationCluster
+
+            print(
+                f"spawning {config.cluster.shards} shard(s) + "
+                f"{config.cluster.replicas} replica(s) over one "
+                "shared-memory snapshot ...",
+                file=sys.stderr,
+            )
+            service = EstimationCluster(catalog, config=config)
+        else:
+            service = EstimationService(catalog, config=config)
 
         def ready(address: tuple[str, int]) -> None:
             host, port = address
+            tier = (
+                f"{config.cluster.shards} shards"
+                if config.cluster is not None
+                else f"{config.workers} workers"
+            )
             print(
                 f"serving {len(catalog)} SITs on {host}:{port} "
-                f"({config.workers} workers, queue {config.queue_depth}, "
-                f"batch window {args.batch_window_ms}ms) — Ctrl-C to drain",
+                f"({tier}, queue {config.queue_depth}, "
+                f"batch window {config.batch_window_s * 1000.0}ms) "
+                "— Ctrl-C to drain",
                 file=sys.stderr,
                 flush=True,
             )
@@ -450,6 +491,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--path", default=None, help="serve a saved catalog file (v2 JSON)"
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        help=(
+            "deployment config file (nested ServiceConfig JSON, "
+            "healing/cluster blocks included); overrides the tuning flags"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "serve through the multi-process cluster tier with this many "
+            "shard processes (0 = single-process service)"
+        ),
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="hedge-only replica processes (requires --shards)",
     )
     serve.add_argument(
         "--fault-plan",

@@ -19,6 +19,15 @@ pattern where many concurrent estimations share decomposition factors):
     Admission control must shed with typed ``Overloaded`` responses, and
     everything admitted must still be answered (no hangs, no crashes).
 
+``--cluster`` additionally drives the multi-process tier
+(:mod:`repro.cluster`): the same closed-loop stream through an
+``EstimationCluster`` at 1 shard and at ``--shards`` shards, so the
+report carries the process-parallel speedup *measured on this host*.
+The block records ``cores`` (``os.cpu_count()``) because the headline
+scaling claim only materialises with >= ``shards`` physical cores —
+on a 1-core container the expected honest result is ~1x (plus IPC
+overhead), and the numbers are reported as observed, never projected.
+
 Writes ``BENCH_service.json`` at the repository root::
 
     PYTHONPATH=src python -m repro.bench.serve_load [output.json]
@@ -32,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import random
@@ -277,6 +287,124 @@ def run_open_loop(
     }
 
 
+def _drive_cluster(
+    catalog,
+    stream: list[Query],
+    shards: int,
+    clients: int,
+    pipeline: int = 8,
+) -> dict:
+    """Closed loop through an :class:`~repro.cluster.EstimationCluster`
+    of ``shards`` single-worker shard processes."""
+    from repro.cluster import EstimationCluster
+    from repro.service import ClusterConfig
+
+    config = ServiceConfig(
+        queue_depth=max(256, len(stream)),
+        cluster=ClusterConfig(
+            shards=shards,
+            shard_workers=1,
+            # hedging off for the throughput measurement: a hedge doubles
+            # the work of the slowest tail, which is honest for latency
+            # but noise when comparing shard counts
+            hedge_delay_s=60.0,
+        ),
+    )
+    shards_of_work = [stream[i::clients] for i in range(clients)]
+    latencies_by_client: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    cluster = EstimationCluster(catalog, config=config)
+    try:
+        for query in _distinct(stream):  # warm every shard's template
+            cluster.estimate(query)
+
+        def client_loop(index: int) -> None:
+            try:
+                window: list[tuple[float, object]] = []
+                record = latencies_by_client[index].append
+
+                def reap() -> None:
+                    t0, future = window.pop(0)
+                    future.result(timeout=120.0)
+                    record((time.perf_counter() - t0) * 1000.0)
+
+                for query in shards_of_work[index]:
+                    if len(window) >= pipeline:
+                        reap()
+                    window.append(
+                        (time.perf_counter(), cluster.submit(query))
+                    )
+                while window:
+                    reap()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(index,))
+            for index in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        snapshot = cluster.stats_snapshot()
+    finally:
+        cluster.close()
+    if errors:
+        raise RuntimeError(f"cluster client failed: {errors[0]!r}")
+    latencies = [value for client in latencies_by_client for value in client]
+    cluster_ns = dict(snapshot.cluster)
+    return {
+        "shards": shards,
+        "clients": clients,
+        "pipeline": pipeline,
+        "requests": len(latencies),
+        "seconds": elapsed,
+        "qps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "mean_ms": sum(latencies) / len(latencies),
+        **_percentiles(latencies),
+        "routed": cluster_ns.get("routed", 0.0),
+        "spilled": cluster_ns.get("spilled", 0.0),
+        "ejections": cluster_ns.get("ejections", 0.0),
+    }
+
+
+def run_cluster(
+    catalog,
+    stream: list[Query],
+    shards: int,
+    clients: int,
+) -> dict:
+    """The ``cluster`` report block: 1 shard vs ``shards`` shards.
+
+    ``cores`` is recorded so the reader can judge the speedup honestly:
+    shard processes beat one process only when they run on distinct
+    cores.  The numbers are measured, never projected.
+    """
+    single = _drive_cluster(catalog, stream, shards=1, clients=clients)
+    print(
+        f"cluster 1x:  {single['qps']:8.1f} qps", file=sys.stderr
+    )
+    sharded = _drive_cluster(catalog, stream, shards=shards, clients=clients)
+    speedup = sharded["qps"] / single["qps"] if single["qps"] else 0.0
+    cores = os.cpu_count() or 1
+    print(
+        f"cluster {shards}x:  {sharded['qps']:8.1f} qps "
+        f"({speedup:.2f}x on {cores} core(s))",
+        file=sys.stderr,
+    )
+    return {
+        "cores": cores,
+        "single_shard": single,
+        "sharded": sharded,
+        "speedup_vs_single_shard": speedup,
+        "core_limited": cores < shards,
+    }
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -289,6 +417,7 @@ def run(
     workers: int = 1,
     batch_window_ms: float = 1.0,
     overload_queue_depth: int = 8,
+    cluster_shards: int = 0,
 ) -> dict:
     database, catalog, queries = build_workload(scale, seed, distinct)
     stream = request_stream(queries, requests, seed)
@@ -311,6 +440,7 @@ def run(
             workers=workers,
             batch_window_ms=batch_window_ms,
             overload_queue_depth=overload_queue_depth,
+            cluster_shards=cluster_shards,
         )
     finally:
         sys.setswitchinterval(previous_switch_interval)
@@ -328,6 +458,7 @@ def _run_regimes(
     workers: int,
     batch_window_ms: float,
     overload_queue_depth: int,
+    cluster_shards: int = 0,
 ) -> dict:
     print(
         f"workload: {distinct} distinct queries, {requests} requests, "
@@ -360,6 +491,11 @@ def _run_regimes(
         f"({open_loop['shed_rate']:.0%}), clean={open_loop['clean_shutdown']}",
         file=sys.stderr,
     )
+    cluster = None
+    if cluster_shards:
+        cluster = run_cluster(
+            catalog, stream, shards=cluster_shards, clients=clients
+        )
     return {
         "meta": {
             "python": platform.python_version(),
@@ -373,6 +509,7 @@ def _run_regimes(
         "baseline": baseline,
         "closed_loop": closed,
         "open_loop": open_loop,
+        **({"cluster": cluster} if cluster is not None else {}),
     }
 
 
@@ -393,6 +530,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--batch-window-ms", type=float, default=1.0, dest="batch_window_ms"
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "also measure the multi-process tier: closed loop at 1 shard "
+            "vs --shards shards, reported with the host core count"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard processes for the --cluster comparison (default 4)",
+    )
     args = parser.parse_args(argv)
     report = run(
         scale=args.scale,
@@ -402,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         clients=args.clients,
         workers=args.workers,
         batch_window_ms=args.batch_window_ms,
+        cluster_shards=args.shards if args.cluster else 0,
     )
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

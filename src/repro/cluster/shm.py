@@ -1,0 +1,309 @@
+"""Zero-copy snapshot sharing over ``multiprocessing.shared_memory``.
+
+The cluster's memory model: the router process **exports** one catalog
+snapshot — every SIT's four bucket arrays packed end-to-end into a
+single shared-memory segment — and each shard process **attaches** the
+segment read-only.  N shards then serve from *one* copy of the
+histogram memory; what crosses the process boundary at spawn time is
+only a JSON-able descriptor (segment name, per-SIT offsets, predicate
+expressions, schema, row counts), a few kilobytes regardless of how
+large the statistics are.
+
+Attachment rebuilds real :class:`~repro.stats.sit.SIT` objects whose
+:class:`~repro.histograms.base.Histogram` instances are created with
+:meth:`~repro.histograms.base.Histogram.from_arrays` over views into
+the segment — no bucket data is copied, and the element-order frequency
+fold keeps shard-side estimates bit-identical to the exporter's.
+
+Table *data* never crosses: estimation needs only the schema and the
+per-table row counts (for ``cross_product_size``), so shards get a
+:class:`StatsOnlyDatabase` — a :class:`~repro.engine.database.Database`
+that answers catalog lookups from the descriptor and refuses column
+access.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.catalog.catalog import CatalogSnapshot, StatisticsCatalog
+from repro.core.predicates import Attribute
+from repro.engine.database import Database
+from repro.engine.schema import ForeignKey, Schema, TableSchema
+from repro.histograms.base import Histogram
+from repro.stats.io import decode_predicate, encode_predicate
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+#: bucket arrays exported per histogram, in layout order
+_ARRAYS_PER_HISTOGRAM = 4
+
+
+class StatsOnlyDatabase(Database):
+    """A data-less database: schema + row counts, no columns.
+
+    Shards estimate from shared-memory statistics; the only engine
+    lookups on the estimation path are ``row_count`` /
+    ``cross_product_size`` (the ``|R1 x ... x Rn|`` denominators), which
+    this class answers from the exported counts.  Any attempt to touch
+    column data raises, so a statistics rebuild cannot silently run
+    against a shard's empty tables.
+    """
+
+    def __init__(self, schema: Schema, row_counts: dict[str, int]):
+        super().__init__(schema=schema)
+        self._row_counts = {name: int(count) for name, count in row_counts.items()}
+
+    def row_count(self, table: str) -> int:
+        try:
+            return self._row_counts[table]
+        except KeyError:
+            raise KeyError(f"unknown table {table!r}") from None
+
+    def table(self, name: str):
+        raise LookupError(
+            f"table {name!r} has no data in a stats-only shard database "
+            "(shards serve from shared-memory statistics; see repro.cluster)"
+        )
+
+    @property
+    def table_names(self) -> frozenset[str]:
+        return frozenset(self._row_counts)
+
+
+# ----------------------------------------------------------------------
+# Schema codec (plain JSON, rides in the descriptor)
+# ----------------------------------------------------------------------
+def _encode_schema(schema: Schema) -> dict:
+    return {
+        "tables": [
+            {
+                "name": table.name,
+                "columns": list(table.columns),
+                "primary_key": table.primary_key,
+            }
+            for table in schema.tables.values()
+        ],
+        "foreign_keys": [
+            {
+                "source_table": fk.source_table,
+                "source_column": fk.source_column,
+                "target_table": fk.target_table,
+                "target_column": fk.target_column,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _decode_schema(data: dict) -> Schema:
+    schema = Schema()
+    for table in data["tables"]:
+        schema.add_table(
+            TableSchema(
+                name=table["name"],
+                columns=tuple(table["columns"]),
+                primary_key=table.get("primary_key"),
+            )
+        )
+    for fk in data["foreign_keys"]:
+        schema.add_foreign_key(ForeignKey(**fk))
+    return schema
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+class SnapshotExport:
+    """A live shared-memory export: the segment plus its descriptor.
+
+    The exporter owns the segment: :meth:`close` detaches the local
+    mapping, :meth:`unlink` destroys the segment (call it exactly once,
+    after every shard has exited).  Context-managing does both.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, descriptor: dict):
+        self.segment = segment
+        self.descriptor = descriptor
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.descriptor["length"]) * 8
+
+    def close(self) -> None:
+        try:
+            self.segment.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SnapshotExport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+
+def export_snapshot(
+    snapshot: CatalogSnapshot,
+    database: Database | None = None,
+    *,
+    name: str | None = None,
+) -> SnapshotExport:
+    """Pack a snapshot's histograms into one shared-memory segment.
+
+    Every SIT contributes its four float64 bucket arrays (lows, highs,
+    frequencies, distincts) back-to-back; the returned descriptor
+    records each SIT's offset/size plus everything a shard needs to
+    rebuild a serving catalog: encoded expressions, ``diff`` values,
+    catalog/table versions, the schema, and per-table row counts.
+    """
+    if database is None:
+        database = snapshot.database
+    if database is None:
+        raise ValueError("export requires a database (schema + row counts)")
+    sits = list(snapshot.pool)
+    total = sum(
+        sit.histogram.bucket_arrays()[0].size * _ARRAYS_PER_HISTOGRAM
+        for sit in sits
+    )
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(8, total * 8), name=name
+    )
+    flat = np.ndarray((total,), dtype=np.float64, buffer=segment.buf)
+    records: list[dict] = []
+    cursor = 0
+    for sit in sits:
+        lows, highs, freqs, dists = sit.histogram.bucket_arrays()
+        buckets = int(lows.size)
+        for array in (lows, highs, freqs, dists):
+            flat[cursor : cursor + buckets] = array
+            cursor += buckets
+        records.append(
+            {
+                "table": sit.attribute.table,
+                "column": sit.attribute.column,
+                "expression": [encode_predicate(p) for p in sorted(sit.expression, key=str)],
+                "diff": sit.diff,
+                "null_count": sit.histogram.null_count,
+                "offset": cursor - buckets * _ARRAYS_PER_HISTOGRAM,
+                "buckets": buckets,
+            }
+        )
+    descriptor = {
+        "segment": segment.name,
+        "length": total,
+        "version": snapshot.version,
+        "table_versions": dict(snapshot.table_versions),
+        "sits": records,
+        "schema": _encode_schema(database.schema),
+        "row_counts": {
+            table: database.row_count(table)
+            for table in database.schema.tables
+        },
+    }
+    return SnapshotExport(segment, descriptor)
+
+
+# ----------------------------------------------------------------------
+# Attach
+# ----------------------------------------------------------------------
+class AttachedSnapshot:
+    """A shard's view of an export: catalog + database over mapped memory.
+
+    Keep this object alive for as long as the catalog serves — it owns
+    the process-local mapping.  :meth:`close` detaches (never unlinks;
+    the exporter owns the segment's lifetime).
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        catalog: StatisticsCatalog,
+        database: StatsOnlyDatabase,
+    ):
+        self.segment = segment
+        self.catalog = catalog
+        self.database = database
+
+    def close(self) -> None:
+        try:
+            self.segment.close()
+        except OSError:  # pragma: no cover - already detached
+            pass
+
+    def __enter__(self) -> "AttachedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_snapshot(descriptor: dict) -> AttachedSnapshot:
+    """Rebuild a serving catalog over an exported segment — zero copy.
+
+    The returned catalog reports the *exporter's* version and table
+    versions, so responses served off it carry the same
+    ``snapshot_version`` the single-process service would have sent.
+
+    Resource-tracker note: Python 3.11 registers attachments exactly
+    like creations (cpython #82300), but ``multiprocessing``-spawned
+    shards inherit the exporter's tracker, whose cache is a *set* — the
+    duplicate registration is a no-op and the single entry is released
+    by the exporter's ``unlink``.  Do **not** "fix" this by
+    unregistering in the shard: that removes the shared entry and makes
+    the exporter's unlink-time unregister fail.
+    """
+    segment = shared_memory.SharedMemory(name=descriptor["segment"])
+    flat = np.ndarray(
+        (int(descriptor["length"]),), dtype=np.float64, buffer=segment.buf
+    )
+    flat.flags.writeable = False
+    sits: list[SIT] = []
+    for record in descriptor["sits"]:
+        buckets = int(record["buckets"])
+        offset = int(record["offset"])
+        views = [
+            flat[offset + index * buckets : offset + (index + 1) * buckets]
+            for index in range(_ARRAYS_PER_HISTOGRAM)
+        ]
+        histogram = Histogram.from_arrays(
+            *views, null_count=float(record["null_count"])
+        )
+        sits.append(
+            SIT(
+                attribute=Attribute(record["table"], record["column"]),
+                expression=frozenset(
+                    decode_predicate(p) for p in record["expression"]
+                ),
+                histogram=histogram,
+                diff=float(record["diff"]),
+            )
+        )
+    database = StatsOnlyDatabase(
+        _decode_schema(descriptor["schema"]), descriptor["row_counts"]
+    )
+    catalog = StatisticsCatalog.from_pool(SITPool(sits), database=database)
+    catalog._table_versions = {
+        table: int(version)
+        for table, version in descriptor["table_versions"].items()
+    }
+    catalog.version = int(descriptor["version"])
+    return AttachedSnapshot(segment, catalog, database)
+
+
+__all__ = [
+    "AttachedSnapshot",
+    "SnapshotExport",
+    "StatsOnlyDatabase",
+    "attach_snapshot",
+    "export_snapshot",
+]

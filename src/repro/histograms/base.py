@@ -84,6 +84,65 @@ class Histogram:
         self._freqs = np.array([b.frequency for b in buckets], dtype=np.float64)
         self._dists = np.array([b.distinct for b in buckets], dtype=np.float64)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        frequencies: np.ndarray,
+        distincts: np.ndarray,
+        null_count: float = 0.0,
+    ) -> "Histogram":
+        """Build a histogram directly over bucket arrays — zero copy.
+
+        The arrays are adopted as-is (read-only shared-memory views
+        included; :mod:`repro.cluster.shm` is the consumer), so N
+        processes can serve from one snapshot's bucket memory.
+        :class:`Bucket` objects are materialized lazily on first
+        ``.buckets`` access; the vectorized paths never need them.
+
+        ``_frequency`` is summed element-by-element in bucket order —
+        the same left fold ``__init__`` performs over ``Bucket``
+        objects — so estimates from an attached histogram stay
+        bit-identical to the original.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        distincts = np.asarray(distincts, dtype=np.float64)
+        if not (lows.shape == highs.shape == frequencies.shape == distincts.shape):
+            raise ValueError("bucket arrays must have identical shapes")
+        if lows.size and bool(np.any(lows[1:] < highs[:-1])):
+            raise ValueError("buckets must be ordered and non-overlapping")
+        histogram = object.__new__(cls)
+        histogram.null_count = float(null_count)
+        histogram._lows = lows
+        histogram._highs = highs
+        histogram._freqs = frequencies
+        histogram._dists = distincts
+        histogram._frequency = float(sum(frequencies.tolist()))
+        histogram.total = histogram._frequency + histogram.null_count
+        return histogram
+
+    def __getattr__(self, name: str):
+        # only ``buckets`` is lazily materialized (instances built by
+        # ``from_arrays`` skip it); everything else is a genuine miss
+        if name == "buckets":
+            buckets = tuple(
+                Bucket(low, high, frequency, distinct)
+                for low, high, frequency, distinct in zip(
+                    self._lows.tolist(),
+                    self._highs.tolist(),
+                    self._freqs.tolist(),
+                    self._dists.tolist(),
+                )
+            )
+            self.buckets = buckets
+            return buckets
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     def bucket_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(lows, highs, frequencies, distincts)`` as float64 arrays.
 

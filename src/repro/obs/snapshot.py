@@ -42,7 +42,14 @@ namespaces:
     ``hits``, ``misses``, ``compiles``, ``evictions``, ``bytes``,
     ``hit_rate``, plus per-shape hit rates as
     ``shape.<digest>.hits`` / ``shape.<digest>.hit_rate`` — empty for
-    producers that run without the cache.
+    producers that run without the cache;
+``cluster``
+    multi-process tier state (:mod:`repro.cluster`): ring membership
+    (``shards``, ``replicas``, ``ejected``), routing counters
+    (``routed``, ``spilled``, per-shard ``shard.<id>.routed``), hedging
+    (``hedges``, ``hedge_wins``, ``hedge_cancelled``, ``hedge_delay_ms``)
+    and swap coherence (``holds``, ``held_requests``, ``swaps``) — empty
+    below the cluster router.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -69,6 +76,7 @@ NAMESPACES = (
     "service",
     "resilience",
     "plan_cache",
+    "cluster",
 )
 
 
@@ -92,6 +100,7 @@ class StatsSnapshot:
     service: Mapping[str, object] = field(default_factory=dict)
     resilience: Mapping[str, float] = field(default_factory=dict)
     plan_cache: Mapping[str, float] = field(default_factory=dict)
+    cluster: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -124,6 +133,7 @@ class StatsSnapshot:
             service=nested.get("service", {}),
             resilience=nested.get("resilience", {}),
             plan_cache=nested.get("plan_cache", {}),
+            cluster=nested.get("cluster", {}),
             meta=meta or {},
         )
 
@@ -138,6 +148,7 @@ class StatsSnapshot:
             "service": dict(self.service),
             "resilience": dict(self.resilience),
             "plan_cache": dict(self.plan_cache),
+            "cluster": dict(self.cluster),
             "meta": dict(self.meta),
         }
 

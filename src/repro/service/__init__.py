@@ -2,7 +2,11 @@
 
 Layering (queue → batch → worker → snapshot swap; DESIGN.md §9):
 
-* :mod:`repro.service.config` — :class:`ServiceConfig` tunables;
+* :mod:`repro.service.config` — layered tunables:
+  :class:`ServiceConfig` with a nested :class:`HealingConfig`
+  (resilience knobs) and optional :class:`ClusterConfig`
+  (shards/replicas/hedging), ``from_dict``/``to_dict`` round-trip for
+  ``python -m repro serve --config file.json``;
 * :mod:`repro.service.protocol` — typed requests/responses
   (:class:`ServedEstimate`, :class:`Overloaded`, ...) and the JSON-lines
   wire codec shared by both transports;
@@ -14,19 +18,29 @@ Layering (queue → batch → worker → snapshot swap; DESIGN.md §9):
   swap over :class:`~repro.catalog.StatisticsCatalog`;
 * :mod:`repro.service.server` — the asyncio JSON-lines TCP front-end
   (``python -m repro serve``);
-* :mod:`repro.service.client` — :class:`Client` (in-process) and
-  :class:`TCPClient` (wire), one call surface for both.
+* :mod:`repro.service.client` — :func:`connect`, the one client
+  construction path: hand it a service, statistics, ``"host:port"``,
+  or the cluster router and get an :class:`EstimationClient` back
+  (:class:`Client`/:class:`TCPClient` remain as deprecated shims).
 
 Quickstart::
 
-    from repro.service import Client
+    from repro.service import connect
 
-    with Client.in_process(catalog) as client:
+    with connect(catalog) as client:
         answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
 """
 
-from repro.service.client import Client, TCPClient, TransportError
-from repro.service.config import ServiceConfig
+from repro.service.client import (
+    Client,
+    EstimationClient,
+    InProcessClient,
+    SocketClient,
+    TCPClient,
+    TransportError,
+    connect,
+)
+from repro.service.config import ClusterConfig, HealingConfig, ServiceConfig
 from repro.service.protocol import (
     DeadlineExceeded,
     InvalidRequest,
@@ -47,9 +61,13 @@ from repro.service.service import EstimationService
 __all__ = [
     "AdmissionQueue",
     "Client",
+    "ClusterConfig",
     "DeadlineExceeded",
+    "EstimationClient",
     "EstimationServer",
     "EstimationService",
+    "HealingConfig",
+    "InProcessClient",
     "InvalidRequest",
     "Overloaded",
     "ServedEstimate",
@@ -57,8 +75,10 @@ __all__ = [
     "ServiceClosed",
     "ServiceConfig",
     "ServiceError",
+    "SocketClient",
     "TCPClient",
     "TransportError",
+    "connect",
     "run_server",
     "start_in_thread",
 ]

@@ -1,32 +1,52 @@
-"""Clients of the estimation service.
+"""Clients of the estimation service — one construction path.
 
-:class:`Client` is the in-process client: it talks straight to an
-:class:`~repro.service.service.EstimationService` (no sockets, no JSON)
-and is what an embedded optimizer uses.  :class:`TCPClient` speaks the
-JSON-lines wire protocol against a running server.  Both raise the same
-typed failures (:class:`~repro.service.protocol.Overloaded`,
-:class:`~repro.service.protocol.DeadlineExceeded`, ...) and return the
-same :class:`~repro.service.protocol.ServedEstimate`, so callers can be
-written transport-agnostically::
+:func:`connect` is the single entrypoint: hand it *whatever you have* —
+an :class:`~repro.service.service.EstimationService` (or the cluster
+router, which duck-types one), a catalog/snapshot/pool to serve from, a
+``"host:port"`` string, an ``(host, port)`` tuple, or a running
+:class:`~repro.service.server.ServerHandle` — and it returns an
+:class:`EstimationClient`::
 
-    with Client.in_process(catalog) as client:
+    from repro.service import connect
+
+    with connect(catalog) as client:                  # in-process
         answer = client.estimate("SELECT * FROM sales, customer WHERE ...")
-        answer.selectivity, answer.cardinality, answer.snapshot_version
+
+    with connect("127.0.0.1:8642") as client:         # over TCP
+        answers = client.estimate_batch(queries)
+
+Every client speaks the same small surface — ``estimate``,
+``estimate_batch``, ``stats``, ``close`` (plus the ``selectivity`` /
+``cardinality`` conveniences) — raises the same typed failures
+(:class:`~repro.service.protocol.Overloaded`,
+:class:`~repro.service.protocol.DeadlineExceeded`, ...) and returns the
+same :class:`~repro.service.protocol.ServedEstimate`, so callers are
+transport-agnostic by construction.
+
+``estimate_batch`` submits every query *before* waiting on any answer:
+in-process that lands the burst in one micro-batch window; over TCP the
+requests are pipelined on one connection and correlated by id.  Answers
+come back in input order either way.
 
 Self-healing (:mod:`repro.resilience`):
 
-* both clients take a ``retry`` :class:`~repro.resilience.RetryPolicy`;
+* every client takes a ``retry`` :class:`~repro.resilience.RetryPolicy`;
   shed requests (:class:`~repro.service.protocol.Overloaded`) and
   transport failures are retried with exponential backoff and *full
   jitter*, bounded by the policy's per-call budget.  The default is
   :data:`~repro.resilience.NO_RETRIES` — retrying is opt-in because an
   estimate is idempotent but a caller's surrounding loop may not be;
-* :class:`TCPClient` reconnects transparently: a dead socket (server
+* :class:`SocketClient` reconnects transparently: a dead socket (server
   restart, connection reset, half-close mid-stream) is torn down and
   re-dialled up to ``reconnect_attempts`` times per request before the
   typed :class:`TransportError` surfaces.  The wire failure vocabulary
   is unchanged — ``TransportError`` is a *client-side* condition and
   never appears as a wire status.
+
+The pre-redesign names remain importable for one release:
+:class:`Client` (→ :class:`InProcessClient`) and :class:`TCPClient`
+(→ :class:`SocketClient`) are delegating shims that emit a
+:class:`DeprecationWarning` on construction.
 """
 
 from __future__ import annotations
@@ -36,6 +56,8 @@ import random
 import socket
 import threading
 import time
+import warnings
+from concurrent.futures import Future
 
 from repro.engine.database import Database
 from repro.resilience.retry import (
@@ -61,7 +83,7 @@ class TransportError(ServiceError):
 
     Client-side only: this status never travels on the wire (the wire
     vocabulary in :mod:`repro.service.protocol` is pinned), it is what a
-    :class:`TCPClient` raises once its bounded reconnect budget is
+    :class:`SocketClient` raises once its bounded reconnect budget is
     spent.  Subclasses :class:`ServiceError` so transport-agnostic
     callers keep a single except clause.
     """
@@ -78,13 +100,82 @@ def _default_retryable(exc: BaseException) -> bool:
     return isinstance(exc, (Overloaded, TransportError))
 
 
-class Client:
-    """In-process client: submit/estimate against a live service.
+# ----------------------------------------------------------------------
+# The client surface
+# ----------------------------------------------------------------------
+class EstimationClient:
+    """The one client protocol every transport implements.
 
-    ``owns_service=True`` (what :meth:`in_process` sets) makes
-    :meth:`close` shut the service down too.  ``retry`` bounds how many
-    times a shed (:class:`Overloaded`) estimate is re-submitted with
-    full-jitter backoff before the failure surfaces.
+    Subclasses provide :meth:`estimate`, :meth:`estimate_batch`,
+    :meth:`stats` and :meth:`close`; this base supplies the
+    ``selectivity`` / ``cardinality`` conveniences, context management,
+    and the shared retry plumbing (``retry`` policy, jitter ``rng``,
+    injectable ``sleep``, per-client :class:`RetryTelemetry`).
+    """
+
+    def __init__(
+        self,
+        *,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
+        self._retry = retry if retry is not None else NO_RETRIES
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: per-client retry accounting (attempts / retries / exhaustions)
+        self.retry_telemetry = RetryTelemetry()
+
+    # -- required surface ----------------------------------------------
+    def estimate(self, query, timeout: float | None = None) -> ServedEstimate:
+        raise NotImplementedError
+
+    def estimate_batch(
+        self, queries, timeout: float | None = None
+    ) -> list[ServedEstimate]:
+        """All queries submitted before any answer is awaited; answers
+        in input order.  The first typed failure raises."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------
+    def selectivity(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).selectivity
+
+    def cardinality(self, query, timeout: float | None = None) -> float:
+        return self.estimate(query, timeout=timeout).cardinality
+
+    def _with_retries(self, call):
+        return call_with_retries(
+            call,
+            self._retry,
+            retryable=_default_retryable,
+            rng=self._rng,
+            sleep=self._sleep,
+            telemetry=self.retry_telemetry,
+        )
+
+    def __enter__(self) -> "EstimationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessClient(EstimationClient):
+    """Client over a live service object — no sockets, no JSON.
+
+    ``service`` is anything with the
+    :class:`~repro.service.service.EstimationService` call surface
+    (``submit`` / ``estimate`` / ``stats_snapshot`` / ``close``); the
+    cluster router (:mod:`repro.cluster`) qualifies, which is how
+    ``connect(router)`` works.  ``owns_service=True`` makes
+    :meth:`close` shut the service down too.
     """
 
     def __init__(
@@ -96,17 +187,13 @@ class Client:
         rng: random.Random | None = None,
         sleep=time.sleep,
     ):
+        super().__init__(retry=retry, rng=rng, sleep=sleep)
         self.service = service
         self._owns_service = owns_service
-        self._retry = retry if retry is not None else NO_RETRIES
-        self._rng = rng if rng is not None else random.Random()
-        self._sleep = sleep
-        #: per-client retry accounting (attempts / retries / exhaustions)
-        self.retry_telemetry = RetryTelemetry()
 
     # ------------------------------------------------------------------
     @classmethod
-    def in_process(
+    def serving(
         cls,
         statistics,
         *,
@@ -114,7 +201,7 @@ class Client:
         config: ServiceConfig | None = None,
         retry: RetryPolicy | None = None,
         **service_kwargs,
-    ) -> "Client":
+    ) -> "InProcessClient":
         """Spin up a private service around ``statistics`` and own it."""
         service = EstimationService(
             statistics, database=database, config=config, **service_kwargs
@@ -128,20 +215,35 @@ class Client:
         return self.service.submit(query, timeout=timeout)
 
     def estimate(self, query, timeout: float | None = None) -> ServedEstimate:
-        return call_with_retries(
-            lambda: self.service.estimate(query, timeout=timeout),
-            self._retry,
-            retryable=_default_retryable,
-            rng=self._rng,
-            sleep=self._sleep,
-            telemetry=self.retry_telemetry,
+        return self._with_retries(
+            lambda: self.service.estimate(query, timeout=timeout)
         )
 
-    def selectivity(self, query, timeout: float | None = None) -> float:
-        return self.estimate(query, timeout=timeout).selectivity
-
-    def cardinality(self, query, timeout: float | None = None) -> float:
-        return self.estimate(query, timeout=timeout).cardinality
+    def estimate_batch(
+        self, queries, timeout: float | None = None
+    ) -> list[ServedEstimate]:
+        queries = list(queries)
+        wait = None
+        if timeout is not None:
+            wait = timeout + self.service.config.drain_timeout_s
+        # submit-all-first so the burst coalesces into one micro-batch
+        # window; a shed submit falls back to the per-item retry path
+        # (and re-raises right away under NO_RETRIES)
+        pending: list[Future | None] = []
+        for query in queries:
+            try:
+                pending.append(self.service.submit(query, timeout=timeout))
+            except Overloaded:
+                if self._retry.max_attempts <= 1:
+                    raise
+                pending.append(None)
+        answers: list[ServedEstimate] = []
+        for query, future in zip(queries, pending):
+            if future is None:
+                answers.append(self.estimate(query, timeout=timeout))
+            else:
+                answers.append(future.result(timeout=wait))
+        return answers
 
     def stats(self) -> dict:
         return self.service.stats_snapshot().to_dict()
@@ -150,19 +252,15 @@ class Client:
         if self._owns_service:
             self.service.close()
 
-    def __enter__(self) -> "Client":
-        return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class TCPClient:
+class SocketClient(EstimationClient):
     """A blocking JSON-lines client for the TCP front-end.
 
     Thread-safe for sequential request/response use (an internal lock
     serialises the socket); open one client per concurrent caller for
-    parallel load.
+    parallel load.  :meth:`estimate_batch` pipelines: all request lines
+    are written before any response line is read, so one client burst
+    coalesces into the server's micro-batches.
 
     Transparent reconnect: when a round trip dies mid-stream (reset,
     half-close, server restart) the client tears the socket down and
@@ -170,7 +268,7 @@ class TCPClient:
     times before raising :class:`TransportError`.  Requests are re-sent
     on the fresh connection; estimation is idempotent so a re-send after
     a torn response is safe.  ``retry`` additionally re-submits shed
-    (:class:`Overloaded`) answers, mirroring :class:`Client`.
+    (:class:`Overloaded`) answers, mirroring :class:`InProcessClient`.
     """
 
     def __init__(
@@ -187,6 +285,7 @@ class TCPClient:
     ):
         if reconnect_attempts < 0:
             raise ValueError("reconnect_attempts must be >= 0")
+        super().__init__(retry=retry, rng=rng, sleep=sleep)
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
@@ -200,9 +299,6 @@ class TCPClient:
                 max_backoff_s=0.5,
             )
         )
-        self._retry = retry if retry is not None else NO_RETRIES
-        self._rng = rng if rng is not None else random.Random()
-        self._sleep = sleep
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
@@ -210,7 +306,6 @@ class TCPClient:
         self._file = None
         #: completed transparent reconnects (tests assert on this)
         self.reconnects = 0
-        self.retry_telemetry = RetryTelemetry()
         with self._lock:
             self._connect_locked()
 
@@ -256,48 +351,68 @@ class TCPClient:
         self.reconnects += 1
 
     # ------------------------------------------------------------------
-    def _roundtrip(self, payload: dict) -> dict:
-        request_id = str(next(self._ids))
-        payload = dict(payload, id=request_id)
-        line = b""
-        with self._lock:
-            if self._closed:
-                raise TransportError("client is closed")
-            last: Exception | None = None
-            for attempt in range(self._reconnect_attempts + 1):
-                if self._sock is None:
-                    try:
-                        self._reconnect_locked(
-                            max(0, attempt - 1), last or OSError("not connected")
-                        )
-                    except TransportError as exc:
-                        last = exc
-                        continue
+    def _exchange_locked(self, payloads: list[dict]) -> list[dict]:
+        """Write every request line, then read until every id answered.
+
+        Runs under ``self._lock``.  On a torn stream the *unanswered*
+        payloads are re-sent on a fresh connection (bounded by the
+        reconnect budget); answered ids are kept, so a mid-batch tear
+        costs only the tail.
+        """
+        answers: dict[str, dict] = {}
+        outstanding = {payload["id"]: payload for payload in payloads}
+        last: Exception | None = None
+        for attempt in range(self._reconnect_attempts + 1):
+            if self._sock is None:
                 try:
-                    self._sock.sendall(encode_line(payload))
+                    self._reconnect_locked(
+                        max(0, attempt - 1), last or OSError("not connected")
+                    )
+                except TransportError as exc:
+                    last = exc
+                    continue
+            try:
+                blob = b"".join(
+                    encode_line(payload) for payload in outstanding.values()
+                )
+                self._sock.sendall(blob)
+                while outstanding:
                     line = self._file.readline()
                     if not line:
                         raise ConnectionResetError(
                             "server closed the connection mid-stream"
                         )
-                    break
-                except OSError as exc:
-                    # torn stream: drop the socket; the next attempt (if
-                    # the budget allows) re-dials and re-sends
-                    last = exc
-                    self._teardown_locked()
-            else:
-                raise TransportError(
-                    f"connection to {self.host}:{self.port} lost and not "
-                    f"restored after {self._reconnect_attempts} "
-                    f"reconnect attempt(s): {last}"
-                ) from last
-        response = decode_line(line)
-        if response.get("id") != request_id:  # pragma: no cover - paranoia
-            raise ServiceError(
-                f"response id {response.get('id')!r} != request {request_id!r}"
-            )
-        return response
+                    response = decode_line(line)
+                    response_id = response.get("id")
+                    if response_id not in outstanding:  # pragma: no cover
+                        raise ServiceError(
+                            f"unsolicited response id {response_id!r}"
+                        )
+                    outstanding.pop(response_id)
+                    answers[response_id] = response
+                return [answers[payload["id"]] for payload in payloads]
+            except OSError as exc:
+                # torn stream: drop the socket; the next attempt (if the
+                # budget allows) re-dials and re-sends the unanswered tail
+                last = exc
+                self._teardown_locked()
+        raise TransportError(
+            f"connection to {self.host}:{self.port} lost and not "
+            f"restored after {self._reconnect_attempts} "
+            f"reconnect attempt(s): {last}"
+        ) from last
+
+    def _roundtrip_many(self, payloads: list[dict]) -> list[dict]:
+        stamped = [
+            dict(payload, id=str(next(self._ids))) for payload in payloads
+        ]
+        with self._lock:
+            if self._closed:
+                raise TransportError("client is closed")
+            return self._exchange_locked(stamped)
+
+    def _roundtrip(self, payload: dict) -> dict:
+        return self._roundtrip_many([payload])[0]
 
     # ------------------------------------------------------------------
     def ping(self) -> bool:
@@ -307,27 +422,39 @@ class TCPClient:
         response = self._roundtrip({"op": "stats"})
         return response.get("stats", {})
 
-    def estimate(
-        self, sql: str, timeout: float | None = None
-    ) -> ServedEstimate:
-        """Estimate one SQL query; raises the typed failure on non-ok."""
-        payload: dict = {"op": "estimate", "sql": sql}
+    @staticmethod
+    def _request_payload(query, timeout: float | None) -> dict:
+        payload: dict = {"op": "estimate"}
+        if isinstance(query, str):
+            payload["sql"] = query
+        else:
+            # a Query or predicate set: ship the parse-free spelling
+            from repro.service.protocol import encode_predicates
+
+            predicates = getattr(query, "predicates", query)
+            payload["predicates"] = encode_predicates(predicates)
         if timeout is not None:
             payload["timeout_ms"] = timeout * 1000.0
-        return call_with_retries(
-            lambda: result_from_wire(self._roundtrip(payload)),
-            self._retry,
-            retryable=_default_retryable,
-            rng=self._rng,
-            sleep=self._sleep,
-            telemetry=self.retry_telemetry,
+        return payload
+
+    def estimate(self, query, timeout: float | None = None) -> ServedEstimate:
+        """Estimate one query (SQL string, ``Query``, or predicate set);
+        raises the typed failure on non-ok."""
+        payload = self._request_payload(query, timeout)
+        return self._with_retries(
+            lambda: result_from_wire(self._roundtrip(payload))
         )
 
-    def selectivity(self, sql: str, timeout: float | None = None) -> float:
-        return self.estimate(sql, timeout=timeout).selectivity
-
-    def cardinality(self, sql: str, timeout: float | None = None) -> float:
-        return self.estimate(sql, timeout=timeout).cardinality
+    def estimate_batch(
+        self, queries, timeout: float | None = None
+    ) -> list[ServedEstimate]:
+        payloads = [self._request_payload(q, timeout) for q in queries]
+        if not payloads:
+            return []
+        responses = self._with_retries(
+            lambda: self._roundtrip_many(payloads)
+        )
+        return [result_from_wire(response) for response in responses]
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -335,11 +462,113 @@ class TCPClient:
             self._closed = True
             self._teardown_locked()
 
-    def __enter__(self) -> "TCPClient":
-        return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+# ----------------------------------------------------------------------
+# The one construction path
+# ----------------------------------------------------------------------
+def connect(target, **kwargs) -> EstimationClient:
+    """Build the right :class:`EstimationClient` for ``target``.
+
+    ========================================  ==============================
+    ``target``                                client
+    ========================================  ==============================
+    ``EstimationService`` / cluster router    :class:`InProcessClient`
+    catalog / snapshot / pool                 :class:`InProcessClient` owning
+                                              a private service (pass
+                                              ``database=`` / ``config=``)
+    ``"host:port"`` or ``(host, port)``       :class:`SocketClient`
+    ``ServerHandle`` (running server)         :class:`SocketClient` dialled
+                                              at its bound address
+    an ``EstimationClient``                   returned unchanged
+    ========================================  ==============================
+
+    Keyword arguments pass through to the chosen client's constructor
+    (``retry=``, ``timeout_s=``, ``config=``, ...).
+    """
+    if isinstance(target, EstimationClient):
+        if kwargs:
+            raise TypeError(
+                "cannot re-configure an existing client; got "
+                + ", ".join(sorted(kwargs))
+            )
+        return target
+    if isinstance(target, str):
+        host, _, port = target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"target {target!r} is not 'host:port'"
+            )
+        return SocketClient(host, int(port), **kwargs)
+    if isinstance(target, tuple) and len(target) == 2:
+        host, port = target
+        return SocketClient(str(host), int(port), **kwargs)
+    if hasattr(target, "submit") and hasattr(target, "stats_snapshot"):
+        # a live service object (EstimationService or the cluster
+        # router, which duck-types one)
+        return InProcessClient(target, **kwargs)
+    if hasattr(target, "address") and hasattr(target, "service"):
+        # a ServerHandle: dial its bound socket
+        host, port = target.address
+        return SocketClient(host, port, **kwargs)
+    if hasattr(target, "snapshot") or hasattr(target, "pool") or hasattr(
+        target, "sits"
+    ):
+        # statistics (catalog / snapshot / pool): own a private service
+        return InProcessClient.serving(target, **kwargs)
+    raise TypeError(
+        f"cannot connect to {type(target).__name__!r}: expected a service, "
+        "statistics, 'host:port', (host, port), or a ServerHandle"
+    )
 
 
-__all__ = ["Client", "TCPClient", "TransportError"]
+# ----------------------------------------------------------------------
+# Deprecated pre-redesign names (one release of grace)
+# ----------------------------------------------------------------------
+class Client(InProcessClient):
+    """Deprecated alias of :class:`InProcessClient` — use
+    :func:`connect`."""
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.service.Client is deprecated; use "
+            "repro.service.connect(service_or_statistics) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+    @classmethod
+    def in_process(cls, statistics, **kwargs) -> "InProcessClient":
+        """Deprecated alias of :meth:`InProcessClient.serving`."""
+        warnings.warn(
+            "Client.in_process is deprecated; use "
+            "repro.service.connect(statistics) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return InProcessClient.serving(statistics, **kwargs)
+
+
+class TCPClient(SocketClient):
+    """Deprecated alias of :class:`SocketClient` — use
+    :func:`connect`."""
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.service.TCPClient is deprecated; use "
+            "repro.service.connect('host:port') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
+__all__ = [
+    "Client",
+    "EstimationClient",
+    "InProcessClient",
+    "SocketClient",
+    "TCPClient",
+    "TransportError",
+    "connect",
+]

@@ -1,8 +1,160 @@
-"""Tunables of the estimation-serving subsystem."""
+"""Tunables of the estimation-serving subsystem, layered by concern.
+
+The kwarg sprawl of the original flat ``ServiceConfig`` is split into
+composable frozen dataclasses:
+
+* :class:`ServiceConfig` — the request path of one
+  :class:`~repro.service.EstimationService` (workers, queue, batching,
+  deadlines, bind address);
+* :class:`HealingConfig` — the self-healing knobs from
+  :mod:`repro.resilience` (circuit breaker, requeue and restart
+  budgets), nested as ``ServiceConfig.healing``;
+* :class:`ClusterConfig` — the multi-process tier
+  (:mod:`repro.cluster`): shard/replica counts, hedging policy and the
+  consistent-hash ring, nested as ``ServiceConfig.cluster`` (``None``
+  for a single-process service).
+
+Every layer validates in ``__post_init__`` and round-trips through
+``from_dict`` / ``to_dict`` so a whole deployment fits in one JSON file
+(``python -m repro serve --config cluster.json``).
+
+The old flat spelling (``ServiceConfig(breaker_threshold=5, ...)``) is
+accepted for one release through a :class:`DeprecationWarning` shim that
+folds the healing knobs into a nested :class:`HealingConfig`; the flat
+attribute reads (``config.breaker_threshold``) keep working the same
+way.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True)
+class HealingConfig:
+    """Self-healing knobs of one service (:mod:`repro.resilience`)."""
+
+    #: worker faults on one snapshot version inside ``breaker_window_s``
+    #: before the circuit breaker trips and the service rolls back to
+    #: the last-known-good snapshot
+    breaker_threshold: int = 3
+    #: sliding fault window of the circuit breaker (seconds)
+    breaker_window_s: float = 30.0
+    #: how many times a request orphaned by a worker crash is re-queued
+    #: before it is failed with a typed error
+    requeue_limit: int = 2
+    #: crashed-worker resurrections before the service stops respawning
+    #: (bounds a crash loop; remaining work is flushed on close)
+    max_worker_restarts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_window_s <= 0:
+            raise ValueError("breaker_window_s must be > 0")
+        if self.requeue_limit < 0:
+            raise ValueError("requeue_limit must be >= 0")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HealingConfig":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The multi-process estimation tier (:mod:`repro.cluster`).
+
+    ``shards`` worker processes each host a full
+    :class:`~repro.service.EstimationService` over the shared-memory
+    catalog snapshot; ``replicas`` additional processes serve only
+    hedged (tail-latency) requests.  ``hedge_delay_s=None`` derives the
+    hedge trigger from the observed p95 latency
+    (``p95 * hedge_factor``, floored at ``min_hedge_delay_s``); a fixed
+    value pins it.
+    """
+
+    #: primary shard processes on the consistent-hash ring
+    shards: int = 2
+    #: replica processes answering hedged requests (0 = hedge to the
+    #: ring successor shard instead)
+    replicas: int = 0
+    #: fixed hedge trigger in seconds; ``None`` derives it from p95
+    hedge_delay_s: float | None = None
+    #: multiplier on the live p95 latency when deriving the hedge delay
+    hedge_factor: float = 1.5
+    #: floor of the derived hedge delay (seconds); also the delay used
+    #: before any latency has been observed
+    min_hedge_delay_s: float = 0.010
+    #: virtual nodes per shard on the consistent-hash ring
+    ring_points: int = 64
+    #: worker threads inside each shard process
+    shard_workers: int = 1
+    #: shard faults inside ``breaker_window_s`` before the router ejects
+    #: the shard from the ring (its keyspace spills to ring neighbors)
+    breaker_threshold: int = 3
+    #: sliding fault window of the per-shard breaker (seconds)
+    breaker_window_s: float = 30.0
+    #: seconds the router waits for a shard to come up / ack a swap
+    startup_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
+            raise ValueError("hedge_delay_s must be >= 0 (or None)")
+        if self.hedge_factor <= 0:
+            raise ValueError("hedge_factor must be > 0")
+        if self.min_hedge_delay_s < 0:
+            raise ValueError("min_hedge_delay_s must be >= 0")
+        if self.ring_points < 1:
+            raise ValueError("ring_points must be >= 1")
+        if self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_window_s <= 0:
+            raise ValueError("breaker_window_s must be > 0")
+        if self.startup_timeout_s <= 0:
+            raise ValueError("startup_timeout_s must be > 0")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterConfig":
+        return cls(**_known_fields(cls, data))
+
+
+#: flat ServiceConfig kwargs that moved into the nested HealingConfig
+#: (accepted one release through the DeprecationWarning shim)
+_LEGACY_HEALING_KWARGS = (
+    "breaker_threshold",
+    "breaker_window_s",
+    "requeue_limit",
+    "max_worker_restarts",
+)
+
+
+def _known_fields(cls, data: Mapping[str, Any]) -> dict:
+    names = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys: {unknown}")
+    return dict(data)
 
 
 @dataclass(frozen=True)
@@ -12,6 +164,8 @@ class ServiceConfig:
     The defaults target an interactive optimizer inner loop: small
     batching window (latency bound), a queue deep enough to ride out
     bursts, and explicit load shedding rather than unbounded buffering.
+    Self-healing knobs live in :attr:`healing`; the multi-process tier
+    (when enabled) in :attr:`cluster`.
     """
 
     #: worker threads; each owns a snapshot-pinned
@@ -34,19 +188,6 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     #: server port (0 = ephemeral, the bound port is reported)
     port: int = 8642
-    # -- self-healing (repro.resilience) --------------------------------
-    #: worker faults on one snapshot version inside ``breaker_window_s``
-    #: before the circuit breaker trips and the service rolls back to
-    #: the last-known-good snapshot
-    breaker_threshold: int = 3
-    #: sliding fault window of the circuit breaker (seconds)
-    breaker_window_s: float = 30.0
-    #: how many times a request orphaned by a worker crash is re-queued
-    #: before it is failed with a typed error
-    requeue_limit: int = 2
-    #: crashed-worker resurrections before the service stops respawning
-    #: (bounds a crash loop; remaining work is flushed on close)
-    max_worker_restarts: int = 8
     #: compiled-plan cache (:mod:`repro.core.plancache`) in worker
     #: sessions: template hits replay in microseconds and same-shape
     #: batch members are served by one stacked numpy op.  Replay is
@@ -54,6 +195,11 @@ class ServiceConfig:
     #: the knob exists for measurement and for custom error functions
     #: that are not plan-stable (those bypass the cache anyway)
     plan_cache: bool = True
+    #: self-healing layer (:mod:`repro.resilience`)
+    healing: HealingConfig = field(default_factory=HealingConfig)
+    #: multi-process tier (:mod:`repro.cluster`); ``None`` = single
+    #: process
+    cluster: ClusterConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -64,12 +210,141 @@ class ServiceConfig:
             raise ValueError("max_batch must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
-        if self.breaker_threshold < 1:
-            raise ValueError("breaker_threshold must be >= 1")
-        if self.requeue_limit < 0:
-            raise ValueError("requeue_limit must be >= 0")
-        if self.max_worker_restarts < 0:
-            raise ValueError("max_worker_restarts must be >= 0")
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be > 0 (or None)")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if not isinstance(self.healing, HealingConfig):
+            raise TypeError("healing must be a HealingConfig")
+        if self.cluster is not None and not isinstance(
+            self.cluster, ClusterConfig
+        ):
+            raise TypeError("cluster must be a ClusterConfig or None")
+
+    # ------------------------------------------------------------------
+    # Deprecated flat views of the nested healing knobs (one release)
+    # ------------------------------------------------------------------
+    @property
+    def breaker_threshold(self) -> int:
+        _deprecated(
+            "ServiceConfig.breaker_threshold is deprecated; read "
+            "config.healing.breaker_threshold"
+        )
+        return self.healing.breaker_threshold
+
+    @property
+    def breaker_window_s(self) -> float:
+        _deprecated(
+            "ServiceConfig.breaker_window_s is deprecated; read "
+            "config.healing.breaker_window_s"
+        )
+        return self.healing.breaker_window_s
+
+    @property
+    def requeue_limit(self) -> int:
+        _deprecated(
+            "ServiceConfig.requeue_limit is deprecated; read "
+            "config.healing.requeue_limit"
+        )
+        return self.healing.requeue_limit
+
+    @property
+    def max_worker_restarts(self) -> int:
+        _deprecated(
+            "ServiceConfig.max_worker_restarts is deprecated; read "
+            "config.healing.max_worker_restarts"
+        )
+        return self.healing.max_worker_restarts
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready nested form; ``from_dict`` round-trips it."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "healing":
+                out[f.name] = value.to_dict()
+            elif f.name == "cluster":
+                out[f.name] = None if value is None else value.to_dict()
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        """Build a config from its nested-dict form.
+
+        Flat healing keys (the pre-layering spelling) are accepted with
+        a :class:`DeprecationWarning`, exactly like the kwarg shim.
+        """
+        data = dict(data)
+        healing = data.pop("healing", None)
+        if isinstance(healing, Mapping):
+            healing = HealingConfig.from_dict(healing)
+        cluster = data.pop("cluster", None)
+        if isinstance(cluster, Mapping):
+            cluster = ClusterConfig.from_dict(cluster)
+        legacy = {
+            key: data.pop(key)
+            for key in _LEGACY_HEALING_KWARGS
+            if key in data
+        }
+        if legacy:
+            _deprecated(
+                "flat healing keys in ServiceConfig.from_dict are "
+                "deprecated; nest them under 'healing'"
+            )
+            if healing is not None:
+                raise ValueError(
+                    "both nested 'healing' and flat healing keys given"
+                )
+            healing = HealingConfig(**legacy)
+        kwargs = _known_fields(cls, data)
+        if healing is not None:
+            kwargs["healing"] = healing
+        if cluster is not None:
+            kwargs["cluster"] = cluster
+        return cls(**kwargs)
 
 
-__all__ = ["ServiceConfig"]
+# ----------------------------------------------------------------------
+# Legacy flat-kwarg shim: ServiceConfig(breaker_threshold=..., ...) keeps
+# constructing (with a DeprecationWarning) for one release by folding
+# the flat knobs into the nested HealingConfig.
+# ----------------------------------------------------------------------
+_dataclass_init = ServiceConfig.__init__
+
+
+def _shimmed_init(self, *args, **kwargs) -> None:
+    legacy = {
+        key: kwargs.pop(key)
+        for key in _LEGACY_HEALING_KWARGS
+        if key in kwargs
+    }
+    if legacy:
+        warnings.warn(
+            "flat ServiceConfig healing kwargs "
+            f"({', '.join(sorted(legacy))}) are deprecated; pass "
+            "healing=HealingConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if "healing" in kwargs:
+            raise TypeError(
+                "pass either healing=HealingConfig(...) or the flat "
+                "legacy kwargs, not both"
+            )
+        kwargs["healing"] = HealingConfig(**legacy)
+    _dataclass_init(self, *args, **kwargs)
+
+
+ServiceConfig.__init__ = _shimmed_init  # type: ignore[method-assign]
+
+
+__all__ = ["ClusterConfig", "HealingConfig", "ServiceConfig"]

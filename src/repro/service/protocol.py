@@ -8,8 +8,17 @@ transport it is on.
 Requests::
 
     {"id": "7", "sql": "SELECT ...", "timeout_ms": 250}
+    {"id": "7b", "predicates": [{"kind": "filter", ...}, ...]}
     {"id": "8", "op": "stats"}
     {"id": "9", "op": "ping"}
+
+``predicates`` is the pre-parsed alternative to ``sql``: a list of
+predicate objects in the same JSON spelling the catalog files use
+(:mod:`repro.stats.io`; infinities as ``"inf"``/``"-inf"``).  The
+cluster router forwards requests this way so shards skip SQL parsing;
+:func:`encode_predicates` / :func:`decode_predicates` are the codec.
+A request carrying ``hedge: true`` is a hedged duplicate — the server
+answers it normally, the flag only rides back for observability.
 
 Responses::
 
@@ -31,6 +40,12 @@ failed SITs (their names ride along in ``excluded_sits``), ``2`` = base
 histograms under independence, ``3`` = magic constants.  A degraded
 answer is still ``status: ok`` — the ladder's contract is that a
 labelled estimate beats a failure.
+
+Cluster deployments (:mod:`repro.cluster`) add two optional response
+fields: ``shard`` (the integer shard id that produced the answer) and
+``hedged`` (``true`` when the answer came from a hedged duplicate, i.e.
+the replica beat the primary).  Both are absent outside a cluster, so
+single-process responses are byte-identical to earlier releases.
 
 ``plan_cache_hit`` (boolean, always present in ok responses) reports
 whether the answer was replayed from a compiled template plan
@@ -157,6 +172,12 @@ class ServedEstimate:
     #: (:mod:`repro.core.plancache`) instead of a fresh DP run; the
     #: replay is bit-identical, so this is purely diagnostic
     plan_cache_hit: bool = False
+    #: cluster only: id of the shard that produced this answer
+    #: (``None`` outside :mod:`repro.cluster`)
+    shard: int | None = None
+    #: cluster only: True when a hedged duplicate won the race and this
+    #: answer came from the replica rather than the primary shard
+    hedged: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -178,6 +199,10 @@ class ServedEstimate:
         }
         if self.excluded_sits:
             payload["excluded_sits"] = list(self.excluded_sits)
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if self.hedged:
+            payload["hedged"] = True
         if request_id is not None:
             payload["id"] = request_id
         return payload
@@ -195,6 +220,8 @@ class ServedEstimate:
             degradation_level=int(payload.get("degradation_level", 0)),
             excluded_sits=tuple(payload.get("excluded_sits", ())),
             plan_cache_hit=bool(payload.get("plan_cache_hit", False)),
+            shard=(None if payload.get("shard") is None else int(payload["shard"])),
+            hedged=bool(payload.get("hedged", False)),
         )
 
 
@@ -203,6 +230,34 @@ def failure_to_wire(exc: ServiceError, request_id: object = None) -> dict:
     if request_id is not None:
         payload["id"] = request_id
     return payload
+
+
+# ----------------------------------------------------------------------
+# Predicate-set payloads (the parse-free request spelling)
+# ----------------------------------------------------------------------
+def encode_predicates(predicates) -> list[dict]:
+    """Encode a predicate set for the ``predicates`` request field.
+
+    Uses the catalog-file codec (:mod:`repro.stats.io`), so floats —
+    including infinities — round-trip exactly and the decoded set
+    rebuilds the *same* frozenset the sender held (bit-identical
+    estimates depend on this).
+    """
+    from repro.stats.io import encode_predicate
+
+    return [encode_predicate(p) for p in sorted(predicates, key=str)]
+
+
+def decode_predicates(items) -> frozenset:
+    """Decode a ``predicates`` request field back to a predicate set."""
+    from repro.stats.io import PoolFormatError, decode_predicate
+
+    if not isinstance(items, (list, tuple)) or not items:
+        raise InvalidRequest("'predicates' must be a non-empty list")
+    try:
+        return frozenset(decode_predicate(item) for item in items)
+    except (PoolFormatError, KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequest(f"bad predicate payload: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -253,7 +308,9 @@ __all__ = [
     "ServiceClosed",
     "ServiceError",
     "decode_line",
+    "decode_predicates",
     "encode_line",
+    "encode_predicates",
     "error_from_status",
     "failure_to_wire",
     "result_from_wire",

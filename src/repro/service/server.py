@@ -26,6 +26,7 @@ from typing import Callable
 from repro.service.protocol import (
     InvalidRequest,
     ServiceError,
+    decode_predicates,
     encode_line,
     decode_line,
     failure_to_wire,
@@ -45,6 +46,9 @@ class EstimationServer:
         self.service = service
         self.host = host if host is not None else service.config.host
         self.port = port if port is not None else service.config.port
+        #: cluster deployments set this so every ok response carries the
+        #: answering shard's id (:mod:`repro.cluster`); None = no field
+        self.shard: int | None = None
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------
@@ -133,21 +137,51 @@ class EstimationServer:
                     "stats": self.service.stats_snapshot().to_dict(),
                 }
             if op != "estimate":
+                extra = await self._dispatch_extra(op, payload, request_id)
+                if extra is not None:
+                    return extra
                 raise InvalidRequest(f"unknown op {op!r}")
-            sql = payload.get("sql")
-            if not isinstance(sql, str) or not sql.strip():
-                raise InvalidRequest("estimate requires a non-empty 'sql'")
+            query = self._decode_query(payload)
             timeout_ms = payload.get("timeout_ms")
             timeout = None if timeout_ms is None else float(timeout_ms) / 1000.0
-            future = self.service.submit(sql, timeout=timeout)
+            future = self.service.submit(query, timeout=timeout)
             result = await asyncio.wrap_future(future)
-            return result.to_wire(request_id)
+            response = result.to_wire(request_id)
+            if self.shard is not None:
+                response["shard"] = self.shard
+            if payload.get("hedge"):
+                # a hedged duplicate: echo the flag so the winning
+                # answer is attributable (repro.cluster observability)
+                response["hedged"] = True
+            return response
         except ServiceError as exc:
             return failure_to_wire(exc, request_id)
         except Exception as exc:  # defensive: a bug must not kill the loop
             return failure_to_wire(
                 ServiceError(f"internal error: {exc}"), request_id
             )
+
+    @staticmethod
+    def _decode_query(payload: dict):
+        """The request's query in whichever spelling it carried: a
+        ``sql`` string, or the parse-free ``predicates`` list the
+        cluster router sends (:mod:`repro.service.protocol`)."""
+        if "predicates" in payload:
+            return decode_predicates(payload["predicates"])
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise InvalidRequest(
+                "estimate requires a non-empty 'sql' or a 'predicates' list"
+            )
+        return sql
+
+    async def _dispatch_extra(
+        self, op: str, payload: dict, request_id: object
+    ) -> dict | None:
+        """Subclass hook for ops beyond ping/stats/estimate (the cluster
+        shard server adds invalidate/swap control ops).  Return ``None``
+        to reject the op as unknown."""
+        return None
 
 
 # ----------------------------------------------------------------------

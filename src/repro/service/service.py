@@ -131,8 +131,8 @@ class EstimationService:
         self._sessions_lock = threading.Lock()
         # -- self-healing state (repro.resilience) ----------------------
         self._breaker = CircuitBreaker(
-            threshold=self.config.breaker_threshold,
-            window_s=self.config.breaker_window_s,
+            threshold=self.config.healing.breaker_threshold,
+            window_s=self.config.healing.breaker_window_s,
         )
         #: snapshot versions the breaker has tripped on
         self._bad_versions: set[int] = set()
@@ -432,7 +432,7 @@ class EstimationService:
             if pending.future.done():
                 continue
             pending.requeues += 1
-            if pending.requeues <= self.config.requeue_limit:
+            if pending.requeues <= self.config.healing.requeue_limit:
                 try:
                     if self._queue.offer(pending):
                         requeued += 1
@@ -474,7 +474,7 @@ class EstimationService:
         if self._closed.is_set() or self._queue.closed:
             return
         with self._workers_lock:
-            if self._restarts >= self.config.max_worker_restarts:
+            if self._restarts >= self.config.healing.max_worker_restarts:
                 return
             self._restarts += 1
             index = len(self._workers)

@@ -136,6 +136,13 @@ def _decode_predicate(data: dict) -> Predicate:
     raise PoolFormatError(f"unknown predicate kind {kind!r}")
 
 
+#: Public aliases: the wire protocol (:mod:`repro.service.protocol`)
+#: reuses this codec for predicate-set request payloads, keeping one
+#: canonical JSON spelling of a predicate across disk and wire.
+encode_predicate = _encode_predicate
+decode_predicate = _decode_predicate
+
+
 def _encode_histogram(histogram: Histogram) -> dict:
     return {
         "null_count": histogram.null_count,

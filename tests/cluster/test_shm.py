@@ -1,0 +1,179 @@
+"""Shared-memory snapshot export/attach: zero copy, bit identity,
+version pinning, and the stats-only shard database."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.catalog.session import EstimationSession
+from repro.cluster.shm import (
+    StatsOnlyDatabase,
+    attach_snapshot,
+    export_snapshot,
+)
+from repro.core.predicates import FilterPredicate
+from repro.histograms.base import Histogram
+
+
+@pytest.fixture()
+def exported(cluster_catalog):
+    export = export_snapshot(cluster_catalog.snapshot(), cluster_catalog.database)
+    yield export
+    export.close()
+    export.unlink()
+
+
+class TestExport:
+    def test_descriptor_is_json_ready(self, exported):
+        encoded = json.dumps(exported.descriptor)
+        assert json.loads(encoded)["segment"] == exported.segment.name
+
+    def test_descriptor_covers_every_sit(self, cluster_catalog, exported):
+        assert len(exported.descriptor["sits"]) == len(cluster_catalog.pool)
+        assert exported.descriptor["version"] == cluster_catalog.version
+
+    def test_requires_a_database(self, cluster_catalog):
+        snapshot = cluster_catalog.snapshot()
+        object.__setattr__(snapshot, "catalog", None)
+        with pytest.raises(ValueError, match="database"):
+            export_snapshot(snapshot)
+
+
+class TestAttach:
+    def test_attached_arrays_are_views_into_the_segment(self, exported):
+        attached = attach_snapshot(exported.descriptor)
+        try:
+            segment_view = np.ndarray(
+                (int(exported.descriptor["length"]),),
+                dtype=np.float64,
+                buffer=attached.segment.buf,
+            )
+            for sit in attached.catalog.pool:
+                lows, highs, freqs, dists = sit.histogram.bucket_arrays()
+                for array in (lows, highs, freqs, dists):
+                    assert np.shares_memory(array, segment_view)
+                    assert not array.flags.writeable
+        finally:
+            attached.close()
+
+    def test_estimates_are_bit_identical(
+        self, cluster_catalog, cluster_queries, exported
+    ):
+        reference = EstimationSession(
+            cluster_catalog, database=cluster_catalog.database
+        )
+        attached = attach_snapshot(exported.descriptor)
+        try:
+            session = EstimationSession(
+                attached.catalog, database=attached.database
+            )
+            for query in cluster_queries:
+                expected = reference.estimate(query)
+                got = session.estimate(query)
+                assert got.selectivity == expected.selectivity
+                assert got.error == expected.error
+        finally:
+            attached.close()
+
+    def test_attached_catalog_reports_exporter_versions(
+        self, cluster_catalog, exported
+    ):
+        attached = attach_snapshot(exported.descriptor)
+        try:
+            assert attached.catalog.version == cluster_catalog.version
+            assert (
+                attached.catalog.table_versions
+                == cluster_catalog.table_versions
+            )
+        finally:
+            attached.close()
+
+    def test_row_counts_survive_without_data(self, cluster_catalog, exported):
+        attached = attach_snapshot(exported.descriptor)
+        try:
+            database = attached.database
+            original = cluster_catalog.database
+            for table in original.schema.tables:
+                assert database.row_count(table) == original.row_count(table)
+            assert database.cross_product_size(
+                frozenset({"R", "S"})
+            ) == original.cross_product_size(frozenset({"R", "S"}))
+        finally:
+            attached.close()
+
+
+class TestStatsOnlyDatabase:
+    def test_refuses_column_access(self, two_table_db):
+        database = StatsOnlyDatabase(two_table_db.schema, {"R": 10, "S": 5})
+        with pytest.raises(LookupError, match="stats-only"):
+            database.table("R")
+
+    def test_unknown_table_row_count(self, two_table_db):
+        database = StatsOnlyDatabase(two_table_db.schema, {"R": 10})
+        with pytest.raises(KeyError):
+            database.row_count("missing")
+
+    def test_table_names(self, two_table_db):
+        database = StatsOnlyDatabase(two_table_db.schema, {"R": 10, "S": 5})
+        assert database.table_names == frozenset({"R", "S"})
+
+
+class TestFromArrays:
+    def test_matches_bucket_construction(self, two_table_pool):
+        for sit in two_table_pool:
+            original = sit.histogram
+            rebuilt = Histogram.from_arrays(
+                *original.bucket_arrays(), null_count=original.null_count
+            )
+            assert rebuilt.total == original.total
+            assert rebuilt.frequency == original.frequency
+            assert rebuilt.buckets == original.buckets
+
+    def test_validates_shapes_and_order(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            Histogram.from_arrays(
+                np.zeros(2), np.ones(2), np.ones(2), np.ones(3)
+            )
+        with pytest.raises(ValueError, match="ordered"):
+            Histogram.from_arrays(
+                np.array([0.0, 1.0]),
+                np.array([5.0, 2.0]),
+                np.ones(2),
+                np.ones(2),
+            )
+
+    def test_unknown_attribute_still_raises(self):
+        histogram = Histogram.from_arrays(
+            np.array([0.0]), np.array([1.0]), np.array([2.0]), np.array([1.0])
+        )
+        with pytest.raises(AttributeError):
+            histogram.not_a_real_attribute
+
+    def test_estimates_match_eagerly_built(self):
+        lows = np.array([0.0, 10.0, 20.0])
+        highs = np.array([10.0, 20.0, 30.0])
+        freqs = np.array([5.0, 7.0, 3.0])
+        dists = np.array([5.0, 7.0, 3.0])
+        lazy = Histogram.from_arrays(lows, highs, freqs, dists)
+        from repro.histograms.base import Bucket
+
+        eager = Histogram(
+            [Bucket(*row) for row in zip(lows, highs, freqs, dists)]
+        )
+        for low, high in ((0.0, 30.0), (5.0, 12.0), (25.0, 99.0)):
+            assert lazy.estimate_range_selectivity(
+                low, high
+            ) == eager.estimate_range_selectivity(low, high)
+
+
+def test_expression_codec_roundtrip(two_table_attrs):
+    """Predicates ride the descriptor through the stats.io codec; the
+    round trip must be exact (infinities included) for SIT lookups on
+    the shard to hit the same pool entries."""
+    from repro.stats.io import decode_predicate, encode_predicate
+
+    predicate = FilterPredicate(two_table_attrs["Ra"], 1.5, float("inf"))
+    assert decode_predicate(encode_predicate(predicate)) == predicate

@@ -29,6 +29,7 @@ class TestStatsSnapshot:
             "service",
             "resilience",
             "plan_cache",
+            "cluster",
         )
 
     def test_from_registry_groups_namespaces(self):
@@ -105,6 +106,7 @@ class TestStatsSnapshot:
             "service",
             "resilience",
             "plan_cache",
+            "cluster",
             "meta",
         }
 

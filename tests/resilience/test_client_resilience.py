@@ -1,4 +1,4 @@
-"""Client-side resilience: TCPClient transparent reconnect (the
+"""Client-side resilience: SocketClient transparent reconnect (the
 kill-the-server-mid-stream regression), bounded reconnect budgets, and
 opt-in full-jitter retry of shed requests on both clients."""
 
@@ -11,12 +11,13 @@ import pytest
 
 from repro.resilience.retry import RetryPolicy
 from repro.service import (
-    Client,
     EstimationService,
+    InProcessClient,
     Overloaded,
     ServiceConfig,
-    TCPClient,
+    SocketClient,
     TransportError,
+    connect,
 )
 from repro.service.protocol import ServedEstimate
 from repro.service.server import start_in_thread
@@ -46,9 +47,8 @@ class TestTransparentReconnect:
             EstimationService(catalog, config=config), port=0
         )
         host, port = first_handle.address
-        client = TCPClient(
-            host,
-            port,
+        client = connect(
+            (host, port),
             reconnect_attempts=5,
             reconnect_backoff=RetryPolicy(
                 max_attempts=5, base_backoff_s=0.01, max_backoff_s=0.05
@@ -81,8 +81,8 @@ class TestTransparentReconnect:
             EstimationService(catalog, config=config), port=0
         )
         host, port = handle.address
-        client = TCPClient(
-            host, port, reconnect_attempts=2, sleep=lambda _: None
+        client = connect(
+            (host, port), reconnect_attempts=2, sleep=lambda _: None
         )
         try:
             client.estimate(SQL)
@@ -94,7 +94,7 @@ class TestTransparentReconnect:
 
     def test_connect_failure_is_typed(self):
         with pytest.raises(TransportError, match="cannot connect"):
-            TCPClient("127.0.0.1", free_port(), timeout_s=1.0)
+            connect(f"127.0.0.1:{free_port()}", timeout_s=1.0)
 
     def test_closed_client_refuses_requests(self, catalog, config):
         handle = start_in_thread(
@@ -102,7 +102,7 @@ class TestTransparentReconnect:
         )
         try:
             host, port = handle.address
-            client = TCPClient(host, port)
+            client = connect((host, port))
             client.close()
             with pytest.raises(TransportError, match="closed"):
                 client.ping()
@@ -111,7 +111,7 @@ class TestTransparentReconnect:
 
     def test_reconnect_attempts_validation(self):
         with pytest.raises(ValueError):
-            TCPClient("127.0.0.1", 1, reconnect_attempts=-1)
+            SocketClient("127.0.0.1", 1, reconnect_attempts=-1)
 
     def test_transport_error_never_on_the_wire(self):
         """The wire failure vocabulary is pinned; ``transport`` is a
@@ -150,7 +150,7 @@ class TestClientRetry:
     def test_shed_requests_retry_with_jitter(self):
         sleeps: list[float] = []
         service = SheddingService(sheds=2)
-        client = Client(
+        client = InProcessClient(
             service,
             retry=RetryPolicy(max_attempts=4, base_backoff_s=0.05),
             rng=random.Random(0),
@@ -165,14 +165,14 @@ class TestClientRetry:
 
     def test_no_retries_is_the_default(self):
         service = SheddingService(sheds=1)
-        client = Client(service)
+        client = InProcessClient(service)
         with pytest.raises(Overloaded):
             client.estimate(SQL)
         assert service.calls == 1
 
     def test_retry_budget_exhaustion_surfaces_overloaded(self):
         service = SheddingService(sheds=10)
-        client = Client(
+        client = InProcessClient(
             service,
             retry=RetryPolicy(max_attempts=3),
             rng=random.Random(0),
@@ -192,7 +192,7 @@ class TestClientRetry:
                 raise DeadlineExceeded("too slow")
 
         service = DeadlineService(sheds=0)
-        client = Client(
+        client = InProcessClient(
             service, retry=RetryPolicy(max_attempts=5), sleep=lambda _: None
         )
         with pytest.raises(DeadlineExceeded):

@@ -10,7 +10,7 @@ import weakref
 import pytest
 
 from repro.resilience.faults import FaultPlan, FaultRule, armed
-from repro.service import EstimationService, ServiceConfig, ServiceError
+from repro.service import EstimationService, HealingConfig, ServiceConfig, ServiceError
 from repro.service.protocol import ServedEstimate
 
 SQL = "SELECT * FROM R, S WHERE R.x = S.y AND R.a BETWEEN 10 AND 40"
@@ -38,10 +38,12 @@ def config() -> ServiceConfig:
         workers=1,
         queue_depth=64,
         batch_window_s=0.01,
-        breaker_threshold=2,
-        breaker_window_s=30.0,
-        requeue_limit=3,
-        max_worker_restarts=6,
+        healing=HealingConfig(
+            breaker_threshold=2,
+            breaker_window_s=30.0,
+            requeue_limit=3,
+            max_worker_restarts=6,
+        ),
     )
 
 
@@ -64,9 +66,11 @@ class TestWorkerResurrection:
         config = ServiceConfig(
             workers=1,
             batch_window_s=0.005,
-            requeue_limit=1,
-            breaker_threshold=100,  # keep the breaker out of this test
-            max_worker_restarts=8,
+            healing=HealingConfig(
+                requeue_limit=1,
+                breaker_threshold=100,  # keep the breaker out of this test
+                max_worker_restarts=8,
+            ),
         )
         with armed(crash_plan(max_fires=None, probability=1.0)):
             with EstimationService(catalog, config=config) as service:
@@ -78,9 +82,11 @@ class TestWorkerResurrection:
         config = ServiceConfig(
             workers=1,
             batch_window_s=0.005,
-            requeue_limit=0,
-            breaker_threshold=100,
-            max_worker_restarts=2,
+            healing=HealingConfig(
+                requeue_limit=0,
+                breaker_threshold=100,
+                max_worker_restarts=2,
+            ),
         )
         with armed(crash_plan(max_fires=None, probability=1.0)):
             service = EstimationService(catalog, config=config)
@@ -128,7 +134,7 @@ class TestCircuitBreaker:
         resilience = snapshot.namespace("resilience")
         assert resilience["breaker_trips"] >= 1.0
         assert resilience["snapshot_rollbacks"] >= 1.0
-        assert resilience["worker_crashes"] >= config.breaker_threshold
+        assert resilience["worker_crashes"] >= config.healing.breaker_threshold
 
     def test_tripped_version_is_not_repinned(self, catalog, config):
         with EstimationService(catalog, config=config) as service:
@@ -219,8 +225,7 @@ class TestFaultPathLeaks:
         config = ServiceConfig(
             workers=2,
             batch_window_s=0.005,
-            requeue_limit=1,
-            max_worker_restarts=4,
+            healing=HealingConfig(requeue_limit=1, max_worker_restarts=4),
         )
         with armed(crash_plan(max_fires=2, probability=1.0)):
             service = EstimationService(catalog, config=config)

@@ -1,0 +1,177 @@
+"""Layered configuration: per-layer validation (the bugfix — the old
+flat config silently accepted nonsense knobs), from_dict/to_dict round
+trips, and the one-release legacy shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ClusterConfig, HealingConfig, ServiceConfig
+
+
+class TestServiceValidation:
+    @pytest.mark.parametrize(
+        ("field", "value"),
+        [
+            ("workers", 0),
+            ("queue_depth", 0),
+            ("max_batch", 0),
+            ("batch_window_s", -0.001),
+            ("default_timeout_s", 0.0),
+            ("drain_timeout_s", -1.0),
+            ("host", ""),
+            ("port", -1),
+            ("port", 70000),
+        ],
+    )
+    def test_rejects_bad_knob(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ServiceConfig(**{field: value})
+
+    def test_zero_batch_window_is_legal(self):
+        # 0 disables coalescing; the old validator wrongly conflated it
+        # with the negative case
+        assert ServiceConfig(batch_window_s=0.0).batch_window_s == 0.0
+        assert ServiceConfig(drain_timeout_s=0.0).drain_timeout_s == 0.0
+
+    def test_nested_layers_are_type_checked(self):
+        with pytest.raises(TypeError, match="healing"):
+            ServiceConfig(healing={"breaker_threshold": 3})
+        with pytest.raises(TypeError, match="cluster"):
+            ServiceConfig(cluster={"shards": 2})
+
+
+class TestHealingValidation:
+    @pytest.mark.parametrize(
+        ("field", "value"),
+        [
+            ("breaker_threshold", 0),
+            ("breaker_window_s", 0.0),
+            ("requeue_limit", -1),
+            ("max_worker_restarts", -1),
+        ],
+    )
+    def test_rejects_bad_knob(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            HealingConfig(**{field: value})
+
+
+class TestClusterValidation:
+    @pytest.mark.parametrize(
+        ("field", "value"),
+        [
+            ("shards", 0),
+            ("replicas", -1),
+            ("hedge_delay_s", -0.5),
+            ("hedge_factor", 0.0),
+            ("min_hedge_delay_s", -0.001),
+            ("ring_points", 0),
+            ("shard_workers", 0),
+            ("breaker_threshold", 0),
+            ("breaker_window_s", 0.0),
+            ("startup_timeout_s", 0.0),
+        ],
+    )
+    def test_rejects_bad_knob(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ClusterConfig(**{field: value})
+
+    def test_none_hedge_delay_means_derived(self):
+        assert ClusterConfig(hedge_delay_s=None).hedge_delay_s is None
+        assert ClusterConfig(hedge_delay_s=0.0).hedge_delay_s == 0.0
+
+
+class TestRoundTrip:
+    def test_defaults_round_trip(self):
+        config = ServiceConfig()
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    def test_full_cluster_deployment_fits_in_one_json_file(self):
+        config = ServiceConfig(
+            workers=4,
+            batch_window_s=0.0,
+            healing=HealingConfig(breaker_threshold=5, requeue_limit=0),
+            cluster=ClusterConfig(
+                shards=4, replicas=2, hedge_delay_s=0.25, ring_points=128
+            ),
+        )
+        # through actual JSON, not just dicts: the serve --config path
+        restored = ServiceConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert restored == config
+        assert restored.cluster.replicas == 2
+        assert restored.healing.breaker_threshold == 5
+
+    def test_null_cluster_round_trips_to_none(self):
+        data = ServiceConfig().to_dict()
+        assert data["cluster"] is None
+        assert ServiceConfig.from_dict(data).cluster is None
+
+    def test_unknown_keys_are_rejected_per_layer(self):
+        with pytest.raises(ValueError, match="unknown ServiceConfig"):
+            ServiceConfig.from_dict({"wrokers": 2})
+        with pytest.raises(ValueError, match="unknown HealingConfig"):
+            ServiceConfig.from_dict({"healing": {"threshold": 3}})
+        with pytest.raises(ValueError, match="unknown ClusterConfig"):
+            ServiceConfig.from_dict({"cluster": {"shard": 2}})
+
+    def test_nested_validation_fires_through_from_dict(self):
+        with pytest.raises(ValueError, match="shards"):
+            ServiceConfig.from_dict({"cluster": {"shards": 0}})
+
+
+class TestLegacyShims:
+    def test_flat_kwargs_fold_into_healing(self):
+        with pytest.deprecated_call(match="deprecated"):
+            config = ServiceConfig(breaker_threshold=7, requeue_limit=1)
+        assert config.healing.breaker_threshold == 7
+        assert config.healing.requeue_limit == 1
+        # untouched healing knobs keep their defaults
+        assert config.healing.max_worker_restarts == 8
+
+    def test_flat_kwargs_conflict_with_nested(self):
+        with pytest.raises(TypeError, match="not both"), pytest.warns(
+            DeprecationWarning
+        ):
+            ServiceConfig(
+                breaker_threshold=7, healing=HealingConfig()
+            )
+
+    def test_flat_attribute_reads_warn_but_work(self):
+        config = ServiceConfig(healing=HealingConfig(breaker_threshold=9))
+        with pytest.deprecated_call(match="healing.breaker_threshold"):
+            assert config.breaker_threshold == 9
+        with pytest.deprecated_call():
+            assert config.breaker_window_s == 30.0
+        with pytest.deprecated_call():
+            assert config.requeue_limit == 2
+        with pytest.deprecated_call():
+            assert config.max_worker_restarts == 8
+
+    def test_flat_dict_keys_fold_into_healing(self):
+        with pytest.deprecated_call(match="nest them under 'healing'"):
+            config = ServiceConfig.from_dict({"breaker_threshold": 4})
+        assert config.healing.breaker_threshold == 4
+
+    def test_flat_dict_keys_conflict_with_nested(self):
+        with pytest.raises(ValueError, match="both"), pytest.warns(
+            DeprecationWarning
+        ):
+            ServiceConfig.from_dict(
+                {"breaker_threshold": 4, "healing": {"breaker_threshold": 4}}
+            )
+
+    def test_modern_spelling_is_warning_free(self, recwarn):
+        config = ServiceConfig(
+            healing=HealingConfig(breaker_threshold=5),
+            cluster=ClusterConfig(shards=2),
+        )
+        ServiceConfig.from_dict(config.to_dict())
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]

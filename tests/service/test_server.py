@@ -8,7 +8,7 @@ import socket
 import pytest
 
 from repro.core.estimator import CardinalityEstimator
-from repro.service import EstimationService, ServiceConfig, TCPClient
+from repro.service import EstimationService, ServiceConfig, connect
 from repro.service.protocol import (
     InvalidRequest,
     decode_line,
@@ -36,7 +36,7 @@ def server(service_catalog):
 @pytest.fixture()
 def client(server):
     host, port = server.address
-    with TCPClient(host, port) as tcp:
+    with connect(f"{host}:{port}") as tcp:
         yield tcp
 
 
