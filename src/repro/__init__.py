@@ -10,6 +10,10 @@ The public API is re-exported here; the subpackages are:
 * :mod:`repro.histograms` — MaxDiff/equi-depth/equi-width histograms and
   the histogram join;
 * :mod:`repro.stats` — SITs: construction, ``diff_H`` and workload pools;
+* :mod:`repro.estimators` — the backend-neutral
+  :class:`~repro.estimators.Estimator` protocol and its three
+  implementations (SIT/DP, Bayesian network, guaranteed sampling),
+  selected by name through :func:`~repro.estimators.create_estimator`;
 * :mod:`repro.catalog` — the SIT lifecycle behind one versioned,
   snapshot-isolated :class:`~repro.catalog.StatisticsCatalog`
   (build → serve → feedback → invalidate → refresh) plus
@@ -52,6 +56,14 @@ from repro.catalog import (
     StatisticsCatalog,
 )
 from repro.engine import Database, Executor, Query, Schema, Table, TableSchema
+from repro.estimators import (
+    BACKENDS,
+    BayesianNetworkEstimator,
+    Estimator,
+    GuaranteedSampleEstimator,
+    SITEstimator,
+    create_estimator,
+)
 from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
 from repro.service import (
     Client,
@@ -70,6 +82,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "BACKENDS",
+    "BayesianNetworkEstimator",
     "CardinalityEstimator",
     "CatalogSnapshot",
     "Client",
@@ -78,10 +92,12 @@ __all__ = [
     "DiffError",
     "EstimationService",
     "EstimationSession",
+    "Estimator",
     "Executor",
     "ExplainResult",
     "FilterPredicate",
     "GreedyViewMatching",
+    "GuaranteedSampleEstimator",
     "HealingConfig",
     "JoinPredicate",
     "MetricsRegistry",
@@ -92,6 +108,7 @@ __all__ = [
     "RefreshPolicy",
     "SIT",
     "SITBuilder",
+    "SITEstimator",
     "SITPool",
     "Schema",
     "ServedEstimate",
@@ -104,6 +121,7 @@ __all__ = [
     "Trace",
     "build_workload_pool",
     "connect",
+    "create_estimator",
     "make_gs_diff",
     "make_gs_nind",
     "make_gs_opt",

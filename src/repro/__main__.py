@@ -65,8 +65,8 @@ def _demo() -> int:
     from repro.workload.tpch import generate_tpch, motivating_query
     from repro.core.predicates import Attribute
     from repro.core.gvm import GreedyViewMatching
-    from repro.core.estimator import make_gs_diff, make_nosit
     from repro.engine.executor import Executor
+    from repro.estimators import make_gs_diff, make_nosit
     from repro.stats.builder import SITBuilder
     from repro.stats.pool import SITPool
 
@@ -96,9 +96,9 @@ def _demo() -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    from repro.core.estimator import make_gs_diff, make_nosit
     from repro.core.gvm import GreedyViewMatching
     from repro.engine.executor import Executor
+    from repro.estimators import make_gs_diff, make_nosit
     from repro.sql import parse_query
     from repro.stats.builder import SITBuilder
     from repro.stats.pool import build_workload_pool
@@ -125,7 +125,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core.errors import DiffError, NIndError
-    from repro.core.estimator import CardinalityEstimator
+    from repro.estimators import create_estimator
     from repro.sql import parse_query
     from repro.stats.builder import SITBuilder
     from repro.stats.pool import build_workload_pool
@@ -136,12 +136,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     pool = build_workload_pool(
         SITBuilder(database), [query], max_joins=min(query.join_count, args.max_joins)
     )
-    error_function = (
-        NIndError() if args.error == "nind" else DiffError(pool)
-    )
-    estimator = CardinalityEstimator(
-        database, pool, error_function, engine=args.engine
-    )
+    if args.backend == "sit":
+        error_function = (
+            NIndError() if args.error == "nind" else DiffError(pool)
+        )
+        estimator = create_estimator(
+            "sit",
+            database,
+            pool,
+            error_function=error_function,
+            engine=args.engine,
+        )
+    else:
+        # --error / --engine are SIT decomposition knobs; the peer
+        # backends build their models straight from the pool's base SITs
+        estimator = create_estimator(args.backend, database, pool)
     result = estimator.explain(query)
     if args.json:
         print(result.to_json())
@@ -153,7 +162,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.harness import Harness
     from repro.bench.reporting import render_figure7
-    from repro.core.estimator import make_gs_diff, make_gs_nind, make_nosit
+    from repro.estimators import make_gs_diff, make_gs_nind, make_nosit
     from repro.stats.builder import SITBuilder
     from repro.stats.pool import build_workload_pool
     from repro.workload.queries import WorkloadConfig, WorkloadGenerator
@@ -332,6 +341,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
         )
+    if args.backend != "sit":
+        if args.shards:
+            raise SystemExit(
+                "--shards supports only --backend sit (shards serve from "
+                "a row-free stats snapshot; the bn/sample backends build "
+                "from rows) — drop --shards and scale with --workers"
+            )
+        config = dataclasses.replace(config, backend=args.backend)
     if args.shards:
         config = dataclasses.replace(
             config,
@@ -406,6 +423,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     explain.add_argument(
         "--sql", dest="sql_flag", default=None, help=argparse.SUPPRESS
+    )
+    explain.add_argument(
+        "--backend",
+        choices=("sit", "bn", "sample"),
+        default="sit",
+        help="estimator backend answering the query (default: sit)",
     )
     explain.add_argument(
         "--error",
@@ -488,6 +511,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--max-batch", type=int, default=32, dest="max_batch"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("sit", "bn", "sample"),
+        default="sit",
+        help=(
+            "estimator backend worker sessions answer with (default: "
+            "sit; the only backend --shards supports)"
+        ),
     )
     serve.add_argument(
         "--path", default=None, help="serve a saved catalog file (v2 JSON)"

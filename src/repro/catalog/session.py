@@ -44,13 +44,13 @@ import threading
 from typing import Mapping
 
 from repro.core.errors import ErrorFunction
-from repro.core.estimator import CardinalityEstimator
 from repro.core.get_selectivity import EstimationResult
 from repro.core.predicates import PredicateSet, tables_of
 from repro.engine.database import Database
 from repro.engine.expressions import Query
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.snapshot import StatsSnapshot
+from repro.estimators import Estimator, create_estimator
 from repro.resilience.faults import (
     POINT_SNAPSHOT_PIN,
     active as _fault_plan,
@@ -93,9 +93,10 @@ class EstimationSession:
         error_function: ErrorFunction | None = None,
         *,
         database: Database | None = None,
+        backend: str = "sit",
         engine: str = "bitmask",
         sit_driven_pruning: bool = False,
-        estimator: CardinalityEstimator | None = None,
+        estimator: Estimator | None = None,
         name: str | None = None,
         strict: bool = False,
         plan_cache: bool = True,
@@ -113,14 +114,21 @@ class EstimationSession:
                     "a database is required (pass one explicitly, or use a "
                     "catalog built with a database)"
                 )
-            self.estimator = CardinalityEstimator(
+            if backend == "sit":
+                kwargs = dict(
+                    error_function=error_function,
+                    sit_driven_pruning=sit_driven_pruning,
+                    engine=engine,
+                    strict=strict,
+                    plan_cache=plan_cache,
+                )
+            else:
+                kwargs = {}
+            self.estimator = create_estimator(
+                backend,
                 database,
                 snapshot if snapshot is not None else pool,
-                error_function,
-                sit_driven_pruning=sit_driven_pruning,
-                engine=engine,
-                strict=strict,
-                plan_cache=plan_cache,
+                **kwargs,
             )
         self.database = database
         self.name = name if name is not None else self.estimator.name
@@ -174,12 +182,12 @@ class EstimationSession:
     # ------------------------------------------------------------------
     def _absorb(self) -> None:
         """Fold the estimator's per-query counters into session totals."""
-        algorithm = self.estimator.algorithm
-        self._match_cache_hits += algorithm.match_cache_hits
-        self._match_cache_misses += algorithm.match_cache_misses
-        self._matcher_calls += algorithm.matcher.calls
-        self._analysis_seconds += algorithm.analysis_seconds
-        self._estimation_seconds += algorithm.estimation_seconds
+        estimator = self.estimator
+        self._match_cache_hits += estimator.match_cache_hits
+        self._match_cache_misses += estimator.match_cache_misses
+        self._matcher_calls += estimator.view_matching_calls
+        self._analysis_seconds += estimator.analysis_seconds
+        self._estimation_seconds += estimator.estimation_seconds
 
     def begin_query(self) -> None:
         """Start a new per-query accounting window.
@@ -313,14 +321,11 @@ class EstimationSession:
     @property
     def match_cache_hits(self) -> int:
         """Cross-query factor-match cache hits (in-flight window included)."""
-        return self._match_cache_hits + self.estimator.algorithm.match_cache_hits
+        return self._match_cache_hits + self.estimator.match_cache_hits
 
     @property
     def match_cache_misses(self) -> int:
-        return (
-            self._match_cache_misses
-            + self.estimator.algorithm.match_cache_misses
-        )
+        return self._match_cache_misses + self.estimator.match_cache_misses
 
     @property
     def match_cache_hit_rate(self) -> float:
@@ -333,25 +338,25 @@ class EstimationSession:
     def metrics_registry(self) -> MetricsRegistry:
         """Session-lifetime metrics: shared-cache accounting under the
         usual namespaces plus the ``catalog`` identity block."""
-        algorithm = self.estimator.algorithm
+        estimator = self.estimator
         registry = MetricsRegistry()
         gauge = registry.gauge
         counter = registry.counter
         gauge("timings.analysis_seconds").set(
-            self._analysis_seconds + algorithm.analysis_seconds
+            self._analysis_seconds + estimator.analysis_seconds
         )
         gauge("timings.estimation_seconds").set(
-            self._estimation_seconds + algorithm.estimation_seconds
+            self._estimation_seconds + estimator.estimation_seconds
         )
         counter("counters.matcher_calls").inc(
-            self._matcher_calls + algorithm.matcher.calls
+            self._matcher_calls + estimator.view_matching_calls
         )
         counter("counters.queries").inc(self.queries)
         counter("caches.match_cache_hits").inc(self.match_cache_hits)
         counter("caches.match_cache_misses").inc(self.match_cache_misses)
-        gauge("caches.match_cache_entries").set(len(algorithm._match_cache))
+        gauge("caches.match_cache_entries").set(estimator.match_cache_entries)
         gauge("caches.estimate_cache_entries").set(
-            len(algorithm._estimate_cache)
+            estimator.estimate_cache_entries
         )
         gauge("catalog.snapshot_version").set(float(self.snapshot_version))
         if self.snapshot is not None and self.snapshot.catalog is not None:
@@ -359,7 +364,9 @@ class EstimationSession:
                 float(self.snapshot.catalog.version)
             )
         gauge("catalog.current").set(1.0 if self.is_current else 0.0)
-        gauge("catalog.sit_count").set(float(len(self.pool)))
+        gauge("catalog.sit_count").set(
+            float(len(self.pool)) if self.pool is not None else 0.0
+        )
         gauge("catalog.match_cache_hit_rate").set(self.match_cache_hit_rate)
         resilience = self.estimator.resilience
         if resilience:
@@ -378,6 +385,7 @@ class EstimationSession:
         meta: Mapping[str, object] = {
             "session": self.name,
             "engine": self.estimator.engine,
+            "backend": self.estimator.backend,
             "queries": self.queries,
             "snapshot_version": self.snapshot_version,
             "current": self.is_current,

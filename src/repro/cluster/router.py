@@ -177,6 +177,38 @@ class _ShardLink:
 _MAX_REROUTES = 3
 
 
+def _fold_shard_stats(prior: dict, live: dict) -> dict:
+    """Merge one shard's pre-restart stats into its live snapshot.
+
+    ``counters`` accumulate across process incarnations — a respawned
+    shard starts from zero, but the cluster-visible totals must not.
+    Every other namespace (gauges, caches, timings, meta) describes the
+    *current* process, so the live value wins; namespaces only the prior
+    carries are kept as-is.
+    """
+    merged = {
+        key: dict(value) if isinstance(value, dict) else value
+        for key, value in live.items()
+    }
+    for namespace, entries in prior.items():
+        if namespace not in merged:
+            merged[namespace] = (
+                dict(entries) if isinstance(entries, dict) else entries
+            )
+            continue
+        if namespace == "counters" and isinstance(entries, dict):
+            bucket = merged[namespace]
+            for name, value in entries.items():
+                current = bucket.get(name, 0)
+                if isinstance(value, (int, float)) and isinstance(
+                    current, (int, float)
+                ):
+                    bucket[name] = current + value
+                elif name not in bucket:
+                    bucket[name] = value
+    return merged
+
+
 @dataclass(eq=False)
 class _Request:
     """One client request travelling router -> shard(s) -> future."""
@@ -256,6 +288,10 @@ class EstimationCluster:
         self._links: dict[int, object] = {}
         self._held: dict[int, list[_Request]] = {}
         self._reviving: set[int] = set()
+        #: per-member shard stats: the latest polled snapshot of the live
+        #: process, and the counter totals folded from dead incarnations
+        self._shard_stats_last: dict[int, dict] = {}
+        self._shard_stats_prior: dict[int, dict] = {}
         self._replica_cursor = 0
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self._export = None
@@ -616,6 +652,13 @@ class EstimationCluster:
         with self._route_lock:
             link = self._links.pop(shard, None)
             held = self._held.pop(shard, None) or []
+            # the incarnation is gone: bank its last polled counters so
+            # shard_stats keeps reporting them after the respawn
+            last = self._shard_stats_last.pop(shard, None)
+            if last is not None:
+                self._shard_stats_prior[shard] = _fold_shard_stats(
+                    self._shard_stats_prior.get(shard, {}), last
+                )
             if shard in self._shard_ids:
                 try:
                     self._ring.eject(shard)
@@ -879,9 +922,19 @@ class EstimationCluster:
         )
 
     def shard_stats(self, timeout_s: float = 10.0) -> dict[int, dict]:
-        """Live per-shard ``stats`` snapshots over the links."""
+        """Per-member ``stats`` snapshots, accumulated across restarts.
+
+        Each poll remembers the member's latest live snapshot; when a
+        shard is ejected that snapshot is folded into a per-member prior,
+        and a revived shard's fresh numbers are merged on top
+        (:func:`_fold_shard_stats`) — so per-shard ``counters`` survive
+        eject → respawn → rejoin instead of resetting with the process.
+        Members currently without a live link report their folded prior
+        alone.
+        """
         with self._route_lock:
             links = dict(self._links)
+            prior = dict(self._shard_stats_prior)
         futures = {
             member: link.request({"op": "stats"})
             for member, link in links.items()
@@ -892,8 +945,19 @@ class EstimationCluster:
                 response = future.result(timeout=timeout_s)
             except Exception:
                 continue
-            if response.get("ok"):
-                out[member] = response.get("stats", {})
+            if not response.get("ok"):
+                continue
+            live = response.get("stats", {})
+            with self._route_lock:
+                self._shard_stats_last[member] = live
+            out[member] = (
+                _fold_shard_stats(prior[member], live)
+                if member in prior
+                else live
+            )
+        for member, banked in prior.items():
+            if member not in out and member not in links:
+                out[member] = banked
         return out
 
 

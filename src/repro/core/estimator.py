@@ -1,429 +1,55 @@
-"""High-level cardinality estimation facade.
+"""Deprecated home of :class:`CardinalityEstimator` (one-release shim).
 
-:class:`CardinalityEstimator` wires a database catalog, a statistics
-source and an error function into the ``getSelectivity`` DP, exposing the
-operations an optimizer (or an experiment harness) needs: selectivity and
-cardinality of a query and of all its sub-queries.
+The estimator implementations moved to :mod:`repro.estimators`, which
+defines the backend-neutral :class:`~repro.estimators.Estimator`
+protocol and three peer implementations (SIT/DP, Bayesian network,
+guaranteed sampling).  This module keeps the historical import path
+``repro.core.estimator`` working for one release:
 
-The statistics source may be a bare :class:`~repro.stats.pool.SITPool`, a
-:class:`~repro.catalog.StatisticsCatalog` (the estimator pins the
-catalog's current snapshot at construction — refreshes never mutate a
-running estimator's statistics) or a
-:class:`~repro.catalog.CatalogSnapshot` directly.
+* :class:`CardinalityEstimator` is the old name of
+  :class:`~repro.estimators.sit.SITEstimator`; constructing it emits a
+  :class:`DeprecationWarning`.
+* ``resolve_statistics`` and the ``make_gs_*``/``make_nosit`` factories
+  re-export warning-free (their new home is :mod:`repro.estimators`).
 
-Factory helpers build the estimator variants the paper evaluates:
-``noSit`` (base statistics only, the traditional optimizer), ``GS-nInd``,
-``GS-Diff`` and ``GS-Opt``.
+Migrate with ``from repro.estimators import SITEstimator`` (or
+``create_estimator("sit", ...)`` to pick a backend by name).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import TYPE_CHECKING
+import warnings
 
-from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
-from repro.core.get_selectivity import (
-    EstimationResult,
-    GetSelectivity,
-    NoApplicableStatisticsError,
+from repro.estimators.base import Statistics, resolve_statistics
+from repro.estimators.sit import (
+    SITEstimator,
+    make_gs_diff,
+    make_gs_nind,
+    make_gs_opt,
+    make_nosit,
 )
-from repro.core.plancache import PlanCache
-from repro.core.predicates import PredicateSet
-from repro.engine.database import Database
-from repro.engine.executor import Executor
-from repro.engine.expressions import Query
-from repro.obs.snapshot import StatsSnapshot
-from repro.obs.trace import Trace
-from repro.resilience.faults import EstimationFault
-from repro.resilience.ladder import (
-    LEVEL_BASE_INDEPENDENCE,
-    LEVEL_REPLAN,
-    ResilienceTelemetry,
-    magic_result,
-)
-from repro.stats.pool import SITPool
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.catalog.catalog import CatalogSnapshot
-    from repro.obs.explain import ExplainResult
-
-#: the statistics argument estimators accept (duck-typed to avoid a
-#: core -> catalog import cycle)
-Statistics = "SITPool | StatisticsCatalog | CatalogSnapshot"
 
 
-def resolve_statistics(statistics) -> "tuple[SITPool, CatalogSnapshot | None]":
-    """Resolve any statistics source into ``(pool, snapshot)``.
+class CardinalityEstimator(SITEstimator):
+    """Deprecated alias of :class:`~repro.estimators.sit.SITEstimator`."""
 
-    A :class:`~repro.catalog.StatisticsCatalog` is pinned to its current
-    snapshot; a :class:`~repro.catalog.CatalogSnapshot` is used as-is; a
-    bare :class:`~repro.stats.pool.SITPool` carries no snapshot.  Duck
-    typing (``refresh`` marks a catalog, ``pool`` marks a snapshot)
-    keeps :mod:`repro.core` importable without :mod:`repro.catalog`.
-    """
-    if isinstance(statistics, SITPool):
-        return statistics, None
-    if hasattr(statistics, "refresh") and hasattr(statistics, "snapshot"):
-        snapshot = statistics.snapshot()
-        return snapshot.pool, snapshot
-    if hasattr(statistics, "pool") and isinstance(
-        getattr(statistics, "pool"), SITPool
-    ):
-        return statistics.pool, statistics
-    raise TypeError(
-        "statistics must be a SITPool, StatisticsCatalog or "
-        f"CatalogSnapshot, got {type(statistics).__name__}"
-    )
-
-
-class CardinalityEstimator:
-    """Estimates selectivities/cardinalities of SPJ queries using SITs."""
-
-    def __init__(
-        self,
-        database: Database,
-        statistics,
-        error_function: ErrorFunction | None = None,
-        sit_driven_pruning: bool = False,
-        name: str | None = None,
-        engine: str = "bitmask",
-        strict: bool = False,
-        plan_cache: bool = False,
-    ):
-        pool, snapshot = resolve_statistics(statistics)
-        self.database = database
-        self.pool = pool
-        #: the pinned :class:`~repro.catalog.CatalogSnapshot`, or ``None``
-        #: when built from a bare pool
-        self.snapshot = snapshot
-        self.error_function = (
-            error_function if error_function is not None else DiffError(pool)
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.core.estimator.CardinalityEstimator is deprecated; "
+            "use repro.estimators.SITEstimator (or "
+            "repro.estimators.create_estimator) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.algorithm = GetSelectivity.create(
-            pool,
-            self.error_function,
-            engine=engine,
-            sit_driven_pruning=sit_driven_pruning,
-        )
-        self.name = name if name is not None else f"GS-{self.error_function.name}"
-        #: fail-fast semantics: ``strict=True`` propagates
-        #: :class:`~repro.resilience.faults.EstimationFault` to the caller
-        #: instead of walking the degradation ladder
-        self.strict = strict
-        #: degradation/fault counters (the ``resilience`` snapshot namespace)
-        self.resilience = ResilienceTelemetry()
-        self._engine_kind = engine
-        self._sit_driven_pruning = sit_driven_pruning
-        #: level-1 re-plan DPs, keyed by the frozenset of excluded SIT
-        #: names (rebuilt pools are deterministic, so caching is safe and
-        #: keeps repeated faults on the same SIT cheap)
-        self._fallback_cache: dict[frozenset, GetSelectivity] = {}
-        self._base_algorithm: GetSelectivity | None = None
-        #: compiled-plan cache (:mod:`repro.core.plancache`), or ``None``.
-        #: Opt-in, and only constructed when it is provably safe: the
-        #: error function declares ``plan_stable`` and the bitmask engine
-        #: is in use (the compiler walks its memo).  With the cache on,
-        #: the DP also keeps a cross-query memo bank so shape *misses*
-        #: start from the largest previously-solved submasks.
-        self.plan_cache: PlanCache | None = None
-        if (
-            plan_cache
-            and engine == "bitmask"
-            and getattr(self.error_function, "plan_stable", False)
-        ):
-            self.plan_cache = PlanCache(
-                pool, snapshot_version=self.snapshot_version
-            )
-            self.algorithm.enable_memo_bank()
-
-    # ------------------------------------------------------------------
-    def estimate(self, query: Query) -> EstimationResult:
-        """Full ``getSelectivity`` result (selectivity, error, decomposition)."""
-        return self._run(query.predicates)
-
-    def estimate_predicates(
-        self, predicates: PredicateSet, *, use_plan_cache: bool = True
-    ) -> EstimationResult:
-        """``getSelectivity`` over a bare predicate set, ladder-protected
-        like :meth:`estimate` (the sessions' entry point).
-
-        ``use_plan_cache=False`` skips the compiled-plan probe (the
-        result is still compiled on success) — callers that already
-        probed, like the session's batched path, use it to avoid a
-        double lookup.
-        """
-        return self._run(frozenset(predicates), use_plan_cache=use_plan_cache)
-
-    # -- the graceful-degradation ladder (repro.resilience) -------------
-    def _run(
-        self, predicates: PredicateSet, use_plan_cache: bool = True
-    ) -> EstimationResult:
-        """Compiled-plan replay on a template hit, else the full path."""
-        cache = self.plan_cache
-        if cache is not None and use_plan_cache:
-            result = cache.estimate(predicates)
-            if result is not None:
-                return result
-        return self._run_uncached(predicates)
-
-    def _run_uncached(self, predicates: PredicateSet) -> EstimationResult:
-        """Level 0, or walk the ladder when a statistic faults.
-
-        The happy path returns the DP's result object untouched (the
-        ``try`` frame is the entire overhead), which is what makes the
-        zero-fault path bit-identical to the pre-resilience estimator.
-        Successful level-0 results are compiled into the plan cache;
-        degraded results never are (the ladder bypasses the cache).
-        """
-        try:
-            result = self.algorithm(predicates)
-        except EstimationFault as fault:
-            if self.strict:
-                raise
-            return self._degrade(frozenset(predicates), fault)
-        cache = self.plan_cache
-        if cache is not None:
-            cache.compile(predicates, self.algorithm, result)
-            self.algorithm.bank_memo()
-        return result
-
-    def _degrade(
-        self, predicates: frozenset, first_fault: EstimationFault
-    ) -> EstimationResult:
-        """Levels 1-3: re-plan without the failed SITs, then base
-        statistics under independence, then magic constants."""
-        telemetry = self.resilience
-        telemetry.record_fault(first_fault)
-        excluded: set[str] = set()
-        fault: EstimationFault = first_fault
-        # -- level 1: re-plan excluding the failed SITs ------------------
-        while True:
-            name = fault.sit_name
-            if name is None or name in excluded:
-                # a fault without a SIT identity (or one exclusion did not
-                # cure) cannot be re-planned around — fall through
-                break
-            excluded.add(name)
-            try:
-                algorithm = self._fallback_algorithm(frozenset(excluded))
-                telemetry.record_replan()
-                result = algorithm(predicates)
-            except EstimationFault as exc:
-                telemetry.record_fault(exc)
-                fault = exc
-                continue
-            except NoApplicableStatisticsError:
-                break  # an attribute is uncovered: drop to level 2
-            telemetry.record_level(LEVEL_REPLAN)
-            return replace(
-                result,
-                degradation_level=LEVEL_REPLAN,
-                excluded_sits=tuple(sorted(excluded)),
-            )
-        # -- level 2: base statistics + independence (noSit) -------------
-        names = tuple(sorted(excluded))
-        try:
-            result = self._base_only_algorithm()(predicates)
-        except EstimationFault as exc:
-            telemetry.record_fault(exc)
-        except NoApplicableStatisticsError:
-            pass
-        else:
-            telemetry.record_level(LEVEL_BASE_INDEPENDENCE)
-            return replace(
-                result,
-                degradation_level=LEVEL_BASE_INDEPENDENCE,
-                excluded_sits=names,
-            )
-        # -- level 3: magic constants (cannot fault) ----------------------
-        result = magic_result(predicates, names)
-        telemetry.record_level(result.degradation_level)
-        return result
-
-    def _fallback_algorithm(self, excluded: frozenset) -> GetSelectivity:
-        """The level-1 DP over the pool minus ``excluded`` SIT names."""
-        algorithm = self._fallback_cache.get(excluded)
-        if algorithm is None:
-            pool = self.pool.excluding(excluded)
-            error_function = self.error_function
-            if isinstance(error_function, DiffError):
-                # DiffError ranks candidates against the pool it was built
-                # over; rebuild it so the failed SITs don't influence ranks
-                error_function = DiffError(pool)
-            algorithm = GetSelectivity.create(
-                pool,
-                error_function,
-                engine=self._engine_kind,
-                sit_driven_pruning=self._sit_driven_pruning,
-            )
-            self._fallback_cache[excluded] = algorithm
-        return algorithm
-
-    def _base_only_algorithm(self) -> GetSelectivity:
-        """The level-2 DP: base histograms + independence (``noSit``)."""
-        algorithm = self._base_algorithm
-        if algorithm is None:
-            algorithm = GetSelectivity.create(
-                self.pool.base_only(),
-                NIndError(),
-                engine=self._engine_kind,
-            )
-            self._base_algorithm = algorithm
-        return algorithm
-
-    def selectivity(self, query: Query) -> float:
-        """Most accurate ``Sel_R(P)`` for the query's predicate set."""
-        return self.estimate(query).selectivity
-
-    def cardinality(self, query: Query) -> float:
-        """Estimated output cardinality: ``Sel_R(P) * |R^x|``."""
-        return self.selectivity(query) * self.database.cross_product_size(query.tables)
-
-    def cardinality_sql(self, sql: str) -> float:
-        """Estimate the output cardinality of a SQL SELECT statement.
-
-        Accepts the conjunctive SPJ subset of :mod:`repro.sql` and binds
-        it against this estimator's database schema.
-        """
-        return self.cardinality(self.parse_sql(sql))
-
-    def parse_sql(self, sql: str) -> Query:
-        """Parse + bind SQL against this estimator's schema (traced as the
-        ``parse_bind`` stage when tracing is enabled)."""
-        from repro.sql import parse_query
-
-        trace = self.trace
-        if trace is not None:
-            with trace.span("parse_bind"):
-                return parse_query(sql, self.database.schema)
-        return parse_query(sql, self.database.schema)
-
-    def explain(self, query: Query | str) -> "ExplainResult":
-        """``EXPLAIN ESTIMATE``: the winning decomposition, factor by factor.
-
-        Accepts a bound :class:`Query` or SQL text.  Reuses the DP's memo,
-        so ``explain(q).selectivity == estimate(q).selectivity`` exactly.
-        """
-        from repro.obs.explain import build_explain
-
-        if isinstance(query, str):
-            query = self.parse_sql(query)
-        return build_explain(self, query)
-
-    def subquery_selectivity(self, query: Query, predicates: PredicateSet) -> float:
-        """Selectivity of one sub-query; free after :meth:`estimate` thanks
-        to the DP's memo table."""
-        return self._run(frozenset(predicates)).selectivity
-
-    def subquery_cardinality(self, query: Query, predicates: PredicateSet) -> float:
-        predicates = frozenset(predicates)
-        sub = query.subquery(predicates)
-        return self.subquery_selectivity(query, predicates) * (
-            self.database.cross_product_size(sub.tables)
-        )
-
-    # ------------------------------------------------------------------
-    @property
-    def engine(self) -> str:
-        """The DP engine in use (``"bitmask"`` or ``"legacy"``)."""
-        return self.algorithm.engine
-
-    @property
-    def snapshot_version(self) -> int:
-        """The catalog version of the pinned snapshot (0 for bare pools)."""
-        return self.snapshot.version if self.snapshot is not None else 0
-
-    @property
-    def view_matching_calls(self) -> int:
-        return self.algorithm.matcher.calls
-
-    @property
-    def analysis_seconds(self) -> float:
-        return self.algorithm.analysis_seconds
-
-    @property
-    def estimation_seconds(self) -> float:
-        return self.algorithm.estimation_seconds
-
-    # -- observability --------------------------------------------------
-    @property
-    def trace(self) -> Trace | None:
-        """The attached trace, or ``None`` when tracing is disabled."""
-        return self.algorithm.trace
-
-    def enable_tracing(self, trace: Trace | None = None) -> Trace:
-        """Turn on per-stage tracing for this estimator's whole path."""
-        return self.algorithm.enable_tracing(trace)
-
-    def disable_tracing(self) -> None:
-        self.algorithm.disable_tracing()
-
-    def stats_snapshot(self) -> StatsSnapshot:
-        """The unified observability snapshot (``StatsSnapshot`` schema),
-        tagged with this estimator's identity (and pinned snapshot
-        version, when serving from a catalog)."""
-        snapshot = self.algorithm.stats_snapshot()
-        meta = dict(snapshot.meta)
-        meta.update(
-            {"estimator": self.name, "error_function": self.error_function.name}
-        )
-        catalog = dict(snapshot.catalog)
-        if self.snapshot is not None:
-            meta["snapshot_version"] = self.snapshot_version
-            catalog["snapshot_version"] = float(self.snapshot_version)
-        resilience = dict(snapshot.resilience)
-        resilience.update(self.resilience.as_dict())
-        plan_cache = dict(snapshot.plan_cache)
-        if self.plan_cache is not None:
-            plan_cache.update(self.plan_cache.stats_namespace())
-        return StatsSnapshot(
-            timings=snapshot.timings,
-            counters=snapshot.counters,
-            caches=snapshot.caches,
-            catalog=catalog,
-            service=snapshot.service,
-            resilience=resilience,
-            plan_cache=plan_cache,
-            meta=meta,
-        )
-
-    def reset(self) -> None:
-        """Clear memoization and counters (e.g. between workload queries
-        when measuring per-query costs)."""
-        self.algorithm.reset()
+        super().__init__(*args, **kwargs)
 
 
-# ----------------------------------------------------------------------
-# The paper's estimator variants
-# ----------------------------------------------------------------------
-def make_gs_nind(database: Database, statistics, **kwargs) -> CardinalityEstimator:
-    """GS-nInd: getSelectivity counting independence assumptions."""
-    return CardinalityEstimator(
-        database, statistics, NIndError(), name="GS-nInd", **kwargs
-    )
-
-
-def make_gs_diff(database: Database, statistics, **kwargs) -> CardinalityEstimator:
-    """GS-Diff: getSelectivity with the distribution-aware error function."""
-    pool, _ = resolve_statistics(statistics)
-    return CardinalityEstimator(
-        database, statistics, DiffError(pool), name="GS-Diff", **kwargs
-    )
-
-
-def make_gs_opt(
-    database: Database, statistics, executor: Executor | None = None, **kwargs
-) -> CardinalityEstimator:
-    """GS-Opt: the theoretical optimum (true per-factor errors)."""
-    executor = executor if executor is not None else Executor(database)
-    return CardinalityEstimator(
-        database, statistics, OptError(executor), name="GS-Opt", **kwargs
-    )
-
-
-def make_nosit(database: Database, statistics, **kwargs) -> CardinalityEstimator:
-    """noSit: the traditional optimizer — base-table histograms only."""
-    pool, _ = resolve_statistics(statistics)
-    return CardinalityEstimator(
-        database, pool.base_only(), NIndError(), name="noSit", **kwargs
-    )
+__all__ = [
+    "CardinalityEstimator",
+    "Statistics",
+    "make_gs_diff",
+    "make_gs_nind",
+    "make_gs_opt",
+    "make_nosit",
+    "resolve_statistics",
+]

@@ -97,6 +97,16 @@ class EstimationResult:
     #: cold run it mirrors, and the parity suites compare results with
     #: ``==`` across the two paths.
     plan_cache_hit: bool = field(default=False, compare=False)
+    #: which estimator backend produced this result (``"sit"``, ``"bn"``,
+    #: ``"sample"``, or ``"magic"`` for the ladder's terminal constants;
+    #: see :mod:`repro.estimators`).  Excluded from equality so parity
+    #: comparisons across backends/paths stay value-based.
+    backend: str = field(default="sit", compare=False)
+    #: distribution-free additive error guarantee on ``selectivity``
+    #: (only the guaranteed-sampling backend sets one; see
+    #: :mod:`repro.estimators.sampling`).  Excluded from equality like
+    #: the other provenance fields.
+    error_bound: float | None = field(default=None, compare=False)
 
     @property
     def factor_count(self) -> int:

@@ -30,8 +30,8 @@ from repro.core.selectivity import Factor
 from repro.obs.snapshot import StatsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.estimator import CardinalityEstimator
     from repro.engine.expressions import Query
+    from repro.estimators.base import Estimator
 
 
 def _sorted_strs(predicates) -> tuple[str, ...]:
@@ -123,6 +123,12 @@ class ExplainResult:
     #: template plan (:mod:`repro.core.plancache`); replay is
     #: bit-identical, so the explanation itself is unaffected
     plan_cache_hit: bool = False
+    #: estimator backend that produced the estimate (``"sit"``, ``"bn"``,
+    #: ``"sample"``; see :mod:`repro.estimators`)
+    backend: str = "sit"
+    #: the sampling backend's distribution-free additive guarantee
+    #: (``None`` for backends without one)
+    error_bound: float | None = None
     stats: StatsSnapshot = field(default_factory=StatsSnapshot)
 
     # ------------------------------------------------------------------
@@ -141,6 +147,12 @@ class ExplainResult:
             "plan_cache_hit": self.plan_cache_hit,
             "factors": [f.to_dict() for f in self.factors],
         }
+        # emitted conditionally so default-backend payloads (and their
+        # golden files) keep the exact pre-plurality key set
+        if self.backend != "sit":
+            out["backend"] = self.backend
+        if self.error_bound is not None:
+            out["error_bound"] = self.error_bound
         if include_stats:
             out["stats"] = self.stats.to_dict()
         return out
@@ -169,6 +181,11 @@ class ExplainResult:
             line = f"degraded:    level {self.degradation_level} ({name})"
             if self.excluded_sits:
                 line += f", excluded: {', '.join(self.excluded_sits)}"
+            lines.append(line)
+        if self.backend != "sit":
+            line = f"backend:     {self.backend}"
+            if self.error_bound is not None:
+                line += f"  (guaranteed |est-true| <= {_fmt(self.error_bound)})"
             lines.append(line)
         if self.plan_cache_hit:
             lines.append("plan cache:  hit (replayed compiled plan)")
@@ -241,16 +258,16 @@ def _explain_factor(
     )
 
 
-def build_explain(
-    estimator: "CardinalityEstimator", query: "Query"
-) -> ExplainResult:
+def build_explain(estimator: "Estimator", query: "Query") -> ExplainResult:
     """Explain ``estimator``'s estimate of ``query``.
 
-    Runs (or re-uses, thanks to the memo) the full ``getSelectivity`` DP,
-    then decorates the winning decomposition factor by factor.  The
-    factor order is the decomposition's own: conditional factors first,
-    ending at the unconditioned anchors — the order the chain rule
-    multiplies them in.
+    For the SIT backend this runs (or re-uses, thanks to the memo) the
+    full ``getSelectivity`` DP, then decorates the winning decomposition
+    factor by factor — conditional factors first, ending at the
+    unconditioned anchors, the order the chain rule multiplies them in.
+    Peer backends (:mod:`repro.estimators`) have no decomposition; their
+    explanation carries the header fields plus the ``backend`` tag (and
+    the sampling backend's ``error_bound``).
     """
     result = estimator.estimate(query)
     error_function = estimator.error_function
@@ -260,7 +277,9 @@ def build_explain(
     )
     return ExplainResult(
         estimator=estimator.name,
-        error_function=error_function.name,
+        error_function=(
+            error_function.name if error_function is not None else "none"
+        ),
         engine=estimator.engine,
         query=str(query),
         tables=tuple(sorted(query.tables)),
@@ -272,5 +291,7 @@ def build_explain(
         degradation_level=result.degradation_level,
         excluded_sits=result.excluded_sits,
         plan_cache_hit=result.plan_cache_hit,
+        backend=result.backend,
+        error_bound=result.error_bound,
         stats=estimator.stats_snapshot(),
     )

@@ -80,7 +80,7 @@ class MemoCoupledEstimator:
 
     def __post_init__(self) -> None:
         if not isinstance(self.pool, SITPool):
-            from repro.core.estimator import resolve_statistics
+            from repro.estimators import resolve_statistics
 
             self.pool, self.snapshot = resolve_statistics(self.pool)
         if self.matcher is None:

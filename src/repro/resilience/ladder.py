@@ -14,9 +14,14 @@ does not fail the query; it walks down the ladder:
   optimizer estimate over base-table histograms only (the paper's
   ``noSit`` variant), reached when re-planning keeps faulting or leaves
   an attribute uncovered;
-* **level 3** — *magic constants*: the System-R style fixed
-  selectivities, reached only when even base histograms are unusable.
-  The answer is crude but typed, deterministic, and never an exception.
+* **level 3** — *fallback estimator*: a peer backend (typically the
+  guaranteed-sampling estimator of :mod:`repro.estimators.sampling`,
+  wired in by :func:`repro.estimators.create_estimator`) answers from
+  statistics independent of the failed SIT machinery, carrying its
+  ``backend`` tag and ``error_bound`` through the result.  When no
+  fallback estimator is configured — or it fails too — the rung
+  terminates in the System-R style *magic constants*: crude but typed,
+  deterministic, and never an exception.
 
 ``strict=True`` restores fail-fast semantics (faults propagate to the
 caller), which is what the chaos tests use to prove injection reaches
@@ -42,6 +47,8 @@ LEVEL_NORMAL = 0
 LEVEL_REPLAN = 1
 LEVEL_BASE_INDEPENDENCE = 2
 LEVEL_MAGIC = 3
+#: level 3 now covers any last-resort backend, not just magic constants
+LEVEL_FALLBACK = LEVEL_MAGIC
 LEVELS = (
     LEVEL_NORMAL,
     LEVEL_REPLAN,
@@ -98,6 +105,7 @@ def magic_result(
         coverage=0.0,
         degradation_level=LEVEL_MAGIC,
         excluded_sits=excluded_sits,
+        backend="magic",
     )
 
 
@@ -181,6 +189,7 @@ __all__ = [
     "EstimationFault",
     "LEVELS",
     "LEVEL_BASE_INDEPENDENCE",
+    "LEVEL_FALLBACK",
     "LEVEL_MAGIC",
     "LEVEL_NAMES",
     "LEVEL_NORMAL",

@@ -188,6 +188,13 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     #: server port (0 = ephemeral, the bound port is reported)
     port: int = 8642
+    #: estimation backend worker sessions are built with
+    #: (:data:`repro.estimators.BACKENDS`: ``"sit"``, ``"bn"``,
+    #: ``"sample"``).  The cluster tier is SIT-only: shards attach a
+    #: stats-only shared-memory snapshot (histogram arrays, no rows)
+    #: and the bn/sample backends build their models from rows, so
+    #: ``cluster`` + a non-SIT backend is rejected at validation
+    backend: str = "sit"
     #: compiled-plan cache (:mod:`repro.core.plancache`) in worker
     #: sessions: template hits replay in microseconds and same-shape
     #: batch members are served by one stacked numpy op.  Replay is
@@ -218,12 +225,26 @@ class ServiceConfig:
             raise ValueError("host must be non-empty")
         if not 0 <= self.port <= 65535:
             raise ValueError("port must be in [0, 65535]")
+        from repro.estimators import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if not isinstance(self.healing, HealingConfig):
             raise TypeError("healing must be a HealingConfig")
         if self.cluster is not None and not isinstance(
             self.cluster, ClusterConfig
         ):
             raise TypeError("cluster must be a ClusterConfig or None")
+        if self.cluster is not None and self.backend != "sit":
+            raise ValueError(
+                f"the cluster tier supports only backend='sit': shards "
+                f"attach a stats-only shared-memory snapshot (histogram "
+                f"arrays, no rows) and the {self.backend!r} backend "
+                f"builds its models from rows — serve it single-process "
+                f"(workers=N) instead"
+            )
 
     # ------------------------------------------------------------------
     # Deprecated flat views of the nested healing knobs (one release)

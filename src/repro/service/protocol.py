@@ -47,6 +47,16 @@ fields: ``shard`` (the integer shard id that produced the answer) and
 the replica beat the primary).  Both are absent outside a cluster, so
 single-process responses are byte-identical to earlier releases.
 
+Backend provenance (two more optional fields): ``backend`` names the
+estimator implementation that produced the answer (``"sit"``, ``"bn"``,
+``"sample"``, or ``"magic"`` for a level-3 constant answer; see
+:mod:`repro.estimators`), and ``error_bound`` carries the sampling
+backend's distribution-free additive guarantee (``|est - true| <=
+error_bound`` with the configured confidence).  ``backend`` is emitted
+only when it differs from the default ``"sit"`` and ``error_bound``
+only when the backend provides one, so default-backend responses are
+byte-identical to earlier releases.
+
 ``plan_cache_hit`` (boolean, always present in ok responses) reports
 whether the answer was replayed from a compiled template plan
 (:mod:`repro.core.plancache`) instead of a fresh DP run.  Replay is
@@ -146,9 +156,9 @@ class ServedEstimate:
     """A successful estimation answer.
 
     ``selectivity`` / ``cardinality`` / ``error`` are bit-identical to a
-    direct :class:`~repro.core.estimator.CardinalityEstimator` call on
-    the snapshot identified by ``snapshot_version`` (the parity tests
-    pin this).
+    direct :class:`~repro.estimators.sit.SITEstimator` call on the
+    snapshot identified by ``snapshot_version`` (the parity tests pin
+    this).
     """
 
     selectivity: float
@@ -178,6 +188,12 @@ class ServedEstimate:
     #: cluster only: True when a hedged duplicate won the race and this
     #: answer came from the replica rather than the primary shard
     hedged: bool = False
+    #: estimator backend that produced this answer (``"sit"``, ``"bn"``,
+    #: ``"sample"``; ``"magic"`` marks a level-3 constant answer)
+    backend: str = "sit"
+    #: distribution-free additive guarantee of the sampling backend
+    #: (``None`` for backends without one)
+    error_bound: float | None = None
 
     @property
     def degraded(self) -> bool:
@@ -203,6 +219,10 @@ class ServedEstimate:
             payload["shard"] = self.shard
         if self.hedged:
             payload["hedged"] = True
+        if self.backend != "sit":
+            payload["backend"] = self.backend
+        if self.error_bound is not None:
+            payload["error_bound"] = self.error_bound
         if request_id is not None:
             payload["id"] = request_id
         return payload
@@ -222,6 +242,12 @@ class ServedEstimate:
             plan_cache_hit=bool(payload.get("plan_cache_hit", False)),
             shard=(None if payload.get("shard") is None else int(payload["shard"])),
             hedged=bool(payload.get("hedged", False)),
+            backend=str(payload.get("backend", "sit")),
+            error_bound=(
+                None
+                if payload.get("error_bound") is None
+                else float(payload["error_bound"])
+            ),
         )
 
 

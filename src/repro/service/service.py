@@ -38,7 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 
 from repro.catalog.catalog import CatalogSnapshot, StatisticsCatalog
 from repro.catalog.session import EstimationSession
@@ -103,11 +103,16 @@ class EstimationService:
         config: ServiceConfig | None = None,
         error_function: ErrorFunction | None = None,
         engine: str = "bitmask",
+        backend: str | None = None,
         name: str = "repro.service",
     ):
         from repro.service.queue import AdmissionQueue
 
         self.config = config if config is not None else ServiceConfig()
+        if backend is not None:
+            # kwarg convenience: `connect(catalog, backend="bn")` routes
+            # here; the config field stays the single source of truth
+            self.config = _replace(self.config, backend=backend)
         self._statistics = statistics
         self._catalog = (
             statistics if isinstance(statistics, StatisticsCatalog) else None
@@ -183,6 +188,7 @@ class EstimationService:
             self._target_statistics(),
             self._error_function,
             database=self.database,
+            backend=self.config.backend,
             engine=self._engine,
             plan_cache=self.config.plan_cache,
         )
@@ -564,6 +570,8 @@ class EstimationService:
                     degradation_level=result.degradation_level,
                     excluded_sits=result.excluded_sits,
                     plan_cache_hit=result.plan_cache_hit,
+                    backend=result.backend,
+                    error_bound=result.error_bound,
                 )
                 if index > 0:
                     deduplicated += 1

@@ -8,7 +8,7 @@ SITs so the two are complementary:
 
 * :class:`FeedbackRepository` records exact cardinalities observed during
   execution, keyed by the canonical predicate set;
-* :class:`FeedbackEstimator` wraps any :class:`CardinalityEstimator` and
+* :class:`FeedbackEstimator` wraps any SIT-backed estimator and
   answers from feedback when the requested predicate set (or a
   table-disjoint composition of recorded sets — Property 2 makes that
   exact) has been observed, falling back to the SIT-based estimate
@@ -32,7 +32,7 @@ from repro.engine.executor import Executor
 from repro.engine.expressions import Query
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a stats <-> core import cycle
-    from repro.core.estimator import CardinalityEstimator
+    from repro.estimators.sit import SITEstimator
 
 
 @dataclass
@@ -91,7 +91,7 @@ class FeedbackEstimator:
        components substituted for their estimated factors.
     """
 
-    base: "CardinalityEstimator"
+    base: "SITEstimator"
     feedback: FeedbackRepository = field(default_factory=FeedbackRepository)
 
     @property

@@ -432,6 +432,95 @@ class TestSwapCoherence:
             )
 
 
+class StatsLink(FakeLink):
+    """A FakeLink whose ``stats`` op serves controllable counters, the
+    shape a real shard's :class:`~repro.obs.StatsSnapshot` wire dict has."""
+
+    def __init__(self, shard_id: int, *, estimates: float = 0.0, **kwargs):
+        super().__init__(shard_id, **kwargs)
+        self.counters = {"estimates": estimates}
+
+    def _answer(self, payload: dict, future: Future) -> None:
+        if payload.get("op") == "stats":
+            future.set_result(
+                {
+                    "ok": True,
+                    "status": "ok",
+                    "stats": {
+                        "counters": dict(self.counters),
+                        "gauges": {"queue_depth": float(self.shard_id)},
+                        "meta": {"shard": self.shard_id},
+                    },
+                }
+            )
+        else:
+            super()._answer(payload, future)
+
+
+class TestShardStatsAggregation:
+    def test_counters_survive_eject_and_rejoin(
+        self, cluster_catalog, cluster_queries
+    ):
+        links = [StatsLink(0, estimates=7.0), StatsLink(1, estimates=3.0)]
+        with make_cluster(
+            cluster_catalog, links, breaker_threshold=1
+        ) as cluster:
+            stats = cluster.shard_stats(timeout_s=5.0)
+            assert stats[0]["counters"]["estimates"] == 7.0
+            assert stats[1]["counters"]["estimates"] == 3.0
+
+            # kill shard 0: the breaker ejects it on the next fault
+            owner0 = next(
+                query
+                for query in cluster_queries
+                if cluster.estimate(query, timeout=5.0).shard == 0
+            )
+            links[0].fail_transport = True
+            assert cluster.estimate(owner0, timeout=5.0).shard == 1
+            assert cluster.stats_snapshot().cluster["ejections"] == 1.0
+
+            # down: member 0 still reports its banked counters
+            stats = cluster.shard_stats(timeout_s=5.0)
+            assert stats[0]["counters"]["estimates"] == 7.0
+            assert stats[1]["counters"]["estimates"] == 3.0
+
+            # rejoin a fresh incarnation (counters restart from 2): the
+            # banked prior folds in, live gauges/meta win
+            revived = StatsLink(0, estimates=2.0)
+            with cluster._route_lock:
+                cluster._links[0] = revived
+                cluster._ring.rejoin(0)
+            cluster._breaker.reset(0)
+            stats = cluster.shard_stats(timeout_s=5.0)
+            assert stats[0]["counters"]["estimates"] == 9.0
+            assert stats[0]["gauges"]["queue_depth"] == 0.0
+            assert stats[0]["meta"]["shard"] == 0
+
+            # a second eject banks the folded total, not just the delta
+            revived.fail_transport = True
+            assert cluster.estimate(owner0, timeout=5.0).shard == 1
+            stats = cluster.shard_stats(timeout_s=5.0)
+            assert stats[0]["counters"]["estimates"] == 9.0
+
+    def test_unpolled_member_reports_nothing_after_eject(
+        self, cluster_catalog, cluster_queries
+    ):
+        """No poll before the crash means nothing to bank — the member
+        simply disappears from shard_stats until it rejoins."""
+        links = [StatsLink(0, estimates=5.0), StatsLink(1, estimates=1.0)]
+        with make_cluster(
+            cluster_catalog, links, breaker_threshold=1
+        ) as cluster:
+            links[0].fail_transport = True
+            answers = [
+                cluster.estimate(query, timeout=5.0)
+                for query in cluster_queries
+            ]
+            assert all(answer.shard == 1 for answer in answers)
+            stats = cluster.shard_stats(timeout_s=5.0)
+            assert set(stats) == {1}
+
+
 class TestLifecycle:
     def test_close_is_idempotent_and_closes_links(
         self, cluster_catalog, cluster_queries

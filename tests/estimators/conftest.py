@@ -1,0 +1,34 @@
+"""Fixtures for the backend parity suite: one query workload shared by
+every estimator backend, plus its exact truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import FilterPredicate
+
+
+@pytest.fixture(scope="session")
+def parity_queries(two_table_attrs, two_table_join) -> list[frozenset]:
+    """Filters, a join, and join+filter combinations on R ⋈ S — the
+    predicate shapes every backend must answer."""
+    ra, sb = two_table_attrs["Ra"], two_table_attrs["Sb"]
+    return [
+        frozenset({FilterPredicate(ra, 10.0, 40.0)}),
+        frozenset({FilterPredicate(sb, 20.0, 60.0)}),
+        frozenset({two_table_join}),
+        frozenset({two_table_join, FilterPredicate(ra, 10.0, 40.0)}),
+        frozenset({two_table_join, FilterPredicate(sb, 20.0, 60.0)}),
+        frozenset(
+            {
+                two_table_join,
+                FilterPredicate(ra, 0.0, 30.0),
+                FilterPredicate(sb, 0.0, 50.0),
+            }
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def parity_truth(two_table_executor, parity_queries) -> list[float]:
+    return [two_table_executor.selectivity(q) for q in parity_queries]

@@ -14,6 +14,7 @@ import pytest
 from repro.core.errors import NIndError
 from repro.core.estimator import CardinalityEstimator
 from repro.core.get_selectivity import GetSelectivity, LegacyGetSelectivity
+from repro.estimators import SITEstimator
 from repro.optimizer.integration import MemoCoupledEstimator
 
 
@@ -64,7 +65,9 @@ class TestEngineFactory:
     def test_estimator_engine_kwarg_is_silent(
         self, two_table_db, two_table_pool, recwarn
     ):
-        estimator = CardinalityEstimator(
+        # SITEstimator is the canonical class; the CardinalityEstimator
+        # spelling now warns on construction (see tests/estimators).
+        estimator = SITEstimator(
             two_table_db, two_table_pool, NIndError(), engine="legacy"
         )
         assert estimator.engine == "legacy"
