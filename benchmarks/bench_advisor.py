@@ -9,7 +9,7 @@ pool, measured by GS-Diff accuracy on the 3-way join workload.
 """
 
 from repro.bench.reporting import render_table
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.stats.advisor import AdvisorConfig, SITAdvisor
 from repro.stats.builder import SITBuilder
 from repro.stats.pool import SITPool, build_workload_pool

@@ -8,7 +8,7 @@ the x = y line.
 """
 
 from repro.bench.reporting import figure5_rows, render_table
-from repro.core.estimator import make_gs_nind
+from repro.estimators import make_gs_nind
 
 
 def test_figure5_scatter(benchmark, figure7_sweep, write_result, database, pools, workloads):

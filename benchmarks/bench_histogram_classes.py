@@ -7,7 +7,7 @@ much of the gain comes from the SIT machinery versus the histogram class.
 """
 
 from repro.bench.reporting import render_table
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.histograms.equidepth import build_equidepth
 from repro.histograms.equiwidth import build_equiwidth
 from repro.histograms.maxdiff import build_maxdiff

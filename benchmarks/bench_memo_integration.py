@@ -11,7 +11,7 @@ import time
 
 from repro.bench.reporting import render_table
 from repro.core.errors import DiffError
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.optimizer.explorer import explore
 from repro.optimizer.integration import MemoCoupledEstimator
 

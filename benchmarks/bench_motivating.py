@@ -9,7 +9,7 @@ Figure 2 intersection decomposition); GVM cannot.
 import pytest
 
 from repro.bench.reporting import render_table
-from repro.core.estimator import make_gs_diff, make_nosit
+from repro.estimators import make_gs_diff, make_nosit
 from repro.core.gvm import GreedyViewMatching
 from repro.core.predicates import Attribute
 from repro.engine.executor import Executor

@@ -8,7 +8,7 @@ actually needs.
 """
 
 from repro.bench.reporting import render_table
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.stats.builder import SITBuilder
 from repro.stats.pool import build_workload_pool
 from repro.stats.sampling import SamplingSITBuilder

@@ -19,7 +19,7 @@ import pytest
 
 from repro.bench.config import BenchConfig
 from repro.bench.harness import Harness, WorkloadEvaluation
-from repro.core.estimator import (
+from repro.estimators import (
     make_gs_diff,
     make_gs_nind,
     make_gs_opt,

@@ -10,7 +10,7 @@ Run:  python examples/statistics_advisor.py
 """
 
 from repro.bench.harness import Harness
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.stats.advisor import AdvisorConfig, SITAdvisor
 from repro.stats.builder import SITBuilder
 from repro.stats.pool import build_workload_pool

@@ -12,7 +12,7 @@ import os
 
 from repro.bench.harness import Harness
 from repro.bench.reporting import render_figure7
-from repro.core.estimator import make_gs_diff, make_gs_nind, make_nosit
+from repro.estimators import make_gs_diff, make_gs_nind, make_nosit
 from repro.stats.builder import SITBuilder
 from repro.stats.pool import build_workload_pool
 from repro.workload.queries import WorkloadConfig, WorkloadGenerator

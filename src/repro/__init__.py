@@ -37,7 +37,6 @@ The public API is re-exported here; the subpackages are:
 
 from repro.core import (
     Attribute,
-    CardinalityEstimator,
     DiffError,
     FilterPredicate,
     GreedyViewMatching,
@@ -66,14 +65,12 @@ from repro.estimators import (
 )
 from repro.obs import ExplainResult, MetricsRegistry, StatsSnapshot, Trace
 from repro.service import (
-    Client,
     ClusterConfig,
     EstimationService,
     HealingConfig,
     Overloaded,
     ServedEstimate,
     ServiceConfig,
-    TCPClient,
     connect,
 )
 from repro.stats import SIT, SITBuilder, SITPool, build_workload_pool
@@ -84,9 +81,7 @@ __all__ = [
     "Attribute",
     "BACKENDS",
     "BayesianNetworkEstimator",
-    "CardinalityEstimator",
     "CatalogSnapshot",
-    "Client",
     "ClusterConfig",
     "Database",
     "DiffError",
@@ -115,7 +110,6 @@ __all__ = [
     "ServiceConfig",
     "StatisticsCatalog",
     "StatsSnapshot",
-    "TCPClient",
     "Table",
     "TableSchema",
     "Trace",

@@ -1,0 +1,45 @@
+"""Safety-constrained, feedback-driven SIT self-tuning (:mod:`repro.advisor`).
+
+The static advisor (:mod:`repro.stats.advisor`) picks SITs once, from
+build-time heuristics.  This package closes the loop at run time:
+
+* :mod:`~repro.advisor.feedback` — bounded log of served estimates
+  (predicates, estimated cardinality, matched SITs);
+* :mod:`~repro.advisor.split` — deterministic, leak-free candidate /
+  safety partitioning of the feedback (seeded hash, no RNG state);
+* :mod:`~repro.advisor.search` — greedy configuration search scored by
+  *measured* q-error against engine-exact truth;
+* :mod:`~repro.advisor.safety` — the gate verifying worst-case q-error,
+  space and refresh-cost bounds on the held-out safety split; any
+  violation yields ``no-solution-found`` and the current configuration
+  stands;
+* :mod:`~repro.advisor.loop` — :class:`SelfTuningAdvisor`, the tick
+  orchestration, applying accepted configurations through the catalog's
+  refresh path.
+
+The service layer (:mod:`repro.service`) runs the loop between batches
+when ``ServiceConfig.advisor`` is set; it is equally usable standalone
+(see ``python -m repro advisor``).
+"""
+
+from repro.advisor.config import AdvisorConfig
+from repro.advisor.feedback import FeedbackLog, FeedbackRecord
+from repro.advisor.loop import SelfTuningAdvisor, TuningReport
+from repro.advisor.safety import NO_SOLUTION_FOUND, SafetyDecision, SafetyGate
+from repro.advisor.search import ConfigurationSearch, MeasuredRecord
+from repro.advisor.split import assign_split, split_records
+
+__all__ = [
+    "AdvisorConfig",
+    "ConfigurationSearch",
+    "FeedbackLog",
+    "FeedbackRecord",
+    "MeasuredRecord",
+    "NO_SOLUTION_FOUND",
+    "SafetyDecision",
+    "SafetyGate",
+    "SelfTuningAdvisor",
+    "TuningReport",
+    "assign_split",
+    "split_records",
+]

@@ -1,0 +1,113 @@
+"""Per-query feedback records feeding the self-tuning loop.
+
+Every served estimation can be *observed*: the predicate set, the
+estimated cardinality the service answered with, and the names of the
+conditioned SITs that matched during decomposition.  The observations go
+into a :class:`FeedbackLog` — a bounded, thread-safe, append-only window
+over recent traffic.  Exact cardinalities are deliberately **not**
+stored here: the tuning tick resolves truth lazily (and at most once per
+distinct predicate set) through the LEO-style
+:class:`repro.stats.feedback.FeedbackRepository`, so the serving path
+never pays for an engine execution.
+
+Record sequence numbers are deterministic (a monotone counter, no
+clocks), which keeps the candidate/safety split and the greedy search
+replayable: same log, same seed -> same tuning outcome.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.predicates import PredicateSet, tables_of
+
+#: default bound on retained feedback records
+DEFAULT_LOG_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One observed estimation: what was asked and what was answered."""
+
+    #: monotone position in the log (deterministic, no timestamps)
+    seq: int
+    #: the served predicate set (the feedback key)
+    predicates: PredicateSet
+    #: the cardinality the estimator answered with
+    estimated_cardinality: float
+    #: names (``str(sit)``) of conditioned SITs used by the decomposition
+    matched_sits: tuple[str, ...]
+    #: tables the predicate set touches (precomputed for invalidation)
+    tables: frozenset[str]
+
+
+class FeedbackLog:
+    """A bounded window of :class:`FeedbackRecord` in arrival order.
+
+    Appends past ``capacity`` drop the oldest record and count it in
+    ``dropped`` — the loop tunes against *recent* traffic by design.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: list[FeedbackRecord] = []
+        self._lock = threading.Lock()
+        self._next_seq = 0
+        self.appended = 0
+        self.dropped = 0
+
+    def append(
+        self,
+        predicates: PredicateSet,
+        estimated_cardinality: float,
+        matched_sits: tuple[str, ...] = (),
+    ) -> FeedbackRecord:
+        """Observe one served estimation; returns the stored record."""
+        key = frozenset(predicates)
+        with self._lock:
+            record = FeedbackRecord(
+                seq=self._next_seq,
+                predicates=key,
+                estimated_cardinality=float(estimated_cardinality),
+                matched_sits=tuple(sorted(matched_sits)),
+                tables=tables_of(key),
+            )
+            self._next_seq += 1
+            self.appended += 1
+            self._records.append(record)
+            overflow = len(self._records) - self.capacity
+            if overflow > 0:
+                del self._records[:overflow]
+                self.dropped += overflow
+        return record
+
+    def records(self) -> tuple[FeedbackRecord, ...]:
+        """A point-in-time snapshot, oldest first."""
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> int:
+        """Drop everything (e.g. after an accepted reconfiguration made
+        old estimates unrepresentative); returns the number dropped."""
+        with self._lock:
+            count = len(self._records)
+            self._records.clear()
+        return count
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "feedback_records": float(len(self._records)),
+                "feedback_appended": float(self.appended),
+                "feedback_dropped": float(self.dropped),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+__all__ = ["DEFAULT_LOG_CAPACITY", "FeedbackLog", "FeedbackRecord"]

@@ -1,0 +1,99 @@
+"""The safety gate: hard constraints verified on held-out records.
+
+The search (:mod:`repro.advisor.search`) optimises freely on the
+candidate split; nothing it proposes touches the catalog until this
+gate has checked, on the *safety* split the search never saw:
+
+1. **q-error** — worst-case measured q-error <= ``max_q_error``;
+2. **space** — conditioned-SIT bytes <= ``space_budget_bytes``;
+3. **refresh cost** — estimated rebuild seconds (the sum of recorded
+   per-SIT build times) <= ``refresh_budget_s``.
+
+Any violation yields ``NO_SOLUTION_FOUND``: the loop keeps the current
+configuration and says so, rather than applying a plausible-but-
+unverified change.  An empty safety split is also a rejection — a
+constraint that cannot be checked is not a constraint that holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.advisor.config import AdvisorConfig
+
+#: the gate's rejection verdict (the loop reports it verbatim)
+NO_SOLUTION_FOUND = "no-solution-found"
+
+
+@dataclass(frozen=True)
+class SafetyDecision:
+    """The gate's verdict on one proposed configuration."""
+
+    accepted: bool
+    #: ``"accepted"`` or the first violated constraint
+    #: (``"q_error"`` | ``"space"`` | ``"refresh_cost"`` |
+    #: ``"no_safety_records"``)
+    reason: str
+    #: every violated constraint (superset of ``reason`` when rejected)
+    violations: tuple[str, ...]
+    #: measured worst-case q-error on the safety split
+    worst_q_error: float
+    #: conditioned-SIT bytes of the proposed configuration
+    space_bytes: float
+    #: estimated rebuild seconds of the proposed configuration
+    refresh_seconds: float
+    #: the bounds the measurements were checked against
+    max_q_error: float
+    space_budget_bytes: float | None
+    refresh_budget_s: float | None
+
+    @property
+    def verdict(self) -> str:
+        return "accepted" if self.accepted else NO_SOLUTION_FOUND
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["violations"] = list(self.violations)
+        payload["verdict"] = self.verdict
+        return payload
+
+
+@dataclass(frozen=True)
+class SafetyGate:
+    """Checks measured safety-split numbers against the config's bounds."""
+
+    config: AdvisorConfig
+
+    def check(
+        self,
+        *,
+        worst_q_error: float,
+        space_bytes: float,
+        refresh_seconds: float,
+        safety_records: int,
+    ) -> SafetyDecision:
+        violations: list[str] = []
+        if safety_records < 1:
+            violations.append("no_safety_records")
+        if worst_q_error > self.config.max_q_error:
+            violations.append("q_error")
+        budget = self.config.space_budget_bytes
+        if budget is not None and space_bytes > budget:
+            violations.append("space")
+        refresh_budget = self.config.refresh_budget_s
+        if refresh_budget is not None and refresh_seconds > refresh_budget:
+            violations.append("refresh_cost")
+        return SafetyDecision(
+            accepted=not violations,
+            reason=violations[0] if violations else "accepted",
+            violations=tuple(violations),
+            worst_q_error=worst_q_error,
+            space_bytes=space_bytes,
+            refresh_seconds=refresh_seconds,
+            max_q_error=self.config.max_q_error,
+            space_budget_bytes=budget,
+            refresh_budget_s=refresh_budget,
+        )
+
+
+__all__ = ["NO_SOLUTION_FOUND", "SafetyDecision", "SafetyGate"]

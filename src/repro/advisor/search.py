@@ -1,0 +1,166 @@
+"""Configuration search over conditioned SITs, scored by *measured* q-error.
+
+The static advisor (:mod:`repro.stats.advisor`) ranks candidates by the
+build-time heuristic ``diff_H * applicability / (1 + joins)``.  That
+ranking is the right prior, but it knows nothing about how the deployed
+estimator actually performs on live traffic.  This module closes the
+loop: a *configuration* is a subset of conditioned SIT names, and it is
+evaluated by replaying the candidate-split feedback records against an
+estimator built from exactly that subset (plus the always-kept base
+histograms), scoring the median q-error against engine-exact truth.
+
+The search is a bounded greedy: walk the candidates in static-score
+order, trial-adding each (kept only if the measured median improves and
+the space budget still holds), then one drop pass removing anything
+whose absence doesn't hurt.  Every step is deterministic — tie-breaks
+by static rank then name — so the same records and candidates always
+produce the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.advisor.feedback import FeedbackRecord
+from repro.core.predicates import join_predicates, tables_of
+from repro.engine.database import Database
+from repro.estimators.sit import SITEstimator
+from repro.stats.pool import SITPool
+from repro.stats.sit import SIT
+
+#: guard against exact zeros in the q-error ratio
+EPSILON = 1e-9
+#: minimum median improvement for an add move to be kept
+IMPROVEMENT_TOLERANCE = 1e-9
+
+
+def q_error(estimated: float, true: float) -> float:
+    """``max(est, true) / min(est, true)``, epsilon-guarded."""
+    high = max(estimated, true) + EPSILON
+    low = min(estimated, true) + EPSILON
+    return high / low
+
+
+def median(values: Sequence[float]) -> float:
+    """Deterministic median (mean of middle pair on even length)."""
+    if not values:
+        raise ValueError("median of no values")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def sit_space_bytes(sit: SIT) -> float:
+    """Histogram footprint of one SIT (its bucket arrays)."""
+    return float(sum(array.nbytes for array in sit.histogram.bucket_arrays()))
+
+
+def static_score(sit: SIT, records: Sequence[FeedbackRecord]) -> float:
+    """The static advisor's prior, with applicability measured against
+    the feedback records instead of a synthetic workload: the number of
+    records whose join set makes ``sit`` a match candidate."""
+    applicability = sum(
+        1
+        for record in records
+        if sit.expression <= join_predicates(record.predicates)
+    )
+    return sit.diff * applicability / (1.0 + sit.join_count)
+
+
+@dataclass(frozen=True)
+class MeasuredRecord:
+    """A feedback record with its engine-exact truth resolved."""
+
+    record: FeedbackRecord
+    true_cardinality: int
+
+
+@dataclass
+class ConfigurationSearch:
+    """Greedy add/drop search over conditioned-SIT subsets."""
+
+    database: Database
+    #: always-kept base histograms
+    base_sits: Sequence[SIT]
+    #: conditioned candidates (any order; ranked internally)
+    candidates: Sequence[SIT]
+    #: candidate-split records with resolved truth
+    records: Sequence[MeasuredRecord]
+    space_budget_bytes: float | None = None
+    max_moves: int = 24
+    #: configuration evaluations actually spent (for observability)
+    evaluations: int = field(init=False, default=0)
+
+    def evaluate(self, chosen: frozenset[str]) -> list[float]:
+        """Replay the records against ``base + chosen``; per-record q-errors."""
+        self.evaluations += 1
+        pool = SITPool(list(self.base_sits))
+        for sit in self.candidates:
+            if str(sit) in chosen:
+                pool.add(sit)
+        estimator = SITEstimator(self.database, pool)
+        errors = []
+        for measured in self.records:
+            predicates = measured.record.predicates
+            result = estimator.estimate_predicates(predicates)
+            estimated = result.selectivity * self.database.cross_product_size(
+                tables_of(predicates)
+            )
+            errors.append(q_error(estimated, float(measured.true_cardinality)))
+        return errors
+
+    def ranked_candidates(self) -> list[SIT]:
+        """Candidates by descending static prior, name-tie-broken."""
+        plain = [r.record for r in self.records]
+        return sorted(
+            self.candidates,
+            key=lambda sit: (-static_score(sit, plain), str(sit)),
+        )
+
+    def greedy(self) -> tuple[frozenset[str], float]:
+        """The search; returns ``(chosen names, candidate-split median)``."""
+        if not self.records:
+            return frozenset(), float("inf")
+        spaces = {str(sit): sit_space_bytes(sit) for sit in self.candidates}
+        chosen: set[str] = set()
+        used_space = 0.0
+        best = median(self.evaluate(frozenset()))
+        budget = self.space_budget_bytes
+        # add pass: static-prior order, keep a move only if measured
+        # median q-error improves and the space budget still holds
+        for sit in self.ranked_candidates():
+            if self.evaluations >= self.max_moves:
+                break
+            name = str(sit)
+            if budget is not None and used_space + spaces[name] > budget:
+                continue
+            trial_median = median(self.evaluate(frozenset(chosen | {name})))
+            if trial_median < best - IMPROVEMENT_TOLERANCE:
+                chosen.add(name)
+                used_space += spaces[name]
+                best = trial_median
+        # drop pass: anything whose absence doesn't hurt goes (smaller
+        # configurations are cheaper to hold and to refresh)
+        for name in sorted(chosen):
+            if self.evaluations >= self.max_moves:
+                break
+            trial_median = median(self.evaluate(frozenset(chosen - {name})))
+            if trial_median <= best + IMPROVEMENT_TOLERANCE:
+                chosen.discard(name)
+                used_space -= spaces[name]
+                best = trial_median
+        return frozenset(chosen), best
+
+
+__all__ = [
+    "EPSILON",
+    "ConfigurationSearch",
+    "MeasuredRecord",
+    "median",
+    "q_error",
+    "sit_space_bytes",
+    "static_score",
+]

@@ -1,0 +1,67 @@
+"""Deterministic candidate/safety partitioning of feedback records.
+
+The Seldonian discipline behind the loop: the search is free to overfit
+the *candidate* split, because nothing it proposes is applied until the
+:class:`~repro.advisor.safety.SafetyGate` has verified the hard
+constraints on the held-out *safety* split.  For that to be sound the
+split must not leak: all records of the same predicate set must land on
+the same side (a query seen during search must not also vouch for
+safety).
+
+The assignment is a seeded hash of the canonical predicate-set text —
+no RNG state, no ordering sensitivity, stable across processes and
+Python hash randomisation (``blake2b``, not built-in ``hash``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.advisor.feedback import FeedbackRecord
+from repro.core.predicates import PredicateSet
+
+SAFETY = "safety"
+CANDIDATE = "candidate"
+
+
+def canonical_key(predicates: PredicateSet) -> str:
+    """Order-independent text form of a predicate set."""
+    return " & ".join(sorted(str(p) for p in predicates))
+
+
+def assign_split(
+    predicates: PredicateSet, seed: int, safety_fraction: float
+) -> str:
+    """``"safety"`` or ``"candidate"`` for a predicate set, deterministically.
+
+    The first 8 bytes of ``blake2b(seed | canonical_key)`` are mapped to
+    ``[0, 1)``; below ``safety_fraction`` goes to the safety split.
+    """
+    if not 0.0 < safety_fraction < 1.0:
+        raise ValueError("safety_fraction must be in (0, 1)")
+    payload = f"{seed}|{canonical_key(predicates)}".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    point = int.from_bytes(digest, "big") / 2**64
+    return SAFETY if point < safety_fraction else CANDIDATE
+
+
+def split_records(
+    records: Iterable[FeedbackRecord], seed: int, safety_fraction: float
+) -> tuple[Sequence[FeedbackRecord], Sequence[FeedbackRecord]]:
+    """Partition records into ``(candidate, safety)``, order preserved."""
+    candidate: list[FeedbackRecord] = []
+    safety: list[FeedbackRecord] = []
+    for record in records:
+        side = assign_split(record.predicates, seed, safety_fraction)
+        (safety if side == SAFETY else candidate).append(record)
+    return candidate, safety
+
+
+__all__ = [
+    "CANDIDATE",
+    "SAFETY",
+    "assign_split",
+    "canonical_key",
+    "split_records",
+]

@@ -1,0 +1,254 @@
+"""Self-tuning advisor vs the static ``diff_H`` advisor, under budget.
+
+The experiment behind :mod:`repro.advisor`: on a skewed snowflake
+workload, impose a space budget that excludes at least half of the
+candidate conditioned SITs (the sum of the smaller half of their
+footprints), then compare three configurations on a *held-out* workload
+(a disjoint suffix of the same generator stream — same join/filter mix,
+queries unseen during feedback):
+
+* **base-only** — base histograms, no conditioned SITs;
+* **static** — the static advisor's ranking
+  (``diff_H * applicability / (1 + joins)``), greedily packed into the
+  budget — the best one can do without looking at live traffic;
+* **tuned** — what :class:`~repro.advisor.loop.SelfTuningAdvisor`
+  accepts after observing the feedback workload, with the safety gate's
+  three constraints verified on its held-out safety split.
+
+The gate: the tuned configuration's median q-error on the holdout
+workload must not exceed the static advisor's.  The block merges into
+``BENCH_core.json`` read-modify-write (every other block untouched)::
+
+    PYTHONPATH=src python -m repro.bench.advisor [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.advisor import AdvisorConfig, SelfTuningAdvisor
+from repro.advisor.search import q_error, sit_space_bytes
+from repro.bench.perf import DEFAULT_OUTPUT
+from repro.catalog import EstimationSession, StatisticsCatalog
+from repro.core.predicates import attributes_of
+from repro.engine.executor import Executor
+from repro.estimators.sit import SITEstimator
+from repro.stats.pool import SITPool
+from repro.workload.queries import WorkloadConfig, WorkloadGenerator
+from repro.workload.snowflake import SnowflakeConfig, generate_snowflake
+
+SNOWFLAKE_SCALE = 0.15
+FEEDBACK_SEED = 42
+FEEDBACK_QUERIES = 20
+HOLDOUT_QUERIES = 12
+MAX_JOINS = 2
+
+#: the advisor's safety bounds for the bench run (space budget is
+#: computed from the candidate pool; see :func:`run`)
+MAX_Q_ERROR = 1000.0
+REFRESH_BUDGET_S = 60.0
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def build_setup():
+    """Database, feedback/holdout workloads, and a J2 catalog whose base
+    histograms cover *both* workloads (so every configuration under test
+    can answer every holdout query)."""
+    database = generate_snowflake(
+        SnowflakeConfig(scale=SNOWFLAKE_SCALE, seed=FEEDBACK_SEED)
+    )
+    stream = WorkloadGenerator(
+        database,
+        WorkloadConfig(join_count=2, filter_count=2, seed=FEEDBACK_SEED),
+    ).generate(FEEDBACK_QUERIES + HOLDOUT_QUERIES)
+    # one workload distribution, disjoint query split: the holdout
+    # queries are unseen by both advisors but share the feedback
+    # stream's join/filter mix (the regime self-tuning targets)
+    feedback = stream[:FEEDBACK_QUERIES]
+    holdout = stream[FEEDBACK_QUERIES:]
+    catalog = StatisticsCatalog.build(database, feedback, max_joins=MAX_JOINS)
+    present = {sit.attribute for sit in catalog.pool if sit.is_base}
+    needed = set()
+    for query in (*feedback, *holdout):
+        needed |= attributes_of(query.predicates)
+    for attribute in sorted(needed - present):
+        catalog.add(catalog.builder.build_base(attribute))
+    return database, catalog, feedback, holdout
+
+
+def static_selection(conditioned, feedback, budget: float) -> set[str]:
+    """The static advisor's pick: rank by
+    ``diff_H * applicability / (1 + joins)`` and greedily pack the
+    budget (best score first, skipping what no longer fits)."""
+
+    def score(sit) -> float:
+        applicability = sum(
+            1 for query in feedback if sit.expression <= query.joins
+        )
+        return sit.diff * applicability / (1.0 + sit.join_count)
+
+    chosen: set[str] = set()
+    used = 0.0
+    for sit in sorted(conditioned, key=lambda s: (-score(s), str(s))):
+        space = sit_space_bytes(sit)
+        if used + space <= budget:
+            chosen.add(str(sit))
+            used += space
+    return chosen
+
+
+def holdout_q_errors(database, base, conditioned, chosen, holdout, executor):
+    """Median/max holdout q-error of ``base + chosen`` conditioned SITs."""
+    pool = SITPool(list(base))
+    for sit in conditioned:
+        if str(sit) in chosen:
+            pool.add(sit)
+    estimator = SITEstimator(database, pool)
+    errors = [
+        q_error(
+            estimator.estimate(query).selectivity,
+            executor.selectivity(query.predicates),
+        )
+        for query in holdout
+    ]
+    return {
+        "sits": len(chosen),
+        "space_bytes": sum(
+            sit_space_bytes(sit)
+            for sit in conditioned
+            if str(sit) in chosen
+        ),
+        "median_q_error": _median(errors),
+        "max_q_error": max(errors),
+    }
+
+
+def run() -> dict:
+    database, catalog, feedback, holdout = build_setup()
+    base = [sit for sit in catalog.pool if sit.is_base]
+    conditioned = [sit for sit in catalog.pool if not sit.is_base]
+    spaces = sorted(sit_space_bytes(sit) for sit in conditioned)
+    budget = sum(spaces[: len(spaces) // 2])
+
+    advisor = SelfTuningAdvisor(
+        catalog,
+        config=AdvisorConfig(
+            max_q_error=MAX_Q_ERROR,
+            space_budget_bytes=budget,
+            refresh_budget_s=REFRESH_BUDGET_S,
+            min_feedback=8,
+            min_interval_s=0.0,
+        ),
+    )
+    session = EstimationSession(catalog)
+    session.feedback_sink = advisor.record_result
+    for query in feedback:
+        session.estimate(query)
+    report = advisor.tick()
+
+    executor = Executor(database)
+    static_chosen = static_selection(conditioned, feedback, budget)
+    configurations = {
+        "base_only": holdout_q_errors(
+            database, base, conditioned, set(), holdout, executor
+        ),
+        "static": holdout_q_errors(
+            database, base, conditioned, static_chosen, holdout, executor
+        ),
+        "tuned": holdout_q_errors(
+            database, base, conditioned, set(report.chosen), holdout, executor
+        ),
+    }
+    tuned_median = configurations["tuned"]["median_q_error"]
+    static_median = configurations["static"]["median_q_error"]
+    return {
+        "workload": {
+            "database": "snowflake",
+            "scale": SNOWFLAKE_SCALE,
+            "feedback_seed": FEEDBACK_SEED,
+            "feedback_queries": len(feedback),
+            "holdout_queries": len(holdout),
+            "candidate_sits": len(conditioned),
+            "space_budget_bytes": budget,
+            "budget_fraction_of_pool": budget / sum(spaces) if spaces else 0.0,
+        },
+        "tuning": report.to_dict(),
+        "configurations": configurations,
+        "gate": {
+            "tuned_median_q_error": tuned_median,
+            "static_median_q_error": static_median,
+            "within_gate": tuned_median <= static_median,
+            "tuned_accepted": report.status == "accepted",
+            "space_within_budget": (
+                configurations["tuned"]["space_bytes"] <= budget
+            ),
+        },
+    }
+
+
+def render(block: dict) -> str:
+    work = block["workload"]
+    lines = [
+        f"advisor bench (snowflake scale {work['scale']}, "
+        f"{work['feedback_queries']} feedback / "
+        f"{work['holdout_queries']} holdout queries, "
+        f"{work['candidate_sits']} candidate SITs, budget "
+        f"{work['space_budget_bytes'] / 1024.0:.1f} KiB = "
+        f"{work['budget_fraction_of_pool'] * 100.0:.0f}% of pool):",
+        f"  {'config':>9}  {'SITs':>5}  {'space KiB':>10}  "
+        f"{'med q-err':>10}  {'max q-err':>10}",
+    ]
+    for name, row in block["configurations"].items():
+        lines.append(
+            f"  {name:>9}  {row['sits']:>5}  "
+            f"{row['space_bytes'] / 1024.0:>10.1f}  "
+            f"{row['median_q_error']:>10.3f}  {row['max_q_error']:>10.3f}"
+        )
+    tuning = block["tuning"]
+    decision = tuning["decision"] or {}
+    lines.append(
+        f"tuning: {tuning['status']} "
+        f"(safety worst q-err {decision.get('worst_q_error', float('nan')):.2f}, "
+        f"space {decision.get('space_bytes', 0.0) / 1024.0:.1f} KiB, "
+        f"refresh {decision.get('refresh_seconds', 0.0):.3f}s)"
+    )
+    gate = block["gate"]
+    lines.append(
+        f"gate tuned <= static median q-error: "
+        f"{gate['tuned_median_q_error']:.3f} vs "
+        f"{gate['static_median_q_error']:.3f} "
+        f"({'pass' if gate['within_gate'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = pathlib.Path(argv[0]) if argv else DEFAULT_OUTPUT
+    existing: dict = {}
+    if output.exists():
+        existing = json.loads(output.read_text())
+    started = time.perf_counter()
+    block = run()
+    elapsed = time.perf_counter() - started
+    existing["advisor"] = block
+    output.write_text(json.dumps(existing, indent=2) + "\n")
+    print(render(block))
+    print(f"wrote {output} ({elapsed:.1f}s)")
+    if not block["gate"]["within_gate"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

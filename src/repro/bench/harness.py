@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.catalog.session import EstimationSession
-from repro.core.estimator import CardinalityEstimator, resolve_statistics
+from repro.estimators import SITEstimator, resolve_statistics
 from repro.core.gvm import GreedyViewMatching
 from repro.core.predicates import PredicateSet, tables_of
 from repro.engine.database import Database
@@ -42,7 +42,7 @@ from repro.stats.pool import SITPool
 from repro.workload.queries import connected_subqueries
 
 #: builds an estimator for (database, statistics)
-EstimatorFactory = Callable[[Database, SITPool], CardinalityEstimator]
+EstimatorFactory = Callable[[Database, SITPool], SITEstimator]
 
 
 @dataclass

@@ -543,6 +543,13 @@ class StatisticsCatalog:
         registry.gauge("catalog.version").set(float(self.version))
         registry.gauge("catalog.sit_count").set(float(len(self._pool)))
         registry.gauge("catalog.stale_sits").set(float(len(self.stale_sits())))
+        if self._feedback:
+            totals: dict[str, float] = {}
+            for repository in self._feedback:
+                for key, value in repository.counters().items():
+                    totals[key] = totals.get(key, 0.0) + value
+            for key, value in totals.items():
+                registry.gauge(f"catalog.{key}").set(value)
         caches = list(self._plan_caches)
         if caches:
             gauge = registry.gauge

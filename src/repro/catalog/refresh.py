@@ -64,6 +64,13 @@ class RefreshPolicy:
         conditioned SITs whose rebuilt ``diff_H`` fell below this provide
         no benefit over the base histogram (Section 3.5 / Example 4) and
         are dropped.
+    ``keep_keys``
+        an explicit allow-list of *conditioned* :data:`SITKey` to retain
+        (base histograms are always kept); everything conditioned outside
+        it is dropped.  This is the apply path of the self-tuning loop
+        (:mod:`repro.advisor`), which decides membership by measured
+        q-error rather than the score heuristic.  ``None`` (the default)
+        disables the filter.
     """
 
     method: str = BUILD_FULL
@@ -72,6 +79,7 @@ class RefreshPolicy:
     sampling_seed: int = 0
     max_sits: int | None = None
     min_diff: float = 0.0
+    keep_keys: frozenset | None = None
 
     def __post_init__(self) -> None:
         if self.method not in (BUILD_FULL, BUILD_SAMPLED):
@@ -81,6 +89,8 @@ class RefreshPolicy:
             )
         if self.max_sits is not None and self.max_sits < 0:
             raise ValueError("max_sits must be non-negative")
+        if self.keep_keys is not None:
+            object.__setattr__(self, "keep_keys", frozenset(self.keep_keys))
 
 
 @dataclass
@@ -228,13 +238,18 @@ def execute_refresh(
     # ------------------------------------------------------------------
     # Space budget / benefit filter (advisor re-run)
     # ------------------------------------------------------------------
-    if policy.max_sits is not None or policy.min_diff > 0.0:
+    if (
+        policy.max_sits is not None
+        or policy.min_diff > 0.0
+        or policy.keep_keys is not None
+    ):
         scores = _advisor_scores(sits, queries)
         conditioned = [sit for sit in sits if not sit.is_base]
         survivors = {
             sit_key(sit)
             for sit in conditioned
             if sit.diff >= policy.min_diff
+            and (policy.keep_keys is None or sit_key(sit) in policy.keep_keys)
         }
         if policy.max_sits is not None and len(survivors) > policy.max_sits:
             ranked = sorted(

@@ -147,6 +147,11 @@ class EstimationSession:
         self._matcher_calls = 0
         self._analysis_seconds = 0.0
         self._estimation_seconds = 0.0
+        #: optional ``(predicates, result) -> None`` hook invoked after
+        #: every answered query — the self-tuning advisor's observation
+        #: point (:mod:`repro.advisor`).  Sink errors are swallowed:
+        #: feedback is advisory and must never fail serving.
+        self.feedback_sink = None
         # register the compiled-plan cache with the owning catalog so
         # `catalog.status()` can aggregate live caches (weakly held — a
         # retired session's cache unregisters itself)
@@ -218,6 +223,15 @@ class EstimationSession:
                 "was replaced after pinning"
             )
 
+    def _emit_feedback(self, predicates, result) -> None:
+        sink = self.feedback_sink
+        if sink is None or result is None:
+            return
+        try:
+            sink(predicates, result)
+        except Exception:
+            pass
+
     def _acquire_owner(self):
         if not self._owner_lock.acquire(blocking=False):
             raise RuntimeError(
@@ -239,7 +253,9 @@ class EstimationSession:
                 if isinstance(query, Query)
                 else frozenset(query)
             )
-            return self.estimator.estimate_predicates(predicates)
+            result = self.estimator.estimate_predicates(predicates)
+            self._emit_feedback(predicates, result)
+            return result
         finally:
             lock.release()
 
@@ -277,6 +293,7 @@ class EstimationSession:
                 for i, ps in enumerate(sets):
                     self.begin_query()
                     results[i] = self.estimator.estimate_predicates(ps)
+                    self._emit_feedback(ps, results[i])
                 return results
             # plan id -> (plan, [(member index, str-ordered predicates)])
             groups: dict = {}
@@ -297,6 +314,8 @@ class EstimationSession:
                 )
                 for (i, _), result in zip(members, replayed):
                     results[i] = result
+            for ps, result in zip(sets, results):
+                self._emit_feedback(ps, result)
             return results
         finally:
             lock.release()

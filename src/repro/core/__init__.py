@@ -8,8 +8,7 @@ from repro.core.decompose import (
     standard_decomposition,
 )
 from repro.core.errors import DiffError, ErrorFunction, NIndError, OptError
-from repro.core.estimator import (
-    CardinalityEstimator,
+from repro.estimators.sit import (
     make_gs_diff,
     make_gs_nind,
     make_gs_opt,
@@ -46,7 +45,6 @@ from repro.core.selectivity import Decomposition, Factor
 __all__ = [
     "Attribute",
     "AttributeMatch",
-    "CardinalityEstimator",
     "Decomposition",
     "DiffError",
     "ErrorFunction",

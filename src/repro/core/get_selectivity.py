@@ -258,8 +258,8 @@ class GetSelectivity:
         the same mask can only reproduce the banked result bit for bit.
 
         Off by default so the production DP benchmarks keep measuring the
-        pure enumeration; :class:`~repro.core.estimator.
-        CardinalityEstimator` enables it alongside its plan cache.
+        pure enumeration; :class:`~repro.estimators.sit.
+        SITEstimator` enables it alongside its plan cache.
         """
         if self._memo_bank is None:
             self._memo_bank = {}

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.core.predicates import Attribute, FilterPredicate
 from repro.engine.expressions import Query
 from repro.stats.sit import SIT
@@ -35,7 +35,7 @@ def cardenas(distinct: float, rows: float) -> float:
 
 
 def estimate_group_count(
-    estimator: CardinalityEstimator, query: Query, attribute: Attribute
+    estimator: SITEstimator, query: Query, attribute: Attribute
 ) -> float:
     """Estimated number of groups for ``GROUP BY attribute`` over ``query``."""
     if attribute.table not in query.tables:
@@ -53,7 +53,7 @@ def estimate_group_count(
 
 
 def _best_sit(
-    estimator: CardinalityEstimator, query: Query, attribute: Attribute
+    estimator: SITEstimator, query: Query, attribute: Attribute
 ) -> SIT | None:
     candidates = estimator.algorithm.matcher.maximal_candidates(
         attribute, query.predicates

@@ -16,7 +16,7 @@ its numeric behaviour:
   single substrate behind every observability surface.
 * :mod:`repro.obs.snapshot` — the documented :class:`StatsSnapshot`
   schema (nested ``timings`` / ``counters`` / ``caches`` / ``catalog``
-  namespaces) shared by ``GetSelectivity``, ``CardinalityEstimator``,
+  namespaces) shared by ``GetSelectivity``, ``SITEstimator``,
   ``MemoCoupledEstimator``, the :class:`repro.catalog.StatisticsCatalog`
   and :class:`repro.catalog.EstimationSession`; the ``catalog`` namespace
   carries statistics-lifecycle state (snapshot/catalog versions, stale

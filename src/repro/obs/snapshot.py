@@ -49,7 +49,16 @@ namespaces:
     (``routed``, ``spilled``, per-shard ``shard.<id>.routed``), hedging
     (``hedges``, ``hedge_wins``, ``hedge_cancelled``, ``hedge_delay_ms``)
     and swap coherence (``holds``, ``held_requests``, ``swaps``) — empty
-    below the cluster router.
+    below the cluster router;
+``advisor``
+    self-tuning loop state (:mod:`repro.advisor`): ``ticks``,
+    ``proposals``, ``accepts``, per-constraint rejects
+    (``rejects_q_error`` / ``rejects_space`` / ``rejects_refresh_cost``),
+    ``no_solution`` outcomes, ``skipped_ticks`` (safety evaluation
+    unavailable), feedback-log fill (``feedback_records``,
+    ``feedback_dropped``) and the last accepted proposal's safety
+    margins (``safety_q_error``, ``safety_space_bytes``,
+    ``safety_refresh_seconds``) — empty when no advisor runs.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -77,6 +86,7 @@ NAMESPACES = (
     "resilience",
     "plan_cache",
     "cluster",
+    "advisor",
 )
 
 
@@ -101,6 +111,7 @@ class StatsSnapshot:
     resilience: Mapping[str, float] = field(default_factory=dict)
     plan_cache: Mapping[str, float] = field(default_factory=dict)
     cluster: Mapping[str, float] = field(default_factory=dict)
+    advisor: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -134,6 +145,7 @@ class StatsSnapshot:
             resilience=nested.get("resilience", {}),
             plan_cache=nested.get("plan_cache", {}),
             cluster=nested.get("cluster", {}),
+            advisor=nested.get("advisor", {}),
             meta=meta or {},
         )
 
@@ -149,6 +161,7 @@ class StatsSnapshot:
             "resilience": dict(self.resilience),
             "plan_cache": dict(self.plan_cache),
             "cluster": dict(self.cluster),
+            "advisor": dict(self.advisor),
             "meta": dict(self.meta),
         }
 

@@ -20,8 +20,7 @@ Layering (queue → batch → worker → snapshot swap; DESIGN.md §9):
   (``python -m repro serve``);
 * :mod:`repro.service.client` — :func:`connect`, the one client
   construction path: hand it a service, statistics, ``"host:port"``,
-  or the cluster router and get an :class:`EstimationClient` back
-  (:class:`Client`/:class:`TCPClient` remain as deprecated shims).
+  or the cluster router and get an :class:`EstimationClient` back.
 
 Quickstart::
 
@@ -32,11 +31,9 @@ Quickstart::
 """
 
 from repro.service.client import (
-    Client,
     EstimationClient,
     InProcessClient,
     SocketClient,
-    TCPClient,
     TransportError,
     connect,
 )
@@ -60,7 +57,6 @@ from repro.service.service import EstimationService
 
 __all__ = [
     "AdmissionQueue",
-    "Client",
     "ClusterConfig",
     "DeadlineExceeded",
     "EstimationClient",
@@ -76,7 +72,6 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "SocketClient",
-    "TCPClient",
     "TransportError",
     "connect",
     "run_server",

@@ -43,10 +43,9 @@ Self-healing (:mod:`repro.resilience`):
   is unchanged — ``TransportError`` is a *client-side* condition and
   never appears as a wire status.
 
-The pre-redesign names remain importable for one release:
-:class:`Client` (→ :class:`InProcessClient`) and :class:`TCPClient`
-(→ :class:`SocketClient`) are delegating shims that emit a
-:class:`DeprecationWarning` on construction.
+The pre-redesign names (``Client``, ``TCPClient``) went through their
+one release of :class:`DeprecationWarning` grace and are now removed;
+:func:`connect` is the only construction path.
 """
 
 from __future__ import annotations
@@ -56,7 +55,6 @@ import random
 import socket
 import threading
 import time
-import warnings
 from concurrent.futures import Future
 
 from repro.engine.database import Database
@@ -521,54 +519,10 @@ def connect(target, **kwargs) -> EstimationClient:
     )
 
 
-# ----------------------------------------------------------------------
-# Deprecated pre-redesign names (one release of grace)
-# ----------------------------------------------------------------------
-class Client(InProcessClient):
-    """Deprecated alias of :class:`InProcessClient` — use
-    :func:`connect`."""
-
-    def __init__(self, *args, **kwargs):
-        warnings.warn(
-            "repro.service.Client is deprecated; use "
-            "repro.service.connect(service_or_statistics) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)
-
-    @classmethod
-    def in_process(cls, statistics, **kwargs) -> "InProcessClient":
-        """Deprecated alias of :meth:`InProcessClient.serving`."""
-        warnings.warn(
-            "Client.in_process is deprecated; use "
-            "repro.service.connect(statistics) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return InProcessClient.serving(statistics, **kwargs)
-
-
-class TCPClient(SocketClient):
-    """Deprecated alias of :class:`SocketClient` — use
-    :func:`connect`."""
-
-    def __init__(self, *args, **kwargs):
-        warnings.warn(
-            "repro.service.TCPClient is deprecated; use "
-            "repro.service.connect('host:port') instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)
-
-
 __all__ = [
-    "Client",
     "EstimationClient",
     "InProcessClient",
     "SocketClient",
-    "TCPClient",
     "TransportError",
     "connect",
 ]

@@ -12,7 +12,10 @@ composable frozen dataclasses:
 * :class:`ClusterConfig` — the multi-process tier
   (:mod:`repro.cluster`): shard/replica counts, hedging policy and the
   consistent-hash ring, nested as ``ServiceConfig.cluster`` (``None``
-  for a single-process service).
+  for a single-process service);
+* :class:`repro.advisor.AdvisorConfig` — the self-tuning loop
+  (:mod:`repro.advisor`), nested as ``ServiceConfig.advisor`` (``None``
+  disables tuning).
 
 Every layer validates in ``__post_init__`` and round-trips through
 ``from_dict`` / ``to_dict`` so a whole deployment fits in one JSON file
@@ -31,6 +34,8 @@ import dataclasses
 import warnings
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
+
+from repro.advisor.config import AdvisorConfig
 
 
 def _deprecated(message: str) -> None:
@@ -207,6 +212,10 @@ class ServiceConfig:
     #: multi-process tier (:mod:`repro.cluster`); ``None`` = single
     #: process
     cluster: ClusterConfig | None = None
+    #: self-tuning loop (:mod:`repro.advisor`): when set, the service
+    #: collects per-query feedback and runs safety-gated configuration
+    #: ticks between batches; ``None`` disables tuning
+    advisor: AdvisorConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -237,6 +246,10 @@ class ServiceConfig:
             self.cluster, ClusterConfig
         ):
             raise TypeError("cluster must be a ClusterConfig or None")
+        if self.advisor is not None and not isinstance(
+            self.advisor, AdvisorConfig
+        ):
+            raise TypeError("advisor must be an AdvisorConfig or None")
         if self.cluster is not None and self.backend != "sit":
             raise ValueError(
                 f"the cluster tier supports only backend='sit': shards "
@@ -291,7 +304,7 @@ class ServiceConfig:
             value = getattr(self, f.name)
             if f.name == "healing":
                 out[f.name] = value.to_dict()
-            elif f.name == "cluster":
+            elif f.name in ("cluster", "advisor"):
                 out[f.name] = None if value is None else value.to_dict()
             else:
                 out[f.name] = value
@@ -311,6 +324,9 @@ class ServiceConfig:
         cluster = data.pop("cluster", None)
         if isinstance(cluster, Mapping):
             cluster = ClusterConfig.from_dict(cluster)
+        advisor = data.pop("advisor", None)
+        if isinstance(advisor, Mapping):
+            advisor = AdvisorConfig.from_dict(advisor)
         legacy = {
             key: data.pop(key)
             for key in _LEGACY_HEALING_KWARGS
@@ -331,6 +347,8 @@ class ServiceConfig:
             kwargs["healing"] = healing
         if cluster is not None:
             kwargs["cluster"] = cluster
+        if advisor is not None:
+            kwargs["advisor"] = advisor
         return cls(**kwargs)
 
 

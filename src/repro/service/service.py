@@ -145,6 +145,25 @@ class EstimationService:
         #: sessions roll back to it while the current version is bad
         self._last_good: CatalogSnapshot | None = None
         self._restarts = 0
+        # -- self-tuning loop (repro.advisor) ---------------------------
+        #: constructed only when configured *and* serving from a catalog
+        #: with a database (the loop needs the refresh path and an
+        #: executor for truth); otherwise tuning is silently absent
+        self.advisor = None
+        self._tuning_thread: threading.Thread | None = None
+        self._tuning_lock = threading.Lock()
+        if (
+            self.config.advisor is not None
+            and self._catalog is not None
+            and self._catalog.database is not None
+        ):
+            from repro.advisor import SelfTuningAdvisor
+
+            self.advisor = SelfTuningAdvisor(
+                self._catalog,
+                config=self.config.advisor,
+                name=f"{name}-advisor",
+            )
         self._workers_lock = threading.Lock()
         self._workers = [
             threading.Thread(
@@ -192,6 +211,8 @@ class EstimationService:
             engine=self._engine,
             plan_cache=self.config.plan_cache,
         )
+        if self.advisor is not None:
+            session.feedback_sink = self.advisor.record_result
         with self._sessions_lock:
             self._sessions.append(session)
         return session
@@ -361,6 +382,55 @@ class EstimationService:
                         )
             else:
                 self._note_good_snapshot(session)
+                self._maybe_tune()
+
+    def _maybe_tune(self) -> None:
+        """Between batches: kick one background tuning tick if due.
+
+        Never blocks serving: the tick runs on its own daemon thread, at
+        most one at a time (non-blocking lock), rate-limited by
+        ``AdvisorConfig.min_interval_s``, and an unexpected tick failure
+        is counted — not raised — so a broken advisor degrades to a
+        no-op.
+        """
+        advisor = self.advisor
+        if (
+            advisor is None
+            or self._draining.is_set()
+            or self._closed.is_set()
+            or not advisor.ready()
+        ):
+            return
+        if not self._tuning_lock.acquire(blocking=False):
+            return
+
+        def run() -> None:
+            try:
+                advisor.tick()
+            except Exception:  # pragma: no cover - tick() already guards
+                with self._metrics_lock:
+                    self.metrics.counter("advisor.failed_ticks").inc()
+            finally:
+                self._tuning_lock.release()
+
+        thread = threading.Thread(
+            target=run, name=f"{self.name}-advisor", daemon=True
+        )
+        self._tuning_thread = thread
+        thread.start()
+
+    def tune(self):
+        """Run one tuning tick synchronously (smoke tests, operators).
+
+        Returns the :class:`~repro.advisor.loop.TuningReport`, or
+        ``None`` when no advisor is configured.  Serialized against the
+        background tick through the same lock.
+        """
+        advisor = self.advisor
+        if advisor is None:
+            return None
+        with self._tuning_lock:
+            return advisor.tick()
 
     def _expected_version(self) -> int | None:
         """The snapshot version a worker *should* be pinned to right now:
@@ -637,6 +707,9 @@ class EstimationService:
         for worker in workers:
             worker.join(timeout=timeout)
             clean = clean and not worker.is_alive()
+        tuning = self._tuning_thread
+        if tuning is not None and tuning.is_alive():
+            tuning.join(timeout=timeout)
         self._closed.set()
         return clean
 
@@ -679,6 +752,8 @@ class EstimationService:
         if plan is not None:
             for key, count in plan.stats().items():
                 registry.counter(f"resilience.injected_{key}").inc(count)
+        if self.advisor is not None:
+            registry.merge(self.advisor.metrics_registry())
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

@@ -15,7 +15,10 @@ SITs so the two are complementary:
   otherwise.
 
 Feedback entries are exact at recording time but go stale under updates;
-the repository supports invalidation by table for that reason.
+the repository supports invalidation by table for that reason.  Memory
+is bounded: past ``max_entries`` records the least-recently-*used* entry
+is evicted (a lookup hit refreshes recency), so a long-running monitor
+keeps the records its workload still touches.
 """
 
 from __future__ import annotations
@@ -34,20 +37,40 @@ from repro.engine.expressions import Query
 if TYPE_CHECKING:  # pragma: no cover - avoids a stats <-> core import cycle
     from repro.estimators.sit import SITEstimator
 
+#: default bound on retained feedback records
+DEFAULT_MAX_ENTRIES = 4096
+
 
 @dataclass
 class FeedbackRepository:
-    """Observed (predicate set -> exact cardinality) records."""
+    """Observed (predicate set -> exact cardinality) records, LRU-bounded."""
 
+    #: most-recently-used last (plain dicts preserve insertion order;
+    #: hits re-insert to refresh recency)
     _records: dict[PredicateSet, int] = field(default_factory=dict)
+    #: retained-record bound; the least-recently-used record is evicted
+    #: when a new one would exceed it
+    max_entries: int = DEFAULT_MAX_ENTRIES
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
 
     def record(self, predicates: PredicateSet, cardinality: int) -> None:
-        """Store an observed exact cardinality for a predicate set."""
+        """Store an observed exact cardinality for a predicate set,
+        evicting the least-recently-used record past ``max_entries``."""
         if cardinality < 0:
             raise ValueError("cardinality must be non-negative")
-        self._records[frozenset(predicates)] = int(cardinality)
+        key = frozenset(predicates)
+        self._records.pop(key, None)
+        self._records[key] = int(cardinality)
+        while len(self._records) > self.max_entries:
+            oldest = next(iter(self._records))
+            del self._records[oldest]
+            self.evictions += 1
 
     def record_from_execution(
         self, executor: Executor, predicates: PredicateSet
@@ -58,12 +81,19 @@ class FeedbackRepository:
         return cardinality
 
     def lookup(self, predicates: PredicateSet) -> int | None:
-        """The recorded cardinality, or None (hit/miss counters update)."""
-        value = self._records.get(frozenset(predicates))
+        """The recorded cardinality, or None (hit/miss counters update).
+
+        A hit refreshes the record's recency, so working-set records
+        survive the LRU bound.
+        """
+        key = frozenset(predicates)
+        value = self._records.get(key)
         if value is None:
             self.misses += 1
         else:
             self.hits += 1
+            del self._records[key]
+            self._records[key] = value
         return value
 
     def invalidate_table(self, table: str) -> int:
@@ -73,6 +103,15 @@ class FeedbackRepository:
         for predicates in stale:
             del self._records[predicates]
         return len(stale)
+
+    def counters(self) -> dict[str, float]:
+        """Hit/miss/eviction accounting for the stats snapshot."""
+        return {
+            "feedback_entries": float(len(self._records)),
+            "feedback_hits": float(self.hits),
+            "feedback_misses": float(self.misses),
+            "feedback_evictions": float(self.evictions),
+        }
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,0 +1,45 @@
+"""Fixtures for the self-tuning advisor tests: a refresh-capable
+catalog over the two-table database plus a feedback workload whose
+filters correlate with the skewed join key."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import EstimationSession, StatisticsCatalog
+from repro.core.predicates import FilterPredicate
+from repro.engine.expressions import Query
+from repro.stats.builder import SITBuilder
+
+
+@pytest.fixture()
+def advisor_catalog(two_table_db, two_table_pool) -> StatisticsCatalog:
+    """A fresh catalog per test (ticks reconfigure it)."""
+    return StatisticsCatalog.from_pool(
+        two_table_pool,
+        database=two_table_db,
+        builder=SITBuilder(two_table_db),
+    )
+
+
+@pytest.fixture()
+def feedback_queries(two_table_attrs, two_table_join) -> list[Query]:
+    """Distinct predicate sets filtering ``S.b`` — the attribute whose
+    distribution the skewed join actually reshapes, so conditioned SITs
+    measurably beat base-only estimates.  Enough distinct sets that the
+    seeded hash split populates both the candidate and safety side."""
+    attribute = two_table_attrs["Sb"]
+    return [
+        Query.of(
+            two_table_join, FilterPredicate(attribute, float(low), low + 25.0)
+        )
+        for low in range(0, 70, 5)
+    ]
+
+
+def drive_feedback(advisor, catalog, queries) -> None:
+    """Serve the workload through a session wired to the advisor."""
+    session = EstimationSession(catalog)
+    session.feedback_sink = advisor.record_result
+    for query in queries:
+        session.estimate(query)

@@ -1,0 +1,57 @@
+"""AdvisorConfig: validation and dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.config import AdvisorConfig
+
+
+class TestAdvisorConfig:
+    def test_defaults_are_valid(self):
+        config = AdvisorConfig()
+        assert config.max_q_error == 25.0
+        assert config.space_budget_bytes is None
+
+    def test_round_trip(self):
+        config = AdvisorConfig(
+            max_q_error=5.0,
+            space_budget_bytes=4096.0,
+            refresh_budget_s=1.5,
+            min_feedback=3,
+            safety_fraction=0.4,
+            split_seed=11,
+            max_moves=9,
+            log_capacity=64,
+            min_interval_s=0.0,
+        )
+        assert AdvisorConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown AdvisorConfig keys"):
+            AdvisorConfig.from_dict({"max_q_error": 5.0, "typo": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_q_error": -1.0},
+            {"space_budget_bytes": -1.0},
+            {"refresh_budget_s": -1.0},
+            {"min_feedback": 0},
+            {"safety_fraction": 0.0},
+            {"safety_fraction": 1.0},
+            {"max_moves": 0},
+            {"log_capacity": 0},
+            {"min_interval_s": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdvisorConfig(**kwargs)
+
+    def test_impossible_bounds_are_still_valid_configs(self):
+        """``max_q_error=0`` and a zero space budget are legal — they
+        express 'never accept', which the gate reports as
+        no-solution-found rather than the config rejecting upfront."""
+        AdvisorConfig(max_q_error=0.0)
+        AdvisorConfig(space_budget_bytes=0.0)

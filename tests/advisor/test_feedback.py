@@ -1,0 +1,65 @@
+"""FeedbackLog: bounded window, deterministic sequence, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.feedback import DEFAULT_LOG_CAPACITY, FeedbackLog
+from repro.core.predicates import FilterPredicate
+
+
+def predicate_set(two_table_attrs, low: float):
+    return frozenset(
+        {FilterPredicate(two_table_attrs["Ra"], low, low + 1.0)}
+    )
+
+
+class TestFeedbackLog:
+    def test_append_returns_record_with_derived_fields(self, two_table_attrs):
+        log = FeedbackLog()
+        predicates = predicate_set(two_table_attrs, 3.0)
+        record = log.append(predicates, 42.0, matched_sits=("b", "a"))
+        assert record.seq == 0
+        assert record.predicates == predicates
+        assert record.estimated_cardinality == 42.0
+        assert record.matched_sits == ("a", "b")  # sorted
+        assert record.tables == frozenset({"R"})
+
+    def test_capacity_bound_drops_oldest(self, two_table_attrs):
+        log = FeedbackLog(capacity=3)
+        for low in range(5):
+            log.append(predicate_set(two_table_attrs, float(low)), 1.0)
+        records = log.records()
+        assert len(records) == 3
+        assert len(log) == 3
+        # oldest two were evicted; sequence numbers keep counting
+        assert [r.seq for r in records] == [2, 3, 4]
+        assert log.counters() == {
+            "feedback_records": 3.0,
+            "feedback_appended": 5.0,
+            "feedback_dropped": 2.0,
+        }
+
+    def test_records_is_a_snapshot(self, two_table_attrs):
+        log = FeedbackLog(capacity=4)
+        log.append(predicate_set(two_table_attrs, 0.0), 1.0)
+        snapshot = log.records()
+        log.append(predicate_set(two_table_attrs, 1.0), 2.0)
+        assert len(snapshot) == 1
+        assert isinstance(snapshot, tuple)
+
+    def test_clear_reports_count(self, two_table_attrs):
+        log = FeedbackLog(capacity=8)
+        for low in range(3):
+            log.append(predicate_set(two_table_attrs, float(low)), 1.0)
+        assert log.clear() == 3
+        assert len(log) == 0
+        # appended/dropped history survives a clear
+        assert log.counters()["feedback_appended"] == 3.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackLog(capacity=0)
+
+    def test_default_capacity(self):
+        assert FeedbackLog().capacity == DEFAULT_LOG_CAPACITY

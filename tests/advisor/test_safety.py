@@ -1,0 +1,91 @@
+"""The safety gate: hard constraints, violation ordering, verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.config import AdvisorConfig
+from repro.advisor.safety import NO_SOLUTION_FOUND, SafetyGate
+
+
+def check(config: AdvisorConfig, **overrides):
+    numbers = {
+        "worst_q_error": 2.0,
+        "space_bytes": 100.0,
+        "refresh_seconds": 0.5,
+        "safety_records": 5,
+    }
+    numbers.update(overrides)
+    return SafetyGate(config).check(**numbers)
+
+
+BOUNDED = AdvisorConfig(
+    max_q_error=10.0, space_budget_bytes=1000.0, refresh_budget_s=2.0
+)
+
+
+class TestSafetyGate:
+    def test_accepts_within_all_bounds(self):
+        decision = check(BOUNDED)
+        assert decision.accepted
+        assert decision.reason == "accepted"
+        assert decision.verdict == "accepted"
+        assert decision.violations == ()
+
+    def test_q_error_violation(self):
+        decision = check(BOUNDED, worst_q_error=11.0)
+        assert not decision.accepted
+        assert decision.reason == "q_error"
+        assert decision.verdict == NO_SOLUTION_FOUND
+
+    def test_space_violation(self):
+        decision = check(BOUNDED, space_bytes=1001.0)
+        assert decision.violations == ("space",)
+
+    def test_refresh_violation(self):
+        decision = check(BOUNDED, refresh_seconds=2.5)
+        assert decision.violations == ("refresh_cost",)
+
+    def test_empty_safety_split_is_a_rejection(self):
+        """A constraint that cannot be checked is not a constraint that
+        holds."""
+        decision = check(BOUNDED, safety_records=0)
+        assert not decision.accepted
+        assert "no_safety_records" in decision.violations
+
+    def test_none_budgets_are_unbounded(self):
+        config = AdvisorConfig(
+            max_q_error=10.0, space_budget_bytes=None, refresh_budget_s=None
+        )
+        decision = check(config, space_bytes=1e12, refresh_seconds=1e6)
+        assert decision.accepted
+
+    def test_all_violations_collected_in_order(self):
+        decision = check(
+            BOUNDED,
+            worst_q_error=99.0,
+            space_bytes=1e6,
+            refresh_seconds=1e3,
+            safety_records=0,
+        )
+        assert decision.violations == (
+            "no_safety_records",
+            "q_error",
+            "space",
+            "refresh_cost",
+        )
+        assert decision.reason == "no_safety_records"
+
+    def test_impossible_q_error_bound_always_rejects(self):
+        """``max_q_error=0`` can never be met (q-error >= 1 by
+        construction) — the canonical impossible constraint."""
+        config = AdvisorConfig(max_q_error=0.0)
+        decision = check(config, worst_q_error=1.0)
+        assert not decision.accepted
+        assert decision.verdict == NO_SOLUTION_FOUND
+
+    def test_to_dict_round_trips_the_verdict(self):
+        payload = check(BOUNDED, worst_q_error=11.0).to_dict()
+        assert payload["verdict"] == NO_SOLUTION_FOUND
+        assert payload["violations"] == ["q_error"]
+        assert payload["max_q_error"] == 10.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import Harness
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.predicates import FilterPredicate
 from repro.engine.expressions import Query
 from repro.stats.builder import SITBuilder

@@ -4,7 +4,7 @@ import pytest
 
 from repro.catalog import EstimationSession, StatisticsCatalog
 from repro.core.errors import DiffError
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.core.predicates import FilterPredicate
 from repro.engine.expressions import Query
 
@@ -46,7 +46,7 @@ class TestConstruction:
 class TestEstimates:
     def test_matches_bare_estimator(self, catalog, two_table_db, query):
         session = EstimationSession(catalog)
-        bare = CardinalityEstimator(two_table_db, catalog.pool)
+        bare = SITEstimator(two_table_db, catalog.pool)
         assert session.cardinality(query) == pytest.approx(
             bare.cardinality(query)
         )

@@ -217,7 +217,7 @@ def test_catalog_snapshot_parity(index, predicates, pool, error_name, pruning):
     """Serving from a ``StatisticsCatalog`` snapshot is bit-identical to
     serving from the bare pool (the catalog publishes, never transforms)."""
     from repro.catalog import StatisticsCatalog
-    from repro.core.estimator import resolve_statistics
+    from repro.estimators import resolve_statistics
 
     catalog = StatisticsCatalog.from_pool(pool)
     snapshot_pool, snapshot = resolve_statistics(catalog)

@@ -1,9 +1,9 @@
-"""Tests for the CardinalityEstimator facade and technique factories."""
+"""Tests for the SITEstimator facade and technique factories."""
 
 import pytest
 
-from repro.core.estimator import (
-    CardinalityEstimator,
+from repro.estimators import (
+    SITEstimator,
     make_gs_diff,
     make_gs_nind,
     make_gs_opt,
@@ -23,7 +23,7 @@ def query(two_table_join, two_table_attrs):
 
 class TestFacade:
     def test_default_error_function_is_diff(self, two_table_db, two_table_pool):
-        estimator = CardinalityEstimator(two_table_db, two_table_pool)
+        estimator = SITEstimator(two_table_db, two_table_pool)
         assert estimator.error_function.name == "Diff"
         assert estimator.name == "GS-Diff"
 

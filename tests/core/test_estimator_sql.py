@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.sql.binder import BindingError
 from repro.sql.lexer import SQLSyntaxError
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.groupby import cardenas, estimate_group_count
 from repro.core.predicates import FilterPredicate
 from repro.engine.executor import Executor

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.core.errors import NIndError
 from repro.core.groupby import estimate_group_count
 from repro.core.predicates import Attribute, FilterPredicate
@@ -20,7 +20,7 @@ class TestGroupByFallbacks:
     def test_no_statistic_falls_back_to_row_count(self, two_table_db):
         # Pool covers only R.a; grouping on R.x has no statistic.
         pool = SITPool([SIT(Attribute("R", "a"), frozenset(), uniform())])
-        estimator = CardinalityEstimator(two_table_db, pool, NIndError())
+        estimator = SITEstimator(two_table_db, pool, NIndError())
         query = Query.of(FilterPredicate(Attribute("R", "a"), 0, 20))
         groups = estimate_group_count(estimator, query, Attribute("R", "x"))
         assert groups == pytest.approx(estimator.cardinality(query))
@@ -28,7 +28,7 @@ class TestGroupByFallbacks:
     def test_filter_on_grouping_attribute_restricts_domain(
         self, two_table_db, two_table_pool
     ):
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             two_table_db, two_table_pool, NIndError()
         )
         attribute = Attribute("R", "a")
@@ -39,7 +39,7 @@ class TestGroupByFallbacks:
         assert narrow_groups < wide_groups
 
     def test_empty_query_zero_groups(self, two_table_db, two_table_pool):
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             two_table_db, two_table_pool, NIndError()
         )
         query = Query.of(FilterPredicate(Attribute("R", "a"), 5000, 6000))

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import NIndError
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.core.get_selectivity import GetSelectivity
 from repro.core.plancache import (
     PlanCache,
@@ -81,7 +81,7 @@ class TestCompileGates:
         class Unstable(NIndError):
             plan_stable = False
 
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             two_table_db, two_table_pool, Unstable(), plan_cache=True
         )
         assert estimator.plan_cache is None
@@ -89,7 +89,7 @@ class TestCompileGates:
     def test_legacy_engine_disables_the_cache(
         self, two_table_db, two_table_pool
     ):
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             two_table_db,
             two_table_pool,
             NIndError(),
@@ -124,7 +124,7 @@ class TestCompileGates:
                 diff=0.1,
             )
         )
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             two_table_db, unsafe, NIndError(), plan_cache=True
         )
         assert estimator.plan_cache is not None
@@ -233,7 +233,7 @@ class TestReplayFlag:
     def test_hit_flag_set_only_on_replay_and_excluded_from_equality(
         self, two_table_db, two_table_pool, shapes
     ):
-        warm = CardinalityEstimator(
+        warm = SITEstimator(
             two_table_db, two_table_pool, NIndError(), plan_cache=True
         )
         compiled = warm.estimate_predicates(shapes[3])

@@ -22,7 +22,7 @@ import random
 import pytest
 
 from repro.core.errors import DiffError, NIndError
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.core.plancache import shape_fingerprint
 from repro.core.predicates import FilterPredicate
 from repro.resilience.faults import (
@@ -121,7 +121,7 @@ def assert_bit_identical(cached, cold):
 
 def run_parity(database, templates, pool, error_name: str) -> None:
     factory = ERROR_FACTORIES[error_name]
-    warm = CardinalityEstimator(
+    warm = SITEstimator(
         database, pool, factory(pool), plan_cache=True
     )
     assert warm.plan_cache is not None, "plan-stable error fn must enable it"
@@ -134,7 +134,7 @@ def run_parity(database, templates, pool, error_name: str) -> None:
         # a fresh DP per template is the cold baseline; its memo is
         # shared across the template's variants exactly like the
         # uncached estimator path would share it
-        cold = CardinalityEstimator(
+        cold = SITEstimator(
             database, pool, factory(pool), plan_cache=False
         )
         assert cold.plan_cache is None
@@ -191,12 +191,12 @@ def test_order_permuting_constants_change_shape(snowflake_setup):
     )
     assert shape_fingerprint(base)[0] != shape_fingerprint(swapped)[0]
 
-    warm = CardinalityEstimator(database, pool, NIndError(), plan_cache=True)
+    warm = SITEstimator(database, pool, NIndError(), plan_cache=True)
     warm.estimate_predicates(base)
     result = warm.estimate_predicates(swapped)
     assert not result.plan_cache_hit  # a different template: compile, no hit
     assert warm.plan_cache.status()["plans"] == 2
-    cold = CardinalityEstimator(database, pool, NIndError())
+    cold = SITEstimator(database, pool, NIndError())
     assert_bit_identical(result, cold.estimate_predicates(swapped))
     # and each ordering replays behind its own plan from here on
     assert warm.estimate_predicates(base).plan_cache_hit
@@ -215,7 +215,7 @@ def storm() -> FaultPlan:
 class TestLadderBypass:
     def test_degraded_results_are_never_compiled(self, snowflake_setup):
         database, templates, pool = snowflake_setup
-        warm = CardinalityEstimator(
+        warm = SITEstimator(
             database, pool, NIndError(), plan_cache=True
         )
         query = templates[0]
@@ -231,7 +231,7 @@ class TestLadderBypass:
         clean = warm.estimate(query)
         assert clean.degradation_level == 0
         assert not clean.plan_cache_hit
-        cold = CardinalityEstimator(database, pool, NIndError())
+        cold = SITEstimator(database, pool, NIndError())
         assert_bit_identical(clean, cold.estimate(query))
 
     def test_compiled_hit_rides_out_a_fault_storm(self, snowflake_setup):
@@ -239,7 +239,7 @@ class TestLadderBypass:
         matcher, so an armed fault storm cannot degrade it — the replay
         stays level 0 and bit-identical."""
         database, templates, pool = snowflake_setup
-        warm = CardinalityEstimator(
+        warm = SITEstimator(
             database, pool, NIndError(), plan_cache=True
         )
         query = templates[0]
@@ -254,7 +254,7 @@ class TestLadderBypass:
 
     def test_strict_raises_through_the_cache_path(self, snowflake_setup):
         database, templates, pool = snowflake_setup
-        strict = CardinalityEstimator(
+        strict = SITEstimator(
             database, pool, NIndError(), plan_cache=True, strict=True
         )
         with armed(storm()):

@@ -106,24 +106,6 @@ class TestParity:
 
 
 class TestSITBitIdentity:
-    def test_sit_backend_matches_deprecated_class_exactly(
-        self, two_table_db, two_table_pool, parity_queries
-    ):
-        """The re-homed SIT path is the *same* DP: selectivity, error and
-        decomposition are bit-identical to the pre-refactor class."""
-        from repro.core.estimator import CardinalityEstimator
-
-        modern = SITEstimator(two_table_db, two_table_pool)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = CardinalityEstimator(two_table_db, two_table_pool)
-        for predicates in parity_queries:
-            new = modern.estimate_predicates(predicates)
-            old = legacy.estimate_predicates(predicates)
-            assert new.selectivity == old.selectivity
-            assert new.error == old.error
-            assert new.decomposition == old.decomposition
-
     def test_create_estimator_sit_matches_direct_construction(
         self, two_table_db, two_table_pool, parity_queries
     ):
@@ -189,16 +171,9 @@ class TestInvalidation:
 
 
 class TestDeprecationShim:
-    def test_old_import_path_warns_and_still_works(
-        self, two_table_db, two_table_pool, parity_queries
-    ):
-        from repro.core.estimator import CardinalityEstimator
-
-        assert issubclass(CardinalityEstimator, SITEstimator)
-        with pytest.warns(DeprecationWarning, match="repro.estimators"):
-            estimator = CardinalityEstimator(two_table_db, two_table_pool)
-        result = estimator.estimate_predicates(parity_queries[0])
-        assert result.backend == "sit"
+    def test_old_import_path_is_removed(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.estimator  # noqa: F401
 
     def test_modern_class_does_not_warn(self, two_table_db, two_table_pool):
         with warnings.catch_warnings():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import Harness
-from repro.core.estimator import (
+from repro.estimators import (
     make_gs_diff,
     make_gs_nind,
     make_gs_opt,

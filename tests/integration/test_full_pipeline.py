@@ -8,7 +8,7 @@ estimation -> optimizer exploration -> costed plan -> physical execution
 import pytest
 
 from repro.core.errors import DiffError
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.engine.executor import Executor
 from repro.optimizer.cost import CostModel
 from repro.optimizer.execution import execute_plan

@@ -12,7 +12,7 @@ On the skewed mini TPC-H instance:
 
 import pytest
 
-from repro.core.estimator import make_gs_diff, make_nosit
+from repro.estimators import make_gs_diff, make_nosit
 from repro.core.gvm import GreedyViewMatching
 from repro.core.predicates import Attribute
 from repro.engine.executor import Executor

@@ -1,10 +1,16 @@
-"""The PR2 deprecation surfaces are gone and their replacements work.
+"""Removed deprecation surfaces stay removed; replacements work.
 
-The previous release kept the pre-unification APIs alive behind
-``DeprecationWarning``; this release removes them.  These tests pin the
-*removal* (the old spellings raise ``TypeError``/``AttributeError``) and
+Each release's shims get exactly one release of ``DeprecationWarning``
+grace before removal.  These tests pin the *removals* (the old
+spellings raise ``ImportError``/``TypeError``/``AttributeError``) and
 exercise the replacement surfaces side by side, so a regression that
-silently resurrects an old shim fails loudly.
+silently resurrects an old shim fails loudly.  Pinned here:
+
+* PR2-era: flat ``stats`` dicts, the ``legacy=`` engine kwarg and the
+  pool query quartet;
+* the ``repro.core.estimator`` module (``CardinalityEstimator`` →
+  :class:`repro.estimators.SITEstimator`);
+* the pre-``connect()`` client names (``Client``, ``TCPClient``).
 """
 
 from __future__ import annotations
@@ -12,7 +18,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import NIndError
-from repro.core.estimator import CardinalityEstimator
 from repro.core.get_selectivity import GetSelectivity, LegacyGetSelectivity
 from repro.estimators import SITEstimator
 from repro.optimizer.integration import MemoCoupledEstimator
@@ -52,7 +57,7 @@ class TestEngineFactory:
         self, two_table_db, two_table_pool
     ):
         with pytest.raises(TypeError, match="legacy"):
-            CardinalityEstimator(
+            SITEstimator(
                 two_table_db, two_table_pool, NIndError(), legacy=True
             )
 
@@ -65,8 +70,6 @@ class TestEngineFactory:
     def test_estimator_engine_kwarg_is_silent(
         self, two_table_db, two_table_pool, recwarn
     ):
-        # SITEstimator is the canonical class; the CardinalityEstimator
-        # spelling now warns on construction (see tests/estimators).
         estimator = SITEstimator(
             two_table_db, two_table_pool, NIndError(), engine="legacy"
         )
@@ -88,7 +91,7 @@ class TestFlatStatsRemoved:
     def test_estimator_has_no_stats(
         self, two_table_db, two_table_pool, predicates
     ):
-        estimator = CardinalityEstimator(two_table_db, two_table_pool, NIndError())
+        estimator = SITEstimator(two_table_db, two_table_pool, NIndError())
         estimator.algorithm(predicates)
         assert not hasattr(estimator, "stats")
         snapshot = estimator.stats_snapshot()
@@ -148,3 +151,51 @@ class TestPoolQueryShimsRemoved:
         assert not [
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
+
+
+class TestEstimatorShimRemoved:
+    """``repro.core.estimator`` had its one release of grace and is gone."""
+
+    def test_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.estimator  # noqa: F401
+
+    def test_core_package_no_longer_exports_the_old_name(self):
+        import repro
+        import repro.core
+
+        assert not hasattr(repro.core, "CardinalityEstimator")
+        assert not hasattr(repro, "CardinalityEstimator")
+
+    def test_factories_live_on_in_estimators(self, two_table_db, two_table_pool):
+        from repro.estimators import make_gs_diff
+
+        estimator = make_gs_diff(two_table_db, two_table_pool)
+        assert isinstance(estimator, SITEstimator)
+
+
+class TestClientShimsRemoved:
+    """``Client``/``TCPClient`` had their release of grace and are gone;
+    ``connect()`` is the only construction path."""
+
+    def test_names_are_gone(self):
+        import repro
+        import repro.service
+        import repro.service.client
+
+        for module in (repro, repro.service, repro.service.client):
+            assert not hasattr(module, "Client")
+            assert not hasattr(module, "TCPClient")
+
+    def test_import_raises(self):
+        with pytest.raises(ImportError):
+            from repro.service import Client  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.service import TCPClient  # noqa: F401
+
+    def test_connect_replaces_in_process(self, two_table_pool, two_table_db):
+        from repro.service import InProcessClient, connect
+
+        assert not hasattr(InProcessClient, "in_process")
+        with connect(two_table_pool, database=two_table_db) as client:
+            assert isinstance(client, InProcessClient)

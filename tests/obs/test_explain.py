@@ -16,7 +16,7 @@ import pathlib
 import pytest
 
 from repro.core.errors import DiffError, NIndError
-from repro.core.estimator import CardinalityEstimator, make_gs_diff
+from repro.estimators import SITEstimator, make_gs_diff
 from repro.obs.explain import (
     AttributeExplanation,
     ExplainResult,
@@ -99,7 +99,7 @@ class TestExplainParity:
     @pytest.mark.parametrize("engine", ["bitmask", "legacy"])
     def test_explain_equals_estimate_exactly(self, golden_setup, engine):
         database, pool, query = golden_setup
-        estimator = CardinalityEstimator(
+        estimator = SITEstimator(
             database, pool, DiffError(pool), engine=engine
         )
         expected = estimator.estimate(query).selectivity
@@ -111,7 +111,7 @@ class TestExplainParity:
         database, pool, query = golden_setup
         results = {}
         for engine in ("bitmask", "legacy"):
-            estimator = CardinalityEstimator(
+            estimator = SITEstimator(
                 database, pool, NIndError(), engine=engine
             )
             results[engine] = estimator.explain(query)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import Harness, QueryMetrics, TechniqueReport
-from repro.core.estimator import make_gs_nind
+from repro.estimators import make_gs_nind
 from repro.engine.expressions import Query
 from repro.obs.snapshot import StatsSnapshot
 from repro.stats.builder import SITBuilder

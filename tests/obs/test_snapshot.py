@@ -30,6 +30,7 @@ class TestStatsSnapshot:
             "resilience",
             "plan_cache",
             "cluster",
+            "advisor",
         )
 
     def test_from_registry_groups_namespaces(self):
@@ -107,6 +108,7 @@ class TestStatsSnapshot:
             "resilience",
             "plan_cache",
             "cluster",
+            "advisor",
             "meta",
         }
 

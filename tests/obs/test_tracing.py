@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import NIndError
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.get_selectivity import GetSelectivity
 from repro.obs.trace import Trace
 from repro.optimizer.integration import MemoCoupledEstimator

@@ -8,7 +8,7 @@ preserving end to end.
 
 import pytest
 
-from repro.core.estimator import make_gs_diff, make_nosit
+from repro.estimators import make_gs_diff, make_nosit
 from repro.core.predicates import FilterPredicate
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query

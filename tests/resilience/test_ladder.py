@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.resilience.faults import (
     FaultPlan,
     FaultRule,
@@ -25,8 +25,8 @@ from repro.resilience.ladder import (
 )
 
 
-def estimator_for(db, pool, **kwargs) -> CardinalityEstimator:
-    return CardinalityEstimator(db, pool, engine="bitmask", **kwargs)
+def estimator_for(db, pool, **kwargs) -> SITEstimator:
+    return SITEstimator(db, pool, engine="bitmask", **kwargs)
 
 
 def storm(point=POINT_SIT_MATCH, **kwargs) -> FaultPlan:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.resilience.faults import (
     FaultPlan,
     FaultRule,
@@ -35,11 +35,11 @@ class TestZeroFaultBitIdentity:
     def test_estimator_results_are_bit_identical(
         self, two_table_db, two_table_pool, join_filter_query
     ):
-        baseline = CardinalityEstimator(
+        baseline = SITEstimator(
             two_table_db, two_table_pool
         ).estimate(join_filter_query)
         with armed(zero_fault_plan()):
-            under_plan = CardinalityEstimator(
+            under_plan = SITEstimator(
                 two_table_db, two_table_pool
             ).estimate(join_filter_query)
         # the whole result object, not an approx: same selectivity bits,
@@ -64,7 +64,7 @@ class TestZeroFaultBitIdentity:
     ):
         plan = zero_fault_plan()
         with armed(plan):
-            CardinalityEstimator(two_table_db, two_table_pool).estimate(
+            SITEstimator(two_table_db, two_table_pool).estimate(
                 join_filter_query
             )
         assert plan.total_fires == 0
@@ -87,7 +87,7 @@ class TestDeterminism:
     def run_sequence(
         self, db, pool, query, seed: int
     ) -> list[tuple[int, tuple, float]]:
-        estimator = CardinalityEstimator(db, pool)
+        estimator = SITEstimator(db, pool)
         outcomes = []
         with armed(self.flaky_plan(seed)):
             for _ in range(10):

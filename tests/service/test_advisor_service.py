@@ -1,0 +1,93 @@
+"""Service-side advisor wiring: config nesting, feedback collection,
+synchronous tuning, and the no-advisor default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import AdvisorConfig, SelfTuningAdvisor
+from repro.advisor.loop import ACCEPTED
+from repro.service import EstimationService, ServiceConfig
+
+TUNED = ServiceConfig(
+    workers=1,
+    queue_depth=64,
+    batch_window_s=0.001,
+    advisor=AdvisorConfig(min_feedback=4, min_interval_s=3600.0),
+)
+
+
+class TestServiceConfigNesting:
+    def test_round_trip_with_advisor_block(self):
+        config = ServiceConfig(
+            workers=2,
+            advisor=AdvisorConfig(max_q_error=9.0, space_budget_bytes=512.0),
+        )
+        payload = config.to_dict()
+        assert payload["advisor"]["max_q_error"] == 9.0
+        restored = ServiceConfig.from_dict(payload)
+        assert restored.advisor == config.advisor
+
+    def test_round_trip_without_advisor_block(self):
+        config = ServiceConfig(workers=2)
+        payload = config.to_dict()
+        assert payload["advisor"] is None
+        assert ServiceConfig.from_dict(payload).advisor is None
+
+    def test_advisor_must_be_config_or_none(self):
+        with pytest.raises(TypeError, match="advisor"):
+            ServiceConfig(advisor={"max_q_error": 9.0})
+
+    def test_unknown_advisor_keys_rejected(self):
+        payload = ServiceConfig().to_dict()
+        payload["advisor"] = {"nope": 1}
+        with pytest.raises(ValueError):
+            ServiceConfig.from_dict(payload)
+
+
+class TestServiceIntegration:
+    def test_no_advisor_by_default(self, service_catalog):
+        with EstimationService(service_catalog) as service:
+            assert service.advisor is None
+            assert service.tune() is None
+
+    def test_feedback_flows_from_served_estimates(
+        self, service_catalog, factor_sharing_queries
+    ):
+        with EstimationService(service_catalog, config=TUNED) as service:
+            assert isinstance(service.advisor, SelfTuningAdvisor)
+            for query in factor_sharing_queries:
+                service.estimate(query)
+            counters = service.advisor.log.counters()
+            assert counters["feedback_appended"] >= len(
+                factor_sharing_queries
+            )
+
+    def test_synchronous_tune_runs_a_tick(
+        self, service_catalog, factor_sharing_queries
+    ):
+        with EstimationService(service_catalog, config=TUNED) as service:
+            for query in factor_sharing_queries:
+                service.estimate(query)
+            report = service.tune()
+            assert report is not None
+            assert report.status in (ACCEPTED, "no-solution-found")
+            # tuning must not break serving
+            served = service.estimate(factor_sharing_queries[0])
+            assert served.selectivity >= 0.0
+
+    def test_advisor_metrics_surface_in_service_registry(
+        self, service_catalog, factor_sharing_queries
+    ):
+        with EstimationService(service_catalog, config=TUNED) as service:
+            for query in factor_sharing_queries:
+                service.estimate(query)
+            service.tune()
+            snapshot = service.metrics_registry().snapshot()
+            assert "advisor" in snapshot
+            assert snapshot["advisor"]["ticks"] >= 1.0
+
+    def test_clean_close_with_advisor(self, service_catalog, join_query):
+        service = EstimationService(service_catalog, config=TUNED)
+        service.estimate(join_query)
+        assert service.close() is True

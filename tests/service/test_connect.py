@@ -1,17 +1,15 @@
 """The one client construction path: ``connect()`` dispatch for every
-target kind, plus the deprecated pre-redesign names."""
+target kind; the pre-redesign names stay removed."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.service import (
-    Client,
     EstimationService,
     InProcessClient,
     ServiceConfig,
     SocketClient,
-    TCPClient,
     connect,
 )
 from repro.service.server import start_in_thread
@@ -106,32 +104,12 @@ class TestConnectDispatch:
 
 
 class TestDeprecatedShims:
-    def test_client_warns_and_still_works(self, service, join_query):
-        with pytest.deprecated_call(match="connect"):
-            client = Client(service)
-        assert isinstance(client, InProcessClient)
-        assert client.estimate(join_query).selectivity > 0.0
+    def test_client_names_are_removed(self):
+        import repro.service
 
-    def test_client_in_process_warns_and_owns_a_service(
-        self, service_catalog, join_query
-    ):
-        with pytest.deprecated_call(match="in_process is deprecated"):
-            client = Client.in_process(
-                service_catalog, config=ServiceConfig(workers=1)
-            )
-        with client:
-            assert client.estimate(join_query).selectivity > 0.0
-
-    def test_tcp_client_warns_and_still_dials(self, service):
-        handle = start_in_thread(service, port=0)
-        try:
-            host, port = handle.address
-            with pytest.deprecated_call(match="TCPClient is deprecated"):
-                client = TCPClient(host, port)
-            with client:
-                assert client.ping()
-        finally:
-            handle.close()
+        assert not hasattr(repro.service, "Client")
+        assert not hasattr(repro.service, "TCPClient")
+        assert not hasattr(InProcessClient, "in_process")
 
     def test_connect_itself_is_warning_free(self, service, recwarn):
         connect(service).close()

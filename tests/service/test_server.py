@@ -7,7 +7,7 @@ import socket
 
 import pytest
 
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.service import EstimationService, ServiceConfig, connect
 from repro.service.protocol import (
     InvalidRequest,
@@ -50,7 +50,7 @@ class TestRoundTrips:
         snapshot = service_catalog.snapshot()
         served = client.estimate(SQL)
         query = parse_query(SQL, two_table_db.schema)
-        direct = CardinalityEstimator(
+        direct = SITEstimator(
             two_table_db, snapshot, engine="bitmask"
         ).estimate(query)
         assert served.snapshot_version == snapshot.version

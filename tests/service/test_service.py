@@ -9,7 +9,7 @@ import time
 import pytest
 
 from repro.catalog import EstimationSession
-from repro.core.estimator import CardinalityEstimator
+from repro.estimators import SITEstimator
 from repro.engine.expressions import Query
 from repro.service import (
     EstimationService,
@@ -27,7 +27,7 @@ FAST = ServiceConfig(workers=1, queue_depth=64, batch_window_s=0.001)
 
 def direct_answer(database, snapshot, query: Query):
     """The single-threaded ground truth on one pinned snapshot."""
-    estimator = CardinalityEstimator(database, snapshot, engine="bitmask")
+    estimator = SITEstimator(database, snapshot, engine="bitmask")
     result = estimator.estimate(query)
     cross = database.cross_product_size(query.tables)
     return (

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
 from repro.engine.executor import Executor
 from repro.sql.binder import BindingError, bind, parse_query

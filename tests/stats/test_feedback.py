@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.predicates import FilterPredicate
 from repro.engine.executor import Executor
 from repro.engine.expressions import Query

@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.core.estimator import make_gs_diff
+from repro.estimators import make_gs_diff
 from repro.core.predicates import Attribute, FilterPredicate, JoinPredicate
 from repro.engine.expressions import Query
 from repro.histograms.base import Bucket, Histogram

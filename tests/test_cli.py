@@ -105,6 +105,7 @@ class TestSubcommandRegistry:
             "figures",
             "catalog",
             "serve",
+            "advisor",
         }
         for description in SUBCOMMANDS.values():
             assert description  # every entry carries a help line

@@ -77,7 +77,7 @@ class TestMotivatingQuery:
         """The scenario the whole paper is motivated by: with base
         statistics and independence the cardinality is a severe
         underestimate."""
-        from repro.core.estimator import make_nosit
+        from repro.estimators import make_nosit
         from repro.stats.builder import SITBuilder
         from repro.stats.pool import SITPool
 
