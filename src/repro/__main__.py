@@ -249,6 +249,24 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         return 0
     if action == "status":
         catalog = loaded() if args.path is not None else built()
+        if args.storm:
+            from repro.ingest import IngestConfig, IngestPipeline
+            from repro.obs import StalenessTracker
+
+            tracker = StalenessTracker()
+            catalog.attach_staleness(tracker)
+            tables = sorted(database.tables)
+            print(
+                f"driving a {args.storm}-event write storm over "
+                f"{len(tables)} tables ...",
+                file=sys.stderr,
+            )
+            with IngestPipeline(
+                catalog, config=IngestConfig(), tracker=tracker
+            ) as pipeline:
+                for index in range(args.storm):
+                    pipeline.submit(tables[index % len(tables)])
+                pipeline.flush()
         print(json.dumps(catalog.status(), indent=2, sort_keys=True))
         return 0
     if action == "advise":
@@ -556,6 +574,17 @@ def main(argv: list[str] | None = None) -> int:
         dest="update_table",
         metavar="TABLE",
         help="simulate a table update before refreshing (repeatable)",
+    )
+    catalog.add_argument(
+        "--storm",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "status only: drive N coalesced table updates through the "
+            "streaming ingestion pipeline first, so the status report "
+            "carries the ingest/staleness block"
+        ),
     )
 
     serve = sub.add_parser("serve", help=SUBCOMMANDS["serve"])

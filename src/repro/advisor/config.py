@@ -56,6 +56,12 @@ class AdvisorConfig:
     #: seconds between background tuning ticks (the service-side rate
     #: limit; 0 ticks as often as batches allow)
     min_interval_s: float = 1.0
+    #: feedback-drift trigger: a tick also becomes ready *before*
+    #: ``min_interval_s`` elapses when the rolling median estimated
+    #: cardinality of recent feedback shifts from the last tick's
+    #: baseline by at least this factor (``None`` disables the trigger;
+    #: must be >= 1 when set)
+    drift_threshold: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_q_error < 0:
@@ -74,6 +80,8 @@ class AdvisorConfig:
             raise ValueError("log_capacity must be >= 1")
         if self.min_interval_s < 0:
             raise ValueError("min_interval_s must be >= 0")
+        if self.drift_threshold is not None and self.drift_threshold < 1.0:
+            raise ValueError("drift_threshold must be >= 1 (or None)")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -137,6 +137,9 @@ class SelfTuningAdvisor:
         #: keyed by name — the search's candidate universe
         self._universe: dict[str, tuple[SIT, SITMetadata]] = {}
         self._last_tick: float | None = None
+        #: rolling-median estimated cardinality captured at the last
+        #: tick — the baseline the drift trigger compares against
+        self._drift_baseline: float | None = None
 
     # ------------------------------------------------------------------
     # Observation (the serving-path side; must stay cheap and safe)
@@ -180,13 +183,49 @@ class SelfTuningAdvisor:
     # ------------------------------------------------------------------
     def ready(self, now: float | None = None) -> bool:
         """Whether a tick is worth attempting (enough feedback, interval
-        elapsed).  Pure check — does not mutate state."""
+        elapsed — or the feedback distribution drifted).  Pure check —
+        does not mutate state.
+
+        With ``config.drift_threshold`` set, a shift of the rolling
+        median estimated cardinality by at least that factor relative to
+        the baseline captured at the last tick makes the advisor ready
+        immediately, without waiting out ``min_interval_s`` — a write
+        storm that moves the workload's cardinality profile re-tunes as
+        soon as the shift is visible in feedback.
+        """
         if len(self.log) < self.config.min_feedback:
             return False
         if self._last_tick is None:
             return True
+        threshold = self.config.drift_threshold
+        if threshold is not None and self.drift_ratio() >= threshold:
+            return True
         now = time.monotonic() if now is None else now
         return now - self._last_tick >= self.config.min_interval_s
+
+    def drift_ratio(self) -> float:
+        """Shift factor (>= 1) of the rolling feedback median versus the
+        baseline captured at the last tick; 1.0 before any baseline."""
+        baseline = self._drift_baseline
+        if baseline is None:
+            return 1.0
+        current = self._rolling_median()
+        if current is None:
+            return 1.0
+        eps = 1e-9
+        high = max(current, baseline) + eps
+        low = min(current, baseline) + eps
+        return high / low
+
+    def _rolling_median(self) -> float | None:
+        """Median estimated cardinality over the most recent
+        ``min_feedback`` records (the drift trigger's rolling window)."""
+        records = self.log.records()
+        if not records:
+            return None
+        window = records[-self.config.min_feedback :]
+        values = sorted(record.estimated_cardinality for record in window)
+        return values[len(values) // 2]
 
     # ------------------------------------------------------------------
     # The tick
@@ -196,6 +235,12 @@ class SelfTuningAdvisor:
         with self._tick_lock:
             self._last_tick = time.monotonic()
             self.metrics.counter("advisor.ticks").inc()
+            threshold = self.config.drift_threshold
+            if threshold is not None and self.drift_ratio() >= threshold:
+                self.metrics.counter("advisor.drift_ticks").inc()
+            # re-baseline: the next drift comparison starts from the
+            # distribution this tick tuned against
+            self._drift_baseline = self._rolling_median()
             report = self._tick_locked()
         self.history.append(report)
         del self.history[:-HISTORY_LIMIT]
@@ -387,6 +432,7 @@ class SelfTuningAdvisor:
             registry.gauge(f"advisor.{key}").set(value)
         registry.gauge("advisor.universe_size").set(float(len(self._universe)))
         registry.gauge("advisor.history_length").set(float(len(self.history)))
+        registry.gauge("advisor.drift_ratio").set(self.drift_ratio())
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:
@@ -406,6 +452,7 @@ class SelfTuningAdvisor:
                 str(sit) for sit in self.catalog.pool if not sit.is_base
             ),
             "catalog_version": self.catalog.version,
+            "drift_ratio": self.drift_ratio(),
             "ticks": len(self.history),
             "last_report": last.to_dict() if last is not None else None,
         }

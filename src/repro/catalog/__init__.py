@@ -24,6 +24,7 @@ from repro.catalog.catalog import (
     BUILD_FULL,
     BUILD_SAMPLED,
     CatalogSnapshot,
+    RefreshConflict,
     SITKey,
     SITMetadata,
     StatisticsCatalog,
@@ -37,6 +38,7 @@ __all__ = [
     "BUILD_SAMPLED",
     "CatalogSnapshot",
     "EstimationSession",
+    "RefreshConflict",
     "RefreshPolicy",
     "RefreshReport",
     "SITKey",

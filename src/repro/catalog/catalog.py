@@ -23,10 +23,23 @@ companion lifecycle.  :class:`StatisticsCatalog` is that subsystem:
   :mod:`repro.catalog.refresh`) that rebuilds only stale SITs — full
   scan or Chao1-backed sampling — and optionally re-ranks the pool under
   a space budget with the advisor's scoring.
+
+The catalog is **safe under concurrent writers**: every mutation
+(:meth:`notify_table_update`, :meth:`add`, :meth:`remove`, the refresh
+apply) runs under one internal re-entrant lock, so invalidation storms
+from many threads (see :mod:`repro.ingest`) keep table and catalog
+versions strictly monotone with no lost bumps, and :meth:`snapshot`
+always observes a consistent (pool, version, metadata) triple.  A
+refresh that raced a concurrent *membership* change detects the
+conflict at apply time and rolls back (:class:`RefreshConflict`) rather
+than clobbering the other writer; concurrent *invalidations* are
+harmless because refresh records the table versions it read at entry,
+so a table bumped mid-rebuild simply stays stale for the next round.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -62,6 +75,17 @@ BUILD_SAMPLED = "sampled"
 def sit_key(sit: SIT) -> SITKey:
     """The registry key of a SIT: (attribute, generating expression)."""
     return (sit.attribute, sit.expression)
+
+
+class RefreshConflict(RuntimeError):
+    """A refresh raced a concurrent membership change and rolled back.
+
+    Raised by the refresh apply when the set of registered SIT keys
+    moved between refresh entry and publish (an ``add``/``remove`` won
+    the race).  The catalog is left exactly as the concurrent writer
+    made it — the refresh's work is discarded, never merged torn.
+    Re-running the refresh picks up the new membership.
+    """
 
 
 @dataclass(frozen=True)
@@ -188,6 +212,9 @@ class StatisticsCatalog:
             database = builder.database
         self.database = database
         self.builder = builder
+        #: guards every mutation and consistent multi-field reads, so
+        #: concurrent ``notify_table_update`` storms never lose a bump
+        self._lock = threading.RLock()
         #: monotonically increasing; bumped on every catalog mutation
         self.version = 0
         self._table_versions: dict[str, int] = {}
@@ -203,6 +230,9 @@ class StatisticsCatalog:
         #: records skipped by a quarantining :meth:`load` (see
         #: :mod:`repro.stats.io`); empty for healthy files
         self.quarantined: list[dict] = []
+        #: optional :class:`repro.obs.StalenessTracker` joined by the
+        #: ingest pipeline (see :meth:`attach_staleness`)
+        self._staleness = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -311,16 +341,15 @@ class StatisticsCatalog:
 
     def save(self, path) -> None:
         """Persist the catalog (v2 format) to ``path``."""
-        sits = list(self._pool)
-        save_document(
-            CatalogDocument(
+        with self._lock:
+            sits = list(self._pool)
+            document = CatalogDocument(
                 sits=sits,
                 sit_meta=[self._metadata[sit_key(s)].to_dict() for s in sits],
                 table_versions=dict(self._table_versions),
                 catalog_version=self.version,
-            ),
-            path,
-        )
+            )
+        save_document(document, path)
 
     # ------------------------------------------------------------------
     # Registry internals
@@ -335,10 +364,11 @@ class StatisticsCatalog:
 
     def _publish(self, sits: list[SIT]) -> None:
         """Install a fresh pool (copy-on-write) and bump the version."""
-        self._pool = SITPool(sits)
-        self.version += 1
-        self.metrics.gauge("catalog.version").set(float(self.version))
-        self.metrics.gauge("catalog.sit_count").set(float(len(sits)))
+        with self._lock:
+            self._pool = SITPool(sits)
+            self.version += 1
+            self.metrics.gauge("catalog.version").set(float(self.version))
+            self.metrics.gauge("catalog.sit_count").set(float(len(sits)))
 
     # ------------------------------------------------------------------
     # Read surface
@@ -351,7 +381,8 @@ class StatisticsCatalog:
 
     @property
     def table_versions(self) -> Mapping[str, int]:
-        return dict(self._table_versions)
+        with self._lock:
+            return dict(self._table_versions)
 
     def table_version(self, table: str) -> int:
         return self._table_versions.get(table, 0)
@@ -361,24 +392,26 @@ class StatisticsCatalog:
 
     def snapshot(self) -> CatalogSnapshot:
         """An immutable view of the catalog at its current version."""
-        return CatalogSnapshot(
-            pool=self._pool,
-            version=self.version,
-            table_versions=dict(self._table_versions),
-            metadata=dict(self._metadata),
-            created_at=time.time(),
-            catalog=self,
-        )
+        with self._lock:
+            return CatalogSnapshot(
+                pool=self._pool,
+                version=self.version,
+                table_versions=dict(self._table_versions),
+                metadata=dict(self._metadata),
+                created_at=time.time(),
+                catalog=self,
+            )
 
     def stale_sits(self) -> list[SIT]:
         """Registered SITs whose source tables moved since their build."""
-        return [
-            sit
-            for sit in self._pool
-            if self._metadata[sit_key(sit)].is_stale(
-                self._table_versions, sit.tables
-            )
-        ]
+        with self._lock:
+            return [
+                sit
+                for sit in self._pool
+                if self._metadata[sit_key(sit)].is_stale(
+                    self._table_versions, sit.tables
+                )
+            ]
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -391,29 +424,31 @@ class StatisticsCatalog:
     # ------------------------------------------------------------------
     def add(self, sit: SIT, metadata: SITMetadata | None = None) -> None:
         """Register (or replace) one SIT; publishes a new pool."""
-        if metadata is None:
-            metadata = SITMetadata(
-                built_at=time.time(),
-                source_versions=self._source_versions_of(sit),
-                diff=sit.diff,
-            )
-        key = sit_key(sit)
-        sits = [s for s in self._pool if sit_key(s) != key]
-        sits.append(sit)
-        self._register(sit, metadata)
-        self._publish(sits)
-        self.metrics.counter("catalog.sits_built").inc()
+        with self._lock:
+            if metadata is None:
+                metadata = SITMetadata(
+                    built_at=time.time(),
+                    source_versions=self._source_versions_of(sit),
+                    diff=sit.diff,
+                )
+            key = sit_key(sit)
+            sits = [s for s in self._pool if sit_key(s) != key]
+            sits.append(sit)
+            self._register(sit, metadata)
+            self._publish(sits)
+            self.metrics.counter("catalog.sits_built").inc()
 
     def remove(self, sit: SIT) -> bool:
         """Drop one SIT by key; returns whether anything was removed."""
-        key = sit_key(sit)
-        sits = [s for s in self._pool if sit_key(s) != key]
-        if len(sits) == len(self._pool):
-            return False
-        self._metadata.pop(key, None)
-        self._publish(sits)
-        self.metrics.counter("catalog.sits_dropped").inc()
-        return True
+        with self._lock:
+            key = sit_key(sit)
+            sits = [s for s in self._pool if sit_key(s) != key]
+            if len(sits) == len(self._pool):
+                return False
+            self._metadata.pop(key, None)
+            self._publish(sits)
+            self.metrics.counter("catalog.sits_dropped").inc()
+            return True
 
     # ------------------------------------------------------------------
     # Feedback + invalidation: the one event path
@@ -441,6 +476,14 @@ class StatisticsCatalog:
         """
         self._plan_caches.add(cache)
 
+    def attach_staleness(self, tracker) -> None:
+        """Join a :class:`repro.obs.StalenessTracker` so ``status()`` and
+        the metrics registry surface the ingest pipeline's staleness and
+        drift view alongside the lifecycle counters.  The tracker is fed
+        by :class:`repro.ingest.IngestPipeline`, not by the catalog —
+        attaching is pure observability plumbing."""
+        self._staleness = tracker
+
     def notify_table_update(self, table: str) -> int:
         """Record that ``table``'s data changed; returns the new table
         version.
@@ -456,21 +499,24 @@ class StatisticsCatalog:
         5. the catalog version is bumped so version-keyed caches and
            sessions observe the change.
         """
-        version = self._table_versions.get(table, 0) + 1
-        self._table_versions[table] = version
-        dropped = 0
-        for repository in self._feedback:
-            dropped += repository.invalidate_table(table)
-        if self.builder is not None:
-            self.builder.invalidate_table(table)
-        self._pool.invalidate_derived()
-        self.version += 1
-        metrics = self.metrics
-        metrics.counter("catalog.invalidations").inc()
-        metrics.counter("catalog.feedback_dropped").inc(dropped)
-        metrics.gauge("catalog.version").set(float(self.version))
-        metrics.gauge("catalog.stale_sits").set(float(len(self.stale_sits())))
-        return version
+        with self._lock:
+            version = self._table_versions.get(table, 0) + 1
+            self._table_versions[table] = version
+            dropped = 0
+            for repository in self._feedback:
+                dropped += repository.invalidate_table(table)
+            if self.builder is not None:
+                self.builder.invalidate_table(table)
+            self._pool.invalidate_derived()
+            self.version += 1
+            metrics = self.metrics
+            metrics.counter("catalog.invalidations").inc()
+            metrics.counter("catalog.feedback_dropped").inc(dropped)
+            metrics.gauge("catalog.version").set(float(self.version))
+            metrics.gauge("catalog.stale_sits").set(
+                float(len(self.stale_sits()))
+            )
+            return version
 
     # ------------------------------------------------------------------
     # Refresh
@@ -492,26 +538,49 @@ class StatisticsCatalog:
         self,
         sits: list[SIT],
         metadata: dict[SITKey, SITMetadata],
+        expected_keys: "frozenset[SITKey] | None" = None,
     ) -> None:
-        """Install a refresh outcome (called by the refresh engine)."""
-        self._metadata = metadata
-        self._publish(sits)
-        self.metrics.counter("catalog.refreshes").inc()
-        self.metrics.gauge("catalog.stale_sits").set(
-            float(len(self.stale_sits()))
-        )
+        """Install a refresh outcome (called by the refresh engine).
+
+        ``expected_keys`` is the registry membership the refresh read at
+        entry.  When given and the membership moved meanwhile (a
+        concurrent ``add``/``remove`` won the race), the apply raises
+        :class:`RefreshConflict` and leaves the catalog exactly as the
+        concurrent writer made it — complete coherently or roll back,
+        never publish a torn merge.  Concurrent *invalidations* do not
+        conflict: the refresh recorded the table versions it read at
+        entry, so a table bumped mid-rebuild stays stale.
+        """
+        with self._lock:
+            if expected_keys is not None:
+                current = frozenset(sit_key(s) for s in self._pool)
+                if current != expected_keys:
+                    self.metrics.counter("catalog.refresh_conflicts").inc()
+                    raise RefreshConflict(
+                        "catalog membership changed during refresh "
+                        f"({len(current ^ expected_keys)} keys moved); "
+                        "refresh rolled back — re-run to pick up the "
+                        "new membership"
+                    )
+            self._metadata = metadata
+            self._publish(sits)
+            self.metrics.counter("catalog.refreshes").inc()
+            self.metrics.gauge("catalog.stale_sits").set(
+                float(len(self.stale_sits()))
+            )
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def status(self) -> dict:
         """A JSON-ready lifecycle summary (the CLI's ``status`` output)."""
-        stale = self.stale_sits()
-        by_method: dict[str, int] = {}
-        for metadata in self._metadata.values():
-            by_method[metadata.build_method] = (
-                by_method.get(metadata.build_method, 0) + 1
-            )
+        with self._lock:
+            stale = self.stale_sits()
+            by_method: dict[str, int] = {}
+            for metadata in self._metadata.values():
+                by_method[metadata.build_method] = (
+                    by_method.get(metadata.build_method, 0) + 1
+                )
         caches = list(self._plan_caches)
         plan_cache = {
             "caches": len(caches),
@@ -524,17 +593,22 @@ class StatisticsCatalog:
         }
         total = plan_cache["hits"] + plan_cache["misses"]
         plan_cache["hit_rate"] = plan_cache["hits"] / total if total else 0.0
-        return {
-            "version": self.version,
-            "sits": len(self._pool),
-            "base_histograms": sum(1 for s in self._pool if s.is_base),
-            "conditioned_sits": sum(1 for s in self._pool if not s.is_base),
-            "stale_sits": len(stale),
-            "table_versions": dict(self._table_versions),
-            "build_methods": by_method,
-            "feedback_repositories": len(self._feedback),
-            "plan_cache": plan_cache,
-        }
+        with self._lock:
+            pool = self._pool
+            out = {
+                "version": self.version,
+                "sits": len(pool),
+                "base_histograms": sum(1 for s in pool if s.is_base),
+                "conditioned_sits": sum(1 for s in pool if not s.is_base),
+                "stale_sits": len(stale),
+                "table_versions": dict(self._table_versions),
+                "build_methods": by_method,
+                "feedback_repositories": len(self._feedback),
+                "plan_cache": plan_cache,
+            }
+        if self._staleness is not None:
+            out["ingest"] = self._staleness.status()
+        return out
 
     def metrics_registry(self) -> MetricsRegistry:
         """Lifecycle metrics under the ``catalog.*`` namespace."""
@@ -566,6 +640,9 @@ class StatisticsCatalog:
                 float(sum(c.evictions for c in caches))
             )
             gauge("plan_cache.bytes").set(float(sum(c.bytes for c in caches)))
+        if self._staleness is not None:
+            for name, value in self._staleness.metrics().items():
+                registry.gauge(f"ingest.{name}").set(float(value))
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:
@@ -583,14 +660,24 @@ def refreshed_metadata(
     sit: SIT,
     build_method: str,
     build_seconds: float,
+    table_versions: Mapping[str, int] | None = None,
 ) -> SITMetadata:
-    """Fresh provenance for a just-rebuilt SIT."""
+    """Fresh provenance for a just-rebuilt SIT.
+
+    ``table_versions`` should be the versions the refresh *read at
+    entry*: recording the versions current at rebuild time would mark a
+    SIT fresh against an update that arrived mid-rebuild — a lost
+    invalidation under a write storm.  Falls back to the catalog's
+    current versions for single-writer callers.
+    """
+    if table_versions is None:
+        table_versions = catalog.table_versions
     return SITMetadata(
         built_at=time.time(),
         build_seconds=build_seconds,
         build_method=build_method,
         source_versions={
-            table: catalog.table_version(table) for table in sit.tables
+            table: table_versions.get(table, 0) for table in sit.tables
         },
         diff=sit.diff,
     )
@@ -600,6 +687,7 @@ __all__ = [
     "BUILD_FULL",
     "BUILD_SAMPLED",
     "CatalogSnapshot",
+    "RefreshConflict",
     "SITKey",
     "SITMetadata",
     "StatisticsCatalog",

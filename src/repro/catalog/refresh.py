@@ -21,6 +21,20 @@ have moved past some SITs' recorded source versions, ``execute_refresh``
 4. atomically publishes the new pool (snapshot isolation: sessions pinned
    to older snapshots are untouched) and returns a
    :class:`RefreshReport`.
+
+A refresh is **storm-hardened**: it either completes coherently or
+rolls back.  Membership, metadata and table versions are read in one
+consistent snapshot at entry; rebuilt SITs record the *entry* table
+versions, so an invalidation that lands mid-rebuild leaves them stale
+for the next round instead of being silently absorbed (no lost
+invalidations).  A concurrent ``add``/``remove`` is detected at publish
+and raises :class:`~repro.catalog.catalog.RefreshConflict` with the
+catalog left untouched by the refresh.  The seeded
+``refresh_during_storm`` injection point
+(:data:`repro.resilience.POINT_REFRESH_DURING_STORM`) fires inside the
+rebuild loop, before anything is published — an injected fault aborts
+the whole round with the catalog exactly as it was (counted under
+``catalog.refresh_aborts``).
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from typing import Iterable
 
 from repro.core.predicates import PredicateSet
 from repro.engine.expressions import Query
+from repro.resilience.faults import POINT_REFRESH_DURING_STORM, inject
 from repro.stats.builder import SITBuilder
 from repro.stats.sit import SIT
 
@@ -186,18 +201,28 @@ def execute_refresh(
     queries: Iterable[Query] | None = None,
 ) -> RefreshReport:
     """Run one refresh round against ``catalog`` (see module docstring)."""
-    report = RefreshReport(policy=policy, version_before=catalog.version)
-    stale = catalog.stale_sits()
+    # One consistent read of (pool, metadata, table versions) at entry.
+    # Rebuilt SITs record *these* versions: an invalidation landing
+    # mid-rebuild keeps them stale for the next round (never lost).
+    entry = catalog.snapshot()
+    entry_versions = dict(entry.table_versions)
+    report = RefreshReport(policy=policy, version_before=entry.version)
+    stale = [
+        sit
+        for sit in entry.pool
+        if entry.metadata[sit_key(sit)].is_stale(entry_versions, sit.tables)
+    ]
     stale_keys = {sit_key(sit) for sit in stale}
+    entry_keys = frozenset(sit_key(sit) for sit in entry.pool)
 
     kept_sits: list[SIT] = []
     metadata: dict[SITKey, SITMetadata] = {}
-    for sit in catalog.pool:
+    for sit in entry.pool:
         key = sit_key(sit)
         if key in stale_keys:
             continue
         kept_sits.append(sit)  # same object: provably untouched
-        metadata[key] = catalog.metadata_for(sit)
+        metadata[key] = entry.metadata[key]
         report.kept.append(key)
 
     rebuilt_sits: list[SIT] = []
@@ -210,27 +235,40 @@ def execute_refresh(
         for sit in stale:
             by_expression.setdefault(sit.expression, []).append(sit)
         started = time.perf_counter()
-        for expression in sorted(
-            by_expression, key=lambda e: (len(e), sorted(map(str, e)))
-        ):
-            attributes = sorted(
-                sit.attribute for sit in by_expression[expression]
-            )
-            expression_started = time.perf_counter()
-            fresh = builder.build_many(expression, attributes)
-            per_sit = (time.perf_counter() - expression_started) / max(
-                1, len(fresh)
-            )
-            for sit in fresh:
-                rebuilt_sits.append(sit)
-                metadata[sit_key(sit)] = refreshed_metadata(
-                    catalog,
-                    sit,
-                    # base histograms are whole-column scans either way
-                    BUILD_FULL if sit.is_base else method,
-                    per_sit,
+        try:
+            for expression in sorted(
+                by_expression, key=lambda e: (len(e), sorted(map(str, e)))
+            ):
+                inject(
+                    POINT_REFRESH_DURING_STORM,
+                    detail=f"expression={expression} "
+                    f"version={entry.version}",
+                    sits=by_expression[expression],
                 )
-                report.rebuilt.append(sit_key(sit))
+                attributes = sorted(
+                    sit.attribute for sit in by_expression[expression]
+                )
+                expression_started = time.perf_counter()
+                fresh = builder.build_many(expression, attributes)
+                per_sit = (time.perf_counter() - expression_started) / max(
+                    1, len(fresh)
+                )
+                for sit in fresh:
+                    rebuilt_sits.append(sit)
+                    metadata[sit_key(sit)] = refreshed_metadata(
+                        catalog,
+                        sit,
+                        # base histograms are whole-column scans either way
+                        BUILD_FULL if sit.is_base else method,
+                        per_sit,
+                        table_versions=entry_versions,
+                    )
+                    report.rebuilt.append(sit_key(sit))
+        except Exception:
+            # nothing was published: the catalog is exactly as the
+            # storm left it — a clean rollback, counted
+            catalog.metrics.counter("catalog.refresh_aborts").inc()
+            raise
         report.build_seconds = time.perf_counter() - started
 
     sits = kept_sits + rebuilt_sits
@@ -271,9 +309,9 @@ def execute_refresh(
                 len(report.dropped)
             )
 
-    catalog.metrics.counter("catalog.sits_rebuilt").inc(len(report.rebuilt))
     catalog.metrics.gauge("catalog.refresh_seconds").set(report.build_seconds)
-    catalog._apply_refresh(sits, metadata)
+    catalog._apply_refresh(sits, metadata, expected_keys=entry_keys)
+    catalog.metrics.counter("catalog.sits_rebuilt").inc(len(report.rebuilt))
     report.version_after = catalog.version
     return report
 

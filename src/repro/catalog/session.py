@@ -40,6 +40,7 @@ Threading contract (the serving layer relies on this):
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Mapping
 
@@ -152,6 +153,13 @@ class EstimationSession:
         #: point (:mod:`repro.advisor`).  Sink errors are swallowed:
         #: feedback is advisory and must never fail serving.
         self.feedback_sink = None
+        #: optional :class:`repro.obs.StalenessTracker` — when set, every
+        #: answer is stamped with the worst-case serving-snapshot
+        #: staleness over the tables it touched (``staleness_s``
+        #: provenance; see :mod:`repro.ingest`).  Stamping uses
+        #: ``dataclasses.replace`` on a ``compare=False`` field, so
+        #: parity comparisons are unaffected.
+        self.staleness_tracker = None
         # register the compiled-plan cache with the owning catalog so
         # `catalog.status()` can aggregate live caches (weakly held — a
         # retired session's cache unregisters itself)
@@ -223,6 +231,17 @@ class EstimationSession:
                 "was replaced after pinning"
             )
 
+    def _stamp_staleness(self, predicates, result):
+        """Attach ``staleness_s`` provenance when a tracker is wired."""
+        tracker = self.staleness_tracker
+        if tracker is None or result is None:
+            return result
+        try:
+            staleness = tracker.staleness_for(tables_of(predicates))
+        except Exception:
+            return result
+        return dataclasses.replace(result, staleness_s=staleness)
+
     def _emit_feedback(self, predicates, result) -> None:
         sink = self.feedback_sink
         if sink is None or result is None:
@@ -255,7 +274,7 @@ class EstimationSession:
             )
             result = self.estimator.estimate_predicates(predicates)
             self._emit_feedback(predicates, result)
-            return result
+            return self._stamp_staleness(predicates, result)
         finally:
             lock.release()
 
@@ -294,6 +313,7 @@ class EstimationSession:
                     self.begin_query()
                     results[i] = self.estimator.estimate_predicates(ps)
                     self._emit_feedback(ps, results[i])
+                    results[i] = self._stamp_staleness(ps, results[i])
                 return results
             # plan id -> (plan, [(member index, str-ordered predicates)])
             groups: dict = {}
@@ -316,6 +336,11 @@ class EstimationSession:
                     results[i] = result
             for ps, result in zip(sets, results):
                 self._emit_feedback(ps, result)
+            if self.staleness_tracker is not None:
+                results = [
+                    self._stamp_staleness(ps, result)
+                    for ps, result in zip(sets, results)
+                ]
             return results
         finally:
             lock.release()

@@ -55,10 +55,12 @@ from repro.engine.expressions import Query
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.snapshot import StatsSnapshot
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import POINT_SWAP_UNDER_WRITE, inject
 from repro.service.client import TransportError
 from repro.service.config import ClusterConfig, ServiceConfig
 from repro.service.protocol import (
     InvalidRequest,
+    Overloaded,
     ServiceClosed,
     decode_line,
     encode_line,
@@ -293,6 +295,9 @@ class EstimationCluster:
         self._shard_stats_last: dict[int, dict] = {}
         self._shard_stats_prior: dict[int, dict] = {}
         self._replica_cursor = 0
+        #: optional StalenessTracker stamping answers with bounded-
+        #: staleness provenance (see :meth:`attach_staleness`)
+        self._staleness = None
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self._export = None
         self._mp = None
@@ -453,15 +458,37 @@ class EstimationCluster:
 
     # ------------------------------------------------------------------
     def _dispatch(self, entry: _Request, *, spilled: bool = False) -> None:
-        """Route to the ring owner, honoring per-shard swap holds."""
+        """Route to the ring owner, honoring per-shard swap holds.
+
+        Hold queues are bounded (``cluster.max_held_requests`` per
+        shard): during a write storm the swap fan-out can outpace the
+        ack rate, and an unbounded park would turn every client timeout
+        into queued dead weight.  The excess is shed with a typed
+        :class:`~repro.service.protocol.Overloaded` the moment it
+        arrives, so callers get immediate backpressure instead of a
+        stale queue position.
+        """
+        cap = self.config.cluster.max_held_requests
         with self._route_lock:
             shard = self._ring.lookup(entry.digest)
             held = self._held.get(shard)
             if held is not None:
-                held.append(entry)
-                self._count("cluster.held_requests")
-                return
+                if len(held) >= cap:
+                    self._count("cluster.holds_shed")
+                    shed = Overloaded(
+                        f"shard {shard} holds {len(held)} requests behind "
+                        f"an in-flight swap (max_held_requests={cap})"
+                    )
+                else:
+                    held.append(entry)
+                    self._count("cluster.held_requests")
+                    return
+            else:
+                shed = None
             link = self._links.get(shard)
+        if shed is not None:
+            self._maybe_fail(entry, shed, force=True)
+            return
         if link is None:
             # ejected between lookup and send (rare race): try again;
             # the rebuilt ring resolves to a live owner
@@ -524,6 +551,7 @@ class EstimationCluster:
                 entry.outstanding -= 1
             self._maybe_fail(entry, error)
             return
+        answer = self._stamp_staleness(entry, answer)
         with entry.lock:
             entry.outstanding -= 1
         try:
@@ -755,6 +783,30 @@ class EstimationCluster:
     # ------------------------------------------------------------------
     # Coherent hot swap
     # ------------------------------------------------------------------
+    def attach_staleness(self, tracker) -> None:
+        """Stamp served answers with bounded-staleness provenance.
+
+        ``tracker`` is a :class:`~repro.obs.StalenessTracker` shared with
+        the ingestion pipeline; every answer's ``staleness_s`` becomes
+        the worst pending-write age over the query's tables at response
+        time.  Also attached to the primary catalog so ``catalog
+        status`` and the merged metrics surface the same gauges.
+        """
+        self._staleness = tracker
+        attach = getattr(self._catalog, "attach_staleness", None)
+        if attach is not None:
+            attach(tracker)
+
+    def _stamp_staleness(self, entry: _Request, answer):
+        tracker = self._staleness
+        if tracker is None:
+            return answer
+        try:
+            staleness = tracker.staleness_for(entry.tables)
+            return dataclasses.replace(answer, staleness_s=staleness)
+        except Exception:  # pragma: no cover - provenance is best-effort
+            return answer
+
     def notify_table_update(self, table: str) -> int:
         """Propagate a base-table change through the whole cluster.
 
@@ -777,6 +829,21 @@ class EstimationCluster:
         table_version = self._catalog.notify_table_update(table)
         version = self._catalog.version
         for member, link in members:
+            try:
+                inject(
+                    POINT_SWAP_UNDER_WRITE,
+                    detail=f"member={member} table={table} version={version}",
+                )
+            except Exception:
+                # The fan-out failed at this member before its invalidate
+                # went out.  A shard that missed the swap must never serve
+                # again at the old version, so eject it outright: its held
+                # requests spill to ring successors (flushed at the new
+                # version once those ack) and the revival's catch-up
+                # replays the invalidate before the shard rejoins.
+                self._count("cluster.swap_faults")
+                self._eject(member)
+                continue
             raw = link.request(
                 {"op": "invalidate", "table": table, "version": version}
             )

@@ -107,6 +107,13 @@ class EstimationResult:
     #: :mod:`repro.estimators.sampling`).  Excluded from equality like
     #: the other provenance fields.
     error_bound: float | None = field(default=None, compare=False)
+    #: worst-case serving-snapshot staleness (seconds) over the tables
+    #: this estimate touched, stamped when a
+    #: :class:`repro.obs.StalenessTracker` is attached to the session
+    #: (``None`` when nothing streams writes).  Excluded from equality:
+    #: staleness is provenance about *when* the answer was computed,
+    #: not part of its value.
+    staleness_s: float | None = field(default=None, compare=False)
 
     @property
     def factor_count(self) -> int:

@@ -21,6 +21,11 @@ its numeric behaviour:
   and :class:`repro.catalog.EstimationSession`; the ``catalog`` namespace
   carries statistics-lifecycle state (snapshot/catalog versions, stale
   counts, refresh and invalidation metrics).
+* :mod:`repro.obs.staleness` — :class:`StalenessTracker`: per-table
+  serving-snapshot staleness (age of acked-but-unapplied writes) and
+  measured estimate drift vs. fresh truth on a sampled probe stream;
+  the source of the ``ingest`` StatsSnapshot namespace fed by
+  :mod:`repro.ingest`.
 * :mod:`repro.obs.explain` — ``EXPLAIN ESTIMATE``: a structured
   :class:`ExplainResult` capturing the winning decomposition, the SIT
   matched per conditional factor ``Sel(P|Q)`` (or the independence
@@ -30,6 +35,7 @@ its numeric behaviour:
 
 from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
 from repro.obs.snapshot import StatsSnapshot, deprecated
+from repro.obs.staleness import StalenessTracker
 from repro.obs.trace import Span, Trace
 
 #: explainer names resolved lazily (PEP 562): ``repro.obs.explain`` imports
@@ -61,6 +67,7 @@ __all__ = [
     "HistogramMetric",
     "MetricsRegistry",
     "Span",
+    "StalenessTracker",
     "StatsSnapshot",
     "Trace",
     "build_explain",

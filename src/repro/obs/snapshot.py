@@ -58,7 +58,17 @@ namespaces:
     unavailable), feedback-log fill (``feedback_records``,
     ``feedback_dropped``) and the last accepted proposal's safety
     margins (``safety_q_error``, ``safety_space_bytes``,
-    ``safety_refresh_seconds``) — empty when no advisor runs.
+    ``safety_refresh_seconds``) — empty when no advisor runs;
+``ingest``
+    streaming-ingestion state (:mod:`repro.ingest` +
+    :class:`repro.obs.staleness.StalenessTracker`): admission counters
+    (``events``, ``shed``, ``dropped``), coalescing
+    (``epochs_applied``, ``coalesced_events``, ``coalesce_ratio``),
+    apply-fault retries (``apply_faults``, ``apply_retries``), the
+    staleness gauges (``staleness_s_max``, per-table
+    ``staleness_s.<table>``, ``tables_pending``) and measured drift on
+    the probe sub-stream (``drift_probes``, ``drift_q_error_p50``,
+    ``drift_q_error_p95``) — empty when nothing streams writes.
 
 ``meta`` carries identification (engine, estimator name, error function,
 session name) and is excluded from numeric views.  Snapshots are plain
@@ -87,6 +97,7 @@ NAMESPACES = (
     "plan_cache",
     "cluster",
     "advisor",
+    "ingest",
 )
 
 
@@ -112,6 +123,7 @@ class StatsSnapshot:
     plan_cache: Mapping[str, float] = field(default_factory=dict)
     cluster: Mapping[str, float] = field(default_factory=dict)
     advisor: Mapping[str, float] = field(default_factory=dict)
+    ingest: Mapping[str, float] = field(default_factory=dict)
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -146,6 +158,7 @@ class StatsSnapshot:
             plan_cache=nested.get("plan_cache", {}),
             cluster=nested.get("cluster", {}),
             advisor=nested.get("advisor", {}),
+            ingest=nested.get("ingest", {}),
             meta=meta or {},
         )
 
@@ -162,6 +175,7 @@ class StatsSnapshot:
             "plan_cache": dict(self.plan_cache),
             "cluster": dict(self.cluster),
             "advisor": dict(self.advisor),
+            "ingest": dict(self.ingest),
             "meta": dict(self.meta),
         }
 

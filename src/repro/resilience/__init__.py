@@ -25,8 +25,11 @@ from repro.resilience.faults import (
     POINT_CATALOG_LOAD,
     POINT_CATALOG_SAVE,
     POINT_HISTOGRAM_JOIN,
+    POINT_INGEST_APPLY,
+    POINT_REFRESH_DURING_STORM,
     POINT_SIT_MATCH,
     POINT_SNAPSHOT_PIN,
+    POINT_SWAP_UNDER_WRITE,
     POINT_WORKER_BATCH,
     SITUnavailable,
     StorageTorn,
@@ -77,8 +80,11 @@ __all__ = [
     "POINT_CATALOG_LOAD",
     "POINT_CATALOG_SAVE",
     "POINT_HISTOGRAM_JOIN",
+    "POINT_INGEST_APPLY",
+    "POINT_REFRESH_DURING_STORM",
     "POINT_SIT_MATCH",
     "POINT_SNAPSHOT_PIN",
+    "POINT_SWAP_UNDER_WRITE",
     "POINT_WORKER_BATCH",
     "ResilienceTelemetry",
     "RetryPolicy",

@@ -52,6 +52,12 @@ POINT_WORKER_BATCH = "worker_batch"
 POINT_CATALOG_SAVE = "catalog_save"
 #: catalog restore (:func:`repro.stats.io.load_document`)
 POINT_CATALOG_LOAD = "catalog_load"
+#: applying one coalesced invalidation epoch in the ingest pipeline
+POINT_INGEST_APPLY = "ingest_apply"
+#: incremental refresh racing a concurrent invalidation storm
+POINT_REFRESH_DURING_STORM = "refresh_during_storm"
+#: cluster hot-swap fan-out while writes are arriving
+POINT_SWAP_UNDER_WRITE = "swap_under_write"
 
 #: every injection point threaded through the stack
 INJECTION_POINTS = (
@@ -61,6 +67,9 @@ INJECTION_POINTS = (
     POINT_WORKER_BATCH,
     POINT_CATALOG_SAVE,
     POINT_CATALOG_LOAD,
+    POINT_INGEST_APPLY,
+    POINT_REFRESH_DURING_STORM,
+    POINT_SWAP_UNDER_WRITE,
 )
 
 
@@ -420,8 +429,11 @@ __all__ = [
     "POINT_CATALOG_LOAD",
     "POINT_CATALOG_SAVE",
     "POINT_HISTOGRAM_JOIN",
+    "POINT_INGEST_APPLY",
+    "POINT_REFRESH_DURING_STORM",
     "POINT_SIT_MATCH",
     "POINT_SNAPSHOT_PIN",
+    "POINT_SWAP_UNDER_WRITE",
     "POINT_WORKER_BATCH",
     "SITUnavailable",
     "StorageTorn",

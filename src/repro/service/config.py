@@ -113,6 +113,10 @@ class ClusterConfig:
     breaker_window_s: float = 30.0
     #: seconds the router waits for a shard to come up / ack a swap
     startup_timeout_s: float = 60.0
+    #: per-shard cap on requests parked behind an in-flight hot swap;
+    #: the excess is shed with a typed ``Overloaded`` instead of
+    #: accumulating without bound during a write storm
+    max_held_requests: int = 256
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -135,6 +139,8 @@ class ClusterConfig:
             raise ValueError("breaker_window_s must be > 0")
         if self.startup_timeout_s <= 0:
             raise ValueError("startup_timeout_s must be > 0")
+        if self.max_held_requests < 1:
+            raise ValueError("max_held_requests must be >= 1")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -57,6 +57,17 @@ only when it differs from the default ``"sit"`` and ``error_bound``
 only when the backend provides one, so default-backend responses are
 byte-identical to earlier releases.
 
+Bounded-staleness provenance (one more optional field):
+``staleness_s`` carries the worst pending-write age, in seconds, over
+the base tables the query touched — the gap between the answer's
+serving snapshot and the newest acked-but-unapplied table update in
+the streaming-ingestion pipeline (:mod:`repro.ingest`; see DESIGN.md
+§15).  ``0.0`` means every acked write was applied before this answer;
+the field is emitted only when a :class:`repro.obs.StalenessTracker`
+is attached (``service.attach_staleness`` /
+``cluster.attach_staleness``), so deployments without streaming
+ingestion stay byte-identical to earlier releases.
+
 ``plan_cache_hit`` (boolean, always present in ok responses) reports
 whether the answer was replayed from a compiled template plan
 (:mod:`repro.core.plancache`) instead of a fresh DP run.  Replay is
@@ -194,6 +205,12 @@ class ServedEstimate:
     #: distribution-free additive guarantee of the sampling backend
     #: (``None`` for backends without one)
     error_bound: float | None = None
+    #: worst-case serving-snapshot staleness (seconds) over the tables
+    #: the query touched, measured by the ingest pipeline's
+    #: :class:`repro.obs.StalenessTracker` (``None`` when no staleness
+    #: tracking is wired — the field is omitted from the wire then, so
+    #: payloads without streaming ingestion stay byte-identical)
+    staleness_s: float | None = None
 
     @property
     def degraded(self) -> bool:
@@ -223,6 +240,8 @@ class ServedEstimate:
             payload["backend"] = self.backend
         if self.error_bound is not None:
             payload["error_bound"] = self.error_bound
+        if self.staleness_s is not None:
+            payload["staleness_s"] = self.staleness_s
         if request_id is not None:
             payload["id"] = request_id
         return payload
@@ -247,6 +266,11 @@ class ServedEstimate:
                 None
                 if payload.get("error_bound") is None
                 else float(payload["error_bound"])
+            ),
+            staleness_s=(
+                None
+                if payload.get("staleness_s") is None
+                else float(payload["staleness_s"])
             ),
         )
 

@@ -152,6 +152,10 @@ class EstimationService:
         self.advisor = None
         self._tuning_thread: threading.Thread | None = None
         self._tuning_lock = threading.Lock()
+        #: optional :class:`repro.obs.StalenessTracker` joined by the
+        #: ingest pipeline (see :meth:`attach_staleness`); when present,
+        #: worker sessions stamp answers with ``staleness_s`` provenance
+        self.staleness_tracker = None
         if (
             self.config.advisor is not None
             and self._catalog is not None
@@ -213,6 +217,8 @@ class EstimationService:
         )
         if self.advisor is not None:
             session.feedback_sink = self.advisor.record_result
+        if self.staleness_tracker is not None:
+            session.staleness_tracker = self.staleness_tracker
         with self._sessions_lock:
             self._sessions.append(session)
         return session
@@ -418,6 +424,22 @@ class EstimationService:
         )
         self._tuning_thread = thread
         thread.start()
+
+    def attach_staleness(self, tracker) -> None:
+        """Join a :class:`repro.obs.StalenessTracker` (fed by the ingest
+        pipeline) so every answer carries ``staleness_s`` provenance for
+        the tables it touched.  Live worker sessions pick the tracker up
+        immediately; new sessions inherit it at construction.  Also
+        forwarded to the serving catalog for ``status()`` reporting."""
+        self.staleness_tracker = tracker
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.staleness_tracker = tracker
+        if self._catalog is not None and hasattr(
+            self._catalog, "attach_staleness"
+        ):
+            self._catalog.attach_staleness(tracker)
 
     def tune(self):
         """Run one tuning tick synchronously (smoke tests, operators).
@@ -642,6 +664,7 @@ class EstimationService:
                     plan_cache_hit=result.plan_cache_hit,
                     backend=result.backend,
                     error_bound=result.error_bound,
+                    staleness_s=result.staleness_s,
                 )
                 if index > 0:
                     deduplicated += 1
@@ -754,6 +777,9 @@ class EstimationService:
                 registry.counter(f"resilience.injected_{key}").inc(count)
         if self.advisor is not None:
             registry.merge(self.advisor.metrics_registry())
+        if self.staleness_tracker is not None:
+            for name, value in self.staleness_tracker.metrics().items():
+                registry.gauge(f"ingest.{name}").set(float(value))
         return registry
 
     def stats_snapshot(self) -> StatsSnapshot:

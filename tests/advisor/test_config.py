@@ -24,6 +24,7 @@ class TestAdvisorConfig:
             max_moves=9,
             log_capacity=64,
             min_interval_s=0.0,
+            drift_threshold=2.0,
         )
         assert AdvisorConfig.from_dict(config.to_dict()) == config
 
@@ -43,6 +44,8 @@ class TestAdvisorConfig:
             {"max_moves": 0},
             {"log_capacity": 0},
             {"min_interval_s": -0.1},
+            {"drift_threshold": 0.5},
+            {"drift_threshold": -1.0},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):

@@ -235,6 +235,55 @@ class TestScheduling:
         assert not advisor.ready(now=advisor._last_tick + 1.0)
         assert advisor.ready(now=advisor._last_tick + 61.0)
 
+    def test_drift_triggers_before_the_interval(
+        self, advisor_catalog, feedback_queries
+    ):
+        """A feedback-distribution shift (rolling median moved by the
+        configured factor) makes the advisor ready without waiting out
+        ``min_interval_s``; a stable distribution still waits."""
+        advisor = SelfTuningAdvisor(
+            advisor_catalog,
+            config=AdvisorConfig(
+                min_feedback=4, min_interval_s=60.0, drift_threshold=3.0
+            ),
+        )
+        drive_feedback(advisor, advisor_catalog, feedback_queries)
+        advisor.tick()
+        soon = advisor._last_tick + 1.0
+        assert not advisor.ready(now=soon)
+        assert advisor.drift_ratio() == pytest.approx(1.0)
+
+        # the workload's cardinality profile jumps an order of magnitude
+        baseline = advisor._drift_baseline
+        for index in range(advisor.config.min_feedback):
+            advisor.observe(
+                frozenset(feedback_queries[0].predicates),
+                baseline * 10.0 + index,
+            )
+        assert advisor.drift_ratio() >= 3.0
+        assert advisor.ready(now=soon)
+        advisor.tick()
+        assert advisor.metrics.counter("advisor.drift_ticks").value == 1
+        # re-baselined: the same distribution no longer reads as drift
+        assert advisor.drift_ratio() == pytest.approx(1.0)
+        assert not advisor.ready(now=advisor._last_tick + 1.0)
+
+    def test_drift_disabled_by_default(
+        self, advisor_catalog, feedback_queries
+    ):
+        advisor = SelfTuningAdvisor(
+            advisor_catalog,
+            config=AdvisorConfig(min_feedback=4, min_interval_s=60.0),
+        )
+        drive_feedback(advisor, advisor_catalog, feedback_queries)
+        advisor.tick()
+        baseline = advisor._drift_baseline
+        for _ in range(advisor.config.min_feedback):
+            advisor.observe(
+                frozenset(feedback_queries[0].predicates), baseline * 100.0
+            )
+        assert not advisor.ready(now=advisor._last_tick + 1.0)
+
     def test_history_is_bounded(self, advisor_catalog, feedback_queries):
         advisor = SelfTuningAdvisor(
             advisor_catalog,

@@ -543,3 +543,113 @@ class TestLifecycle:
             assert snapshot.meta["subsystem"] == "cluster"
             assert snapshot.meta["shards"] == 2
             assert snapshot.cluster["shards"] == 2.0
+
+
+class TestBoundedHolds:
+    def test_holds_past_cap_shed_with_overloaded(
+        self, cluster_catalog, cluster_queries
+    ):
+        """A write storm must not park unbounded work behind a swap:
+        past ``max_held_requests`` the router sheds immediately with a
+        typed Overloaded, and the bounded holds still flush on ack."""
+        links = [FakeLink(0, auto=False), FakeLink(1, auto=False)]
+        with make_cluster(
+            cluster_catalog, links, max_held_requests=2
+        ) as cluster:
+            cluster.notify_table_update("R")
+            query = cluster_queries[0]  # one template -> one shard
+            kept = [cluster.submit(query) for _ in range(2)]
+            shed = cluster.submit(query)
+            with pytest.raises(Overloaded, match="max_held_requests"):
+                shed.result(timeout=5.0)
+            stats = cluster.stats_snapshot().cluster
+            assert stats["holds_shed"] == 1.0
+            assert stats["held_requests"] == 2.0
+
+            for link in links:
+                for payload, ack in link.requests("invalidate"):
+                    link.version = int(payload["version"])
+                    ack.set_result(
+                        {
+                            "ok": True,
+                            "status": "ok",
+                            "shard": link.shard_id,
+                            "version": link.version,
+                        }
+                    )
+            assert wait_until(
+                lambda: sum(
+                    len(link.requests("estimate")) for link in links
+                )
+                == 2
+            )
+            for link in links:
+                for payload, raw in link.requests("estimate"):
+                    if not raw.done():
+                        raw.set_result(link.ok_response(payload))
+            for future in kept:
+                answer = future.result(timeout=5.0)
+                assert answer.snapshot_version == cluster_catalog.version
+
+    def test_cap_validates(self):
+        with pytest.raises(ValueError, match="max_held_requests"):
+            ClusterConfig(max_held_requests=0)
+
+
+class TestSwapUnderWrite:
+    def test_injected_fault_ejects_the_member_never_wedges(
+        self, cluster_catalog, cluster_queries
+    ):
+        """A seeded ``swap_under_write`` fault at one member must not
+        leave it serving the old version or wedge admission: the member
+        is ejected outright and every answer accepted after the bump
+        carries the new version from the surviving shard."""
+        from repro.resilience.faults import (
+            POINT_SWAP_UNDER_WRITE,
+            FaultPlan,
+            FaultRule,
+            armed,
+        )
+
+        links = [FakeLink(0), FakeLink(1)]
+        plan = FaultPlan(
+            [FaultRule(point=POINT_SWAP_UNDER_WRITE, match="member=0")],
+            seed=3,
+        )
+        with make_cluster(cluster_catalog, links) as cluster:
+            with armed(plan):
+                cluster.notify_table_update("R")
+            assert plan.total_fires == 1
+            new_version = cluster_catalog.version
+            assert links[0].closed
+            assert not links[0].requests("invalidate")
+            answers = [
+                cluster.estimate(query, timeout=5.0)
+                for query in cluster_queries
+            ]
+            assert {a.snapshot_version for a in answers} == {new_version}
+            assert all(a.shard == 1 for a in answers)
+            stats = cluster.stats_snapshot().cluster
+            assert stats["swap_faults"] == 1.0
+            assert stats["ejections"] == 1.0
+
+
+class TestClusterStaleness:
+    def test_answers_carry_bounded_staleness(
+        self, cluster_catalog, cluster_queries
+    ):
+        from repro.obs import StalenessTracker
+
+        now = [100.0]
+        tracker = StalenessTracker(clock=lambda: now[0])
+        links = [FakeLink(0), FakeLink(1)]
+        with make_cluster(cluster_catalog, links) as cluster:
+            cluster.attach_staleness(tracker)
+            fresh = cluster.estimate(cluster_queries[0], timeout=5.0)
+            assert fresh.staleness_s == 0.0
+            tracker.note_write("R", when=95.0)
+            stale = cluster.estimate(cluster_queries[0], timeout=5.0)
+            assert stale.staleness_s == pytest.approx(5.0)
+            tracker.note_applied("R", through=95.0)
+            caught_up = cluster.estimate(cluster_queries[0], timeout=5.0)
+            assert caught_up.staleness_s == 0.0

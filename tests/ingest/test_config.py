@@ -1,0 +1,42 @@
+"""IngestConfig: validation and dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import IngestConfig
+
+
+class TestIngestConfig:
+    def test_defaults_are_valid(self):
+        config = IngestConfig()
+        assert config.queue_depth == 1024
+        assert config.drift_every == 0
+
+    def test_round_trip(self):
+        config = IngestConfig(
+            queue_depth=16,
+            coalesce_window_s=0.5,
+            max_batch=4,
+            apply_retries=2,
+            drift_every=3,
+        )
+        assert IngestConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown IngestConfig keys"):
+            IngestConfig.from_dict({"queue_depth": 8, "typo": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_depth": 0},
+            {"coalesce_window_s": -0.1},
+            {"max_batch": 0},
+            {"apply_retries": 0},
+            {"drift_every": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            IngestConfig(**kwargs)

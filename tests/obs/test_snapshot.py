@@ -31,6 +31,7 @@ class TestStatsSnapshot:
             "plan_cache",
             "cluster",
             "advisor",
+            "ingest",
         )
 
     def test_from_registry_groups_namespaces(self):
@@ -109,6 +110,7 @@ class TestStatsSnapshot:
             "plan_cache",
             "cluster",
             "advisor",
+            "ingest",
             "meta",
         }
 

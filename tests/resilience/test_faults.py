@@ -195,6 +195,9 @@ class TestPlanDocuments:
             "worker_batch",
             "catalog_save",
             "catalog_load",
+            "ingest_apply",
+            "refresh_during_storm",
+            "swap_under_write",
         }
 
 
